@@ -1,0 +1,120 @@
+// A8 — Ablation: conditional functional dependencies.
+//
+// CFDs are the data-cleaning FD extension the paper cites; this bench
+// extends the Section III-B argument to them: a CFD is a scoped FD, so
+// CFD-informed generation should match random generation on every
+// covered attribute. Run on a synthetic fintech-style relation with
+// planted conditional structure plus the echocardiogram replica.
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/echocardiogram.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/experiment.h"
+
+using namespace metaleak;
+
+namespace {
+
+// region scopes dept -> manager; us rows share one currency.
+Relation PlantedCfdRelation() {
+  Schema schema({
+      {"region", DataType::kString, SemanticType::kCategorical},
+      {"dept", DataType::kString, SemanticType::kCategorical},
+      {"manager", DataType::kString, SemanticType::kCategorical},
+      {"currency", DataType::kString, SemanticType::kCategorical},
+  });
+  RelationBuilder builder(schema);
+  Rng rng(17);
+  const char* depts[] = {"sales", "dev", "ops", "hr"};
+  const char* eu_managers[] = {"anna", "bert", "cara", "dave"};
+  for (int i = 0; i < 300; ++i) {
+    bool eu = rng.Bernoulli(0.5);
+    size_t d = rng.UniformIndex(4);
+    if (eu) {
+      // dept determines manager inside the EU scope.
+      builder.AddRow({Value::Str("eu"), Value::Str(depts[d]),
+                      Value::Str(eu_managers[d]),
+                      Value::Str(rng.Bernoulli(0.7) ? "eur" : "sek")});
+    } else {
+      // Same dept maps to many managers in the US scope.
+      builder.AddRow({Value::Str("us"), Value::Str(depts[d]),
+                      Value::Str("m" + std::to_string(rng.UniformIndex(8))),
+                      Value::Str("usd")});
+    }
+  }
+  return std::move(builder.Finish()).ValueOrDie();
+}
+
+int RunCase(const char* title, const Relation& real) {
+  DiscoveryOptions options;
+  options.discover_cfds = true;
+  options.cfd.min_support = 8;
+  Result<DiscoveryReport> report = ProfileRelation(real, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu conditional FDs discovered\n", title,
+              report->metadata.conditional_fds.size());
+  size_t shown = 0;
+  for (const ConditionalFd& cfd : report->metadata.conditional_fds) {
+    if (shown++ >= 5) {
+      std::printf("  ... (%zu more)\n",
+                  report->metadata.conditional_fds.size() - 5);
+      break;
+    }
+    std::printf("  %s\n", cfd.ToString(real.schema()).c_str());
+  }
+
+  ExperimentConfig config;
+  config.rounds = 400;
+  config.seed = 808;
+  Result<std::vector<MethodResult>> results = RunExperiment(
+      real, report->metadata,
+      {GenerationMethod::kRandom, GenerationMethod::kCfd}, config);
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table(std::string("A8: CFD vs random leakage — ") + title);
+  table.SetHeader({"Attribute", "Random matches", "CFD matches",
+                   "CFD covered?"});
+  for (size_t c = 0; c < real.num_columns(); ++c) {
+    Result<MethodAttributeResult> rnd = (*results)[0].ForAttribute(c);
+    Result<MethodAttributeResult> cfd = (*results)[1].ForAttribute(c);
+    if (!rnd.ok() || !cfd.ok()) continue;
+    table.AddRow({rnd->name, FormatDouble(rnd->mean_matches, 3),
+                  cfd->covered ? FormatDouble(cfd->mean_matches, 3) : "NA",
+                  cfd->covered ? "yes" : "no"});
+  }
+  table.Print();
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  if (int rc = RunCase("planted fintech-style relation",
+                       PlantedCfdRelation())) {
+    return rc;
+  }
+  if (int rc = RunCase("echocardiogram replica",
+                       datasets::Echocardiogram())) {
+    return rc;
+  }
+  std::printf(
+      "Reading: *variable* CFDs behave like FDs — generation stays at the\n"
+      "random baseline (Section III-B's one-shot-mapping argument extends\n"
+      "to scoped FDs). *Constant* CFDs are different: their pattern\n"
+      "constants embed actual data values in the metadata, and the covered\n"
+      "attributes (currency, alive_at_1 above) leak measurably more than\n"
+      "random. Constant patterns should be treated as data, not metadata.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// A6 — Ablation: what if value distributions were shared too?
+//
+// The paper's analysis assumes "the distribution remains undisclosed"
+// and the adversary samples uniformly. This bench adds a disclosure
+// level beyond the paper's model (empirical histograms / frequency
+// tables) and measures the extra leakage on the echocardiogram replica —
+// quantifying why the uniform assumption is the safe boundary.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/echocardiogram.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/experiment.h"
+
+using namespace metaleak;
+
+int main() {
+  Relation real = datasets::Echocardiogram();
+  DiscoveryOptions options;
+  options.profile_distributions = true;
+  options.distribution_buckets = 16;
+  Result<DiscoveryReport> report = ProfileRelation(real, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  // Two adversaries: uniform (paper's model, distributions stripped) and
+  // distribution-aware (extension level).
+  MetadataPackage uniform_pkg =
+      report->metadata.Restrict(DisclosureLevel::kWithRfds);
+  const MetadataPackage& aware_pkg = report->metadata;
+
+  ExperimentConfig config;
+  config.rounds = 500;
+  config.seed = 606;
+  Result<MethodResult> uniform =
+      RunMethod(real, uniform_pkg, GenerationMethod::kRandom, config);
+  Result<MethodResult> aware =
+      RunMethod(real, aware_pkg, GenerationMethod::kRandom, config);
+  if (!uniform.ok() || !aware.ok()) {
+    std::fprintf(stderr, "experiment failed\n");
+    return 1;
+  }
+
+  TablePrinter table(
+      "A6: UNIFORM-DOMAIN VS DISTRIBUTION-AWARE ADVERSARY "
+      "(echocardiogram, 500 rounds)");
+  table.SetHeader({"Attribute", "Semantic", "Uniform matches",
+                   "Distribution-aware matches", "Amplification"});
+  for (size_t c = 0; c < real.num_columns(); ++c) {
+    Result<MethodAttributeResult> u = uniform->ForAttribute(c);
+    Result<MethodAttributeResult> a = aware->ForAttribute(c);
+    if (!u.ok() || !a.ok()) continue;
+    double amp = u->mean_matches > 1e-9
+                     ? a->mean_matches / u->mean_matches
+                     : 0.0;
+    table.AddRow({u->name, SemanticTypeToString(u->semantic),
+                  FormatDouble(u->mean_matches, 3),
+                  FormatDouble(a->mean_matches, 3),
+                  FormatDouble(amp, 2) + "x"});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: disclosing distributions amplifies leakage wherever the\n"
+      "marginal is skewed (sum p_i^2 > 1/|D|); the paper's assumption that\n"
+      "distributions stay private is load-bearing.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// A1 — Ablation: leakage vs. domain size |D_A|.
+//
+// Section III-A: E[matches] = N/|D_A|, so privacy leakage (>= 1 expected
+// correct generation) sets in exactly when |D_A| <= N. This bench sweeps
+// the domain size at fixed N and shows the crossover.
+#include <cstdio>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/synthetic.h"
+#include "data/domain.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/analytical.h"
+#include "privacy/experiment.h"
+
+using namespace metaleak;
+
+int main() {
+  const size_t kRows = 132;  // echocardiogram-sized
+  TablePrinter table(
+      "A1: LEAKAGE VS DOMAIN SIZE (random generation, N=" +
+      std::to_string(kRows) + ", 2000 rounds)");
+  table.SetHeader({"|D|", "E[matches] = N/|D|", "Measured mean",
+                   "P[>=1 match]", "Leakage expected?"});
+
+  for (size_t domain_size : {2u, 4u, 8u, 16u, 33u, 66u, 132u, 264u, 528u}) {
+    Result<Relation> rel =
+        datasets::SyntheticUniform(kRows, 1, 0, domain_size, domain_size);
+    if (!rel.ok()) return 1;
+    Result<DiscoveryReport> report = ProfileRelation(*rel);
+    if (!report.ok()) return 1;
+    // Disclose the *declared* domain (all labels the attribute may take),
+    // as in the paper's age example — the observed distinct set can never
+    // exceed N and would hide the crossover.
+    std::vector<Value> declared;
+    declared.reserve(domain_size);
+    for (size_t i = 0; i < domain_size; ++i) {
+      declared.push_back(Value::Str("v" + std::to_string(i)));
+    }
+    MetadataPackage metadata = report->metadata;
+    metadata.domains[0] = Domain::Categorical(std::move(declared));
+    ExperimentConfig config;
+    config.rounds = 2000;
+    config.seed = domain_size;
+    Result<MethodResult> result =
+        RunMethod(*rel, metadata, GenerationMethod::kRandom, config);
+    if (!result.ok()) return 1;
+    Result<std::vector<Domain>> domains = metadata.RequireDomains();
+    double expected =
+        ExpectedRandomCategoricalMatches(kRows, (*domains)[0]);
+    double at_least_one =
+        BinomialAtLeastOne(static_cast<int64_t>(kRows),
+                           1.0 / (*domains)[0].Size());
+    table.AddRow({std::to_string(domain_size), FormatDouble(expected, 3),
+                  FormatDouble(result->attributes[0].mean_matches, 3),
+                  FormatDouble(at_least_one, 4),
+                  expected >= 1.0 ? "yes" : "no"});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the crossover sits at |D| = N — sharing small domains\n"
+      "already implies expected leakage (Section III-A).\n");
+  return 0;
+}

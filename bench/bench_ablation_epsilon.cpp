@@ -1,0 +1,63 @@
+// A3 — Ablation: continuous-leakage sensitivity to the epsilon threshold
+// of Definition 2.3, on the echocardiogram replica.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/echocardiogram.h"
+#include "data/domain.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/analytical.h"
+#include "privacy/experiment.h"
+
+using namespace metaleak;
+
+int main() {
+  Relation real = datasets::Echocardiogram();
+  Result<DiscoveryReport> report = ProfileRelation(real);
+  if (!report.ok()) return 1;
+
+  // Attribute 6 (lvdd): continuous and FD-covered (epss -> lvdd), so the
+  // FD column carries data rather than NA.
+  const size_t kAttr = 6;
+  Result<Domain> domain = ExtractDomain(real, kAttr);
+  if (!domain.ok()) return 1;
+  size_t compared = 0;
+  for (const Value& v : real.column(kAttr)) {
+    if (!v.is_null()) ++compared;
+  }
+
+  TablePrinter table(
+      "A3: DEF-2.3 MATCHES VS EPSILON (attr 6, range=" +
+      FormatDouble(domain->range(), 1) + ", N=" + std::to_string(compared) +
+      ", 1500 rounds)");
+  table.SetHeader({"eps (fraction of range)", "eps (absolute)",
+                   "Random measured", "Analytical E", "FD measured"});
+
+  for (double frac : {0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25}) {
+    ExperimentConfig config;
+    config.rounds = 1500;
+    config.seed = static_cast<uint64_t>(frac * 1e6);
+    config.leakage.epsilon_fraction = frac;
+    Result<std::vector<MethodResult>> results = RunExperiment(
+        real, report->metadata,
+        {GenerationMethod::kRandom, GenerationMethod::kFd}, config);
+    if (!results.ok()) return 1;
+    Result<MethodAttributeResult> rnd = (*results)[0].ForAttribute(kAttr);
+    Result<MethodAttributeResult> fd = (*results)[1].ForAttribute(kAttr);
+    double eps = frac * domain->range();
+    double expected =
+        ExpectedRandomContinuousMatches(compared, *domain, eps);
+    table.AddRow(
+        {FormatDouble(frac, 3), FormatDouble(eps, 3),
+         rnd.ok() ? FormatDouble(rnd->mean_matches, 3) : "NA",
+         FormatDouble(expected, 3),
+         fd.ok() && fd->covered ? FormatDouble(fd->mean_matches, 3)
+                                : "NA"});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: matches grow ~linearly with eps (2*eps/range per row);\n"
+      "FD-informed generation tracks the random baseline at every eps.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// A5 — Ablation: identifiability (Definition 2.1) vs. quasi-identifier
+// width, on the echocardiogram replica and the employee example.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/echocardiogram.h"
+#include "data/datasets/employee.h"
+#include "privacy/identifiability.h"
+
+using namespace metaleak;
+
+namespace {
+
+int RunFor(const char* title, const Relation& relation, size_t max_width) {
+  TablePrinter table(std::string("A5: IDENTIFIABLE TUPLE FRACTION — ") +
+                     title);
+  table.SetHeader({"Subset width k", "Identifiable fraction",
+                   "Minimal UCCs at width <= k"});
+  for (size_t k = 1; k <= max_width; ++k) {
+    Result<double> frac = IdentifiableByAnySubset(relation, k);
+    Result<std::vector<AttributeSet>> uccs =
+        DiscoverUniqueColumnCombinations(relation, k);
+    if (!frac.ok() || !uccs.ok()) return 1;
+    table.AddRow({std::to_string(k), FormatDouble(*frac, 4),
+                  std::to_string(uccs->size())});
+  }
+  table.Print();
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  if (int rc = RunFor("employee (Table II)", datasets::Employee(), 3)) {
+    return rc;
+  }
+  if (int rc = RunFor("echocardiogram replica",
+                      datasets::Echocardiogram(), 3)) {
+    return rc;
+  }
+  std::printf(
+      "Reading: identifiability rises monotonically with the subset width\n"
+      "— wider quasi-identifiers isolate more tuples (Definition 2.1), the\n"
+      "property anonymization must destroy before any data sharing.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// A2 — Ablation: numerical-dependency leakage vs. fan-out K.
+//
+// Section IV-B: expected correct (X, Y) pairs are N*K/(|D_X|*|D_Y|), and
+// once K grows past |D_Y|/2 the sampled pool is guaranteed to overlap the
+// real pool (pigeonhole), sharply raising the at-least-one-mapping
+// probability. The marginal per-attribute hit rate stays 1/|D_Y|.
+#include <cstdio>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/synthetic.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/analytical.h"
+#include "privacy/experiment.h"
+
+using namespace metaleak;
+
+int main() {
+  const size_t kRows = 1000;
+  const size_t kDx = 10;
+  const size_t kDy = 16;
+  TablePrinter table("A2: ND LEAKAGE VS FAN-OUT K (N=" +
+                     std::to_string(kRows) + ", |Dx|=" +
+                     std::to_string(kDx) + ", |Dy|=" + std::to_string(kDy) +
+                     ", 400 rounds)");
+  table.SetHeader({"K", "E[pair matches] = NK/(|Dx||Dy|)",
+                   "P[pool overlap] (hypergeom)", "Measured Y matches",
+                   "Random baseline E"});
+
+  for (size_t k : {1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u}) {
+    datasets::SyntheticConfig config;
+    config.num_rows = kRows;
+    config.seed = 1000 + k;
+    datasets::SyntheticAttribute x;
+    x.name = "x";
+    x.kind = datasets::SyntheticAttribute::Kind::kCategoricalBase;
+    x.domain_size = kDx;
+    datasets::SyntheticAttribute y;
+    y.name = "y";
+    y.kind = datasets::SyntheticAttribute::Kind::kDerivedBoundedFanout;
+    y.source = 0;
+    y.domain_size = kDy;
+    y.fanout = k;
+    config.attributes = {x, y};
+    Result<Relation> rel = datasets::Synthetic(config);
+    if (!rel.ok()) return 1;
+
+    DiscoveryOptions discovery;
+    discovery.nd.max_fanout_fraction = 1.0;
+    discovery.nd.min_slack = 0;
+    Result<DiscoveryReport> report = ProfileRelation(*rel, discovery);
+    if (!report.ok()) return 1;
+
+    ExperimentConfig econfig;
+    econfig.rounds = 400;
+    econfig.seed = k;
+    Result<MethodResult> result =
+        RunMethod(*rel, report->metadata, GenerationMethod::kNd, econfig);
+    if (!result.ok()) return 1;
+
+    Result<std::vector<Domain>> domains = report->metadata.RequireDomains();
+    const Domain& dx = (*domains)[0];
+    const Domain& dy = (*domains)[1];
+    Result<MethodAttributeResult> target = result->ForAttribute(1);
+    std::string measured =
+        target.ok() && target->covered
+            ? FormatDouble(target->mean_matches, 3)
+            : "NA";
+    table.AddRow(
+        {std::to_string(k),
+         FormatDouble(ExpectedNdPairMatches(kRows, dx, dy, k), 2),
+         FormatDouble(NdAtLeastOneCorrectMapping(dy, k), 4), measured,
+         FormatDouble(ExpectedRandomCategoricalMatches(kRows, dy), 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: pool-overlap probability hits 1 once K > |Dy|/2 (the\n"
+      "paper's pigeonhole regime), while the per-attribute hit rate stays\n"
+      "at the 1/|Dy| random baseline.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E3 — Example 3.1 of the paper: expected vs. measured leakage on the
+// employee table when only attribute names and domains are shared.
+//
+// Paper: age domain [18, 26] (9 values) -> E = 4/9; department domain of
+// 3 values -> E = 4/3 >= 1, i.e. expected leakage.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/employee.h"
+#include "data/domain.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/analytical.h"
+#include "privacy/experiment.h"
+
+using namespace metaleak;
+
+int main() {
+  Relation employee = datasets::Employee();
+  Result<DiscoveryReport> report = ProfileRelation(employee);
+  if (!report.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  MetadataPackage metadata = report->metadata;
+  // The paper's example uses the *declared* age domain [18, 26] (9
+  // integers), not the observed distinct values; override accordingly.
+  metadata.domains[1] = Domain::Categorical(
+      {Value::Int(18), Value::Int(19), Value::Int(20), Value::Int(21),
+       Value::Int(22), Value::Int(23), Value::Int(24), Value::Int(25),
+       Value::Int(26)});
+  // Treat age as categorical for exact matching, as the example does.
+  std::vector<Attribute> attrs = metadata.schema.attributes();
+  attrs[1].semantic = SemanticType::kCategorical;
+  metadata.schema = Schema(attrs);
+  Relation real = employee;
+  {
+    std::vector<Attribute> real_attrs = real.schema().attributes();
+    real_attrs[1].semantic = SemanticType::kCategorical;
+    std::vector<std::vector<Value>> cols;
+    for (size_t c = 0; c < real.num_columns(); ++c) {
+      cols.push_back(real.column(c));
+    }
+    real = std::move(Relation::Make(Schema(real_attrs), std::move(cols)))
+               .ValueOrDie();
+  }
+
+  ExperimentConfig config;
+  config.rounds = 20000;
+  config.seed = 31;
+  Result<MethodResult> random =
+      RunMethod(real, metadata, GenerationMethod::kRandom, config);
+  if (!random.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 random.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table("EXAMPLE 3.1: EXPECTED VS MEASURED MATCHES (" +
+                     std::to_string(config.rounds) + " rounds)");
+  table.SetHeader({"Attribute", "|D|", "E[matches] = N/|D|", "Measured",
+                   "Leakage expected (E >= 1)?"});
+  Result<std::vector<Domain>> domains = metadata.RequireDomains();
+  for (size_t c : {1u, 2u}) {
+    Result<MethodAttributeResult> a = random->ForAttribute(c);
+    if (!a.ok()) continue;
+    double expected = ExpectedRandomCategoricalMatches(
+        real.num_rows(), (*domains)[c]);
+    table.AddRow({real.schema().attribute(c).name,
+                  FormatDouble((*domains)[c].Size(), 0),
+                  FormatDouble(expected, 4),
+                  FormatDouble(a->mean_matches, 4),
+                  expected >= 1.0 ? "yes" : "no"});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper: E[age] = 4/9 (low leakage risk), E[department] = 4/3 >= 1\n"
+      "(one correct guess expected).\n");
+  return 0;
+}

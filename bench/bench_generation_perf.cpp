@@ -1,0 +1,140 @@
+// A9 — Throughput of the adversarial generation and leakage evaluation
+// paths per dependency class (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "data/datasets/synthetic.h"
+#include "discovery/discovery_engine.h"
+#include "generation/generation_engine.h"
+#include "privacy/leakage.h"
+
+namespace metaleak {
+namespace {
+
+struct Fixture {
+  Relation real;
+  MetadataPackage metadata;
+};
+
+// One planted-structure relation reused across the benchmarks.
+const Fixture& SharedFixture(size_t rows) {
+  static auto* cache = new std::map<size_t, Fixture>();
+  auto it = cache->find(rows);
+  if (it != cache->end()) return it->second;
+
+  datasets::SyntheticConfig config;
+  config.num_rows = rows;
+  config.seed = 7;
+  datasets::SyntheticAttribute a;
+  a.name = "a";
+  a.kind = datasets::SyntheticAttribute::Kind::kCategoricalBase;
+  a.domain_size = 16;
+  datasets::SyntheticAttribute b;
+  b.name = "b";
+  b.kind = datasets::SyntheticAttribute::Kind::kContinuousBase;
+  b.lo = 0;
+  b.hi = 1000;
+  datasets::SyntheticAttribute c;
+  c.name = "c";
+  c.kind = datasets::SyntheticAttribute::Kind::kDerivedMonotone;
+  c.source = 1;
+  c.domain_size = 0;
+  datasets::SyntheticAttribute d;
+  d.name = "d";
+  d.kind = datasets::SyntheticAttribute::Kind::kDerivedBoundedFanout;
+  d.source = 0;
+  d.domain_size = 24;
+  d.fanout = 3;
+  config.attributes = {a, b, c, d};
+
+  Fixture fixture{std::move(datasets::Synthetic(config)).ValueOrDie(), {}};
+  DiscoveryOptions discovery;
+  fixture.metadata =
+      std::move(ProfileRelation(fixture.real, discovery)).ValueOrDie()
+          .metadata;
+  return cache->emplace(rows, std::move(fixture)).first->second;
+}
+
+GenerationOptions OptionsFor(const std::string& method) {
+  GenerationOptions out;
+  if (method == "random") {
+    out.ignore_dependencies = true;
+  } else if (method == "fd") {
+    out.allowed_kinds = {DependencyKind::kFunctional};
+  } else if (method == "od") {
+    out.allowed_kinds = {DependencyKind::kOrder};
+  } else if (method == "nd") {
+    out.allowed_kinds = {DependencyKind::kNumerical};
+  }
+  return out;
+}
+
+void RunGeneration(benchmark::State& state, const std::string& method) {
+  const Fixture& fixture =
+      SharedFixture(static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  GenerationOptions options = OptionsFor(method);
+  for (auto _ : state) {
+    auto outcome = GenerateSynthetic(
+        fixture.metadata, fixture.real.num_rows(), &rng, options);
+    benchmark::DoNotOptimize(outcome.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_GenerateRandom(benchmark::State& state) {
+  RunGeneration(state, "random");
+}
+void BM_GenerateFd(benchmark::State& state) { RunGeneration(state, "fd"); }
+void BM_GenerateOd(benchmark::State& state) { RunGeneration(state, "od"); }
+void BM_GenerateNd(benchmark::State& state) { RunGeneration(state, "nd"); }
+
+BENCHMARK(BM_GenerateRandom)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GenerateFd)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GenerateOd)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GenerateNd)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EvaluateLeakage(benchmark::State& state) {
+  const Fixture& fixture =
+      SharedFixture(static_cast<size_t>(state.range(0)));
+  Rng rng(2);
+  GenerationOptions options;
+  options.ignore_dependencies = true;
+  Relation synthetic =
+      std::move(GenerateSynthetic(fixture.metadata,
+                                  fixture.real.num_rows(), &rng, options))
+          .ValueOrDie()
+          .relation;
+  for (auto _ : state) {
+    auto report = EvaluateLeakage(fixture.real, synthetic);
+    benchmark::DoNotOptimize(report.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvaluateLeakage)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MetadataSerialize(benchmark::State& state) {
+  const Fixture& fixture =
+      SharedFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string wire = fixture.metadata.Serialize();
+    benchmark::DoNotOptimize(wire.size());
+  }
+}
+BENCHMARK(BM_MetadataSerialize)->Arg(10000);
+
+void BM_MetadataDeserialize(benchmark::State& state) {
+  const Fixture& fixture =
+      SharedFixture(static_cast<size_t>(state.range(0)));
+  std::string wire = fixture.metadata.Serialize();
+  for (auto _ : state) {
+    auto parsed = MetadataPackage::Deserialize(wire);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_MetadataDeserialize)->Arg(10000);
+
+}  // namespace
+}  // namespace metaleak
+
+BENCHMARK_MAIN();

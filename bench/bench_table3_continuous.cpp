@@ -1,0 +1,77 @@
+// E1 — Paper Table III: privacy leakage of continuous attributes.
+//
+// MSE of the synthetic values against the real values on the
+// echocardiogram replica, per generation method (random baseline and
+// generation driven by FDs / order deps / numerical deps). NA marks
+// attributes not covered by any discovered dependency of the method's
+// class, exactly as in the paper. Absolute values differ from the paper
+// (the replica's value ranges differ; the paper itself notes MSE scales
+// with the range); the comparison of interest is *within a column*:
+// dependency-informed generation ~= random generation.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/echocardiogram.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/experiment.h"
+
+using namespace metaleak;
+
+int main() {
+  const uint64_t kSeed = 20240213;
+  Relation real = datasets::Echocardiogram();
+  DiscoveryOptions discovery;
+  discovery.discover_afds = true;
+  Result<DiscoveryReport> report = ProfileRelation(real, discovery);
+  if (!report.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  ExperimentConfig config;
+  config.rounds = 300;
+  config.seed = kSeed;
+  std::vector<GenerationMethod> methods = {
+      GenerationMethod::kRandom, GenerationMethod::kFd,
+      GenerationMethod::kOd, GenerationMethod::kNd};
+  Result<std::vector<MethodResult>> results =
+      RunExperiment(real, report->metadata, methods, config);
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<size_t> kContinuousAttrs = {0, 2, 4, 5, 6, 7, 8, 9};
+  TablePrinter table(
+      "TABLE III: PRIVACY LEAKAGE OF CONTINUOUS ATTRIBUTES (MSE, " +
+      std::to_string(config.rounds) + " rounds, seed " +
+      std::to_string(kSeed) + ")");
+  std::vector<std::string> header = {"Dep"};
+  for (size_t c : kContinuousAttrs) {
+    header.push_back("Attr " + std::to_string(c));
+  }
+  table.SetHeader(std::move(header));
+
+  static const char* kRowNames[] = {"Rand Gen", "Func Dep", "Ord Dep",
+                                    "Num Dep"};
+  for (size_t m = 0; m < results->size(); ++m) {
+    std::vector<std::string> row = {kRowNames[m]};
+    for (size_t c : kContinuousAttrs) {
+      Result<MethodAttributeResult> a = (*results)[m].ForAttribute(c);
+      if (!a.ok() || (!a->covered && m != 0) || !a->mean_mse.has_value()) {
+        row.push_back("NA");
+      } else {
+        row.push_back(FormatDouble(*a->mean_mse, 2));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nReading: per column, Func/Ord/Num Dep MSE ~= Rand Gen MSE — the\n"
+      "dependencies add no extra leakage (paper Section V, Table III).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E2 — Paper Table IV: privacy leakage of categorical attributes.
+//
+// Positive exact matches at the same tuple index (Definition 2.2) on the
+// echocardiogram replica, per generation method, averaged over rounds.
+// NA marks attributes no discovered dependency of the class covers.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/echocardiogram.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/analytical.h"
+#include "privacy/experiment.h"
+
+using namespace metaleak;
+
+int main() {
+  const uint64_t kSeed = 20240214;
+  Relation real = datasets::Echocardiogram();
+  Result<DiscoveryReport> report = ProfileRelation(real);
+  if (!report.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  ExperimentConfig config;
+  config.rounds = 1000;
+  config.seed = kSeed;
+  std::vector<GenerationMethod> methods = {
+      GenerationMethod::kRandom, GenerationMethod::kFd,
+      GenerationMethod::kOd, GenerationMethod::kNd};
+  Result<std::vector<MethodResult>> results =
+      RunExperiment(real, report->metadata, methods, config);
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<size_t> kCategoricalAttrs = {1, 3, 11, 12};
+  TablePrinter table(
+      "TABLE IV: PRIVACY LEAKAGE OF CATEGORICAL ATTRIBUTES (positive "
+      "matches, " + std::to_string(config.rounds) + " rounds, seed " +
+      std::to_string(kSeed) + ")");
+  std::vector<std::string> header = {"Dependency"};
+  for (size_t c : kCategoricalAttrs) {
+    header.push_back("Attr " + std::to_string(c));
+  }
+  table.SetHeader(std::move(header));
+
+  static const char* kRowNames[] = {"Random Generation", "Functional Dep",
+                                    "Order Dep", "Numerical Dep"};
+  for (size_t m = 0; m < results->size(); ++m) {
+    std::vector<std::string> row = {kRowNames[m]};
+    for (size_t c : kCategoricalAttrs) {
+      Result<MethodAttributeResult> a = (*results)[m].ForAttribute(c);
+      if (!a.ok() || (!a->covered && m != 0)) {
+        row.push_back("NA");
+      } else {
+        row.push_back(FormatDouble(a->mean_matches, 3));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  // Companion: the binomial expectation N/|D| per attribute.
+  Result<std::vector<Domain>> domains = report->metadata.RequireDomains();
+  if (domains.ok()) {
+    std::printf("\nAnalytical E[matches] = N/|D| (Section III-A):\n");
+    for (size_t c : kCategoricalAttrs) {
+      size_t compared = 0;
+      for (const Value& v : real.column(c)) {
+        if (!v.is_null()) ++compared;
+      }
+      std::printf("  Attr %-3zu |D|=%-4.0f E=%s\n", c,
+                  (*domains)[c].Size(),
+                  FormatDouble(ExpectedRandomCategoricalMatches(
+                                   compared, (*domains)[c]),
+                               3)
+                      .c_str());
+    }
+  }
+  std::printf(
+      "\nReading: dependency-informed rows stay close to the random row —\n"
+      "FDs/RFDs add little value for an adversary (paper Table IV).\n");
+  return 0;
+}

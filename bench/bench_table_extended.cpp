@@ -1,0 +1,98 @@
+// E1/E2 extension — the full method matrix.
+//
+// The paper's Tables III/IV report Random/FD/OD/ND; Sections IV-A, IV-D
+// and IV-E additionally analyze AFD, DD and OFD without tabulating them.
+// This bench completes the matrix over the echocardiogram replica: every
+// generation class the paper discusses, on both attribute families.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/echocardiogram.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/experiment.h"
+
+using namespace metaleak;
+
+int main() {
+  Relation real = datasets::Echocardiogram();
+  DiscoveryOptions discovery;
+  discovery.discover_afds = true;
+  discovery.discover_cfds = true;
+  discovery.cfd.min_support = 10;
+  Result<DiscoveryReport> report = ProfileRelation(real, discovery);
+  if (!report.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  ExperimentConfig config;
+  config.rounds = 300;
+  config.seed = 424242;
+  const std::vector<GenerationMethod> methods = {
+      GenerationMethod::kRandom, GenerationMethod::kFd,
+      GenerationMethod::kAfd,    GenerationMethod::kOd,
+      GenerationMethod::kOfd,    GenerationMethod::kNd,
+      GenerationMethod::kDd,     GenerationMethod::kCfd};
+  Result<std::vector<MethodResult>> results =
+      RunExperiment(real, report->metadata, methods, config);
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  // Categorical matrix (positive matches).
+  {
+    const std::vector<size_t> attrs = {1, 3, 11, 12};
+    TablePrinter table(
+        "EXTENDED TABLE IV: ALL GENERATION CLASSES, CATEGORICAL "
+        "ATTRIBUTES (mean matches, 300 rounds)");
+    std::vector<std::string> header = {"Method"};
+    for (size_t c : attrs) header.push_back("Attr " + std::to_string(c));
+    table.SetHeader(std::move(header));
+    for (const MethodResult& m : *results) {
+      std::vector<std::string> row = {GenerationMethodToString(m.method)};
+      for (size_t c : attrs) {
+        Result<MethodAttributeResult> a = m.ForAttribute(c);
+        bool na = !a.ok() ||
+                  (!a->covered && m.method != GenerationMethod::kRandom);
+        row.push_back(na ? "NA" : FormatDouble(a->mean_matches, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  std::printf("\n");
+  // Continuous matrix (MSE).
+  {
+    const std::vector<size_t> attrs = {0, 2, 4, 5, 6, 7, 8, 9};
+    TablePrinter table(
+        "EXTENDED TABLE III: ALL GENERATION CLASSES, CONTINUOUS "
+        "ATTRIBUTES (mean MSE, 300 rounds)");
+    std::vector<std::string> header = {"Method"};
+    for (size_t c : attrs) header.push_back("Attr " + std::to_string(c));
+    table.SetHeader(std::move(header));
+    for (const MethodResult& m : *results) {
+      std::vector<std::string> row = {GenerationMethodToString(m.method)};
+      for (size_t c : attrs) {
+        Result<MethodAttributeResult> a = m.ForAttribute(c);
+        bool na = !a.ok() ||
+                  (!a->covered && m.method != GenerationMethod::kRandom) ||
+                  !a->mean_mse.has_value();
+        row.push_back(na ? "NA" : FormatDouble(*a->mean_mse, 2));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nReading: every class the paper analyzes (FD, AFD, OD, OFD, ND,\n"
+      "DD) stays at the random baseline on both attribute families —\n"
+      "completing Sections IV-A/IV-D/IV-E, whose AFD/DD/OFD analyses the\n"
+      "paper states without tabulating. The one exception is the CFD row:\n"
+      "its *constant patterns* embed data values and visibly beat random\n"
+      "on the attributes they pin (see bench_ablation_cfd).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E5 — Figure 1 scenario end to end: utility vs. privacy per disclosure
+// level in the bank x e-commerce VFL pipeline.
+//
+// Utility: accuracy of the joint loan-default model vs. the bank-only
+// model. Privacy: leakage of the e-commerce slice reconstructed by the
+// bank from the metadata it received, per disclosure level.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/fintech.h"
+#include "vfl/scenario.h"
+
+using namespace metaleak;
+
+int main() {
+  datasets::FintechScenario scenario = datasets::Fintech();
+  Party bank("bank", scenario.bank, "customer_id");
+  Party ecommerce("ecommerce", scenario.ecommerce, "customer_id");
+
+  ScenarioOptions options;
+  options.train.epochs = 250;
+  Result<ScenarioOutcome> outcome = RunScenario(bank, ecommerce, options);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("FIGURE 1 SCENARIO: bank x e-commerce VFL pipeline\n\n");
+  std::printf("PSI intersection size: %zu aligned customers\n",
+              outcome->intersection_size);
+  std::printf("Utility (training accuracy):\n");
+  std::printf("  bank-only model : %s\n",
+              FormatDouble(outcome->party_a_only_accuracy, 4).c_str());
+  std::printf("  joint VFL model : %s  (federation benefit: %+s)\n\n",
+              FormatDouble(outcome->joint_accuracy, 4).c_str(),
+              FormatDouble(outcome->joint_accuracy -
+                               outcome->party_a_only_accuracy,
+                           4)
+                  .c_str());
+
+  TablePrinter table(
+      "Privacy: reconstruction of the e-commerce slice by the bank");
+  table.SetHeader({"Disclosure level", "Reconstructable",
+                   "Categorical matches", "Mean continuous MSE"});
+  for (const AttackResult& level : outcome->leakage_by_level) {
+    std::string matches = "-";
+    std::string mse = "-";
+    if (level.reconstructed) {
+      matches = std::to_string(level.leakage.TotalCategoricalMatches());
+      double mse_sum = 0.0;
+      size_t mse_count = 0;
+      for (const AttributeLeakage& a : level.leakage.attributes) {
+        if (a.mse.has_value()) {
+          mse_sum += *a.mse;
+          ++mse_count;
+        }
+      }
+      mse = mse_count > 0 ? FormatDouble(mse_sum / mse_count, 1) : "-";
+    }
+    table.AddRow({DisclosureLevelToString(level.level),
+                  level.reconstructed ? "yes" : "no", matches, mse});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: reconstruction becomes possible once domains are shared;\n"
+      "adding FDs and RFDs does not increase the leakage beyond that level\n"
+      "(the paper's conclusion).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// dependency_discovery: a tour of the profiling substrate.
+//
+// Shows TANE on the echocardiogram replica level by level, the stripped
+// partitions it works on, g3 errors for approximate dependencies, and
+// the pairwise discovery of order / numerical / differential
+// dependencies — the metadata the privacy analysis is about.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/echocardiogram.h"
+#include "discovery/rfd_discovery.h"
+#include "discovery/tane.h"
+#include "discovery/validators.h"
+#include "metadata/dependency_set.h"
+#include "partition/pli_cache.h"
+
+using namespace metaleak;  // Example code; library code never does this.
+
+int main() {
+  Relation relation = datasets::Echocardiogram();
+  std::printf("Dataset: echocardiogram replica, %zu rows x %zu attrs\n\n",
+              relation.num_rows(), relation.num_columns());
+
+  // 1) The representation: stripped partitions.
+  std::printf("== Stripped partitions (TANE's PLIs) ==\n");
+  PliCache cache(&relation);
+  for (size_t c = 0; c < relation.num_columns(); ++c) {
+    const PositionListIndex* pli = cache.Get(AttributeSet::Single(c));
+    std::printf(
+        "  %-24s %3zu classes, %3zu stripped clusters, %3zu rows in "
+        "clusters\n",
+        relation.schema().attribute(c).name.c_str(), pli->num_classes(),
+        pli->num_clusters(), pli->num_stripped_rows());
+  }
+
+  // 2) TANE at increasing LHS sizes.
+  std::printf("\n== TANE: minimal FDs by LHS size ==\n");
+  for (size_t max_lhs : {1u, 2u, 3u}) {
+    TaneOptions options;
+    options.max_lhs_size = max_lhs;
+    options.include_constant_columns = false;
+    Result<TaneResult> result = DiscoverFds(relation, options);
+    if (!result.ok()) return 1;
+    std::printf("  max |LHS| = %zu: %zu minimal FDs (%zu lattice nodes)\n",
+                max_lhs, result->dependencies.size(),
+                result->nodes_visited);
+  }
+  TaneOptions options;
+  options.max_lhs_size = 1;
+  options.include_constant_columns = false;
+  Result<TaneResult> fds = DiscoverFds(relation, options);
+  if (!fds.ok()) return 1;
+  std::printf("\n  Single-attribute FDs:\n");
+  for (const Dependency& d : fds->dependencies) {
+    std::printf("    %s\n", d.ToString(relation.schema()).c_str());
+  }
+
+  // 3) Approximate FDs: near-dependencies with small g3 error.
+  std::printf("\n== Approximate FDs (g3 <= 0.10) ==\n");
+  TaneOptions afd_options;
+  afd_options.max_lhs_size = 1;
+  afd_options.max_g3_error = 0.10;
+  afd_options.include_constant_columns = false;
+  Result<TaneResult> afds = DiscoverFds(relation, afd_options);
+  if (!afds.ok()) return 1;
+  for (const Dependency& d : afds->dependencies) {
+    if (d.kind == DependencyKind::kApproximateFunctional) {
+      std::printf("    %s\n", d.ToString(relation.schema()).c_str());
+    }
+  }
+
+  // 4) The relaxed classes.
+  std::printf("\n== Order dependencies ==\n");
+  Result<DependencySet> ods = DiscoverOds(relation);
+  if (!ods.ok()) return 1;
+  for (const Dependency& d : *ods) {
+    std::printf("    %s\n", d.ToString(relation.schema()).c_str());
+  }
+
+  std::printf("\n== Ordered functional dependencies ==\n");
+  Result<DependencySet> ofds = DiscoverOfds(relation);
+  if (!ofds.ok()) return 1;
+  for (const Dependency& d : *ofds) {
+    std::printf("    %s\n", d.ToString(relation.schema()).c_str());
+  }
+
+  std::printf("\n== Numerical dependencies ==\n");
+  Result<DependencySet> nds = DiscoverNds(relation);
+  if (!nds.ok()) return 1;
+  for (const Dependency& d : *nds) {
+    std::printf("    %s\n", d.ToString(relation.schema()).c_str());
+  }
+
+  std::printf("\n== Differential dependencies (eps = 5%% of range) ==\n");
+  Result<DependencySet> dds = DiscoverDds(relation);
+  if (!dds.ok()) return 1;
+  for (const Dependency& d : *dds) {
+    std::printf("    %s\n", d.ToString(relation.schema()).c_str());
+  }
+
+  std::printf(
+      "\nEach of these is exactly the metadata whose privacy cost the\n"
+      "paper analyzes; see the bench/ binaries for the leakage tables.\n");
+  return 0;
+}

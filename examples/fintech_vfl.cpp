@@ -1,0 +1,75 @@
+// The paper's Figure 1 scenario end to end: a bank and an e-commerce
+// company run vertical federated learning on a shared customer
+// population — PSI alignment, metadata exchange, joint training — and we
+// measure what the metadata alone lets the bank reconstruct.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/datasets/fintech.h"
+#include "vfl/scenario.h"
+
+using namespace metaleak;  // Example code; library code never does this.
+
+int main() {
+  // Two parties observe overlapping customers, disjoint features.
+  datasets::FintechOptions data_options;
+  data_options.population = 800;
+  datasets::FintechScenario data = datasets::Fintech(data_options);
+  Party bank("bank", data.bank, "customer_id");
+  Party ecommerce("ecommerce", data.ecommerce, "customer_id");
+
+  std::printf("Party A (bank):       %zu customers x %zu attributes\n",
+              bank.data().num_rows(), bank.data().num_columns());
+  std::printf("Party B (e-commerce): %zu customers x %zu attributes\n\n",
+              ecommerce.data().num_rows(), ecommerce.data().num_columns());
+
+  // What does party B actually put on the wire at full disclosure?
+  Result<MetadataPackage> shared =
+      ecommerce.ShareMetadata(DisclosureLevel::kWithRfds);
+  if (!shared.ok()) {
+    std::fprintf(stderr, "metadata exchange failed: %s\n",
+                 shared.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Metadata party B sends to party A ==\n%s\n",
+              shared->Serialize().c_str());
+
+  // Full pipeline: PSI -> exchange -> train -> attack.
+  ScenarioOptions options;
+  options.train.epochs = 250;
+  Result<ScenarioOutcome> outcome = RunScenario(bank, ecommerce, options);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== Pipeline results ==\n");
+  std::printf("PSI aligned %zu customers without exchanging raw ids.\n",
+              outcome->intersection_size);
+  std::printf("Bank-only accuracy: %s; joint VFL accuracy: %s.\n\n",
+              FormatDouble(outcome->party_a_only_accuracy, 4).c_str(),
+              FormatDouble(outcome->joint_accuracy, 4).c_str());
+
+  TablePrinter table("Bank's reconstruction of B's slice, per disclosure");
+  table.SetHeader({"Level", "Attribute", "Match rate", "MSE"});
+  for (const AttackResult& level : outcome->leakage_by_level) {
+    if (!level.reconstructed) {
+      table.AddRow({DisclosureLevelToString(level.level),
+                    "(not reconstructable)", "-", "-"});
+      continue;
+    }
+    for (const AttributeLeakage& a : level.leakage.attributes) {
+      table.AddRow({DisclosureLevelToString(level.level), a.name,
+                    FormatDouble(a.match_rate, 4),
+                    a.mse.has_value() ? FormatDouble(*a.mse, 1) : "-"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nTakeaway: domains enable reconstruction; FDs/RFDs on top do not\n"
+      "increase it — so share names and dependencies, withhold domains\n"
+      "when possible (paper Section VI).\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// metadata_audit: a command-line privacy audit for a CSV dataset.
+//
+// Usage: metadata_audit [file.csv]
+//
+// Profiles the relation (domains + FDs/RFDs), then answers the question a
+// data owner should ask before joining a VFL federation: "if I share this
+// metadata, what can the counterpart reconstruct?" — per disclosure
+// level, with the analytical expectations alongside measurements.
+// Without an argument it audits the bundled echocardiogram replica.
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/csv_loader.h"
+#include "data/datasets/echocardiogram.h"
+#include "data/domain.h"
+#include "discovery/discovery_engine.h"
+#include "privacy/analytical.h"
+#include "privacy/experiment.h"
+#include "privacy/identifiability.h"
+#include "privacy/tuple_risk.h"
+
+using namespace metaleak;  // Example code; library code never does this.
+
+int main(int argc, char** argv) {
+  Relation relation;
+  if (argc > 1) {
+    Result<Relation> loaded = LoadCsvRelationFile(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    relation = std::move(loaded).ValueUnsafe();
+    std::printf("Auditing %s: %zu rows x %zu attributes\n\n", argv[1],
+                relation.num_rows(), relation.num_columns());
+  } else {
+    relation = datasets::Echocardiogram();
+    std::printf(
+        "No input given; auditing the bundled echocardiogram replica "
+        "(%zu rows x %zu attributes).\n\n",
+        relation.num_rows(), relation.num_columns());
+  }
+
+  // 1) Profile.
+  DiscoveryOptions discovery;
+  discovery.discover_afds = true;
+  Result<DiscoveryReport> report = ProfileRelation(relation, discovery);
+  if (!report.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const MetadataPackage& metadata = report->metadata;
+
+  std::printf("== Discovered metadata ==\n");
+  for (const Attribute& a : metadata.schema.attributes()) {
+    std::printf("  %-24s %-8s %s\n", a.name.c_str(),
+                DataTypeToString(a.type).c_str(),
+                SemanticTypeToString(a.semantic).c_str());
+  }
+  std::printf("  %zu dependencies:\n",
+              metadata.dependencies.size());
+  for (const Dependency& d : metadata.dependencies) {
+    std::printf("    %s\n", d.ToString(metadata.schema).c_str());
+  }
+
+  // 2) Identifiability (Definition 2.1).
+  std::printf("\n== Identifiability (GDPR Art. 5 / Definition 2.1) ==\n");
+  for (size_t k = 1; k <= std::min<size_t>(2, relation.num_columns());
+       ++k) {
+    Result<double> frac = IdentifiableByAnySubset(relation, k);
+    if (frac.ok()) {
+      std::printf(
+          "  %.1f%% of tuples identifiable via some %zu-attribute "
+          "subset\n",
+          100.0 * *frac, k);
+    }
+  }
+
+  // 3) Expected leakage per attribute if names+domains are shared.
+  std::printf("\n== Expected leakage from names+domains alone ==\n");
+  TablePrinter table;
+  table.SetHeader({"Attribute", "Domain", "E[matches]", "Risk"});
+  Result<std::vector<Domain>> domains = metadata.RequireDomains();
+  if (!domains.ok()) return 1;
+  for (size_t c = 0; c < relation.num_columns(); ++c) {
+    const Attribute& attr = metadata.schema.attribute(c);
+    double expected =
+        attr.semantic == SemanticType::kCategorical
+            ? ExpectedRandomCategoricalMatches(relation.num_rows(),
+                                               (*domains)[c])
+            : ExpectedRandomContinuousMatches(
+                  relation.num_rows(), (*domains)[c],
+                  0.01 * (*domains)[c].range());
+    std::string domain_str = (*domains)[c].is_categorical()
+                                 ? "|D|=" + FormatDouble(
+                                                (*domains)[c].Size(), 0)
+                                 : (*domains)[c].ToString();
+    table.AddRow({attr.name, domain_str, FormatDouble(expected, 3),
+                  expected >= 1.0 ? "LEAK EXPECTED" : "low"});
+  }
+  table.Print();
+
+  // 4) Does adding FDs/RFDs make it worse? Measure.
+  std::printf("\n== Measured leakage: random vs dependency-informed ==\n");
+  ExperimentConfig config;
+  config.rounds = 200;
+  Result<std::vector<MethodResult>> results = RunExperiment(
+      relation, metadata,
+      {GenerationMethod::kRandom, GenerationMethod::kFd,
+       GenerationMethod::kOd, GenerationMethod::kNd},
+      config);
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  TablePrinter measured;
+  measured.SetHeader(
+      {"Attribute", "Random", "FD", "OD", "ND", "Verdict"});
+  for (size_t c = 0; c < relation.num_columns(); ++c) {
+    std::vector<std::string> row = {
+        metadata.schema.attribute(c).name};
+    double random_mean = 0.0;
+    double max_dep = 0.0;
+    for (size_t m = 0; m < results->size(); ++m) {
+      Result<MethodAttributeResult> a = (*results)[m].ForAttribute(c);
+      if (!a.ok() || (!a->covered && m != 0)) {
+        row.push_back("NA");
+        continue;
+      }
+      row.push_back(FormatDouble(a->mean_matches, 2));
+      if (m == 0) {
+        random_mean = a->mean_matches;
+      } else {
+        max_dep = std::max(max_dep, a->mean_matches);
+      }
+    }
+    double slack = 3.0 * std::sqrt(std::max(1.0, random_mean));
+    row.push_back(max_dep > random_mean + slack ? "deps leak MORE"
+                                                : "deps add ~nothing");
+    measured.AddRow(std::move(row));
+  }
+  measured.Print();
+  // 5) Which tuples are most at risk (Section V's targeted-advertising
+  //    discussion: a correct reconstruction is valuable per tuple).
+  TupleRiskOptions risk_options;
+  risk_options.rounds = 100;
+  Result<TupleRiskReport> risk =
+      AnalyzeTupleRisk(relation, metadata, risk_options);
+  if (risk.ok()) {
+    std::printf("\n== Highest-risk tuples (mean reconstructed attrs) ==\n");
+    std::fputs(risk->ToString(5).c_str(), stdout);
+  }
+
+  std::printf(
+      "\nRecommendation: share attribute names and dependencies; treat\n"
+      "domain disclosure as the actual risk surface (paper Section VI).\n");
+  return 0;
+}

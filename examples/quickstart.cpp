@@ -1,0 +1,82 @@
+// Quickstart: the paper's running example end to end.
+//
+// Profiles the employee table (Table II), shares its metadata, lets an
+// adversary generate a synthetic table from it, and measures privacy
+// leakage — including the Example 3.1 expected values.
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/datasets/employee.h"
+#include "data/domain.h"
+#include "discovery/discovery_engine.h"
+#include "generation/generation_engine.h"
+#include "privacy/analytical.h"
+#include "privacy/experiment.h"
+#include "privacy/leakage.h"
+
+using namespace metaleak;  // Example code; library code never does this.
+
+int main() {
+  Relation employee = datasets::Employee();
+  std::printf("== The employee relation (paper Table II) ==\n%s\n",
+              employee.ToString().c_str());
+
+  // 1) Profile: discover domains + FDs/RFDs.
+  Result<DiscoveryReport> report = ProfileRelation(employee);
+  if (!report.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const MetadataPackage& metadata = report->metadata;
+  std::printf("== Discovered dependencies ==\n%s\n",
+              metadata.dependencies.ToString(employee.schema()).c_str());
+
+  // 2) Example 3.1: expected matches under random generation.
+  Result<Domain> age = ExtractDomain(employee, 1);
+  Result<Domain> dept = ExtractDomain(employee, 2);
+  if (age.ok() && dept.ok()) {
+    // The paper counts the age domain as the 9 integers in [18, 26].
+    Domain age_domain = Domain::Categorical(
+        {Value::Int(18), Value::Int(19), Value::Int(20), Value::Int(21),
+         Value::Int(22), Value::Int(23), Value::Int(24), Value::Int(25),
+         Value::Int(26)});
+    double e_age =
+        ExpectedRandomCategoricalMatches(employee.num_rows(), age_domain);
+    double e_dept =
+        ExpectedRandomCategoricalMatches(employee.num_rows(), *dept);
+    std::printf("== Example 3.1 ==\n");
+    std::printf("E[age matches]        = %s (paper: 4/9 ~ 0.444)\n",
+                FormatDouble(e_age, 3).c_str());
+    std::printf("E[department matches] = %s (paper: 4/3 ~ 1.333)\n\n",
+                FormatDouble(e_dept, 3).c_str());
+  }
+
+  // 3) Adversarial generation + leakage, random vs. FD-informed.
+  ExperimentConfig config;
+  config.rounds = 2000;
+  Result<std::vector<MethodResult>> methods = RunExperiment(
+      employee, metadata,
+      {GenerationMethod::kRandom, GenerationMethod::kFd}, config);
+  if (!methods.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 methods.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Mean leakage over %zu rounds ==\n", config.rounds);
+  for (const MethodResult& m : *methods) {
+    std::printf("%s:\n", GenerationMethodToString(m.method).c_str());
+    for (const MethodAttributeResult& a : m.attributes) {
+      std::printf("  %-12s matches=%-8s %s\n", a.name.c_str(),
+                  a.covered ? FormatDouble(a.mean_matches, 3).c_str() : "NA",
+                  a.mean_mse.has_value()
+                      ? ("mse=" + FormatDouble(*a.mean_mse, 1)).c_str()
+                      : "");
+    }
+  }
+  std::printf(
+      "\nConclusion (paper Section III-B): FD-informed generation leaks no "
+      "more than random generation.\n");
+  return 0;
+}

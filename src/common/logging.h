@@ -1,0 +1,60 @@
+// Minimal leveled logging for library diagnostics.
+//
+// MetaLeak is a library, so logging defaults to WARNING and is written to
+// stderr; hosts can lower the threshold (e.g. to kDebug) when diagnosing
+// discovery or generation behaviour.
+#ifndef METALEAK_COMMON_LOGGING_H_
+#define METALEAK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace metaleak {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; buffers the message and emits it (or drops it,
+/// when below the global threshold) on destruction at the end of the
+/// full expression.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+// Usage: METALEAK_LOG(kInfo) << "discovered " << n << " FDs";
+#define METALEAK_LOG(level)                                    \
+  ::metaleak::internal::LogMessage(::metaleak::LogLevel::level, \
+                                   __FILE__, __LINE__)          \
+      .stream()
+
+}  // namespace metaleak
+
+#endif  // METALEAK_COMMON_LOGGING_H_

@@ -1,0 +1,52 @@
+// Common preprocessor macros used across the MetaLeak codebase.
+#ifndef METALEAK_COMMON_MACROS_H_
+#define METALEAK_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Marks a class as non-copyable and non-movable.
+#define METALEAK_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;               \
+  TypeName& operator=(const TypeName&) = delete
+
+// Internal invariant check. Unlike Status-based error reporting, a DCHECK
+// failure indicates a bug inside the library, not bad user input; it aborts
+// with a source location so the bug is caught close to its origin.
+#ifdef NDEBUG
+#define METALEAK_DCHECK(condition) \
+  do {                             \
+  } while (false)
+#else
+#define METALEAK_DCHECK(condition)                                      \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      std::fprintf(stderr, "DCHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #condition);                               \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+#endif
+
+// Propagates a non-OK Status from an expression, Arrow-style.
+#define METALEAK_RETURN_NOT_OK(expr)             \
+  do {                                           \
+    ::metaleak::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+// Assigns the value of a Result<T> expression to `lhs`, or propagates its
+// error Status. Usage: METALEAK_ASSIGN_OR_RETURN(auto x, MakeX());
+#define METALEAK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueUnsafe()
+
+#define METALEAK_CONCAT_IMPL(x, y) x##y
+#define METALEAK_CONCAT(x, y) METALEAK_CONCAT_IMPL(x, y)
+
+#define METALEAK_ASSIGN_OR_RETURN(lhs, rexpr) \
+  METALEAK_ASSIGN_OR_RETURN_IMPL(             \
+      METALEAK_CONCAT(_metaleak_result_, __LINE__), lhs, rexpr)
+
+#endif  // METALEAK_COMMON_MACROS_H_

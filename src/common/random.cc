@@ -1,0 +1,63 @@
+#include "common/random.h"
+
+#include <unordered_set>
+
+namespace metaleak {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  METALEAK_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  METALEAK_DCHECK(n > 0);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  METALEAK_DCHECK(lo <= hi);
+  if (lo == hi) return lo;
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  METALEAK_DCHECK(p >= 0.0 && p <= 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  METALEAK_DCHECK(k <= n);
+  // Floyd's algorithm: O(k) expected insertions regardless of n.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k);
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = UniformIndex(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() {
+  // Mixing two independent draws avoids correlated child streams.
+  uint64_t a = engine_();
+  uint64_t b = engine_();
+  return Rng(a ^ (b * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL));
+}
+
+}  // namespace metaleak

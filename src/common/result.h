@@ -1,0 +1,87 @@
+// Result<T>: value-or-Status, the return type of fallible factories.
+#ifndef METALEAK_COMMON_RESULT_H_
+#define METALEAK_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace metaleak {
+
+/// Holds either a value of type T or an error Status, never both.
+///
+/// Usage:
+///   Result<Relation> r = CsvLoader::Load(path);
+///   if (!r.ok()) return r.status();
+///   Relation rel = std::move(r).ValueUnsafe();
+///
+/// or via the METALEAK_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirrors Arrow.
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    METALEAK_DCHECK(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+
+  /// The error status; Status::OK() when the result holds a value.
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Accessors. Calling these on an error result is a programming error
+  /// (checked via DCHECK in debug builds).
+  const T& ValueUnsafe() const& {
+    METALEAK_DCHECK(value_.has_value());
+    return *value_;
+  }
+  T& ValueUnsafe() & {
+    METALEAK_DCHECK(value_.has_value());
+    return *value_;
+  }
+  T ValueUnsafe() && {
+    METALEAK_DCHECK(value_.has_value());
+    return std::move(*value_);
+  }
+
+  /// Convenience aliases matching Arrow naming.
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// Returns the value or aborts with the error message. Only appropriate in
+  /// tests, examples and benches where failure is unrecoverable.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "ValueOrDie on error result: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+  /// Returns the held value, or `fallback` if this result is an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_COMMON_RESULT_H_

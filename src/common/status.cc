@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+namespace metaleak {
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(msg)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_ != nullptr) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ == nullptr ? nullptr
+                                     : std::make_unique<State>(*other.state_);
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  static const std::string* const kEmpty = new std::string();
+  return state_ == nullptr ? *kEmpty : state_->msg;
+}
+
+std::string StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kIoError:
+      return "IO error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kUnknownError:
+      return "Unknown error";
+  }
+  return "Unrecognized status code";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return StatusCodeToString(code()) + ": " + message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace metaleak

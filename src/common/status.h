@@ -1,0 +1,122 @@
+// Status: the error-reporting vocabulary type for MetaLeak.
+//
+// MetaLeak does not throw exceptions across public API boundaries. Functions
+// that can fail return a Status (or a Result<T>, see result.h) describing
+// the outcome. This mirrors the Apache Arrow / Google error model.
+#ifndef METALEAK_COMMON_STATUS_H_
+#define METALEAK_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace metaleak {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,        // lookup of a name/index that does not exist
+  kTypeError = 3,       // value/attribute type mismatch
+  kIoError = 4,         // file or parse failure
+  kNotImplemented = 5,
+  kOutOfRange = 6,
+  kAlreadyExists = 7,
+  kUnknownError = 8,
+};
+
+/// Returns the canonical lower-case name of a status code ("Invalid
+/// argument", "Key error", ...).
+std::string StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: either OK, or an error code plus message.
+///
+/// Status is cheap to copy in the OK case (a null pointer); error states
+/// carry a heap-allocated payload. It is totally ordered on (code, message)
+/// only through equality; there is no operator<.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status UnknownError(std::string msg) {
+    return Status(StatusCode::kUnknownError, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The human-readable error message; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr means OK; keeps the success path allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_COMMON_STATUS_H_

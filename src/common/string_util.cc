@@ -1,0 +1,100 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace metaleak {
+
+std::vector<std::string> Split(std::string_view input, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view input) {
+  input = Trim(input);
+  if (input.empty()) return std::nullopt;
+  int64_t value = 0;
+  const char* first = input.data();
+  const char* last = input.data() + input.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view input) {
+  input = Trim(input);
+  if (input.empty()) return std::nullopt;
+  // std::from_chars<double> is not universally available; strtod on a
+  // NUL-terminated copy is portable and strict enough with a full-match
+  // check.
+  std::string buf(input);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+bool StartsWith(std::string_view input, std::string_view prefix) {
+  return input.size() >= prefix.size() &&
+         input.substr(0, prefix.size()) == prefix;
+}
+
+std::string ToLower(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  std::string out(buf);
+  if (out.find('.') != std::string::npos) {
+    size_t last = out.find_last_not_of('0');
+    if (out[last] == '.') last = last == 0 ? 0 : last - 1;
+    out.erase(last + 1);
+  }
+  return out;
+}
+
+}  // namespace metaleak

@@ -1,0 +1,41 @@
+// Small string helpers shared across modules (no locale dependence).
+#ifndef METALEAK_COMMON_STRING_UTIL_H_
+#define METALEAK_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaleak {
+
+/// Splits `input` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strict integer parse of the full string; nullopt on any violation.
+std::optional<int64_t> ParseInt64(std::string_view input);
+
+/// Strict double parse of the full string; nullopt on any violation.
+std::optional<double> ParseDouble(std::string_view input);
+
+/// True if `input` equals `prefix` on its first prefix.size() chars.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view input);
+
+/// Formats a double with `precision` decimal digits, trimming a bare
+/// trailing dot ("12." -> "12").
+std::string FormatDouble(double value, int precision);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_COMMON_STRING_UTIL_H_

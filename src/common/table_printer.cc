@@ -1,0 +1,85 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace metaleak {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  if (row.size() < header_.size()) row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::vector<size_t> TablePrinter::ColumnWidths() const {
+  size_t ncols = header_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<size_t> widths(ncols, 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = std::max(widths[c], header_[c].size());
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths = ColumnWidths();
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+
+  std::ostringstream os;
+  auto rule = [&] { os << std::string(total, '-') << '\n'; };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size() + 3, ' ');
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+  }
+  rule();
+  if (!header_.empty()) {
+    emit_row(header_);
+    rule();
+  }
+  for (const auto& row : rows_) emit_row(row);
+  rule();
+  return os.str();
+}
+
+std::string TablePrinter::ToMarkdown() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << "### " << title_ << "\n\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (const auto& cell : row) os << ' ' << cell << " |";
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit_row(header_);
+    os << '|';
+    for (size_t c = 0; c < header_.size(); ++c) os << "---|";
+    os << '\n';
+  }
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+}
+
+}  // namespace metaleak

@@ -1,0 +1,47 @@
+// Fixed-width ASCII table rendering for benches and examples.
+//
+// The benchmark harness reproduces the paper's Tables III and IV; this
+// printer renders them in the same row/column layout the paper uses.
+#ifndef METALEAK_COMMON_TABLE_PRINTER_H_
+#define METALEAK_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace metaleak {
+
+/// Accumulates a header plus rows of cells and renders them with aligned
+/// columns. Cells are free-form strings; numeric formatting is the caller's
+/// concern (see FormatDouble).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the column headers. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; shorter rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the full table (title, rule, header, rule, rows).
+  std::string ToString() const;
+
+  /// Renders as pipe-delimited markdown (for EXPERIMENTS.md extracts).
+  std::string ToMarkdown() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<size_t> ColumnWidths() const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_COMMON_TABLE_PRINTER_H_

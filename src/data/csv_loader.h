@@ -1,0 +1,45 @@
+// Loads a Relation from CSV text/files with type inference.
+#ifndef METALEAK_DATA_CSV_LOADER_H_
+#define METALEAK_DATA_CSV_LOADER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+
+namespace metaleak {
+
+struct CsvLoadOptions {
+  /// Treat the first row as the header (attribute names). When false,
+  /// attributes are named "attr0", "attr1", ...
+  bool has_header = true;
+  /// Field values parsed as missing (NULL). "?" is the UCI convention.
+  std::vector<std::string> null_markers = {"?", ""};
+  /// Columns whose inferred physical type is numeric get this many distinct
+  /// values or fewer treated as categorical rather than continuous.
+  size_t categorical_distinct_threshold = 12;
+  char delimiter = ',';
+};
+
+/// Parses CSV text into a typed relation.
+///
+/// Type inference per column: if every non-null field parses as int64 the
+/// column is int64; else if every non-null field parses as double it is
+/// double; otherwise string. Semantic inference: string columns are
+/// categorical; numeric columns are categorical when their distinct count
+/// is <= categorical_distinct_threshold, continuous otherwise.
+Result<Relation> LoadCsvRelation(std::string_view text,
+                                 const CsvLoadOptions& options = {});
+
+/// Reads `path` and delegates to LoadCsvRelation.
+Result<Relation> LoadCsvRelationFile(const std::string& path,
+                                     const CsvLoadOptions& options = {});
+
+/// Serializes a relation to CSV (header + rows; NULL renders as "?").
+std::string RelationToCsv(const Relation& relation);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_DATA_CSV_LOADER_H_

@@ -1,0 +1,142 @@
+#include "data/datasets/echocardiogram.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "data/csv_loader.h"
+
+namespace metaleak {
+namespace datasets {
+
+namespace {
+
+double RoundTo(double x, int decimals) {
+  double scale = std::pow(10.0, decimals);
+  return std::round(x * scale) / scale;
+}
+
+}  // namespace
+
+Relation Echocardiogram(uint64_t seed) {
+  Schema schema({
+      {"survival", DataType::kDouble, SemanticType::kContinuous},
+      {"still_alive", DataType::kInt64, SemanticType::kCategorical},
+      {"age_at_heart_attack", DataType::kDouble, SemanticType::kContinuous},
+      {"pericardial_effusion", DataType::kInt64, SemanticType::kCategorical},
+      {"fractional_shortening", DataType::kDouble,
+       SemanticType::kContinuous},
+      {"epss", DataType::kDouble, SemanticType::kContinuous},
+      {"lvdd", DataType::kDouble, SemanticType::kContinuous},
+      {"wall_motion_score", DataType::kDouble, SemanticType::kContinuous},
+      {"wall_motion_index", DataType::kDouble, SemanticType::kContinuous},
+      {"mult", DataType::kDouble, SemanticType::kContinuous},
+      {"name", DataType::kString, SemanticType::kCategorical},
+      {"group", DataType::kInt64, SemanticType::kCategorical},
+      {"alive_at_1", DataType::kInt64, SemanticType::kCategorical},
+  });
+
+  Rng rng(seed);
+  RelationBuilder builder(schema);
+  for (size_t r = 0; r < kEchocardiogramRows; ++r) {
+    // Base (independent) measurements.
+    double survival = 0.25 * static_cast<double>(rng.UniformInt(0, 225));
+    double age = RoundTo(rng.UniformDouble(35.0, 86.0), 0);
+    int64_t effusion = rng.Bernoulli(0.25) ? 1 : 0;
+    double fractional = RoundTo(rng.UniformDouble(0.01, 0.61), 3);
+    double epss = RoundTo(rng.UniformDouble(0.0, 40.0), 1);
+    double wms = 0.5 * static_cast<double>(rng.UniformInt(4, 78));  // 2..39
+    double mult = RoundTo(rng.UniformDouble(0.14, 2.0), 2);
+
+    // Planted dependencies (see header comment):
+    //   epss -> lvdd            strict FD + order dependency
+    //   wall_motion_score -> wall_motion_index   strict FD + OD (+ OFD
+    //                            where the rounding keeps the map strict)
+    //   survival -> alive_at_1  FD + OD onto a categorical attribute
+    //   still_alive ->(<=2) group  numerical dependency: each still_alive
+    //                            value draws group from a 2-value pool out
+    //                            of 4 (and group -> still_alive is an FD)
+    double lvdd = RoundTo(2.3 + epss * 0.11, 1);
+    double wmi = RoundTo(1.0 + wms / 14.0, 2);
+    int64_t alive_at_1 = survival >= 12.0 ? 1 : 0;
+    int64_t still_alive = survival >= 24.0 ? 1 : 0;
+    int64_t group = still_alive == 0 ? (rng.Bernoulli(0.5) ? 1 : 2)
+                                     : (rng.Bernoulli(0.5) ? 3 : 4);
+
+    Value v_survival = Value::Real(survival);
+    Value v_still_alive = Value::Int(still_alive);
+    Value v_age = Value::Real(age);
+    Value v_effusion = Value::Int(effusion);
+    Value v_fractional = Value::Real(fractional);
+    Value v_epss = Value::Real(epss);
+    Value v_lvdd = Value::Real(lvdd);
+    Value v_wms = Value::Real(wms);
+    Value v_wmi = Value::Real(wmi);
+    Value v_mult = Value::Real(mult);
+    Value v_group = Value::Int(group);
+    Value v_alive = Value::Int(alive_at_1);
+
+    // Missing values, mirroring the density of the UCI file. Nulls on an
+    // FD's LHS are applied jointly with its RHS so two NULL-LHS rows never
+    // disagree on the RHS (NULL is a distinct value in FD semantics).
+    if (rng.Bernoulli(0.06)) v_fractional = Value::Null();
+    if (rng.Bernoulli(0.05)) {
+      v_epss = Value::Null();
+      v_lvdd = Value::Null();
+    }
+    if (rng.Bernoulli(0.02)) {
+      v_wms = Value::Null();
+      v_wmi = Value::Null();
+    }
+    if (rng.Bernoulli(0.03)) v_mult = Value::Null();
+
+    builder.AddRow({v_survival, v_still_alive, v_age, v_effusion,
+                    v_fractional, v_epss, v_lvdd, v_wms, v_wmi, v_mult,
+                    Value::Str("name"), v_group, v_alive});
+  }
+  Result<Relation> rel = builder.Finish();
+  METALEAK_DCHECK(rel.ok());
+  return std::move(rel).ValueUnsafe();
+}
+
+Result<Relation> LoadEchocardiogramFile(const std::string& path) {
+  CsvLoadOptions options;
+  options.has_header = false;
+  options.null_markers = {"?", ""};
+  METALEAK_ASSIGN_OR_RETURN(Relation raw,
+                            LoadCsvRelationFile(path, options));
+  if (raw.num_columns() != kEchocardiogramAttributes) {
+    return Status::Invalid(
+        "expected 13 attributes in the UCI echocardiogram file, got " +
+        std::to_string(raw.num_columns()));
+  }
+  // Re-type per the paper's split: continuous 0,2,4,5,6,7,8,9;
+  // categorical 1,3,10,11,12. Names follow the UCI documentation.
+  static constexpr const char* kNames[] = {
+      "survival",       "still_alive",
+      "age_at_heart_attack", "pericardial_effusion",
+      "fractional_shortening", "epss",
+      "lvdd",           "wall_motion_score",
+      "wall_motion_index", "mult",
+      "name",           "group",
+      "alive_at_1"};
+  std::vector<Attribute> attrs;
+  attrs.reserve(kEchocardiogramAttributes);
+  for (size_t c = 0; c < kEchocardiogramAttributes; ++c) {
+    Attribute a = raw.schema().attribute(c);
+    a.name = kNames[c];
+    bool continuous = c == 0 || c == 2 || (c >= 4 && c <= 9);
+    a.semantic = continuous ? SemanticType::kContinuous
+                            : SemanticType::kCategorical;
+    attrs.push_back(std::move(a));
+  }
+  std::vector<std::vector<Value>> columns;
+  columns.reserve(kEchocardiogramAttributes);
+  for (size_t c = 0; c < kEchocardiogramAttributes; ++c) {
+    columns.push_back(raw.column(c));
+  }
+  return Relation::Make(Schema(std::move(attrs)), std::move(columns));
+}
+
+}  // namespace datasets
+}  // namespace metaleak

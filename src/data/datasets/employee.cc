@@ -1,0 +1,31 @@
+#include "data/datasets/employee.h"
+
+#include "common/macros.h"
+
+namespace metaleak {
+namespace datasets {
+
+Relation Employee() {
+  Schema schema({
+      {"Name", DataType::kString, SemanticType::kCategorical},
+      {"Age", DataType::kInt64, SemanticType::kContinuous},
+      {"Department", DataType::kString, SemanticType::kCategorical},
+      {"Salary", DataType::kInt64, SemanticType::kContinuous},
+  });
+  RelationBuilder builder(schema);
+  builder
+      .AddRow({Value::Str("Alice"), Value::Int(18), Value::Str("Sales"),
+               Value::Int(20000)})
+      .AddRow({Value::Str("Bob"), Value::Int(22),
+               Value::Str("Customer Service"), Value::Int(25000)})
+      .AddRow({Value::Str("Charlie"), Value::Int(22), Value::Str("Sales"),
+               Value::Int(27000)})
+      .AddRow({Value::Str("Danny"), Value::Int(26), Value::Str("Management"),
+               Value::Int(35000)});
+  Result<Relation> rel = builder.Finish();
+  METALEAK_DCHECK(rel.ok());
+  return std::move(rel).ValueUnsafe();
+}
+
+}  // namespace datasets
+}  // namespace metaleak

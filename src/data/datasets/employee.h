@@ -1,0 +1,25 @@
+// The paper's running example (Table II): a four-row employee relation.
+#ifndef METALEAK_DATA_DATASETS_EMPLOYEE_H_
+#define METALEAK_DATA_DATASETS_EMPLOYEE_H_
+
+#include "data/relation.h"
+
+namespace metaleak {
+namespace datasets {
+
+/// Returns Table II of the paper:
+///
+///   Name    | Age | Department       | Salary
+///   Alice   | 18  | Sales            | 20000
+///   Bob     | 22  | Customer Service | 25000
+///   Charlie | 22  | Sales            | 27000
+///   Danny   | 26  | Management       | 35000
+///
+/// Name and Department are categorical; Age and Salary are continuous.
+/// The FDs Name -> Age and Name -> Salary hold (Name is a key).
+Relation Employee();
+
+}  // namespace datasets
+}  // namespace metaleak
+
+#endif  // METALEAK_DATA_DATASETS_EMPLOYEE_H_

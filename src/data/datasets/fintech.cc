@@ -1,0 +1,96 @@
+#include "data/datasets/fintech.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace metaleak {
+namespace datasets {
+
+namespace {
+
+double RoundTo(double x, int decimals) {
+  double scale = std::pow(10.0, decimals);
+  return std::round(x * scale) / scale;
+}
+
+const char* CreditBand(double income) {
+  if (income < 25000) return "D";
+  if (income < 45000) return "C";
+  if (income < 75000) return "B";
+  return "A";
+}
+
+const char* FavoriteCategory(Rng* rng) {
+  static constexpr const char* kCategories[] = {
+      "electronics", "fashion", "groceries", "home", "sports"};
+  return kCategories[rng->UniformIndex(5)];
+}
+
+}  // namespace
+
+FintechScenario Fintech(const FintechOptions& options) {
+  Rng rng(options.seed);
+
+  Schema bank_schema({
+      {"customer_id", DataType::kInt64, SemanticType::kCategorical},
+      {"income", DataType::kDouble, SemanticType::kContinuous},
+      {"account_balance", DataType::kDouble, SemanticType::kContinuous},
+      {"credit_band", DataType::kString, SemanticType::kCategorical},
+      {"years_as_customer", DataType::kInt64, SemanticType::kContinuous},
+      {"loan_default", DataType::kInt64, SemanticType::kCategorical},
+  });
+  Schema ecom_schema({
+      {"customer_id", DataType::kInt64, SemanticType::kCategorical},
+      {"orders_per_year", DataType::kInt64, SemanticType::kContinuous},
+      {"total_spend", DataType::kDouble, SemanticType::kContinuous},
+      {"favorite_category", DataType::kString, SemanticType::kCategorical},
+      {"returns_rate", DataType::kDouble, SemanticType::kContinuous},
+  });
+
+  RelationBuilder bank_builder(bank_schema);
+  RelationBuilder ecom_builder(ecom_schema);
+
+  for (size_t id = 0; id < options.population; ++id) {
+    // Latent per-customer state shared by both views.
+    double income = RoundTo(rng.UniformDouble(12000, 150000), 0);
+    double balance = RoundTo(rng.UniformDouble(-2000, 90000), 0);
+    int64_t years = rng.UniformInt(0, 30);
+    int64_t orders = rng.UniformInt(0, 80);
+    // total_spend is a deterministic monotone function of orders: FD + OD.
+    double spend = RoundTo(35.0 * static_cast<double>(orders) + 12.0, 0);
+    double returns_rate = RoundTo(rng.UniformDouble(0.0, 0.4), 2);
+
+    // Default risk falls with income/balance, rises with spend.
+    double risk = 0.9 - income / 200000.0 - balance / 300000.0 +
+                  spend / 12000.0;
+    int64_t label = rng.Bernoulli(std::clamp(risk, 0.02, 0.95)) ? 1 : 0;
+
+    bool bank_sees = rng.Bernoulli(options.bank_coverage);
+    bool ecom_sees = rng.Bernoulli(options.ecommerce_coverage);
+    if (bank_sees) {
+      bank_builder.AddRow({Value::Int(static_cast<int64_t>(id)),
+                           Value::Real(income), Value::Real(balance),
+                           Value::Str(CreditBand(income)), Value::Int(years),
+                           Value::Int(label)});
+    }
+    if (ecom_sees) {
+      ecom_builder.AddRow({Value::Int(static_cast<int64_t>(id)),
+                           Value::Int(orders), Value::Real(spend),
+                           Value::Str(FavoriteCategory(&rng)),
+                           Value::Real(returns_rate)});
+    }
+  }
+
+  Result<Relation> bank = bank_builder.Finish();
+  Result<Relation> ecom = ecom_builder.Finish();
+  METALEAK_DCHECK(bank.ok() && ecom.ok());
+  return FintechScenario{std::move(bank).ValueUnsafe(),
+                         std::move(ecom).ValueUnsafe()};
+}
+
+}  // namespace datasets
+}  // namespace metaleak

@@ -1,0 +1,46 @@
+// The paper's Figure 1 scenario: a bank and an e-commerce company that
+// observe a common customer population and want to train a loan-default
+// model with vertical federated learning.
+#ifndef METALEAK_DATA_DATASETS_FINTECH_H_
+#define METALEAK_DATA_DATASETS_FINTECH_H_
+
+#include <cstdint>
+
+#include "data/relation.h"
+
+namespace metaleak {
+namespace datasets {
+
+/// A two-party VFL scenario. `customer_id` is the join key each party
+/// holds; the bank additionally holds the training label.
+struct FintechScenario {
+  /// Bank (party A): customer_id, income, account_balance, credit_band,
+  /// years_as_customer, loan_default (label).
+  Relation bank;
+  /// E-commerce company (party B): customer_id, orders_per_year,
+  /// total_spend, favorite_category, returns_rate.
+  Relation ecommerce;
+};
+
+struct FintechOptions {
+  /// Size of the underlying shared population.
+  size_t population = 600;
+  /// Fraction of the population each party observes (overlap is the
+  /// product in expectation, which is what PSI recovers).
+  double bank_coverage = 0.85;
+  double ecommerce_coverage = 0.80;
+  uint64_t seed = 7;
+};
+
+/// Generates the scenario. Deterministic per options.
+///
+/// Planted structure: credit_band is a banded function of income (FD + OD
+/// income -> credit_band); total_spend is monotone in orders_per_year
+/// (FD + OD); loan_default depends on income, balance and spend so the VFL
+/// model has signal to learn.
+FintechScenario Fintech(const FintechOptions& options = {});
+
+}  // namespace datasets
+}  // namespace metaleak
+
+#endif  // METALEAK_DATA_DATASETS_FINTECH_H_

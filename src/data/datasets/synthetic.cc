@@ -1,0 +1,200 @@
+#include "data/datasets/synthetic.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace metaleak {
+namespace datasets {
+
+namespace {
+
+double RoundTo(double x, int decimals) {
+  double scale = std::pow(10.0, decimals);
+  return std::round(x * scale) / scale;
+}
+
+std::string Label(size_t i) { return "v" + std::to_string(i); }
+
+// Maps a source cell to a stable bucket index in [0, buckets) so derived
+// attributes are deterministic functions of the source *value*.
+size_t BucketOf(const Value& v, size_t buckets, double lo, double hi) {
+  METALEAK_DCHECK(buckets > 0);
+  if (v.is_numeric()) {
+    double x = v.AsNumeric();
+    if (hi <= lo) return 0;
+    double t = (x - lo) / (hi - lo);
+    t = std::clamp(t, 0.0, 1.0);
+    size_t b = static_cast<size_t>(t * static_cast<double>(buckets));
+    return std::min(b, buckets - 1);
+  }
+  return v.Hash() % buckets;
+}
+
+}  // namespace
+
+Result<Relation> Synthetic(const SyntheticConfig& config) {
+  if (config.attributes.empty()) {
+    return Status::Invalid("synthetic config has no attributes");
+  }
+  Rng rng(config.seed);
+
+  std::vector<Attribute> schema_attrs;
+  std::vector<std::vector<Value>> columns(config.attributes.size());
+
+  for (size_t a = 0; a < config.attributes.size(); ++a) {
+    const SyntheticAttribute& spec = config.attributes[a];
+    const bool derived = spec.kind != SyntheticAttribute::Kind::kCategoricalBase &&
+                         spec.kind != SyntheticAttribute::Kind::kContinuousBase;
+    if (derived && spec.source >= a) {
+      return Status::Invalid("derived attribute '" + spec.name +
+                             "' must reference an earlier source");
+    }
+    if (spec.kind == SyntheticAttribute::Kind::kCategoricalBase &&
+        spec.domain_size == 0) {
+      return Status::Invalid("attribute '" + spec.name +
+                             "' has empty domain");
+    }
+
+    Attribute attr;
+    attr.name = spec.name;
+    const bool categorical_output =
+        spec.kind == SyntheticAttribute::Kind::kCategoricalBase ||
+        (derived && spec.domain_size > 0);
+    attr.type = categorical_output ? DataType::kString : DataType::kDouble;
+    attr.semantic = categorical_output ? SemanticType::kCategorical
+                                       : SemanticType::kContinuous;
+    schema_attrs.push_back(attr);
+
+    std::vector<Value>& col = columns[a];
+    col.reserve(config.num_rows);
+
+    switch (spec.kind) {
+      case SyntheticAttribute::Kind::kCategoricalBase: {
+        for (size_t r = 0; r < config.num_rows; ++r) {
+          col.push_back(Value::Str(Label(rng.UniformIndex(spec.domain_size))));
+        }
+        break;
+      }
+      case SyntheticAttribute::Kind::kContinuousBase: {
+        for (size_t r = 0; r < config.num_rows; ++r) {
+          col.push_back(Value::Real(
+              RoundTo(rng.UniformDouble(spec.lo, spec.hi), spec.decimals)));
+        }
+        break;
+      }
+      case SyntheticAttribute::Kind::kDerivedMonotone: {
+        const SyntheticAttribute& src_spec = config.attributes[spec.source];
+        const std::vector<Value>& src = columns[spec.source];
+        for (size_t r = 0; r < config.num_rows; ++r) {
+          if (categorical_output) {
+            size_t b = BucketOf(src[r], spec.domain_size, src_spec.lo,
+                                src_spec.hi);
+            col.push_back(Value::Str(Label(b)));
+          } else {
+            // Affine map of the source keeps the order and the function.
+            double x = src[r].is_numeric()
+                           ? src[r].AsNumeric()
+                           : static_cast<double>(BucketOf(
+                                 src[r], 1024, src_spec.lo, src_spec.hi));
+            col.push_back(Value::Real(
+                RoundTo(spec.lo + 0.37 * x, spec.decimals)));
+          }
+        }
+        break;
+      }
+      case SyntheticAttribute::Kind::kDerivedBoundedFanout: {
+        const std::vector<Value>& src = columns[spec.source];
+        // Per source value, a fixed pool of `fanout` outputs.
+        std::unordered_map<Value, std::vector<Value>> pools;
+        for (size_t r = 0; r < config.num_rows; ++r) {
+          std::vector<Value>& pool = pools[src[r]];
+          if (pool.empty()) {
+            for (size_t k = 0; k < std::max<size_t>(1, spec.fanout); ++k) {
+              if (categorical_output) {
+                pool.push_back(
+                    Value::Str(Label(rng.UniformIndex(spec.domain_size))));
+              } else {
+                pool.push_back(Value::Real(RoundTo(
+                    rng.UniformDouble(spec.lo, spec.hi), spec.decimals)));
+              }
+            }
+          }
+          col.push_back(pool[rng.UniformIndex(pool.size())]);
+        }
+        break;
+      }
+      case SyntheticAttribute::Kind::kDerivedApproximate: {
+        const SyntheticAttribute& src_spec = config.attributes[spec.source];
+        const std::vector<Value>& src = columns[spec.source];
+        for (size_t r = 0; r < config.num_rows; ++r) {
+          bool violate = rng.Bernoulli(spec.violation_rate);
+          if (categorical_output) {
+            size_t b = violate ? rng.UniformIndex(spec.domain_size)
+                               : BucketOf(src[r], spec.domain_size,
+                                          src_spec.lo, src_spec.hi);
+            col.push_back(Value::Str(Label(b)));
+          } else {
+            double x = src[r].is_numeric() ? src[r].AsNumeric() : 0.0;
+            double y = violate ? rng.UniformDouble(spec.lo, spec.hi)
+                               : spec.lo + 0.37 * x;
+            col.push_back(Value::Real(RoundTo(y, spec.decimals)));
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  return Relation::Make(Schema(std::move(schema_attrs)), std::move(columns));
+}
+
+Result<Relation> TrivialControl(size_t num_rows, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({
+      {"id", DataType::kInt64, SemanticType::kCategorical},
+      {"noise_a", DataType::kDouble, SemanticType::kContinuous},
+      {"noise_b", DataType::kDouble, SemanticType::kContinuous},
+      {"label", DataType::kString, SemanticType::kCategorical},
+  });
+  std::vector<std::vector<Value>> columns(4);
+  for (size_t r = 0; r < num_rows; ++r) {
+    columns[0].push_back(Value::Int(static_cast<int64_t>(r)));
+    // Continuous columns with enough precision that ties — and thus
+    // non-trivial partitions — essentially never happen.
+    columns[1].push_back(Value::Real(rng.UniformDouble(0.0, 1e6)));
+    columns[2].push_back(Value::Real(rng.UniformDouble(-1e6, 0.0)));
+    columns[3].push_back(
+        Value::Str("c" + std::to_string(rng.UniformIndex(50))));
+  }
+  return Relation::Make(std::move(schema), std::move(columns));
+}
+
+Result<Relation> SyntheticUniform(size_t num_rows, size_t num_categorical,
+                                  size_t num_continuous, size_t domain_size,
+                                  uint64_t seed) {
+  SyntheticConfig config;
+  config.num_rows = num_rows;
+  config.seed = seed;
+  for (size_t i = 0; i < num_categorical; ++i) {
+    SyntheticAttribute a;
+    a.name = "cat" + std::to_string(i);
+    a.kind = SyntheticAttribute::Kind::kCategoricalBase;
+    a.domain_size = domain_size;
+    config.attributes.push_back(a);
+  }
+  for (size_t i = 0; i < num_continuous; ++i) {
+    SyntheticAttribute a;
+    a.name = "num" + std::to_string(i);
+    a.kind = SyntheticAttribute::Kind::kContinuousBase;
+    a.lo = 0.0;
+    a.hi = 100.0;
+    config.attributes.push_back(a);
+  }
+  return Synthetic(config);
+}
+
+}  // namespace datasets
+}  // namespace metaleak

@@ -1,0 +1,84 @@
+// Configurable synthetic relation generator with planted dependencies.
+//
+// Used by tests (known ground truth for discovery) and ablation benches
+// (sweeps over row count, domain size, ND fan-out, ...).
+#ifndef METALEAK_DATA_DATASETS_SYNTHETIC_H_
+#define METALEAK_DATA_DATASETS_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+
+namespace metaleak {
+namespace datasets {
+
+/// One synthetic attribute. Base attributes are drawn independently;
+/// derived attributes are computed from a source attribute, which plants a
+/// dependency of a known class.
+struct SyntheticAttribute {
+  enum class Kind {
+    /// Categorical, uniform over `domain_size` string labels "v0".."vK-1".
+    kCategoricalBase,
+    /// Continuous, uniform over [lo, hi], rounded to `decimals`.
+    kContinuousBase,
+    /// y = f(source) via a fixed monotone step map: plants FD + OD
+    /// (+ OFD when the map is injective on the observed values).
+    kDerivedMonotone,
+    /// y drawn from a per-source-value pool of `fanout` values:
+    /// plants a numerical dependency source ->(<=fanout) y.
+    kDerivedBoundedFanout,
+    /// y = f(source) + uniform noise in [-noise, +noise]: plants an
+    /// approximate FD whose g3 error grows with the noise rate
+    /// `violation_rate` (fraction of rows re-drawn independently).
+    kDerivedApproximate,
+  };
+
+  std::string name;
+  Kind kind = Kind::kCategoricalBase;
+  /// kCategoricalBase: label count. kDerived*: output label count for
+  /// categorical outputs (0 = continuous output).
+  size_t domain_size = 8;
+  double lo = 0.0;
+  double hi = 100.0;
+  int decimals = 2;
+  /// Derived kinds: index (into the attribute list) of the source.
+  size_t source = 0;
+  /// kDerivedBoundedFanout: maximum distinct y per source value.
+  size_t fanout = 2;
+  /// kDerivedApproximate: fraction of rows whose y is re-drawn uniformly,
+  /// which upper-bounds the resulting g3 error.
+  double violation_rate = 0.05;
+};
+
+struct SyntheticConfig {
+  size_t num_rows = 1000;
+  std::vector<SyntheticAttribute> attributes;
+  uint64_t seed = 42;
+};
+
+/// Generates the relation. Fails on invalid configs (derived attribute
+/// whose source index is not strictly smaller, empty domain, ...).
+Result<Relation> Synthetic(const SyntheticConfig& config);
+
+/// Convenience: a relation with `num_categorical` base categorical columns
+/// (domain size `domain_size`) and `num_continuous` base continuous
+/// columns over [0, 100], for scaling benches.
+Result<Relation> SyntheticUniform(size_t num_rows, size_t num_categorical,
+                                  size_t num_continuous, size_t domain_size,
+                                  uint64_t seed);
+
+/// The paper's dataset-selection control: a relation where only trivial
+/// dependencies and "oversimplified mappings" are discoverable — an id
+/// column (a key, so it trivially determines everything) plus independent
+/// high-entropy columns with no order, fan-out or conditional structure.
+/// Used by the control bench to show why echocardiogram-style datasets
+/// are needed for the evaluation.
+Result<Relation> TrivialControl(size_t num_rows, uint64_t seed);
+
+}  // namespace datasets
+}  // namespace metaleak
+
+#endif  // METALEAK_DATA_DATASETS_SYNTHETIC_H_

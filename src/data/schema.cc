@@ -1,0 +1,50 @@
+#include "data/schema.h"
+
+#include <sstream>
+
+namespace metaleak {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::RequireIndex(const std::string& name) const {
+  std::optional<size_t> idx = IndexOf(name);
+  if (!idx.has_value()) {
+    return Status::KeyError("no attribute named '" + name + "'");
+  }
+  return *idx;
+}
+
+std::vector<size_t> Schema::IndicesOf(SemanticType semantic) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].semantic == semantic) out.push_back(i);
+  }
+  return out;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(indices.size());
+  for (size_t i : indices) attrs.push_back(attributes_[i]);
+  return Schema(std::move(attrs));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attributes_[i].name << ':' << DataTypeToString(attributes_[i].type)
+       << '/' << SemanticTypeToString(attributes_[i].semantic);
+  }
+  return os.str();
+}
+
+}  // namespace metaleak

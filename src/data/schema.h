@@ -1,0 +1,65 @@
+// Schema: ordered list of named, typed attributes.
+#ifndef METALEAK_DATA_SCHEMA_H_
+#define METALEAK_DATA_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/type.h"
+
+namespace metaleak {
+
+/// One column descriptor.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kString;
+  SemanticType semantic = SemanticType::kCategorical;
+
+  friend bool operator==(const Attribute& a, const Attribute& b) {
+    return a.name == b.name && a.type == b.type && a.semantic == b.semantic;
+  }
+};
+
+/// An immutable ordered attribute list with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Like IndexOf but returns a KeyError Status when missing.
+  Result<size_t> RequireIndex(const std::string& name) const;
+
+  /// Indices of all attributes with the given semantic type.
+  std::vector<size_t> IndicesOf(SemanticType semantic) const;
+
+  /// Schema containing only the attributes at `indices`, in that order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  /// "name:type/semantic, ..." — for debugging and golden tests.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_;
+  }
+  friend bool operator!=(const Schema& a, const Schema& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_DATA_SCHEMA_H_

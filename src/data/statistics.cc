@@ -1,0 +1,154 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+namespace metaleak {
+
+namespace {
+
+Status CheckAttribute(const Relation& relation, size_t attribute) {
+  if (attribute >= relation.num_columns()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ColumnStats> ComputeColumnStats(const Relation& relation,
+                                       size_t attribute) {
+  METALEAK_RETURN_NOT_OK(CheckAttribute(relation, attribute));
+  ColumnStats stats;
+  const std::vector<Value>& col = relation.column(attribute);
+  stats.count = col.size();
+  std::unordered_set<Value> distinct;
+  double sum = 0.0;
+  size_t numeric = 0;
+  bool first = true;
+  for (const Value& v : col) {
+    if (v.is_null()) {
+      ++stats.nulls;
+      continue;
+    }
+    distinct.insert(v);
+    if (v.is_numeric()) {
+      double x = v.AsNumeric();
+      if (first) {
+        stats.min = stats.max = x;
+        first = false;
+      } else {
+        stats.min = std::min(stats.min, x);
+        stats.max = std::max(stats.max, x);
+      }
+      sum += x;
+      ++numeric;
+    }
+  }
+  stats.distinct = distinct.size();
+  if (numeric > 0) {
+    stats.mean = sum / static_cast<double>(numeric);
+    double acc = 0.0;
+    for (const Value& v : col) {
+      if (v.is_null() || !v.is_numeric()) continue;
+      double d = v.AsNumeric() - stats.mean;
+      acc += d * d;
+    }
+    stats.stddev =
+        numeric < 2 ? 0.0
+                    : std::sqrt(acc / static_cast<double>(numeric - 1));
+  }
+  return stats;
+}
+
+size_t Histogram::total() const {
+  size_t t = 0;
+  for (size_t c : counts) t += c;
+  return t;
+}
+
+size_t Histogram::BucketOf(double x) const {
+  if (counts.empty()) return 0;
+  if (hi <= lo) return 0;
+  double t = (x - lo) / (hi - lo);
+  t = std::clamp(t, 0.0, 1.0);
+  size_t b = static_cast<size_t>(t * static_cast<double>(counts.size()));
+  return std::min(b, counts.size() - 1);
+}
+
+double Histogram::Mass(size_t i) const {
+  size_t t = total();
+  if (t == 0 || i >= counts.size()) return 0.0;
+  return static_cast<double>(counts[i]) / static_cast<double>(t);
+}
+
+Result<Histogram> BuildHistogram(const Relation& relation, size_t attribute,
+                                 size_t buckets) {
+  METALEAK_RETURN_NOT_OK(CheckAttribute(relation, attribute));
+  if (buckets == 0) {
+    return Status::Invalid("histogram needs at least one bucket");
+  }
+  Histogram h;
+  bool first = true;
+  for (const Value& v : relation.column(attribute)) {
+    if (v.is_null() || !v.is_numeric()) continue;
+    double x = v.AsNumeric();
+    if (first) {
+      h.lo = h.hi = x;
+      first = false;
+    } else {
+      h.lo = std::min(h.lo, x);
+      h.hi = std::max(h.hi, x);
+    }
+  }
+  if (first) {
+    return Status::Invalid("column has no numeric values");
+  }
+  h.counts.assign(buckets, 0);
+  for (const Value& v : relation.column(attribute)) {
+    if (v.is_null() || !v.is_numeric()) continue;
+    h.counts[h.BucketOf(v.AsNumeric())]++;
+  }
+  return h;
+}
+
+size_t FrequencyTable::total() const {
+  size_t t = 0;
+  for (size_t c : counts) t += c;
+  return t;
+}
+
+Result<FrequencyTable> BuildFrequencyTable(const Relation& relation,
+                                           size_t attribute) {
+  METALEAK_RETURN_NOT_OK(CheckAttribute(relation, attribute));
+  std::map<Value, size_t> freq;
+  for (const Value& v : relation.column(attribute)) {
+    if (v.is_null()) continue;
+    freq[v]++;
+  }
+  FrequencyTable table;
+  table.values.reserve(freq.size());
+  table.counts.reserve(freq.size());
+  for (const auto& [value, count] : freq) {
+    table.values.push_back(value);
+    table.counts.push_back(count);
+  }
+  return table;
+}
+
+Result<double> ColumnEntropy(const Relation& relation, size_t attribute) {
+  METALEAK_ASSIGN_OR_RETURN(FrequencyTable table,
+                            BuildFrequencyTable(relation, attribute));
+  size_t total = table.total();
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (size_t c : table.counts) {
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    if (p > 0.0) entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace metaleak

@@ -1,0 +1,82 @@
+#include "discovery/discovery_engine.h"
+
+#include "common/logging.h"
+#include "data/domain.h"
+
+namespace metaleak {
+
+Result<DiscoveryReport> ProfileRelation(const Relation& relation,
+                                        const DiscoveryOptions& options) {
+  DiscoveryReport report;
+  report.metadata.schema = relation.schema();
+  report.metadata.num_rows = relation.num_rows();
+
+  METALEAK_ASSIGN_OR_RETURN(std::vector<Domain> domains,
+                            ExtractDomains(relation));
+  report.metadata.domains.reserve(domains.size());
+  for (Domain& d : domains) {
+    report.metadata.domains.emplace_back(std::move(d));
+  }
+
+  report.metadata.distributions.assign(relation.num_columns(),
+                                       std::nullopt);
+  if (options.profile_distributions) {
+    for (size_t c = 0; c < relation.num_columns(); ++c) {
+      METALEAK_ASSIGN_OR_RETURN(
+          ValueDistribution dist,
+          ValueDistribution::FromColumn(relation, c,
+                                        options.distribution_buckets));
+      report.metadata.distributions[c] = std::move(dist);
+    }
+  }
+
+  if (options.discover_fds || options.discover_afds) {
+    TaneOptions tane_options = options.tane;
+    if (options.discover_afds && tane_options.max_g3_error == 0.0) {
+      tane_options.max_g3_error = 0.05;
+    }
+    if (!options.discover_afds) tane_options.max_g3_error = 0.0;
+    METALEAK_ASSIGN_OR_RETURN(TaneResult tane,
+                              DiscoverFds(relation, tane_options));
+    report.tane_nodes_visited = tane.nodes_visited;
+    for (const Dependency& d : tane.dependencies) {
+      if (d.kind == DependencyKind::kFunctional && !options.discover_fds) {
+        continue;
+      }
+      report.metadata.dependencies.Add(d);
+    }
+  }
+  if (options.discover_ods) {
+    METALEAK_ASSIGN_OR_RETURN(DependencySet ods,
+                              DiscoverOds(relation, options.od));
+    for (const Dependency& d : ods) report.metadata.dependencies.Add(d);
+  }
+  if (options.discover_ofds) {
+    METALEAK_ASSIGN_OR_RETURN(DependencySet ofds,
+                              DiscoverOfds(relation, options.od));
+    for (const Dependency& d : ofds) report.metadata.dependencies.Add(d);
+  }
+  if (options.discover_nds) {
+    METALEAK_ASSIGN_OR_RETURN(DependencySet nds,
+                              DiscoverNds(relation, options.nd));
+    for (const Dependency& d : nds) report.metadata.dependencies.Add(d);
+  }
+  if (options.discover_dds) {
+    METALEAK_ASSIGN_OR_RETURN(DependencySet dds,
+                              DiscoverDds(relation, options.dd));
+    for (const Dependency& d : dds) report.metadata.dependencies.Add(d);
+  }
+  if (options.discover_cfds) {
+    METALEAK_ASSIGN_OR_RETURN(report.metadata.conditional_fds,
+                              DiscoverCfds(relation, options.cfd));
+  }
+
+  METALEAK_LOG(kInfo) << "profiled relation: " << relation.num_rows()
+                      << " rows, " << relation.num_columns()
+                      << " attributes, "
+                      << report.metadata.dependencies.size()
+                      << " dependencies";
+  return report;
+}
+
+}  // namespace metaleak

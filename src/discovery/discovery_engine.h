@@ -1,0 +1,51 @@
+// DiscoveryEngine: profiles a relation into a full MetadataPackage —
+// the object a VFL party would share.
+#ifndef METALEAK_DISCOVERY_DISCOVERY_ENGINE_H_
+#define METALEAK_DISCOVERY_DISCOVERY_ENGINE_H_
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "discovery/cfd_discovery.h"
+#include "discovery/rfd_discovery.h"
+#include "discovery/tane.h"
+#include "metadata/metadata_package.h"
+
+namespace metaleak {
+
+struct DiscoveryOptions {
+  TaneOptions tane;
+  OdDiscoveryOptions od;
+  NdDiscoveryOptions nd;
+  DdDiscoveryOptions dd;
+  CfdDiscoveryOptions cfd;
+  /// Also profile per-attribute value distributions (frequency tables /
+  /// histograms) into the package. Off by default: the paper's model
+  /// assumes distributions are never disclosed.
+  bool profile_distributions = false;
+  /// Histogram bucket count used when profiling distributions.
+  size_t distribution_buckets = 16;
+  /// Class toggles; OFDs are implied by ODs+FDs but recorded explicitly
+  /// because the paper analyzes their generation separately.
+  bool discover_fds = true;
+  bool discover_afds = false;
+  bool discover_ods = true;
+  bool discover_ofds = true;
+  bool discover_nds = true;
+  bool discover_dds = true;
+  /// Conditional FDs; off by default (quadratic-in-values scan).
+  bool discover_cfds = false;
+};
+
+struct DiscoveryReport {
+  MetadataPackage metadata;
+  size_t tane_nodes_visited = 0;
+};
+
+/// Runs every enabled discovery algorithm and assembles the metadata
+/// package (names, domains, row count, dependencies).
+Result<DiscoveryReport> ProfileRelation(const Relation& relation,
+                                        const DiscoveryOptions& options = {});
+
+}  // namespace metaleak
+
+#endif  // METALEAK_DISCOVERY_DISCOVERY_ENGINE_H_

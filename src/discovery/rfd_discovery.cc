@@ -1,0 +1,107 @@
+#include "discovery/rfd_discovery.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "data/domain.h"
+#include "discovery/validators.h"
+#include "partition/pli_cache.h"
+
+namespace metaleak {
+
+namespace {
+
+size_t DistinctNonNull(const Relation& relation, size_t col) {
+  std::unordered_set<Value> distinct;
+  for (const Value& v : relation.column(col)) {
+    if (!v.is_null()) distinct.insert(v);
+  }
+  return distinct.size();
+}
+
+}  // namespace
+
+Result<DependencySet> DiscoverOds(const Relation& relation,
+                                  const OdDiscoveryOptions& options) {
+  DependencySet out;
+  size_t m = relation.num_columns();
+  std::vector<size_t> distinct(m);
+  for (size_t c = 0; c < m; ++c) distinct[c] = DistinctNonNull(relation, c);
+  for (size_t x = 0; x < m; ++x) {
+    if (distinct[x] < options.min_lhs_distinct) continue;
+    for (size_t y = 0; y < m; ++y) {
+      if (x == y) continue;
+      if (ValidateOd(relation, x, y)) {
+        out.Add(Dependency::Od(x, y));
+      }
+    }
+  }
+  return out;
+}
+
+Result<DependencySet> DiscoverOfds(const Relation& relation,
+                                   const OdDiscoveryOptions& options) {
+  DependencySet out;
+  size_t m = relation.num_columns();
+  std::vector<size_t> distinct(m);
+  for (size_t c = 0; c < m; ++c) distinct[c] = DistinctNonNull(relation, c);
+  for (size_t x = 0; x < m; ++x) {
+    if (distinct[x] < options.min_lhs_distinct) continue;
+    for (size_t y = 0; y < m; ++y) {
+      if (x == y) continue;
+      if (ValidateOfd(relation, x, y)) {
+        out.Add(Dependency::Ofd(x, y));
+      }
+    }
+  }
+  return out;
+}
+
+Result<DependencySet> DiscoverNds(const Relation& relation,
+                                  const NdDiscoveryOptions& options) {
+  DependencySet out;
+  size_t m = relation.num_columns();
+  PliCache cache(&relation);
+  for (size_t x = 0; x < m; ++x) {
+    for (size_t y = 0; y < m; ++y) {
+      if (x == y) continue;
+      size_t distinct_y = DistinctNonNull(relation, y);
+      if (distinct_y < 2) continue;
+      size_t k = ComputeMaxFanout(&cache, x, y);
+      if (k <= 1) continue;  // that is an FD, not an ND
+      bool small_enough =
+          static_cast<double>(k) <=
+          options.max_fanout_fraction * static_cast<double>(distinct_y);
+      bool has_slack = k + options.min_slack <= distinct_y;
+      if (small_enough && has_slack) {
+        out.Add(Dependency::Nd(x, y, k));
+      }
+    }
+  }
+  return out;
+}
+
+Result<DependencySet> DiscoverDds(const Relation& relation,
+                                  const DdDiscoveryOptions& options) {
+  DependencySet out;
+  std::vector<size_t> continuous =
+      relation.schema().IndicesOf(SemanticType::kContinuous);
+  for (size_t x : continuous) {
+    METALEAK_ASSIGN_OR_RETURN(Domain dx, ExtractDomain(relation, x));
+    if (dx.range() <= 0.0) continue;
+    double eps = options.epsilon_fraction * dx.range();
+    for (size_t y : continuous) {
+      if (x == y) continue;
+      METALEAK_ASSIGN_OR_RETURN(Domain dy, ExtractDomain(relation, y));
+      if (dy.range() <= 0.0) continue;
+      METALEAK_ASSIGN_OR_RETURN(double delta,
+                                ComputeMinimalDelta(relation, x, y, eps));
+      if (delta <= options.max_delta_fraction * dy.range()) {
+        out.Add(Dependency::Dd(x, y, eps, delta));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace metaleak

@@ -1,0 +1,59 @@
+// Pairwise discovery of relaxed functional dependencies: order
+// dependencies, ordered FDs, numerical dependencies and differential
+// dependencies (Sections IV-B..IV-E of the paper).
+//
+// All four classes are discovered in their canonical single-attribute
+// form X -> Y over ordered attribute pairs, which is the form the paper's
+// generation analysis uses.
+#ifndef METALEAK_DISCOVERY_RFD_DISCOVERY_H_
+#define METALEAK_DISCOVERY_RFD_DISCOVERY_H_
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "metadata/dependency_set.h"
+
+namespace metaleak {
+
+struct OdDiscoveryOptions {
+  /// Skip ODs whose LHS has fewer than this many distinct non-null
+  /// values; single-valued LHS columns make the OD vacuous.
+  size_t min_lhs_distinct = 2;
+};
+
+/// Finds all order dependencies X -> Y (X != Y) that hold on `relation`.
+Result<DependencySet> DiscoverOds(const Relation& relation,
+                                  const OdDiscoveryOptions& options = {});
+
+/// Finds all ordered functional dependencies (FD + strict order).
+Result<DependencySet> DiscoverOfds(const Relation& relation,
+                                   const OdDiscoveryOptions& options = {});
+
+struct NdDiscoveryOptions {
+  /// An ND X ->(<=K) Y is reported only when K is at most this fraction of
+  /// Y's distinct-value count — otherwise the "constraint" is trivial.
+  double max_fanout_fraction = 0.75;
+  /// And only when K is at least 2 smaller than Y's distinct count.
+  size_t min_slack = 2;
+};
+
+/// Finds numerical dependencies with their minimal fan-out K.
+Result<DependencySet> DiscoverNds(const Relation& relation,
+                                  const NdDiscoveryOptions& options = {});
+
+struct DdDiscoveryOptions {
+  /// LHS neighbourhood radius, as a fraction of the LHS attribute range.
+  double epsilon_fraction = 0.05;
+  /// A DD is reported only when the minimal delta is at most this
+  /// fraction of the RHS range — i.e. the LHS proximity genuinely
+  /// constrains the RHS.
+  double max_delta_fraction = 0.5;
+};
+
+/// Finds differential dependencies between continuous attribute pairs,
+/// recording the epsilon used and the minimal delta measured.
+Result<DependencySet> DiscoverDds(const Relation& relation,
+                                  const DdDiscoveryOptions& options = {});
+
+}  // namespace metaleak
+
+#endif  // METALEAK_DISCOVERY_RFD_DISCOVERY_H_

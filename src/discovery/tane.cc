@@ -1,0 +1,117 @@
+#include "discovery/tane.h"
+
+#include <map>
+#include <vector>
+
+#include "partition/attribute_set.h"
+#include "partition/pli_cache.h"
+
+namespace metaleak {
+
+namespace {
+
+// Returns true if no already-emitted dependency with the same RHS has an
+// LHS that is a subset of `lhs` (minimality for threshold-mode AFDs; the
+// exact-FD path gets minimality from the C+ sets).
+bool IsMinimalAgainst(const DependencySet& emitted, AttributeSet lhs,
+                      size_t rhs) {
+  for (const Dependency& d : emitted) {
+    if (d.rhs == rhs && lhs.ContainsAll(d.lhs) && d.lhs != lhs) return false;
+    if (d.rhs == rhs && d.lhs == lhs) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<TaneResult> DiscoverFds(const Relation& relation,
+                               const TaneOptions& options) {
+  const size_t m = relation.num_columns();
+  if (m > AttributeSet::kMaxAttributes) {
+    return Status::Invalid("relation exceeds 64 attributes");
+  }
+  TaneResult result;
+  if (m == 0) return result;
+
+  PliCache cache(&relation);
+  const AttributeSet full = AttributeSet::FullSet(m);
+
+  // Level maps: attribute set X -> C+(X).
+  std::map<AttributeSet, AttributeSet> level;
+  for (size_t a = 0; a < m; ++a) {
+    level[AttributeSet::Single(a)] = full;
+  }
+
+  // Level 1 special case: the empty-LHS candidates {} -> A (constant
+  // columns) correspond to testing X = {A}, X \ {A} = {}.
+  const size_t max_level = options.max_lhs_size + 1;
+
+  for (size_t l = 1; l <= max_level && !level.empty(); ++l) {
+    // --- compute dependencies on this level ---
+    for (auto& [x, cplus] : level) {
+      ++result.nodes_visited;
+      for (size_t a : x.Intersect(cplus).ToIndices()) {
+        AttributeSet lhs = x.Without(a);
+        if (lhs.empty() && !options.include_constant_columns) continue;
+        const PositionListIndex* x_pli = cache.Get(lhs);
+        const PositionListIndex* a_pli = cache.Get(AttributeSet::Single(a));
+        bool exact = x_pli->Refines(*a_pli);
+        if (exact) {
+          result.dependencies.Add(Dependency::Fd(lhs, a));
+          cplus = cplus.Without(a);
+          // Classic TANE pruning: all B outside X leave C+(X).
+          cplus = cplus.Minus(full.Minus(x));
+        } else if (options.max_g3_error > 0.0) {
+          double g3 = x_pli->G3Error(*a_pli);
+          if (g3 <= options.max_g3_error &&
+              IsMinimalAgainst(result.dependencies, lhs, a)) {
+            result.dependencies.Add(Dependency::Afd(lhs, a, g3));
+          }
+        }
+      }
+    }
+
+    // --- prune nodes with empty candidate sets ---
+    for (auto it = level.begin(); it != level.end();) {
+      if (it->second.empty()) {
+        it = level.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (l == max_level) break;
+
+    // --- generate the next level (prefix join + subset check) ---
+    std::map<AttributeSet, AttributeSet> next;
+    std::vector<AttributeSet> nodes;
+    nodes.reserve(level.size());
+    for (const auto& [x, cplus] : level) nodes.push_back(x);
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (size_t j = i + 1; j < nodes.size(); ++j) {
+        AttributeSet y = nodes[i].Union(nodes[j]);
+        if (y.size() != l + 1) continue;  // not a prefix-style join
+        if (next.count(y) != 0) continue;
+        // All l-subsets of y must be present in the current level.
+        bool all_present = true;
+        AttributeSet cplus = full;
+        for (size_t a : y.ToIndices()) {
+          auto it = level.find(y.Without(a));
+          if (it == level.end()) {
+            all_present = false;
+            break;
+          }
+          cplus = cplus.Intersect(it->second);
+        }
+        if (!all_present || cplus.empty()) continue;
+        next[y] = cplus;
+      }
+    }
+    level = std::move(next);
+  }
+
+  return result;
+}
+
+}  // namespace metaleak

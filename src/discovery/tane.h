@@ -1,0 +1,47 @@
+// TANE: level-wise discovery of minimal functional dependencies
+// (Huhtala, Kärkkäinen, Porkka, Toivonen — the algorithm the paper cites
+// for FD discovery), extended with g3-threshold discovery of approximate
+// functional dependencies (Kivinen–Mannila, Section IV-A of the paper).
+//
+// The search walks the attribute-set lattice level by level, maintaining
+// TANE's C+ candidate sets for minimality pruning, and validates
+// candidates against stripped-partition refinement. With
+// max_g3_error > 0, non-exact candidates whose g3 error clears the
+// threshold are emitted as AFDs (minimal by subset check).
+#ifndef METALEAK_DISCOVERY_TANE_H_
+#define METALEAK_DISCOVERY_TANE_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "metadata/dependency_set.h"
+
+namespace metaleak {
+
+struct TaneOptions {
+  /// Maximum LHS size searched. Level l of the lattice emits FDs with
+  /// |LHS| = l - 1; the default covers LHS sizes 0..3.
+  size_t max_lhs_size = 3;
+  /// When > 0, additionally emit approximate FDs with 0 < g3 <= this.
+  double max_g3_error = 0.0;
+  /// Skip FDs with an empty LHS (constant columns) — they are trivia for
+  /// the privacy analysis but on by default for completeness.
+  bool include_constant_columns = true;
+};
+
+struct TaneResult {
+  /// Minimal FDs (and AFDs when enabled).
+  DependencySet dependencies;
+  /// Lattice nodes visited — reported by the discovery perf bench.
+  size_t nodes_visited = 0;
+};
+
+/// Runs TANE on `relation`. Fails when the relation exceeds the 64
+/// attribute limit of AttributeSet.
+Result<TaneResult> DiscoverFds(const Relation& relation,
+                               const TaneOptions& options = {});
+
+}  // namespace metaleak
+
+#endif  // METALEAK_DISCOVERY_TANE_H_

@@ -1,0 +1,190 @@
+#include "discovery/validators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace metaleak {
+
+bool ValidateFd(PliCache* cache, AttributeSet lhs, size_t rhs) {
+  METALEAK_DCHECK(cache != nullptr);
+  const PositionListIndex* x = cache->Get(lhs);
+  const PositionListIndex* a = cache->Get(AttributeSet::Single(rhs));
+  return x->Refines(*a);
+}
+
+double ComputeG3(PliCache* cache, AttributeSet lhs, size_t rhs) {
+  METALEAK_DCHECK(cache != nullptr);
+  const PositionListIndex* x = cache->Get(lhs);
+  const PositionListIndex* a = cache->Get(AttributeSet::Single(rhs));
+  return x->G3Error(*a);
+}
+
+size_t ComputeMaxFanout(PliCache* cache, size_t lhs, size_t rhs) {
+  METALEAK_DCHECK(cache != nullptr);
+  const PositionListIndex* x = cache->Get(AttributeSet::Single(lhs));
+  const PositionListIndex* a = cache->Get(AttributeSet::Single(rhs));
+  return x->MaxFanout(*a);
+}
+
+namespace {
+
+// Non-null (lhs, rhs) pairs sorted by lhs (then rhs for determinism).
+std::vector<std::pair<Value, Value>> SortedPairs(const Relation& relation,
+                                                 size_t lhs, size_t rhs) {
+  std::vector<std::pair<Value, Value>> pairs;
+  pairs.reserve(relation.num_rows());
+  const std::vector<Value>& x = relation.column(lhs);
+  const std::vector<Value>& y = relation.column(rhs);
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    if (x[r].is_null() || y[r].is_null()) continue;
+    pairs.emplace_back(x[r], y[r]);
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  return pairs;
+}
+
+bool ValueEq(const Value& a, const Value& b) { return a == b; }
+bool ValueLt(const Value& a, const Value& b) { return a < b; }
+
+}  // namespace
+
+bool ValidateOd(const Relation& relation, size_t lhs, size_t rhs) {
+  std::vector<std::pair<Value, Value>> pairs =
+      SortedPairs(relation, lhs, rhs);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    const auto& prev = pairs[i - 1];
+    const auto& cur = pairs[i];
+    if (ValueEq(prev.first, cur.first)) {
+      // lhs tie: both directions of the implication force rhs equality.
+      if (!ValueEq(prev.second, cur.second)) return false;
+    } else {
+      // lhs strictly increased: rhs must not decrease.
+      if (ValueLt(cur.second, prev.second)) return false;
+    }
+  }
+  return true;
+}
+
+bool ValidateOfd(const Relation& relation, size_t lhs, size_t rhs) {
+  std::vector<std::pair<Value, Value>> pairs =
+      SortedPairs(relation, lhs, rhs);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    const auto& prev = pairs[i - 1];
+    const auto& cur = pairs[i];
+    if (ValueEq(prev.first, cur.first)) {
+      if (!ValueEq(prev.second, cur.second)) return false;  // FD part
+    } else {
+      // Strict order preservation.
+      if (!ValueLt(prev.second, cur.second)) return false;
+    }
+  }
+  return true;
+}
+
+Result<double> ComputeMinimalDelta(const Relation& relation, size_t lhs,
+                                   size_t rhs, double eps) {
+  if (lhs >= relation.num_columns() || rhs >= relation.num_columns()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (eps < 0.0) {
+    return Status::Invalid("differential epsilon must be non-negative");
+  }
+  std::vector<std::pair<double, double>> pts;
+  const std::vector<Value>& x = relation.column(lhs);
+  const std::vector<Value>& y = relation.column(rhs);
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    if (x[r].is_null() || y[r].is_null()) continue;
+    if (!x[r].is_numeric() || !y[r].is_numeric()) {
+      return Status::TypeError(
+          "differential dependencies require numeric attributes");
+    }
+    pts.emplace_back(x[r].AsNumeric(), y[r].AsNumeric());
+  }
+  if (pts.size() < 2) return 0.0;
+  std::sort(pts.begin(), pts.end());
+
+  // Sliding window over x with monotonic deques for y min/max. For every
+  // j, all i with x_j - x_i <= eps pair with j; the largest |y_i - y_j|
+  // within any such window is the minimal delta.
+  double delta = 0.0;
+  std::deque<size_t> min_dq;
+  std::deque<size_t> max_dq;
+  size_t lo = 0;
+  for (size_t j = 0; j < pts.size(); ++j) {
+    while (lo < j && pts[j].first - pts[lo].first > eps) {
+      if (!min_dq.empty() && min_dq.front() == lo) min_dq.pop_front();
+      if (!max_dq.empty() && max_dq.front() == lo) max_dq.pop_front();
+      ++lo;
+    }
+    if (!min_dq.empty()) {
+      delta = std::max(delta, pts[j].second - pts[min_dq.front()].second);
+    }
+    if (!max_dq.empty()) {
+      delta = std::max(delta, pts[max_dq.front()].second - pts[j].second);
+    }
+    while (!min_dq.empty() && pts[min_dq.back()].second >= pts[j].second) {
+      min_dq.pop_back();
+    }
+    min_dq.push_back(j);
+    while (!max_dq.empty() && pts[max_dq.back()].second <= pts[j].second) {
+      max_dq.pop_back();
+    }
+    max_dq.push_back(j);
+  }
+  return delta;
+}
+
+Result<bool> ValidateDependency(const Relation& relation,
+                                const Dependency& dep) {
+  size_t n = relation.num_columns();
+  if (dep.rhs >= n) return Status::OutOfRange("RHS attribute out of range");
+  for (size_t i : dep.lhs.ToIndices()) {
+    if (i >= n) return Status::OutOfRange("LHS attribute out of range");
+  }
+  PliCache cache(&relation);
+  switch (dep.kind) {
+    case DependencyKind::kFunctional:
+      return ValidateFd(&cache, dep.lhs, dep.rhs);
+    case DependencyKind::kApproximateFunctional:
+      return ComputeG3(&cache, dep.lhs, dep.rhs) <= dep.g3_error;
+    case DependencyKind::kNumerical: {
+      if (dep.lhs.size() != 1) {
+        return Status::Invalid("numerical dependency needs a single LHS");
+      }
+      size_t lhs = dep.lhs.ToIndices()[0];
+      return ComputeMaxFanout(&cache, lhs, dep.rhs) <= dep.max_fanout;
+    }
+    case DependencyKind::kOrder: {
+      if (dep.lhs.size() != 1) {
+        return Status::Invalid("order dependency needs a single LHS");
+      }
+      return ValidateOd(relation, dep.lhs.ToIndices()[0], dep.rhs);
+    }
+    case DependencyKind::kOrderedFunctional: {
+      if (dep.lhs.size() != 1) {
+        return Status::Invalid("OFD needs a single LHS");
+      }
+      return ValidateOfd(relation, dep.lhs.ToIndices()[0], dep.rhs);
+    }
+    case DependencyKind::kDifferential: {
+      if (dep.lhs.size() != 1) {
+        return Status::Invalid("differential dependency needs a single LHS");
+      }
+      METALEAK_ASSIGN_OR_RETURN(
+          double delta,
+          ComputeMinimalDelta(relation, dep.lhs.ToIndices()[0], dep.rhs,
+                              dep.lhs_epsilon));
+      return delta <= dep.rhs_delta;
+    }
+  }
+  return Status::Invalid("unknown dependency kind");
+}
+
+}  // namespace metaleak

@@ -1,0 +1,56 @@
+// Validators: check whether a dependency of each class holds on a relation
+// and measure its class-specific parameter (g3 error, fan-out, delta).
+//
+// Null handling: FD/AFD/ND use the PLI convention (NULL equals NULL). The
+// order-based classes (OD, OFD, DD) skip rows with a NULL on either side —
+// order comparisons against missing values are undefined.
+#ifndef METALEAK_DISCOVERY_VALIDATORS_H_
+#define METALEAK_DISCOVERY_VALIDATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "metadata/dependency.h"
+#include "partition/attribute_set.h"
+#include "partition/pli_cache.h"
+
+namespace metaleak {
+
+/// True iff the strict FD lhs -> rhs holds. Uses (and fills) `cache`.
+bool ValidateFd(PliCache* cache, AttributeSet lhs, size_t rhs);
+
+/// g3 error of lhs -> rhs: minimum fraction of rows to delete for the FD
+/// to hold (0 iff the strict FD holds).
+double ComputeG3(PliCache* cache, AttributeSet lhs, size_t rhs);
+
+/// Minimal fan-out K of the numerical dependency lhs ->(<=K) rhs: the
+/// maximum number of distinct rhs values co-occurring with one lhs value.
+size_t ComputeMaxFanout(PliCache* cache, size_t lhs, size_t rhs);
+
+/// True iff the order dependency lhs -> rhs holds: for all tuples t, u,
+/// t[lhs] <= u[lhs] implies t[rhs] <= u[rhs]. Note this entails equal rhs
+/// values on lhs ties, i.e. OD implies FD on the non-null rows.
+bool ValidateOd(const Relation& relation, size_t lhs, size_t rhs);
+
+/// True iff the ordered functional dependency holds: the FD plus strict
+/// order preservation (t[lhs] < u[lhs] implies t[rhs] < u[rhs]).
+bool ValidateOfd(const Relation& relation, size_t lhs, size_t rhs);
+
+/// Minimal delta such that the differential dependency
+/// |t[lhs]-u[lhs]| <= eps  =>  |t[rhs]-u[rhs]| <= delta holds over all
+/// tuple pairs. Both attributes must be numeric; fails otherwise.
+/// Returns 0 when fewer than two non-null rows exist.
+Result<double> ComputeMinimalDelta(const Relation& relation, size_t lhs,
+                                   size_t rhs, double eps);
+
+/// Validates a dependency of any class against `relation`; for
+/// parameterized classes the recorded parameter must be satisfied
+/// (g3 <= dep.g3_error, fan-out <= dep.max_fanout, minimal delta <=
+/// dep.rhs_delta). Fails on out-of-range attribute indices.
+Result<bool> ValidateDependency(const Relation& relation,
+                                const Dependency& dep);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_DISCOVERY_VALIDATORS_H_

@@ -1,0 +1,124 @@
+#include "generation/cfd_generator.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace metaleak {
+
+Result<Relation> ApplyCfds(const Relation& relation,
+                           const std::vector<ConditionalFd>& cfds,
+                           const std::vector<Domain>& domains, Rng* rng) {
+  if (rng == nullptr) return Status::Invalid("rng must not be null");
+  if (domains.size() != relation.num_columns()) {
+    return Status::Invalid("domains not parallel to schema");
+  }
+  for (const ConditionalFd& cfd : cfds) {
+    if (cfd.condition_attr >= relation.num_columns() ||
+        cfd.rhs >= relation.num_columns()) {
+      return Status::OutOfRange("CFD attribute out of range");
+    }
+    for (size_t i : cfd.lhs.ToIndices()) {
+      if (i >= relation.num_columns()) {
+        return Status::OutOfRange("CFD LHS attribute out of range");
+      }
+    }
+  }
+
+  std::vector<std::vector<Value>> columns;
+  columns.reserve(relation.num_columns());
+  for (size_t c = 0; c < relation.num_columns(); ++c) {
+    columns.push_back(relation.column(c));
+  }
+
+  // Bounded chase with single-writer cells: for every (row, attribute)
+  // at most one rule writes per pass — constant CFDs first (they pin the
+  // cell to a disclosed value), then variable CFDs in disclosure order.
+  // Applying one CFD can change cells another CFD's condition reads, so
+  // passes repeat until stable or the budget runs out. Rule sets mined
+  // from consistent data converge quickly; arbitrary interacting sets are
+  // repaired best-effort (full satisfaction is a constraint-satisfaction
+  // problem the adversary has no reason to solve exactly).
+  std::vector<size_t> order;  // constants first, then variables
+  for (size_t i = 0; i < cfds.size(); ++i) {
+    if (cfds[i].rhs_is_constant) order.push_back(i);
+  }
+  for (size_t i = 0; i < cfds.size(); ++i) {
+    if (!cfds[i].rhs_is_constant) order.push_back(i);
+  }
+  std::vector<std::unordered_map<size_t, Value>> mappings(cfds.size());
+  const size_t max_passes = 2 * relation.num_columns() + 4;
+  for (size_t pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    // written[r*m + a] marks cells already claimed this pass.
+    std::vector<bool> written(relation.num_rows() * relation.num_columns(),
+                              false);
+    const size_t m = relation.num_columns();
+    for (size_t oi : order) {
+      const ConditionalFd& cfd = cfds[oi];
+      for (size_t r = 0; r < relation.num_rows(); ++r) {
+        if (columns[cfd.condition_attr][r] != cfd.condition_value) {
+          continue;
+        }
+        if (written[r * m + cfd.rhs]) continue;  // cell already claimed
+        Value desired;
+        if (cfd.rhs_is_constant) {
+          desired = cfd.rhs_value;
+        } else {
+          size_t key = 0x811C9DC5u;
+          for (size_t i : cfd.lhs.ToIndices()) {
+            key ^= columns[i][r].Hash();
+            key *= 0x01000193u;
+          }
+          auto it = mappings[oi].find(key);
+          if (it == mappings[oi].end()) {
+            it = mappings[oi].emplace(key, domains[cfd.rhs].Sample(rng))
+                     .first;
+          }
+          desired = it->second;
+        }
+        written[r * m + cfd.rhs] = true;
+        if (columns[cfd.rhs][r] != desired) {
+          columns[cfd.rhs][r] = desired;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Re-derive physical types: constants/mappings may change a column's
+  // value types (e.g. a string constant landing in an int column of the
+  // synthetic schema).
+  std::vector<Attribute> attrs = relation.schema().attributes();
+  for (size_t c = 0; c < columns.size(); ++c) {
+    bool has_double = false;
+    bool has_int = false;
+    bool has_string = false;
+    for (const Value& v : columns[c]) {
+      has_double |= v.is_double();
+      has_int |= v.is_int();
+      has_string |= v.is_string();
+    }
+    if (has_string && (has_int || has_double)) {
+      for (Value& v : columns[c]) {
+        if (!v.is_null() && !v.is_string()) v = Value::Str(v.ToString());
+      }
+      attrs[c].type = DataType::kString;
+    } else if (has_string) {
+      attrs[c].type = DataType::kString;
+    } else if (has_double && has_int) {
+      for (Value& v : columns[c]) {
+        if (v.is_int()) v = Value::Real(static_cast<double>(v.AsInt()));
+      }
+      attrs[c].type = DataType::kDouble;
+    } else if (has_double) {
+      attrs[c].type = DataType::kDouble;
+    } else if (has_int) {
+      attrs[c].type = DataType::kInt64;
+    }
+  }
+  return Relation::Make(Schema(std::move(attrs)), std::move(columns));
+}
+
+}  // namespace metaleak

@@ -1,0 +1,39 @@
+// CFD-aware adversarial generation: enforce disclosed conditional FDs on
+// an otherwise randomly generated relation.
+//
+// The adversary generates root values from the domains, then repairs the
+// relation so every disclosed CFD holds: constant CFDs overwrite the RHS
+// on matching rows with the disclosed constant; variable CFDs install a
+// one-shot LHS -> RHS mapping within the condition's scope (the same
+// one-time initialization argument as Section III-B, restricted to the
+// scope).
+#ifndef METALEAK_GENERATION_CFD_GENERATOR_H_
+#define METALEAK_GENERATION_CFD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/domain.h"
+#include "data/relation.h"
+#include "metadata/conditional_fd.h"
+
+namespace metaleak {
+
+/// Returns a repaired copy of `relation` where the disclosed CFDs hold.
+/// `domains` supplies the sampling space for the variable-CFD mappings
+/// and must be parallel to the schema.
+///
+/// Repair is a bounded chase with single-writer cells (constant CFDs
+/// take priority over variable ones on the same cell). A single CFD, or
+/// any set whose rules write disjoint attributes, is enforced exactly;
+/// densely interacting mined sets are repaired best-effort — exact
+/// satisfaction of an arbitrary CFD set on fresh data is a
+/// constraint-satisfaction problem the adversary has no reason to solve.
+Result<Relation> ApplyCfds(const Relation& relation,
+                           const std::vector<ConditionalFd>& cfds,
+                           const std::vector<Domain>& domains, Rng* rng);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_GENERATION_CFD_GENERATOR_H_

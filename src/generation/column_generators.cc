@@ -1,0 +1,260 @@
+#include "generation/column_generators.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace metaleak {
+
+namespace {
+
+// Composite key over the LHS columns of one row.
+struct LhsKey {
+  std::vector<Value> values;
+  friend bool operator==(const LhsKey& a, const LhsKey& b) {
+    return a.values == b.values;
+  }
+};
+
+struct LhsKeyHash {
+  size_t operator()(const LhsKey& k) const {
+    size_t h = 0x811C9DC5u;
+    for (const Value& v : k.values) {
+      h ^= v.Hash();
+      h *= 0x01000193u;
+    }
+    return h;
+  }
+};
+
+LhsKey KeyAt(const std::vector<const std::vector<Value>*>& lhs_columns,
+             size_t row) {
+  LhsKey key;
+  key.values.reserve(lhs_columns.size());
+  for (const std::vector<Value>* col : lhs_columns) {
+    key.values.push_back((*col)[row]);
+  }
+  return key;
+}
+
+// Sorted distinct values of a column (Value total order).
+std::vector<Value> SortedDistinct(const std::vector<Value>& column) {
+  std::vector<Value> vals = column;
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  return vals;
+}
+
+// `count` non-decreasing order statistics over `domain`.
+std::vector<Value> SortedSamples(const Domain& domain, size_t count,
+                                 Rng* rng) {
+  std::vector<Value> out;
+  out.reserve(count);
+  if (domain.is_continuous()) {
+    std::vector<double> xs(count);
+    for (double& x : xs) x = rng->UniformDouble(domain.lo(), domain.hi());
+    std::sort(xs.begin(), xs.end());
+    for (double x : xs) out.push_back(Value::Real(x));
+    return out;
+  }
+  const std::vector<Value>& vals = domain.values();
+  METALEAK_DCHECK(!vals.empty());
+  std::vector<size_t> idx(count);
+  for (size_t& i : idx) i = rng->UniformIndex(vals.size());
+  std::sort(idx.begin(), idx.end());
+  for (size_t i : idx) out.push_back(vals[i]);
+  return out;
+}
+
+// `count` strictly increasing values where possible (see header).
+std::vector<Value> StrictSortedSamples(const Domain& domain, size_t count,
+                                       Rng* rng) {
+  if (domain.is_continuous()) {
+    // Continuous uniforms are distinct almost surely; re-draw collisions.
+    std::vector<double> xs(count);
+    for (double& x : xs) x = rng->UniformDouble(domain.lo(), domain.hi());
+    std::sort(xs.begin(), xs.end());
+    std::vector<Value> out;
+    out.reserve(count);
+    for (double x : xs) out.push_back(Value::Real(x));
+    return out;
+  }
+  const std::vector<Value>& vals = domain.values();
+  if (vals.size() >= count) {
+    std::vector<size_t> picked = rng->SampleWithoutReplacement(vals.size(),
+                                                               count);
+    std::sort(picked.begin(), picked.end());
+    std::vector<Value> out;
+    out.reserve(count);
+    for (size_t i : picked) out.push_back(vals[i]);
+    return out;
+  }
+  // Domain too small for a strict walk: forced transitions collapse to the
+  // non-decreasing assignment.
+  return SortedSamples(domain, count, rng);
+}
+
+}  // namespace
+
+std::vector<Value> GenerateRootColumn(const Domain& domain, size_t num_rows,
+                                      Rng* rng) {
+  METALEAK_DCHECK(rng != nullptr);
+  std::vector<Value> out;
+  out.reserve(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) out.push_back(domain.Sample(rng));
+  return out;
+}
+
+std::vector<Value> GenerateFdColumn(
+    const std::vector<const std::vector<Value>*>& lhs_columns,
+    const Domain& domain, size_t num_rows, Rng* rng) {
+  METALEAK_DCHECK(rng != nullptr);
+  std::vector<Value> out;
+  out.reserve(num_rows);
+  std::unordered_map<LhsKey, Value, LhsKeyHash> mapping;
+  for (size_t r = 0; r < num_rows; ++r) {
+    LhsKey key = KeyAt(lhs_columns, r);
+    auto it = mapping.find(key);
+    if (it == mapping.end()) {
+      it = mapping.emplace(std::move(key), domain.Sample(rng)).first;
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<Value> GenerateAfdColumn(
+    const std::vector<const std::vector<Value>*>& lhs_columns,
+    const Domain& domain, size_t num_rows, double g3_error, Rng* rng) {
+  std::vector<Value> out =
+      GenerateFdColumn(lhs_columns, domain, num_rows, rng);
+  // The epsilon fraction of correctly-scattered violations (Section IV-A):
+  // re-drawn rows are independent of the mapping.
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (rng->Bernoulli(std::clamp(g3_error, 0.0, 1.0))) {
+      out[r] = domain.Sample(rng);
+    }
+  }
+  return out;
+}
+
+std::vector<Value> GenerateNdColumn(const std::vector<Value>& lhs_column,
+                                    const Domain& domain, size_t num_rows,
+                                    size_t max_fanout, Rng* rng) {
+  METALEAK_DCHECK(rng != nullptr);
+  METALEAK_DCHECK(lhs_column.size() == num_rows);
+  size_t k = std::max<size_t>(1, max_fanout);
+  std::unordered_map<Value, std::vector<Value>> pools;
+  std::vector<Value> out;
+  out.reserve(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    std::vector<Value>& pool = pools[lhs_column[r]];
+    if (pool.empty()) {
+      if (domain.is_categorical()) {
+        const std::vector<Value>& vals = domain.values();
+        size_t take = std::min(k, vals.size());
+        // Sampling without replacement from Dom(Y): the hyper-geometric
+        // selection in the paper's ND analysis.
+        for (size_t i : rng->SampleWithoutReplacement(vals.size(), take)) {
+          pool.push_back(vals[i]);
+        }
+      } else {
+        for (size_t i = 0; i < k; ++i) pool.push_back(domain.Sample(rng));
+      }
+    }
+    out.push_back(pool[rng->UniformIndex(pool.size())]);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<Value> GenerateOrderedColumn(const std::vector<Value>& lhs_column,
+                                         const Domain& domain,
+                                         size_t num_rows, bool strict,
+                                         Rng* rng) {
+  METALEAK_DCHECK(rng != nullptr);
+  METALEAK_DCHECK(lhs_column.size() == num_rows);
+  std::vector<Value> distinct = SortedDistinct(lhs_column);
+  std::vector<Value> targets =
+      strict ? StrictSortedSamples(domain, distinct.size(), rng)
+             : SortedSamples(domain, distinct.size(), rng);
+  // Map the i-th smallest LHS value to the i-th order statistic: this is
+  // exactly the interval-partition assignment of Section IV-C and keeps
+  // the order dependency satisfied by construction.
+  std::map<Value, Value> mapping;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    mapping.emplace(distinct[i], targets[i]);
+  }
+  std::vector<Value> out;
+  out.reserve(num_rows);
+  for (const Value& v : lhs_column) out.push_back(mapping.at(v));
+  return out;
+}
+
+}  // namespace
+
+std::vector<Value> GenerateOdColumn(const std::vector<Value>& lhs_column,
+                                    const Domain& domain, size_t num_rows,
+                                    Rng* rng) {
+  return GenerateOrderedColumn(lhs_column, domain, num_rows,
+                               /*strict=*/false, rng);
+}
+
+std::vector<Value> GenerateOfdColumn(const std::vector<Value>& lhs_column,
+                                     const Domain& domain, size_t num_rows,
+                                     Rng* rng) {
+  return GenerateOrderedColumn(lhs_column, domain, num_rows,
+                               /*strict=*/true, rng);
+}
+
+Result<std::vector<Value>> GenerateDdColumn(
+    const std::vector<Value>& lhs_column, const Domain& domain,
+    size_t num_rows, double lhs_epsilon, double rhs_delta, Rng* rng) {
+  METALEAK_DCHECK(rng != nullptr);
+  if (domain.is_categorical()) {
+    return Status::TypeError(
+        "differential generation requires a continuous target domain");
+  }
+  if (lhs_column.size() != num_rows) {
+    return Status::Invalid("LHS column size mismatch");
+  }
+  // Order rows by LHS value; walk the chain generating each RHS relative
+  // to its predecessor when the LHS values are proximal (Markov process).
+  std::vector<size_t> order(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return lhs_column[a] < lhs_column[b];
+  });
+
+  std::vector<Value> out(num_rows);
+  double prev_x = 0.0;
+  double prev_y = 0.0;
+  bool has_prev = false;
+  for (size_t pos = 0; pos < num_rows; ++pos) {
+    size_t row = order[pos];
+    double x = lhs_column[row].is_numeric() ? lhs_column[row].AsNumeric()
+                                            : 0.0;
+    double y;
+    if (has_prev && std::abs(x - prev_x) <= lhs_epsilon) {
+      double lo = std::max(domain.lo(), prev_y - rhs_delta);
+      double hi = std::min(domain.hi(), prev_y + rhs_delta);
+      if (lo > hi) {
+        lo = domain.lo();
+        hi = domain.hi();
+      }
+      y = rng->UniformDouble(lo, hi);
+    } else {
+      y = rng->UniformDouble(domain.lo(), domain.hi());
+    }
+    out[row] = Value::Real(y);
+    prev_x = x;
+    prev_y = y;
+    has_prev = true;
+  }
+  return out;
+}
+
+}  // namespace metaleak

@@ -1,0 +1,86 @@
+// Per-dependency-class column generators.
+//
+// Each function produces the synthetic column for one target attribute,
+// given the already-generated LHS column(s) and the disclosed metadata.
+// They implement the generation processes the paper analyzes:
+//
+//   Root (names+domains only): i.i.d. uniform draws from the domain
+//     (Section III-A, "random generation from a uniform distribution").
+//   FD: one-time random mapping from each distinct LHS value to a domain
+//     value of the RHS (Section III-B, "one-time initialization
+//     throughout the dataset").
+//   AFD: the FD process, with a g3 fraction of rows re-drawn
+//     independently (Section IV-A).
+//   ND: per distinct LHS value, a pool of K RHS values sampled without
+//     replacement (the hyper-geometric selection of Section IV-B); each
+//     row draws from its pool.
+//   OD: distinct LHS values sorted; RHS values assigned from sorted
+//     order statistics over the RHS domain, preserving order
+//     (the interval partitioning of Section IV-C).
+//   DD: a Markov interval process along the LHS ordering: proximal LHS
+//     values constrain the next RHS draw to a delta-ball around the
+//     previous one (Section IV-D).
+//   OFD: a strictly monotone one-dimensional random walk over the RHS
+//     domain (Section IV-E).
+//
+// All functions assume uniform distributions — the paper's fundamental
+// assumption that value distributions are not disclosed.
+#ifndef METALEAK_GENERATION_COLUMN_GENERATORS_H_
+#define METALEAK_GENERATION_COLUMN_GENERATORS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/domain.h"
+#include "data/value.h"
+
+namespace metaleak {
+
+/// i.i.d. uniform draws from `domain` (random generation baseline).
+std::vector<Value> GenerateRootColumn(const Domain& domain, size_t num_rows,
+                                      Rng* rng);
+
+/// FD lhs -> target: one random mapping per distinct LHS key. `lhs_columns`
+/// holds the already generated LHS columns (possibly several for a
+/// composite LHS; an empty list models the constant-column FD {} -> A).
+std::vector<Value> GenerateFdColumn(
+    const std::vector<const std::vector<Value>*>& lhs_columns,
+    const Domain& domain, size_t num_rows, Rng* rng);
+
+/// AFD: FD process + `g3_error` fraction of rows re-drawn independently.
+std::vector<Value> GenerateAfdColumn(
+    const std::vector<const std::vector<Value>*>& lhs_columns,
+    const Domain& domain, size_t num_rows, double g3_error, Rng* rng);
+
+/// ND lhs ->(<=K) target: per distinct LHS value a pool of up to
+/// `max_fanout` distinct domain values; rows draw uniformly from the pool.
+/// Continuous domains draw the pool i.i.d. (a.s. distinct).
+std::vector<Value> GenerateNdColumn(const std::vector<Value>& lhs_column,
+                                    const Domain& domain, size_t num_rows,
+                                    size_t max_fanout, Rng* rng);
+
+/// OD lhs -> target: distinct LHS values (by Value order) are mapped to
+/// non-decreasing order statistics over the target domain.
+std::vector<Value> GenerateOdColumn(const std::vector<Value>& lhs_column,
+                                    const Domain& domain, size_t num_rows,
+                                    Rng* rng);
+
+/// OFD lhs -> target: like OD but strictly increasing where the domain
+/// permits (categorical domains smaller than the LHS distinct count fall
+/// back to non-decreasing, mirroring the forced transitions the paper
+/// describes for exhausted partitions).
+std::vector<Value> GenerateOfdColumn(const std::vector<Value>& lhs_column,
+                                     const Domain& domain, size_t num_rows,
+                                     Rng* rng);
+
+/// DD: Markov interval process along the LHS order; rows whose LHS is
+/// within `lhs_epsilon` of the previous row draw from a `rhs_delta` ball
+/// around the previous RHS value. Requires a continuous target domain.
+Result<std::vector<Value>> GenerateDdColumn(
+    const std::vector<Value>& lhs_column, const Domain& domain,
+    size_t num_rows, double lhs_epsilon, double rhs_delta, Rng* rng);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_GENERATION_COLUMN_GENERATORS_H_

@@ -1,0 +1,75 @@
+#include "metadata/conditional_fd.h"
+
+#include <sstream>
+
+namespace metaleak {
+
+ConditionalFd ConditionalFd::Variable(size_t condition_attr,
+                                      Value condition_value,
+                                      AttributeSet lhs, size_t rhs,
+                                      size_t support) {
+  ConditionalFd cfd;
+  cfd.condition_attr = condition_attr;
+  cfd.condition_value = std::move(condition_value);
+  cfd.lhs = lhs;
+  cfd.rhs = rhs;
+  cfd.rhs_is_constant = false;
+  cfd.support = support;
+  return cfd;
+}
+
+ConditionalFd ConditionalFd::Constant(size_t condition_attr,
+                                      Value condition_value, size_t rhs,
+                                      Value rhs_value, size_t support) {
+  ConditionalFd cfd;
+  cfd.condition_attr = condition_attr;
+  cfd.condition_value = std::move(condition_value);
+  cfd.rhs = rhs;
+  cfd.rhs_is_constant = true;
+  cfd.rhs_value = std::move(rhs_value);
+  cfd.support = support;
+  return cfd;
+}
+
+namespace {
+
+std::string Render(const ConditionalFd& cfd, const Schema* schema) {
+  auto name = [&](size_t i) {
+    return schema != nullptr ? schema->attribute(i).name
+                             : std::to_string(i);
+  };
+  std::ostringstream os;
+  os << "CFD [" << name(cfd.condition_attr) << '='
+     << cfd.condition_value.ToString() << "] => ";
+  if (cfd.rhs_is_constant) {
+    os << name(cfd.rhs) << " = " << cfd.rhs_value.ToString();
+  } else {
+    os << '{';
+    bool first = true;
+    for (size_t i : cfd.lhs.ToIndices()) {
+      if (!first) os << ", ";
+      os << name(i);
+      first = false;
+    }
+    os << "} -> " << name(cfd.rhs);
+  }
+  os << " (support=" << cfd.support << ')';
+  return os.str();
+}
+
+}  // namespace
+
+std::string ConditionalFd::ToString(const Schema& schema) const {
+  return Render(*this, &schema);
+}
+
+std::string ConditionalFd::ToString() const { return Render(*this, nullptr); }
+
+bool operator==(const ConditionalFd& a, const ConditionalFd& b) {
+  return a.condition_attr == b.condition_attr &&
+         a.condition_value == b.condition_value && a.lhs == b.lhs &&
+         a.rhs == b.rhs && a.rhs_is_constant == b.rhs_is_constant &&
+         a.rhs_value == b.rhs_value;
+}
+
+}  // namespace metaleak

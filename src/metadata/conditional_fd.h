@@ -1,0 +1,62 @@
+// Conditional functional dependencies (CFDs).
+//
+// The paper cites CFDs (Bohannon et al.) as the data-cleaning workhorse
+// among FD extensions; they are metadata a party could plausibly share.
+// MetaLeak supports the two canonical single-condition forms:
+//
+//   variable CFD:  [C = c] => (X -> A)      the FD holds on the rows
+//                                           where attribute C equals c
+//   constant CFD:  [X = x] => (A = a)       rows with X = x carry the
+//                                           constant a in A
+//
+// Privacy-wise a CFD is a *scoped* FD: its generation value to an
+// adversary is analyzed by the same one-shot-mapping argument as FDs
+// (Section III-B), restricted to the matching rows — the A8 ablation
+// verifies the "no extra leakage" conclusion carries over.
+#ifndef METALEAK_METADATA_CONDITIONAL_FD_H_
+#define METALEAK_METADATA_CONDITIONAL_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/value.h"
+#include "partition/attribute_set.h"
+
+namespace metaleak {
+
+struct ConditionalFd {
+  /// Conditioning attribute and the constant selecting the scope. For
+  /// constant CFDs the condition doubles as the LHS (condition_attr ==
+  /// the X of [X = x]).
+  size_t condition_attr = 0;
+  Value condition_value;
+
+  /// Embedded dependency inside the scope.
+  AttributeSet lhs;  // empty for constant CFDs
+  size_t rhs = 0;
+
+  /// Constant form: rhs must equal rhs_value on matching rows.
+  bool rhs_is_constant = false;
+  Value rhs_value;
+
+  /// Number of rows the condition selected at discovery time (support).
+  size_t support = 0;
+
+  static ConditionalFd Variable(size_t condition_attr,
+                                Value condition_value, AttributeSet lhs,
+                                size_t rhs, size_t support);
+  static ConditionalFd Constant(size_t condition_attr,
+                                Value condition_value, size_t rhs,
+                                Value rhs_value, size_t support);
+
+  /// "CFD [group=2] => {epss} -> lvdd" / "CFD [x=v1] => y = v3".
+  std::string ToString(const Schema& schema) const;
+  std::string ToString() const;
+
+  friend bool operator==(const ConditionalFd& a, const ConditionalFd& b);
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_METADATA_CONDITIONAL_FD_H_

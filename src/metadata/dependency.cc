@@ -1,0 +1,166 @@
+#include "metadata/dependency.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace metaleak {
+
+std::string DependencyKindToString(DependencyKind kind) {
+  switch (kind) {
+    case DependencyKind::kFunctional:
+      return "functional dependency";
+    case DependencyKind::kApproximateFunctional:
+      return "approximate functional dependency";
+    case DependencyKind::kNumerical:
+      return "numerical dependency";
+    case DependencyKind::kOrder:
+      return "order dependency";
+    case DependencyKind::kDifferential:
+      return "differential dependency";
+    case DependencyKind::kOrderedFunctional:
+      return "ordered functional dependency";
+  }
+  return "unknown dependency";
+}
+
+std::string DependencyKindCode(DependencyKind kind) {
+  switch (kind) {
+    case DependencyKind::kFunctional:
+      return "FD";
+    case DependencyKind::kApproximateFunctional:
+      return "AFD";
+    case DependencyKind::kNumerical:
+      return "ND";
+    case DependencyKind::kOrder:
+      return "OD";
+    case DependencyKind::kDifferential:
+      return "DD";
+    case DependencyKind::kOrderedFunctional:
+      return "OFD";
+  }
+  return "?";
+}
+
+Result<DependencyKind> ParseDependencyKind(const std::string& code) {
+  if (code == "FD") return DependencyKind::kFunctional;
+  if (code == "AFD") return DependencyKind::kApproximateFunctional;
+  if (code == "ND") return DependencyKind::kNumerical;
+  if (code == "OD") return DependencyKind::kOrder;
+  if (code == "DD") return DependencyKind::kDifferential;
+  if (code == "OFD") return DependencyKind::kOrderedFunctional;
+  return Status::Invalid("unknown dependency kind code: " + code);
+}
+
+Dependency Dependency::Fd(AttributeSet lhs, size_t rhs) {
+  Dependency d;
+  d.kind = DependencyKind::kFunctional;
+  d.lhs = lhs;
+  d.rhs = rhs;
+  return d;
+}
+
+Dependency Dependency::Afd(AttributeSet lhs, size_t rhs, double g3_error) {
+  Dependency d;
+  d.kind = DependencyKind::kApproximateFunctional;
+  d.lhs = lhs;
+  d.rhs = rhs;
+  d.g3_error = g3_error;
+  return d;
+}
+
+Dependency Dependency::Nd(size_t lhs, size_t rhs, size_t max_fanout) {
+  Dependency d;
+  d.kind = DependencyKind::kNumerical;
+  d.lhs = AttributeSet::Single(lhs);
+  d.rhs = rhs;
+  d.max_fanout = max_fanout;
+  return d;
+}
+
+Dependency Dependency::Od(size_t lhs, size_t rhs) {
+  Dependency d;
+  d.kind = DependencyKind::kOrder;
+  d.lhs = AttributeSet::Single(lhs);
+  d.rhs = rhs;
+  return d;
+}
+
+Dependency Dependency::Dd(size_t lhs, size_t rhs, double lhs_epsilon,
+                          double rhs_delta) {
+  Dependency d;
+  d.kind = DependencyKind::kDifferential;
+  d.lhs = AttributeSet::Single(lhs);
+  d.rhs = rhs;
+  d.lhs_epsilon = lhs_epsilon;
+  d.rhs_delta = rhs_delta;
+  return d;
+}
+
+Dependency Dependency::Ofd(size_t lhs, size_t rhs) {
+  Dependency d;
+  d.kind = DependencyKind::kOrderedFunctional;
+  d.lhs = AttributeSet::Single(lhs);
+  d.rhs = rhs;
+  return d;
+}
+
+namespace {
+
+std::string RenderLhs(const Dependency& d, const Schema* schema) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (size_t i : d.lhs.ToIndices()) {
+    if (!first) os << ", ";
+    if (schema != nullptr) {
+      os << schema->attribute(i).name;
+    } else {
+      os << i;
+    }
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string Render(const Dependency& d, const Schema* schema) {
+  std::ostringstream os;
+  os << DependencyKindCode(d.kind) << ' ' << RenderLhs(d, schema) << " -> ";
+  if (schema != nullptr) {
+    os << schema->attribute(d.rhs).name;
+  } else {
+    os << d.rhs;
+  }
+  switch (d.kind) {
+    case DependencyKind::kApproximateFunctional:
+      os << " (g3=" << FormatDouble(d.g3_error, 4) << ')';
+      break;
+    case DependencyKind::kNumerical:
+      os << " (K=" << d.max_fanout << ')';
+      break;
+    case DependencyKind::kDifferential:
+      os << " (eps=" << FormatDouble(d.lhs_epsilon, 4)
+         << ", delta=" << FormatDouble(d.rhs_delta, 4) << ')';
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string Dependency::ToString(const Schema& schema) const {
+  return Render(*this, &schema);
+}
+
+std::string Dependency::ToString() const { return Render(*this, nullptr); }
+
+bool operator==(const Dependency& a, const Dependency& b) {
+  return a.kind == b.kind && a.lhs == b.lhs && a.rhs == b.rhs &&
+         a.g3_error == b.g3_error && a.max_fanout == b.max_fanout &&
+         a.lhs_epsilon == b.lhs_epsilon && a.rhs_delta == b.rhs_delta;
+}
+
+}  // namespace metaleak

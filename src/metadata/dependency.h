@@ -1,0 +1,76 @@
+// The dependency taxonomy the paper analyzes.
+//
+// Canonical form: every dependency has an attribute-set LHS (usually a
+// single attribute for the relaxed classes) and a single RHS attribute.
+// Kind-specific parameters ride along in the same passive struct:
+//
+//   FD   X -> A           (Section II-A)      no parameters
+//   AFD  X -> A, g3 <= e  (Section IV-A)      g3_error
+//   ND   X ->(<=K) A      (Section IV-B)      max_fanout K
+//   OD   X <= -> A <=     (Section IV-C)      no parameters
+//   DD   [x±eps] -> [y±delta] (Section IV-D)  lhs_epsilon, rhs_delta
+//   OFD  X -> A with <    (Section IV-E)      no parameters
+#ifndef METALEAK_METADATA_DEPENDENCY_H_
+#define METALEAK_METADATA_DEPENDENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+#include "partition/attribute_set.h"
+
+namespace metaleak {
+
+enum class DependencyKind {
+  kFunctional,
+  kApproximateFunctional,
+  kNumerical,
+  kOrder,
+  kDifferential,
+  kOrderedFunctional,
+};
+
+std::string DependencyKindToString(DependencyKind kind);
+
+/// Short code used in serialized metadata: FD, AFD, ND, OD, DD, OFD.
+std::string DependencyKindCode(DependencyKind kind);
+
+/// Parses a kind code; Invalid on unknown codes.
+Result<DependencyKind> ParseDependencyKind(const std::string& code);
+
+struct Dependency {
+  DependencyKind kind = DependencyKind::kFunctional;
+  AttributeSet lhs;
+  size_t rhs = 0;
+
+  /// AFD: measured g3 error in [0, 1).
+  double g3_error = 0.0;
+  /// ND: the cardinality bound K (max distinct RHS values per LHS value).
+  size_t max_fanout = 0;
+  /// DD: the metric thresholds on LHS and RHS.
+  double lhs_epsilon = 0.0;
+  double rhs_delta = 0.0;
+
+  /// Factories for each class keep call sites self-describing.
+  static Dependency Fd(AttributeSet lhs, size_t rhs);
+  static Dependency Afd(AttributeSet lhs, size_t rhs, double g3_error);
+  static Dependency Nd(size_t lhs, size_t rhs, size_t max_fanout);
+  static Dependency Od(size_t lhs, size_t rhs);
+  static Dependency Dd(size_t lhs, size_t rhs, double lhs_epsilon,
+                       double rhs_delta);
+  static Dependency Ofd(size_t lhs, size_t rhs);
+
+  /// "FD {Name} -> Age" style rendering using schema names.
+  std::string ToString(const Schema& schema) const;
+
+  /// Index-based rendering without a schema ("FD {0,2} -> 3 ...").
+  std::string ToString() const;
+
+  friend bool operator==(const Dependency& a, const Dependency& b);
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_METADATA_DEPENDENCY_H_

@@ -1,0 +1,112 @@
+#include "metadata/dependency_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace metaleak {
+
+DependencySet::DependencySet(std::vector<Dependency> deps) {
+  for (const Dependency& d : deps) Add(d);
+}
+
+void DependencySet::Add(const Dependency& dep) {
+  if (!Contains(dep)) deps_.push_back(dep);
+}
+
+bool DependencySet::Contains(const Dependency& dep) const {
+  return std::find(deps_.begin(), deps_.end(), dep) != deps_.end();
+}
+
+std::vector<Dependency> DependencySet::OfKind(DependencyKind kind) const {
+  std::vector<Dependency> out;
+  for (const Dependency& d : deps_) {
+    if (d.kind == kind) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<Dependency> DependencySet::WithRhs(size_t attribute) const {
+  std::vector<Dependency> out;
+  for (const Dependency& d : deps_) {
+    if (d.rhs == attribute) out.push_back(d);
+  }
+  return out;
+}
+
+AttributeSet DependencySet::FdClosure(AttributeSet attrs) const {
+  AttributeSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Dependency& d : deps_) {
+      if (d.kind != DependencyKind::kFunctional) continue;
+      if (closure.ContainsAll(d.lhs) && !closure.Contains(d.rhs)) {
+        closure = closure.With(d.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool DependencySet::FdImplies(AttributeSet lhs, size_t rhs) const {
+  return FdClosure(lhs).Contains(rhs);
+}
+
+DependencySet DependencySet::FdMinimalCover() const {
+  // Start from the FDs only.
+  std::vector<Dependency> fds = OfKind(DependencyKind::kFunctional);
+
+  // Left-reduce: drop extraneous LHS attributes.
+  DependencySet all_fds{std::vector<Dependency>(fds)};
+  for (Dependency& d : fds) {
+    bool reduced = true;
+    while (reduced) {
+      reduced = false;
+      for (size_t a : d.lhs.ToIndices()) {
+        AttributeSet smaller = d.lhs.Without(a);
+        if (smaller.empty()) continue;
+        if (all_fds.FdImplies(smaller, d.rhs)) {
+          d.lhs = smaller;
+          reduced = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Deduplicate after reduction.
+  std::vector<Dependency> unique;
+  for (const Dependency& d : fds) {
+    if (std::find(unique.begin(), unique.end(), d) == unique.end()) {
+      unique.push_back(d);
+    }
+  }
+
+  // Remove redundant FDs: an FD implied by the remaining ones is dropped.
+  std::vector<bool> keep(unique.size(), true);
+  for (size_t i = 0; i < unique.size(); ++i) {
+    std::vector<Dependency> others;
+    for (size_t j = 0; j < unique.size(); ++j) {
+      if (j != i && keep[j]) others.push_back(unique[j]);
+    }
+    DependencySet rest{std::move(others)};
+    if (rest.FdImplies(unique[i].lhs, unique[i].rhs)) keep[i] = false;
+  }
+
+  DependencySet out;
+  for (size_t i = 0; i < unique.size(); ++i) {
+    if (keep[i]) out.Add(unique[i]);
+  }
+  return out;
+}
+
+std::string DependencySet::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (const Dependency& d : deps_) {
+    os << d.ToString(schema) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace metaleak

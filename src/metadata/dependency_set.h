@@ -1,0 +1,59 @@
+// DependencySet: a collection of dependencies plus FD reasoning utilities.
+#ifndef METALEAK_METADATA_DEPENDENCY_SET_H_
+#define METALEAK_METADATA_DEPENDENCY_SET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metadata/dependency.h"
+#include "partition/attribute_set.h"
+
+namespace metaleak {
+
+class DependencySet {
+ public:
+  DependencySet() = default;
+  explicit DependencySet(std::vector<Dependency> deps);
+
+  /// Appends `dep` unless an identical dependency is already present.
+  void Add(const Dependency& dep);
+
+  bool Contains(const Dependency& dep) const;
+  size_t size() const { return deps_.size(); }
+  bool empty() const { return deps_.empty(); }
+
+  const std::vector<Dependency>& all() const { return deps_; }
+  auto begin() const { return deps_.begin(); }
+  auto end() const { return deps_.end(); }
+
+  /// All dependencies of one class.
+  std::vector<Dependency> OfKind(DependencyKind kind) const;
+
+  /// All dependencies whose RHS is `attribute`.
+  std::vector<Dependency> WithRhs(size_t attribute) const;
+
+  /// --- FD reasoning (Armstrong axioms over the kFunctional members) ---
+
+  /// Closure of `attrs` under the FDs in this set: the largest X+ with
+  /// attrs -> X+ derivable. Standard fixed-point computation.
+  AttributeSet FdClosure(AttributeSet attrs) const;
+
+  /// True iff lhs -> rhs is implied by the FDs in this set.
+  bool FdImplies(AttributeSet lhs, size_t rhs) const;
+
+  /// A canonical (minimal) cover of the FDs: left-reduced (no extraneous
+  /// LHS attribute) and non-redundant (no FD implied by the others).
+  /// Non-FD dependencies are ignored and not included.
+  DependencySet FdMinimalCover() const;
+
+  /// Multi-line rendering with schema names.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Dependency> deps_;
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_METADATA_DEPENDENCY_SET_H_

@@ -1,0 +1,110 @@
+#include "metadata/value_distribution.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace metaleak {
+
+Result<ValueDistribution> ValueDistribution::Categorical(
+    FrequencyTable table) {
+  if (table.values.size() != table.counts.size()) {
+    return Status::Invalid("frequency table values/counts mismatch");
+  }
+  if (table.total() == 0) {
+    return Status::Invalid("empty frequency table");
+  }
+  ValueDistribution d;
+  d.categorical_ = true;
+  d.freq_ = std::move(table);
+  return d;
+}
+
+Result<ValueDistribution> ValueDistribution::Continuous(
+    Histogram histogram) {
+  if (histogram.counts.empty() || histogram.total() == 0) {
+    return Status::Invalid("empty histogram");
+  }
+  if (histogram.hi < histogram.lo) {
+    return Status::Invalid("inverted histogram range");
+  }
+  ValueDistribution d;
+  d.categorical_ = false;
+  d.hist_ = std::move(histogram);
+  return d;
+}
+
+Result<ValueDistribution> ValueDistribution::FromColumn(
+    const Relation& relation, size_t attribute, size_t buckets) {
+  if (attribute >= relation.num_columns()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (relation.schema().attribute(attribute).semantic ==
+      SemanticType::kCategorical) {
+    METALEAK_ASSIGN_OR_RETURN(FrequencyTable table,
+                              BuildFrequencyTable(relation, attribute));
+    return Categorical(std::move(table));
+  }
+  METALEAK_ASSIGN_OR_RETURN(Histogram hist,
+                            BuildHistogram(relation, attribute, buckets));
+  return Continuous(std::move(hist));
+}
+
+Value ValueDistribution::Sample(Rng* rng) const {
+  METALEAK_DCHECK(rng != nullptr);
+  if (categorical_) {
+    size_t total = freq_.total();
+    METALEAK_DCHECK(total > 0);
+    size_t target = rng->UniformIndex(total);
+    size_t acc = 0;
+    for (size_t i = 0; i < freq_.counts.size(); ++i) {
+      acc += freq_.counts[i];
+      if (target < acc) return freq_.values[i];
+    }
+    return freq_.values.back();
+  }
+  size_t total = hist_.total();
+  METALEAK_DCHECK(total > 0);
+  size_t target = rng->UniformIndex(total);
+  size_t acc = 0;
+  size_t bucket = hist_.counts.size() - 1;
+  for (size_t i = 0; i < hist_.counts.size(); ++i) {
+    acc += hist_.counts[i];
+    if (target < acc) {
+      bucket = i;
+      break;
+    }
+  }
+  double width =
+      (hist_.hi - hist_.lo) / static_cast<double>(hist_.counts.size());
+  double lo = hist_.lo + width * static_cast<double>(bucket);
+  return Value::Real(rng->UniformDouble(lo, lo + width));
+}
+
+double ValueDistribution::MassOf(const Value& v) const {
+  if (categorical_) {
+    size_t total = freq_.total();
+    if (total == 0) return 0.0;
+    for (size_t i = 0; i < freq_.values.size(); ++i) {
+      if (freq_.values[i] == v) {
+        return static_cast<double>(freq_.counts[i]) /
+               static_cast<double>(total);
+      }
+    }
+    return 0.0;
+  }
+  if (!v.is_numeric()) return 0.0;
+  return hist_.Mass(hist_.BucketOf(v.AsNumeric()));
+}
+
+bool operator==(const ValueDistribution& a, const ValueDistribution& b) {
+  if (a.categorical_ != b.categorical_) return false;
+  if (a.categorical_) {
+    return a.freq_.values == b.freq_.values &&
+           a.freq_.counts == b.freq_.counts;
+  }
+  return a.hist_.lo == b.hist_.lo && a.hist_.hi == b.hist_.hi &&
+         a.hist_.counts == b.hist_.counts;
+}
+
+}  // namespace metaleak

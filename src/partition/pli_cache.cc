@@ -1,0 +1,32 @@
+#include "partition/pli_cache.h"
+
+namespace metaleak {
+
+PliCache::PliCache(const Relation* relation) : relation_(relation) {
+  METALEAK_DCHECK(relation_ != nullptr);
+  METALEAK_DCHECK(relation_->num_columns() <= AttributeSet::kMaxAttributes);
+  cache_[AttributeSet()] = std::make_unique<PositionListIndex>(
+      PositionListIndex::Identity(relation_->num_rows()));
+  for (size_t c = 0; c < relation_->num_columns(); ++c) {
+    cache_[AttributeSet::Single(c)] = std::make_unique<PositionListIndex>(
+        PositionListIndex::FromColumn(relation_->column(c)));
+  }
+}
+
+const PositionListIndex* PliCache::Get(AttributeSet attrs) {
+  auto it = cache_.find(attrs);
+  if (it != cache_.end()) return it->second.get();
+
+  // Build by intersecting the (recursively obtained) PLI without the
+  // highest attribute with that attribute's single PLI. Depth is |attrs|.
+  std::vector<size_t> indices = attrs.ToIndices();
+  size_t last = indices.back();
+  const PositionListIndex* rest = Get(attrs.Without(last));
+  const PositionListIndex* single = Get(AttributeSet::Single(last));
+  auto built = std::make_unique<PositionListIndex>(rest->Intersect(*single));
+  const PositionListIndex* out = built.get();
+  cache_[attrs] = std::move(built);
+  return out;
+}
+
+}  // namespace metaleak

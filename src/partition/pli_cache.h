@@ -1,0 +1,43 @@
+// Memoizing store of PLIs keyed by attribute set.
+//
+// TANE repeatedly needs pli(X) for many X along lattice paths; building
+// each level by intersecting cached parents turns the exponential rebuild
+// cost into one intersection per requested set.
+#ifndef METALEAK_PARTITION_PLI_CACHE_H_
+#define METALEAK_PARTITION_PLI_CACHE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "data/relation.h"
+#include "partition/attribute_set.h"
+#include "partition/position_list_index.h"
+
+namespace metaleak {
+
+class PliCache {
+ public:
+  /// Builds single-attribute PLIs eagerly; composite PLIs are built on
+  /// demand. The relation must outlive the cache.
+  explicit PliCache(const Relation* relation);
+
+  METALEAK_DISALLOW_COPY_AND_ASSIGN(PliCache);
+
+  /// Returns pli(attrs). The empty set yields the identity partition.
+  /// The returned pointer is owned by the cache and stable until
+  /// destruction.
+  const PositionListIndex* Get(AttributeSet attrs);
+
+  size_t size() const { return cache_.size(); }
+  const Relation& relation() const { return *relation_; }
+
+ private:
+  const Relation* relation_;
+  std::unordered_map<AttributeSet, std::unique_ptr<PositionListIndex>>
+      cache_;
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_PARTITION_PLI_CACHE_H_

@@ -1,0 +1,177 @@
+#include "partition/position_list_index.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace metaleak {
+
+namespace {
+
+// Hash for a row projection used by FromColumns.
+struct RowKey {
+  std::vector<Value> values;
+  friend bool operator==(const RowKey& a, const RowKey& b) {
+    return a.values == b.values;
+  }
+};
+
+struct RowKeyHash {
+  size_t operator()(const RowKey& k) const {
+    size_t h = 0x811C9DC5u;
+    for (const Value& v : k.values) {
+      h ^= v.Hash();
+      h *= 0x01000193u;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+PositionListIndex::PositionListIndex(std::vector<Cluster> clusters,
+                                     size_t num_rows)
+    : clusters_(std::move(clusters)), num_rows_(num_rows) {
+  for (const Cluster& c : clusters_) {
+    METALEAK_DCHECK(c.size() >= 2);
+    stripped_rows_ += c.size();
+  }
+}
+
+PositionListIndex PositionListIndex::FromColumn(
+    const std::vector<Value>& column) {
+  std::unordered_map<Value, Cluster> groups;
+  groups.reserve(column.size());
+  for (size_t r = 0; r < column.size(); ++r) {
+    groups[column[r]].push_back(r);
+  }
+  std::vector<Cluster> clusters;
+  for (auto& [value, rows] : groups) {
+    if (rows.size() >= 2) clusters.push_back(std::move(rows));
+  }
+  return PositionListIndex(std::move(clusters), column.size());
+}
+
+PositionListIndex PositionListIndex::FromColumns(
+    const Relation& relation, const std::vector<size_t>& columns) {
+  if (columns.size() == 1) {
+    return FromColumn(relation.column(columns[0]));
+  }
+  std::unordered_map<RowKey, Cluster, RowKeyHash> groups;
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    RowKey key;
+    key.values.reserve(columns.size());
+    for (size_t c : columns) key.values.push_back(relation.at(r, c));
+    groups[std::move(key)].push_back(r);
+  }
+  std::vector<Cluster> clusters;
+  for (auto& [key, rows] : groups) {
+    if (rows.size() >= 2) clusters.push_back(std::move(rows));
+  }
+  return PositionListIndex(std::move(clusters), relation.num_rows());
+}
+
+PositionListIndex PositionListIndex::Identity(size_t num_rows) {
+  if (num_rows < 2) {
+    return PositionListIndex({}, num_rows);
+  }
+  Cluster all(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) all[r] = r;
+  return PositionListIndex({std::move(all)}, num_rows);
+}
+
+std::vector<int64_t> PositionListIndex::ProbeTable() const {
+  std::vector<int64_t> probe(num_rows_, kUnique);
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    for (size_t row : clusters_[c]) {
+      probe[row] = static_cast<int64_t>(c);
+    }
+  }
+  return probe;
+}
+
+PositionListIndex PositionListIndex::Intersect(
+    const PositionListIndex& other) const {
+  METALEAK_DCHECK(num_rows_ == other.num_rows_);
+  std::vector<int64_t> probe = other.ProbeTable();
+  std::vector<Cluster> out;
+  // For each of our clusters, split rows by the other partition's class.
+  // Rows landing on kUnique are singletons in the product; drop them.
+  std::unordered_map<int64_t, Cluster> split;
+  for (const Cluster& cluster : clusters_) {
+    split.clear();
+    for (size_t row : cluster) {
+      int64_t id = probe[row];
+      if (id == kUnique) continue;
+      split[id].push_back(row);
+    }
+    for (auto& [id, rows] : split) {
+      if (rows.size() >= 2) out.push_back(std::move(rows));
+    }
+  }
+  return PositionListIndex(std::move(out), num_rows_);
+}
+
+bool PositionListIndex::Refines(const PositionListIndex& other) const {
+  METALEAK_DCHECK(num_rows_ == other.num_rows_);
+  std::vector<int64_t> probe = other.ProbeTable();
+  for (const Cluster& cluster : clusters_) {
+    int64_t first = probe[cluster[0]];
+    // A stripped (size >= 2) cluster containing a row that is unique in
+    // `other` has two rows disagreeing on the RHS: violation.
+    if (first == kUnique) return false;
+    for (size_t i = 1; i < cluster.size(); ++i) {
+      if (probe[cluster[i]] != first) return false;
+    }
+  }
+  return true;
+}
+
+double PositionListIndex::G3Error(const PositionListIndex& other) const {
+  METALEAK_DCHECK(num_rows_ == other.num_rows_);
+  if (num_rows_ == 0) return 0.0;
+  std::vector<int64_t> probe = other.ProbeTable();
+  size_t violations = 0;
+  std::unordered_map<int64_t, size_t> counts;
+  for (const Cluster& cluster : clusters_) {
+    counts.clear();
+    size_t unique_rows = 0;
+    size_t max_count = 0;
+    for (size_t row : cluster) {
+      int64_t id = probe[row];
+      if (id == kUnique) {
+        // Singleton in `other`: its own class of size 1.
+        ++unique_rows;
+        continue;
+      }
+      size_t c = ++counts[id];
+      if (c > max_count) max_count = c;
+    }
+    if (unique_rows > 0 && max_count == 0) max_count = 1;
+    violations += cluster.size() - max_count;
+  }
+  return static_cast<double>(violations) / static_cast<double>(num_rows_);
+}
+
+size_t PositionListIndex::MaxFanout(const PositionListIndex& other) const {
+  METALEAK_DCHECK(num_rows_ == other.num_rows_);
+  std::vector<int64_t> probe = other.ProbeTable();
+  size_t max_fanout = num_rows_ > 0 ? 1 : 0;
+  std::unordered_map<int64_t, size_t> seen;
+  for (const Cluster& cluster : clusters_) {
+    seen.clear();
+    size_t distinct = 0;
+    for (size_t row : cluster) {
+      int64_t id = probe[row];
+      if (id == kUnique) {
+        ++distinct;  // each RHS-singleton is its own value
+      } else if (++seen[id] == 1) {
+        ++distinct;
+      }
+    }
+    if (distinct > max_fanout) max_fanout = distinct;
+  }
+  return max_fanout;
+}
+
+}  // namespace metaleak

@@ -1,0 +1,92 @@
+// Position list indexes (stripped partitions), the TANE representation.
+//
+// A PLI for an attribute set X partitions the row indices of a relation by
+// equality on X, *stripping* singleton clusters (a row alone in its cluster
+// can never witness an FD violation). TANE's key facts, used throughout:
+//
+//   * FD X -> A holds  iff  pli(X) refines pli(A)
+//                      iff  Error(pli(X), probe(A)) == 0
+//   * pli(X ∪ Y) = Intersect(pli(X), pli(Y))
+//   * g3 error of X -> A = (minimum #rows to delete so the FD holds) / N,
+//     computable per-cluster from the majority Y-class.
+//
+// NULL semantics: NULL equals NULL (one cluster), matching the library-wide
+// convention documented in value.h.
+#ifndef METALEAK_PARTITION_POSITION_LIST_INDEX_H_
+#define METALEAK_PARTITION_POSITION_LIST_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+#include "data/value.h"
+
+namespace metaleak {
+
+class PositionListIndex {
+ public:
+  using Cluster = std::vector<size_t>;
+
+  /// Builds the PLI of a single column. O(N) expected via hashing.
+  static PositionListIndex FromColumn(const std::vector<Value>& column);
+
+  /// Builds the PLI of a set of columns of `relation` (equality on the
+  /// whole tuple projection).
+  static PositionListIndex FromColumns(const Relation& relation,
+                                       const std::vector<size_t>& columns);
+
+  /// The identity PLI over `num_rows` rows: one cluster with every row
+  /// (the PLI of the empty attribute set).
+  static PositionListIndex Identity(size_t num_rows);
+
+  /// Product partition pli(X ∪ Y) from pli(X) (this) and pli(Y) (other).
+  /// Standard probe-table intersection, O(sum of cluster sizes).
+  PositionListIndex Intersect(const PositionListIndex& other) const;
+
+  /// Number of stripped (size >= 2) clusters.
+  size_t num_clusters() const { return clusters_.size(); }
+
+  /// Total rows contained in stripped clusters.
+  size_t num_stripped_rows() const { return stripped_rows_; }
+
+  /// Rows of the underlying relation.
+  size_t num_rows() const { return num_rows_; }
+
+  /// Number of equivalence classes including the stripped singletons:
+  /// |π_X| = num_clusters + (num_rows - num_stripped_rows).
+  size_t num_classes() const {
+    return clusters_.size() + (num_rows_ - stripped_rows_);
+  }
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  /// Probe table: row -> cluster id, or kUnique for stripped singletons.
+  /// Used to test refinement and to compute g3 against another partition.
+  static constexpr int64_t kUnique = -1;
+  std::vector<int64_t> ProbeTable() const;
+
+  /// True iff this partition refines `other`: every cluster of this lies
+  /// inside one class of `other`. FD X->A holds iff pli(X).Refines(pli(A)).
+  bool Refines(const PositionListIndex& other) const;
+
+  /// g3 error of the FD (X = this) -> (A = other): the minimum fraction of
+  /// rows that must be removed for the FD to hold (Kivinen–Mannila g3, the
+  /// definition AFDs use in the paper, Section IV-A).
+  double G3Error(const PositionListIndex& other) const;
+
+  /// Maximum number of distinct `other`-classes seen within one cluster of
+  /// this partition — the minimal fan-out K for a numerical dependency
+  /// X ->(<=K) A (Section IV-B). Returns 1 when every cluster is pure.
+  size_t MaxFanout(const PositionListIndex& other) const;
+
+ private:
+  PositionListIndex(std::vector<Cluster> clusters, size_t num_rows);
+
+  std::vector<Cluster> clusters_;
+  size_t num_rows_ = 0;
+  size_t stripped_rows_ = 0;
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_PARTITION_POSITION_LIST_INDEX_H_

@@ -1,0 +1,173 @@
+#include "privacy/analytical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace metaleak {
+
+double ExpectedRandomCategoricalMatches(size_t num_rows,
+                                        const Domain& domain) {
+  double size = domain.Size();
+  if (size <= 0.0) return 0.0;
+  return BinomialExpectation(static_cast<int64_t>(num_rows), 1.0 / size);
+}
+
+double ExpectedRandomContinuousMatches(size_t num_rows, const Domain& domain,
+                                       double epsilon) {
+  double range = domain.range();
+  if (range <= 0.0) return static_cast<double>(num_rows);
+  // For a uniform target the epsilon ball is clipped at the boundary;
+  // averaging the clipped length over targets gives
+  // 2*eps - eps^2/range (for eps <= range).
+  double eps = std::min(epsilon, range);
+  double p = (2.0 * eps - eps * eps / range) / range;
+  p = std::clamp(p, 0.0, 1.0);
+  return BinomialExpectation(static_cast<int64_t>(num_rows), p);
+}
+
+double ExpectedRandomContinuousMse(const Domain& domain) {
+  double range = domain.range();
+  // X, Y iid Uniform[a,b]: E[(X-Y)^2] = Var(X) + Var(Y) = 2 * range^2/12.
+  return range * range / 6.0;
+}
+
+double ExpectedCorrectFdMappings(const Domain& lhs, const Domain& rhs) {
+  double rhs_size = rhs.Size();
+  if (rhs_size <= 0.0) return 0.0;
+  return lhs.Size() / rhs_size;
+}
+
+double ExpectedFdRhsMatches(size_t num_rows, const Domain& rhs) {
+  return ExpectedRandomCategoricalMatches(num_rows, rhs);
+}
+
+double ExpectedNdPairMatches(size_t num_rows, const Domain& lhs,
+                             const Domain& rhs, size_t fanout) {
+  double lhs_size = lhs.Size();
+  double rhs_size = rhs.Size();
+  if (lhs_size <= 0.0 || rhs_size <= 0.0) return 0.0;
+  return static_cast<double>(num_rows) * static_cast<double>(fanout) /
+         (lhs_size * rhs_size);
+}
+
+double NdAtLeastOneCorrectMapping(const Domain& rhs, size_t fanout) {
+  int64_t population = static_cast<int64_t>(rhs.Size());
+  int64_t k = static_cast<int64_t>(fanout);
+  return HypergeometricAtLeastOne(population, /*successes=*/k, /*draws=*/k);
+}
+
+double ExpectedNdRhsMatches(size_t num_rows, const Domain& rhs) {
+  return ExpectedRandomCategoricalMatches(num_rows, rhs);
+}
+
+double ExpectedOdMatches(size_t num_rows, size_t num_partitions,
+                         const Domain& rhs, double epsilon,
+                         uint64_t resolution) {
+  if (num_partitions == 0 || num_rows == 0) return 0.0;
+  double range = rhs.range();
+  if (range <= 0.0) return static_cast<double>(num_rows);
+  size_t n = num_partitions;
+
+  // Numerical evaluation of sum_i N_i * theta_{y_i}: draw the generated
+  // and (uniform-assumption) real endpoint sequences as order statistics
+  // and average the per-partition epsilon-hit indicator. Seeded, so the
+  // "analytical" value is deterministic.
+  Rng rng(0xD1CE5EEDULL);
+  double rows_per_partition =
+      static_cast<double>(num_rows) / static_cast<double>(n);
+  double total = 0.0;
+  std::vector<double> gen(n);
+  std::vector<double> real(n);
+  for (uint64_t rep = 0; rep < resolution; ++rep) {
+    for (size_t i = 0; i < n; ++i) {
+      gen[i] = rng.UniformDouble(rhs.lo(), rhs.hi());
+      real[i] = rng.UniformDouble(rhs.lo(), rhs.hi());
+    }
+    std::sort(gen.begin(), gen.end());
+    std::sort(real.begin(), real.end());
+    for (size_t i = 0; i < n; ++i) {
+      if (std::abs(gen[i] - real[i]) <= epsilon) {
+        total += rows_per_partition;
+      }
+    }
+  }
+  return total / static_cast<double>(resolution);
+}
+
+double ExpectedAfdMatches(size_t num_rows, const Domain& rhs,
+                          double g3_error) {
+  g3_error = std::clamp(g3_error, 0.0, 1.0);
+  // Mapped fraction and re-drawn fraction share the 1/|D| marginal.
+  double mapped = (1.0 - g3_error) *
+                  ExpectedRandomCategoricalMatches(num_rows, rhs);
+  double redrawn =
+      g3_error * ExpectedRandomCategoricalMatches(num_rows, rhs);
+  return mapped + redrawn;
+}
+
+double OfdTransitionProbability(size_t lhs_partitions, size_t step,
+                                const Domain& rhs) {
+  double dy = rhs.Size();
+  if (dy <= 0.0) return 1.0;
+  double remaining = static_cast<double>(lhs_partitions) -
+                     static_cast<double>(std::min(step, lhs_partitions));
+  double p = 1.0 - remaining / dy;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double ExpectedOfdMatches(size_t num_rows, size_t num_partitions,
+                          const Domain& rhs, double epsilon,
+                          uint64_t resolution) {
+  if (num_partitions == 0 || num_rows == 0) return 0.0;
+  double range = rhs.range();
+  if (range <= 0.0) return static_cast<double>(num_rows);
+  size_t n = num_partitions;
+
+  // Strictly increasing walk: for continuous domains uniform order
+  // statistics are strictly increasing almost surely, so the numerical
+  // evaluation mirrors ExpectedOdMatches with the same seed discipline.
+  Rng rng(0x0FD5EEDULL);
+  double rows_per_partition =
+      static_cast<double>(num_rows) / static_cast<double>(n);
+  double total = 0.0;
+  std::vector<double> gen(n);
+  std::vector<double> real(n);
+  for (uint64_t rep = 0; rep < resolution; ++rep) {
+    for (size_t i = 0; i < n; ++i) {
+      gen[i] = rng.UniformDouble(rhs.lo(), rhs.hi());
+      real[i] = rng.UniformDouble(rhs.lo(), rhs.hi());
+    }
+    std::sort(gen.begin(), gen.end());
+    std::sort(real.begin(), real.end());
+    for (size_t i = 0; i < n; ++i) {
+      if (std::abs(gen[i] - real[i]) <= epsilon) {
+        total += rows_per_partition;
+      }
+    }
+  }
+  return total / static_cast<double>(resolution);
+}
+
+double ExpectedDdMatches(size_t num_rows, const Domain& rhs, double epsilon,
+                         double delta, double restart_rate) {
+  double range = rhs.range();
+  if (range <= 0.0) return static_cast<double>(num_rows);
+  restart_rate = std::clamp(restart_rate, 0.0, 1.0);
+  // Restarted rows are uniform draws; chained rows draw from a
+  // 2*delta-wide ball that must intersect the real value's epsilon ball.
+  double p_restart =
+      ExpectedRandomContinuousMatches(1, rhs, epsilon);  // per row
+  double chained_window = std::min(2.0 * (epsilon + delta), range);
+  double p_chained = std::clamp(chained_window / range, 0.0, 1.0) *
+                     std::clamp(2.0 * epsilon /
+                                    std::max(2.0 * delta, 1e-12),
+                                0.0, 1.0);
+  double p = restart_rate * p_restart + (1.0 - restart_rate) * p_chained;
+  return static_cast<double>(num_rows) * p;
+}
+
+}  // namespace metaleak

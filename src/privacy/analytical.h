@@ -1,0 +1,104 @@
+// Closed-form expected-leakage models from Sections III and IV.
+//
+// These are the paper's probabilistic derivations as executable code. The
+// bench `bench_analytical_vs_empirical` cross-checks every formula here
+// against the Monte-Carlo experiment runner.
+#ifndef METALEAK_PRIVACY_ANALYTICAL_H_
+#define METALEAK_PRIVACY_ANALYTICAL_H_
+
+#include <cstdint>
+
+#include "data/domain.h"
+
+namespace metaleak {
+
+/// Section III-A: expected exact matches when generating N categorical
+/// values uniformly from a domain of size |D|: N * (1/|D|). Privacy
+/// leakage is expected as soon as this reaches 1.
+double ExpectedRandomCategoricalMatches(size_t num_rows,
+                                        const Domain& domain);
+
+/// Def 2.3 analogue for continuous uniform generation: each draw lands in
+/// the real value's epsilon ball with probability (length of the ball
+/// clipped to the domain) / range ~= 2*eps/range, so the expectation is
+/// N * 2*eps / range.
+double ExpectedRandomContinuousMatches(size_t num_rows, const Domain& domain,
+                                       double epsilon);
+
+/// MSE of a uniform draw against a fixed target, averaged over a uniform
+/// target on the same domain [a, b]: E[(X-Y)^2] = (b-a)^2 / 6. This is
+/// the Table-III-style baseline MSE for random generation.
+double ExpectedRandomContinuousMse(const Domain& domain);
+
+/// Section III-B: expected number of correct entries in the one-shot
+/// FD mapping A -> B: E(B|A) = |D_A| / |D_B| (at least one when A refines
+/// B). Note this is about the *mapping*, not the tuple matches.
+double ExpectedCorrectFdMappings(const Domain& lhs, const Domain& rhs);
+
+/// Section III-B's conclusion: expected tuple-level matches on the RHS of
+/// an FD equal random generation, N/|D_B| (the mapping indirection does
+/// not change the marginal hit probability).
+double ExpectedFdRhsMatches(size_t num_rows, const Domain& rhs);
+
+/// Section IV-B: expected correctly generated (X, Y) pairs under a
+/// numerical dependency with fan-out K: N * K / (|D_X| * |D_Y|).
+double ExpectedNdPairMatches(size_t num_rows, const Domain& lhs,
+                             const Domain& rhs, size_t fanout);
+
+/// Section IV-B: probability that the sampled pool of K values contains
+/// at least one of the K real values (hyper-geometric, both draws of
+/// size K from |D_Y|): 1 - C(|D_Y|-K, K)/C(|D_Y|, K).
+double NdAtLeastOneCorrectMapping(const Domain& rhs, size_t fanout);
+
+/// Marginal hit probability of the RHS under ND generation: the pool
+/// contains the real value with probability K/|D_Y| and is then chosen
+/// with probability 1/K — i.e. exactly 1/|D_Y|, the random baseline.
+/// Returned as an expectation over N rows.
+double ExpectedNdRhsMatches(size_t num_rows, const Domain& rhs);
+
+/// Section IV-C: numerical evaluation of the order-dependency expectation
+/// sum_i N_i * theta_{y_i}, where theta_{y_i} is the expected normalized
+/// overlap between the i-th generated interval and the i-th real interval
+/// when both endpoint sequences are uniform order statistics over the
+/// domain. Evaluated by deterministic quasi-Monte-Carlo quadrature with
+/// `resolution` samples (the paper leaves this integral implicit).
+double ExpectedOdMatches(size_t num_rows, size_t num_partitions,
+                         const Domain& rhs, double epsilon,
+                         uint64_t resolution = 4096);
+
+/// Section IV-A: expected RHS matches under AFD generation with g3 error
+/// epsilon. The (1-eps) fraction follows the FD one-shot mapping and the
+/// eps fraction is re-drawn independently; both have marginal 1/|D_B|,
+/// so the total equals the strict-FD (= random) expectation — "the
+/// privacy conclusion for AFD is the same as FD".
+double ExpectedAfdMatches(size_t num_rows, const Domain& rhs,
+                          double g3_error);
+
+/// Section IV-E: the OFD transition probability the paper samples from a
+/// uniform distribution over the remaining partitions,
+/// P_{t,t+1} = 1 - (|X| - t)/|Y|, clamped to [0, 1]; equals 1 once the
+/// remaining LHS partitions exhaust the RHS domain (the forced move that
+/// keeps the relation total).
+double OfdTransitionProbability(size_t lhs_partitions, size_t step,
+                                const Domain& rhs);
+
+/// Section IV-E: expected matches under OFD generation, N * theta_X *
+/// theta_{Y_t} summed over the time-dependent chain. Like
+/// ExpectedOdMatches this is evaluated numerically (strictly increasing
+/// order statistics instead of non-decreasing ones).
+double ExpectedOfdMatches(size_t num_rows, size_t num_partitions,
+                          const Domain& rhs, double epsilon,
+                          uint64_t resolution = 4096);
+
+/// Section IV-D: expected matches under a differential dependency when
+/// the chain restarts (LHS gap > eps) with probability `restart_rate`:
+/// restarted rows behave like random generation; chained rows hit when
+/// the delta ball overlaps the real epsilon ball, approximated by
+/// (2*eps + 2*delta clipped to range)/range... conservative upper bound
+/// 2*(eps+delta)/range per chained row.
+double ExpectedDdMatches(size_t num_rows, const Domain& rhs, double epsilon,
+                         double delta, double restart_rate);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_PRIVACY_ANALYTICAL_H_

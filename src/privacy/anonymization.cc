@@ -1,0 +1,169 @@
+#include "privacy/anonymization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "data/domain.h"
+#include "partition/position_list_index.h"
+
+namespace metaleak {
+
+namespace {
+
+Status CheckQuasiId(const Relation& relation, AttributeSet quasi_id) {
+  if (quasi_id.empty()) {
+    return Status::Invalid("quasi-identifier must not be empty");
+  }
+  for (size_t i : quasi_id.ToIndices()) {
+    if (i >= relation.num_columns()) {
+      return Status::OutOfRange("quasi-identifier attribute out of range");
+    }
+  }
+  return Status::OK();
+}
+
+// Generalizes one continuous column into `bins` interval labels.
+Result<std::vector<Value>> BinColumn(const Relation& relation, size_t col,
+                                     size_t bins) {
+  METALEAK_ASSIGN_OR_RETURN(Domain domain, ExtractDomain(relation, col));
+  double lo = domain.lo();
+  double width = domain.range() / static_cast<double>(bins);
+  if (width <= 0.0) width = 1.0;
+  std::vector<Value> out;
+  out.reserve(relation.num_rows());
+  for (const Value& v : relation.column(col)) {
+    if (v.is_null() || !v.is_numeric()) {
+      out.push_back(Value::Null());
+      continue;
+    }
+    size_t b = static_cast<size_t>((v.AsNumeric() - lo) / width);
+    b = std::min(b, bins - 1);
+    double b_lo = lo + width * static_cast<double>(b);
+    out.push_back(Value::Str("[" + FormatDouble(b_lo, 2) + "," +
+                             FormatDouble(b_lo + width, 2) + ")"));
+  }
+  return out;
+}
+
+// Suppresses categorical values occurring fewer than `min_count` times.
+// The generalized column is re-typed to string ("*" is the suppression
+// label), so every value is rendered via ToString.
+std::vector<Value> SuppressRare(const std::vector<Value>& column,
+                                size_t min_count) {
+  std::unordered_map<Value, size_t> counts;
+  for (const Value& v : column) counts[v]++;
+  std::vector<Value> out;
+  out.reserve(column.size());
+  for (const Value& v : column) {
+    if (counts[v] < min_count) {
+      out.push_back(Value::Str("*"));
+    } else if (v.is_null()) {
+      out.push_back(Value::Null());
+    } else {
+      out.push_back(Value::Str(v.ToString()));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<size_t> MinGroupSize(const Relation& relation,
+                            AttributeSet quasi_id) {
+  METALEAK_RETURN_NOT_OK(CheckQuasiId(relation, quasi_id));
+  if (relation.num_rows() == 0) return 0;
+  PositionListIndex pli =
+      PositionListIndex::FromColumns(relation, quasi_id.ToIndices());
+  // Any stripped singleton is a group of 1.
+  if (pli.num_stripped_rows() < relation.num_rows()) return 1;
+  size_t min_size = relation.num_rows();
+  for (const auto& cluster : pli.clusters()) {
+    min_size = std::min(min_size, cluster.size());
+  }
+  return min_size;
+}
+
+Result<bool> IsKAnonymous(const Relation& relation, AttributeSet quasi_id,
+                          size_t k) {
+  if (k == 0) return Status::Invalid("k must be positive");
+  METALEAK_ASSIGN_OR_RETURN(size_t min_size,
+                            MinGroupSize(relation, quasi_id));
+  if (relation.num_rows() == 0) return true;
+  return min_size >= k;
+}
+
+Result<AnonymizationResult> Anonymize(const Relation& relation,
+                                      AttributeSet quasi_id,
+                                      const AnonymizationOptions& options) {
+  METALEAK_RETURN_NOT_OK(CheckQuasiId(relation, quasi_id));
+  if (options.k == 0) return Status::Invalid("k must be positive");
+  if (options.initial_bins == 0) {
+    return Status::Invalid("initial_bins must be positive");
+  }
+
+  AnonymizationResult result;
+  size_t bins = options.initial_bins;
+
+  for (size_t pass = 0; pass <= options.max_passes; ++pass) {
+    // Build the generalized view for this pass.
+    std::vector<Attribute> attrs = relation.schema().attributes();
+    std::vector<std::vector<Value>> columns;
+    columns.reserve(relation.num_columns());
+    for (size_t c = 0; c < relation.num_columns(); ++c) {
+      if (!quasi_id.Contains(c)) {
+        columns.push_back(relation.column(c));
+        continue;
+      }
+      if (attrs[c].semantic == SemanticType::kContinuous) {
+        METALEAK_ASSIGN_OR_RETURN(std::vector<Value> binned,
+                                  BinColumn(relation, c, bins));
+        columns.push_back(std::move(binned));
+        attrs[c].type = DataType::kString;
+        attrs[c].semantic = SemanticType::kCategorical;
+      } else {
+        // Categorical: suppress values rarer than k (pass-scaled) and
+        // re-type the generalized column to string.
+        columns.push_back(
+            SuppressRare(relation.column(c), options.k * (pass + 1) / 2));
+        attrs[c].type = DataType::kString;
+      }
+    }
+    METALEAK_ASSIGN_OR_RETURN(
+        Relation generalized,
+        Relation::Make(Schema(attrs), std::move(columns)));
+
+    METALEAK_ASSIGN_OR_RETURN(size_t min_group,
+                              MinGroupSize(generalized, quasi_id));
+    if (min_group >= options.k || pass == options.max_passes) {
+      result.passes = pass + 1;
+      if (min_group >= options.k) {
+        result.relation = std::move(generalized);
+        return result;
+      }
+      // Maximal generalization reached: suppress the violating rows.
+      PositionListIndex pli = PositionListIndex::FromColumns(
+          generalized, quasi_id.ToIndices());
+      std::vector<size_t> group_size(generalized.num_rows(), 1);
+      for (const auto& cluster : pli.clusters()) {
+        for (size_t row : cluster) group_size[row] = cluster.size();
+      }
+      std::vector<size_t> keep;
+      for (size_t r = 0; r < generalized.num_rows(); ++r) {
+        if (group_size[r] >= options.k) {
+          keep.push_back(r);
+        } else {
+          ++result.suppressed_rows;
+        }
+      }
+      result.relation = generalized.SelectRows(keep);
+      return result;
+    }
+    // Widen the bins and retry.
+    bins = std::max<size_t>(1, bins / 2);
+  }
+  return Status::UnknownError("unreachable");
+}
+
+}  // namespace metaleak

@@ -1,0 +1,149 @@
+#include "privacy/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/domain.h"
+#include "privacy/analytical.h"
+#include "privacy/identifiability.h"
+
+namespace metaleak {
+
+Result<AuditResult> RunAudit(const Relation& relation,
+                             const AuditOptions& options) {
+  if (relation.num_rows() == 0 || relation.num_columns() == 0) {
+    return Status::Invalid("cannot audit an empty relation");
+  }
+  AuditResult result;
+
+  METALEAK_ASSIGN_OR_RETURN(DiscoveryReport report,
+                            ProfileRelation(relation, options.discovery));
+  result.metadata = std::move(report.metadata);
+
+  METALEAK_ASSIGN_OR_RETURN(
+      result.identifiable_fraction,
+      IdentifiableByAnySubset(relation, options.identifiability_max_width));
+
+  std::vector<GenerationMethod> methods = {GenerationMethod::kRandom};
+  for (GenerationMethod m : options.methods) {
+    if (m != GenerationMethod::kRandom) methods.push_back(m);
+  }
+  METALEAK_ASSIGN_OR_RETURN(
+      result.method_results,
+      RunExperiment(relation, result.metadata, methods,
+                    options.experiment));
+
+  METALEAK_ASSIGN_OR_RETURN(std::vector<Domain> domains,
+                            result.metadata.RequireDomains());
+  const MethodResult& random = result.method_results[0];
+  for (size_t c = 0; c < relation.num_columns(); ++c) {
+    AttributeAudit audit;
+    audit.attribute = c;
+    audit.name = relation.schema().attribute(c).name;
+    audit.semantic = relation.schema().attribute(c).semantic;
+
+    size_t compared = 0;
+    for (const Value& v : relation.column(c)) {
+      if (!v.is_null()) ++compared;
+    }
+    if (audit.semantic == SemanticType::kCategorical) {
+      audit.expected_random_matches =
+          ExpectedRandomCategoricalMatches(compared, domains[c]);
+    } else {
+      double eps = options.experiment.leakage.absolute_epsilon.has_value()
+                       ? *options.experiment.leakage.absolute_epsilon
+                       : options.experiment.leakage.epsilon_fraction *
+                             domains[c].range();
+      audit.expected_random_matches =
+          ExpectedRandomContinuousMatches(compared, domains[c], eps);
+    }
+    audit.domain_leaks = audit.expected_random_matches >= 1.0;
+
+    METALEAK_ASSIGN_OR_RETURN(MethodAttributeResult random_attr,
+                              random.ForAttribute(c));
+    audit.measured_random_matches = random_attr.mean_matches;
+    audit.worst_dependency_matches = random_attr.mean_matches;
+    double sigma = std::max(1.0, random_attr.stddev_matches);
+    for (size_t m = 1; m < result.method_results.size(); ++m) {
+      METALEAK_ASSIGN_OR_RETURN(
+          MethodAttributeResult attr,
+          result.method_results[m].ForAttribute(c));
+      if (!attr.covered) continue;
+      audit.worst_dependency_matches =
+          std::max(audit.worst_dependency_matches, attr.mean_matches);
+      if (attr.mean_matches >
+          random_attr.mean_matches + 3.0 * sigma) {
+        audit.dependency_adds_leakage = true;
+      }
+    }
+    result.attributes.push_back(std::move(audit));
+  }
+  return result;
+}
+
+std::string AuditResult::ToMarkdown() const {
+  std::ostringstream os;
+  os << "# MetaLeak privacy audit\n\n";
+  os << "Relation: " << metadata.num_rows << " rows, "
+     << metadata.schema.num_attributes() << " attributes.\n\n";
+
+  os << "## Identifiability (GDPR Art. 5 / Definition 2.1)\n\n";
+  os << FormatDouble(100.0 * identifiable_fraction, 1)
+     << "% of tuples are identifiable via small attribute subsets.\n\n";
+
+  os << "## Discovered dependencies ("
+     << metadata.dependencies.size() + metadata.conditional_fds.size()
+     << ")\n\n";
+  for (const Dependency& d : metadata.dependencies) {
+    os << "- `" << d.ToString(metadata.schema) << "`\n";
+  }
+  for (const ConditionalFd& cfd : metadata.conditional_fds) {
+    os << "- `" << cfd.ToString(metadata.schema) << "`\n";
+  }
+  os << '\n';
+
+  os << "## Per-attribute verdicts\n\n";
+  TablePrinter table;
+  table.SetHeader({"Attribute", "E[random matches]", "Measured random",
+                   "Worst dependency method", "Verdict"});
+  for (const AttributeAudit& a : attributes) {
+    std::string verdict;
+    if (a.dependency_adds_leakage) {
+      verdict = "DEPENDENCY LEAKS — withhold it";
+    } else if (a.domain_leaks) {
+      verdict = "domain leaks — withhold domain";
+    } else {
+      verdict = "safe to share";
+    }
+    table.AddRow({a.name, FormatDouble(a.expected_random_matches, 3),
+                  FormatDouble(a.measured_random_matches, 3),
+                  FormatDouble(a.worst_dependency_matches, 3), verdict});
+  }
+  os << table.ToMarkdown() << '\n';
+
+  os << "## Recommendation\n\n";
+  bool any_dep_leak = false;
+  bool any_domain_leak = false;
+  for (const AttributeAudit& a : attributes) {
+    any_dep_leak |= a.dependency_adds_leakage;
+    any_domain_leak |= a.domain_leaks;
+  }
+  if (any_dep_leak) {
+    os << "Some dependency metadata leaks beyond the random baseline "
+          "(typically constant patterns or skew-revealing structure): "
+          "review the flagged attributes before sharing dependencies.\n";
+  } else if (any_domain_leak) {
+    os << "Dependencies add no leakage, but domain disclosure alone "
+          "already implies expected leakage on some attributes: share "
+          "attribute names and dependencies, withhold domains where "
+          "flagged (the paper's Section VI policy).\n";
+  } else {
+    os << "No expected leakage at the audited disclosure level.\n";
+  }
+  return os.str();
+}
+
+}  // namespace metaleak

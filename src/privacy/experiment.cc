@@ -1,0 +1,206 @@
+#include "privacy/experiment.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "generation/cfd_generator.h"
+#include "generation/generation_engine.h"
+
+namespace metaleak {
+
+std::string GenerationMethodToString(GenerationMethod method) {
+  switch (method) {
+    case GenerationMethod::kRandom:
+      return "Random Generation";
+    case GenerationMethod::kFd:
+      return "Functional Dep";
+    case GenerationMethod::kAfd:
+      return "Approximate FD";
+    case GenerationMethod::kNd:
+      return "Numerical Dep";
+    case GenerationMethod::kOd:
+      return "Order Dep";
+    case GenerationMethod::kDd:
+      return "Differential Dep";
+    case GenerationMethod::kOfd:
+      return "Ordered FD";
+    case GenerationMethod::kCfd:
+      return "Conditional FD";
+  }
+  return "unknown";
+}
+
+namespace {
+
+GenerationOptions OptionsForMethod(GenerationMethod method) {
+  GenerationOptions out;
+  switch (method) {
+    case GenerationMethod::kRandom:
+      out.ignore_dependencies = true;
+      break;
+    case GenerationMethod::kFd:
+      out.allowed_kinds = {DependencyKind::kFunctional};
+      break;
+    case GenerationMethod::kAfd:
+      out.allowed_kinds = {DependencyKind::kApproximateFunctional};
+      break;
+    case GenerationMethod::kNd:
+      out.allowed_kinds = {DependencyKind::kNumerical};
+      break;
+    case GenerationMethod::kOd:
+      out.allowed_kinds = {DependencyKind::kOrder};
+      break;
+    case GenerationMethod::kDd:
+      out.allowed_kinds = {DependencyKind::kDifferential};
+      break;
+    case GenerationMethod::kOfd:
+      out.allowed_kinds = {DependencyKind::kOrderedFunctional};
+      break;
+    case GenerationMethod::kCfd:
+      // Roots only; the CFD repair pass runs after generation.
+      out.ignore_dependencies = true;
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MethodAttributeResult> MethodResult::ForAttribute(
+    size_t attribute) const {
+  for (const MethodAttributeResult& a : attributes) {
+    if (a.attribute == attribute) return a;
+  }
+  return Status::OutOfRange("no result for attribute " +
+                            std::to_string(attribute));
+}
+
+Result<MethodResult> RunMethod(const Relation& real,
+                               const MetadataPackage& metadata,
+                               GenerationMethod method,
+                               const ExperimentConfig& config) {
+  if (config.rounds == 0) {
+    return Status::Invalid("experiment needs at least one round");
+  }
+  GenerationOptions gen_options = OptionsForMethod(method);
+  Rng rng(config.seed);
+
+  const size_t m = real.num_columns();
+  std::vector<std::vector<double>> matches(m);
+  std::vector<std::vector<double>> mses(m);
+  std::vector<bool> covered(m, method == GenerationMethod::kRandom);
+
+  // Per-round seeds drawn up front so the outcome is identical for any
+  // thread count.
+  std::vector<Rng> round_rngs;
+  round_rngs.reserve(config.rounds);
+  for (size_t round = 0; round < config.rounds; ++round) {
+    round_rngs.push_back(rng.Fork());
+  }
+
+  // One round of the Monte-Carlo loop; writes its report into `slot`.
+  std::vector<LeakageReport> reports(config.rounds);
+  std::vector<Status> round_status(config.rounds);
+  auto run_round = [&](size_t round) -> Status {
+    Rng round_rng = round_rngs[round];
+    METALEAK_ASSIGN_OR_RETURN(
+        GenerationOutcome outcome,
+        GenerateSynthetic(metadata, real.num_rows(), &round_rng,
+                          gen_options));
+    if (method == GenerationMethod::kCfd) {
+      METALEAK_ASSIGN_OR_RETURN(std::vector<Domain> domains,
+                                metadata.RequireDomains());
+      METALEAK_ASSIGN_OR_RETURN(
+          outcome.relation,
+          ApplyCfds(outcome.relation, metadata.conditional_fds, domains,
+                    &round_rng));
+    } else if (round == 0 && method != GenerationMethod::kRandom) {
+      for (const GenerationStep& step : outcome.plan.steps()) {
+        covered[step.attribute] = step.via.has_value();
+      }
+    }
+    METALEAK_ASSIGN_OR_RETURN(
+        reports[round],
+        EvaluateLeakage(real, outcome.relation, config.leakage));
+    return Status::OK();
+  };
+  if (method == GenerationMethod::kCfd) {
+    for (const ConditionalFd& cfd : metadata.conditional_fds) {
+      if (cfd.rhs < m) covered[cfd.rhs] = true;
+    }
+  }
+
+  size_t threads = config.threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, config.rounds);
+  if (threads <= 1) {
+    for (size_t round = 0; round < config.rounds; ++round) {
+      METALEAK_RETURN_NOT_OK(run_round(round));
+    }
+  } else {
+    // Round 0 runs first on this thread: it fills `covered`, which the
+    // workers must not race on.
+    METALEAK_RETURN_NOT_OK(run_round(0));
+    std::atomic<size_t> next{1};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        while (true) {
+          size_t round = next.fetch_add(1);
+          if (round >= config.rounds) break;
+          round_status[round] = run_round(round);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (size_t round = 1; round < config.rounds; ++round) {
+      METALEAK_RETURN_NOT_OK(round_status[round]);
+    }
+  }
+
+  for (size_t round = 0; round < config.rounds; ++round) {
+    for (const AttributeLeakage& a : reports[round].attributes) {
+      matches[a.attribute].push_back(static_cast<double>(a.matches));
+      if (a.mse.has_value()) mses[a.attribute].push_back(*a.mse);
+    }
+  }
+
+  MethodResult result;
+  result.method = method;
+  for (size_t c = 0; c < m; ++c) {
+    MethodAttributeResult entry;
+    entry.attribute = c;
+    entry.name = real.schema().attribute(c).name;
+    entry.semantic = real.schema().attribute(c).semantic;
+    entry.covered = covered[c];
+    entry.mean_matches = Mean(matches[c]);
+    entry.stddev_matches = StdDev(matches[c]);
+    if (!mses[c].empty()) entry.mean_mse = Mean(mses[c]);
+    result.attributes.push_back(std::move(entry));
+  }
+  return result;
+}
+
+Result<std::vector<MethodResult>> RunExperiment(
+    const Relation& real, const MetadataPackage& metadata,
+    const std::vector<GenerationMethod>& methods,
+    const ExperimentConfig& config) {
+  std::vector<MethodResult> out;
+  Rng seeder(config.seed);
+  for (GenerationMethod method : methods) {
+    ExperimentConfig method_config = config;
+    method_config.seed = seeder.Fork().engine()();
+    METALEAK_ASSIGN_OR_RETURN(
+        MethodResult r, RunMethod(real, metadata, method, method_config));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace metaleak

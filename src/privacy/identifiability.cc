@@ -1,0 +1,123 @@
+#include "privacy/identifiability.h"
+
+#include <vector>
+
+#include "partition/position_list_index.h"
+
+namespace metaleak {
+
+namespace {
+
+Status CheckAttrs(const Relation& relation, AttributeSet attrs) {
+  for (size_t i : attrs.ToIndices()) {
+    if (i >= relation.num_columns()) {
+      return Status::OutOfRange("attribute index out of range");
+    }
+  }
+  return Status::OK();
+}
+
+// Enumerates all subsets of {0..m-1} of size exactly k, invoking f(set).
+template <typename F>
+void ForEachSubset(size_t m, size_t k, F&& f) {
+  if (k == 0 || k > m) return;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    f(AttributeSet::Of(idx));
+    // Advance to the next combination in lexicographic order.
+    size_t i = k;
+    while (i > 0 && idx[i - 1] == m - k + (i - 1)) --i;
+    if (i == 0) return;
+    ++idx[i - 1];
+    for (size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<bool>> UniqueRows(const Relation& relation,
+                                     AttributeSet attrs) {
+  METALEAK_RETURN_NOT_OK(CheckAttrs(relation, attrs));
+  // Stripped partitions list exactly the non-unique rows.
+  PositionListIndex pli =
+      PositionListIndex::FromColumns(relation, attrs.ToIndices());
+  std::vector<bool> unique(relation.num_rows(), true);
+  for (const auto& cluster : pli.clusters()) {
+    for (size_t row : cluster) unique[row] = false;
+  }
+  return unique;
+}
+
+Result<double> IdentifiableFraction(const Relation& relation,
+                                    AttributeSet attrs) {
+  METALEAK_ASSIGN_OR_RETURN(std::vector<bool> unique,
+                            UniqueRows(relation, attrs));
+  if (unique.empty()) return 0.0;
+  size_t count = 0;
+  for (bool u : unique) count += u ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(unique.size());
+}
+
+Result<double> IdentifiableByAnySubset(const Relation& relation,
+                                       size_t max_subset_size) {
+  size_t m = relation.num_columns();
+  if (m == 0 || relation.num_rows() == 0) return 0.0;
+  if (m > AttributeSet::kMaxAttributes) {
+    return Status::Invalid("relation exceeds 64 attributes");
+  }
+  // Adding attributes refines the partition, so uniqueness under A is
+  // preserved under every superset of A. Checking only the subsets of
+  // size exactly min(max_subset_size, m) therefore covers all smaller
+  // subsets too.
+  size_t k = std::min(max_subset_size, m);
+  std::vector<bool> identifiable(relation.num_rows(), false);
+  Status status = Status::OK();
+  ForEachSubset(m, k, [&](AttributeSet attrs) {
+    if (!status.ok()) return;
+    Result<std::vector<bool>> unique = UniqueRows(relation, attrs);
+    if (!unique.ok()) {
+      status = unique.status();
+      return;
+    }
+    for (size_t r = 0; r < identifiable.size(); ++r) {
+      if ((*unique)[r]) identifiable[r] = true;
+    }
+  });
+  METALEAK_RETURN_NOT_OK(status);
+  size_t count = 0;
+  for (bool b : identifiable) count += b ? 1 : 0;
+  return static_cast<double>(count) /
+         static_cast<double>(identifiable.size());
+}
+
+Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
+    const Relation& relation, size_t max_size) {
+  size_t m = relation.num_columns();
+  if (m > AttributeSet::kMaxAttributes) {
+    return Status::Invalid("relation exceeds 64 attributes");
+  }
+  std::vector<AttributeSet> uccs;
+  auto covered_by_known = [&](AttributeSet attrs) {
+    for (AttributeSet known : uccs) {
+      if (attrs.ContainsAll(known)) return true;
+    }
+    return false;
+  };
+  for (size_t k = 1; k <= std::min(max_size, m); ++k) {
+    Status status = Status::OK();
+    ForEachSubset(m, k, [&](AttributeSet attrs) {
+      if (!status.ok()) return;
+      if (covered_by_known(attrs)) return;  // not minimal
+      PositionListIndex pli =
+          PositionListIndex::FromColumns(relation, attrs.ToIndices());
+      if (pli.num_clusters() == 0) {
+        uccs.push_back(attrs);  // every row unique
+      }
+    });
+    METALEAK_RETURN_NOT_OK(status);
+  }
+  return uccs;
+}
+
+}  // namespace metaleak

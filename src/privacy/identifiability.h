@@ -1,0 +1,43 @@
+// Identifiability analysis: Definition 2.1 of the paper (GDPR Art. 5).
+//
+// A tuple is identifiable when some attribute subset's value combination
+// is unique to it. The analyzer measures, per subset and aggregated, how
+// many tuples are identifiable — the property anonymization must destroy
+// before data sharing.
+#ifndef METALEAK_PRIVACY_IDENTIFIABILITY_H_
+#define METALEAK_PRIVACY_IDENTIFIABILITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "partition/attribute_set.h"
+
+namespace metaleak {
+
+/// Per-row flags: row r is true iff its projection onto `attrs` is unique
+/// in the relation.
+Result<std::vector<bool>> UniqueRows(const Relation& relation,
+                                     AttributeSet attrs);
+
+/// Fraction of rows unique under projection to `attrs`.
+Result<double> IdentifiableFraction(const Relation& relation,
+                                    AttributeSet attrs);
+
+/// Fraction of rows identifiable by *some* attribute subset of size at
+/// most `max_subset_size` (Definition 2.1 with a bounded search: a row
+/// identifiable at size k is identifiable at any larger size, so bounding
+/// the subset size bounds the quasi-identifier width considered).
+Result<double> IdentifiableByAnySubset(const Relation& relation,
+                                       size_t max_subset_size);
+
+/// Minimal unique column combinations (candidate keys) with at most
+/// `max_size` attributes: subsets whose projection is unique for every
+/// row and no proper subset is. These witness that *all* tuples are
+/// identifiable.
+Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
+    const Relation& relation, size_t max_size);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_PRIVACY_IDENTIFIABILITY_H_

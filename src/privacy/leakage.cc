@@ -1,0 +1,162 @@
+#include "privacy/leakage.h"
+
+#include <cmath>
+
+#include "data/domain.h"
+
+namespace metaleak {
+
+namespace {
+
+Status CheckAligned(const Relation& real, const Relation& synthetic) {
+  if (real.num_columns() != synthetic.num_columns()) {
+    return Status::Invalid("relations have different arity");
+  }
+  if (real.num_rows() != synthetic.num_rows()) {
+    return Status::Invalid(
+        "index-aligned leakage needs equal row counts (got " +
+        std::to_string(real.num_rows()) + " vs " +
+        std::to_string(synthetic.num_rows()) + ")");
+  }
+  for (size_t c = 0; c < real.num_columns(); ++c) {
+    if (real.schema().attribute(c).name !=
+        synthetic.schema().attribute(c).name) {
+      return Status::Invalid("attribute name mismatch at index " +
+                             std::to_string(c));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckAttribute(const Relation& real, size_t attribute) {
+  if (attribute >= real.num_columns()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  return Status::OK();
+}
+
+// Numeric equality across physical types: the synthetic generator emits
+// doubles for continuous domains even when the real column is int64.
+bool ValuesMatchCategorical(const Value& real, const Value& syn) {
+  if (real == syn) return true;
+  if (real.is_numeric() && syn.is_numeric()) {
+    return real.AsNumeric() == syn.AsNumeric();
+  }
+  return false;
+}
+
+}  // namespace
+
+size_t LeakageReport::TotalCategoricalMatches() const {
+  size_t total = 0;
+  for (const AttributeLeakage& a : attributes) {
+    if (a.semantic == SemanticType::kCategorical) total += a.matches;
+  }
+  return total;
+}
+
+Result<AttributeLeakage> LeakageReport::ForAttribute(size_t attribute) const {
+  for (const AttributeLeakage& a : attributes) {
+    if (a.attribute == attribute) return a;
+  }
+  return Status::OutOfRange("no leakage entry for attribute " +
+                            std::to_string(attribute));
+}
+
+Result<size_t> CountCategoricalMatches(const Relation& real,
+                                       const Relation& synthetic,
+                                       size_t attribute) {
+  METALEAK_RETURN_NOT_OK(CheckAligned(real, synthetic));
+  METALEAK_RETURN_NOT_OK(CheckAttribute(real, attribute));
+  size_t matches = 0;
+  for (size_t r = 0; r < real.num_rows(); ++r) {
+    const Value& rv = real.at(r, attribute);
+    if (rv.is_null()) continue;
+    if (ValuesMatchCategorical(rv, synthetic.at(r, attribute))) ++matches;
+  }
+  return matches;
+}
+
+Result<size_t> CountContinuousMatches(const Relation& real,
+                                      const Relation& synthetic,
+                                      size_t attribute, double epsilon) {
+  METALEAK_RETURN_NOT_OK(CheckAligned(real, synthetic));
+  METALEAK_RETURN_NOT_OK(CheckAttribute(real, attribute));
+  if (epsilon < 0.0) {
+    return Status::Invalid("epsilon must be non-negative");
+  }
+  size_t matches = 0;
+  for (size_t r = 0; r < real.num_rows(); ++r) {
+    const Value& rv = real.at(r, attribute);
+    const Value& sv = synthetic.at(r, attribute);
+    if (rv.is_null() || !rv.is_numeric()) continue;
+    if (sv.is_null() || !sv.is_numeric()) continue;
+    if (std::abs(rv.AsNumeric() - sv.AsNumeric()) <= epsilon) ++matches;
+  }
+  return matches;
+}
+
+Result<double> AttributeMse(const Relation& real, const Relation& synthetic,
+                            size_t attribute) {
+  METALEAK_RETURN_NOT_OK(CheckAligned(real, synthetic));
+  METALEAK_RETURN_NOT_OK(CheckAttribute(real, attribute));
+  double acc = 0.0;
+  size_t n = 0;
+  for (size_t r = 0; r < real.num_rows(); ++r) {
+    const Value& rv = real.at(r, attribute);
+    const Value& sv = synthetic.at(r, attribute);
+    if (rv.is_null() || !rv.is_numeric()) continue;
+    if (sv.is_null() || !sv.is_numeric()) continue;
+    double d = rv.AsNumeric() - sv.AsNumeric();
+    acc += d * d;
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return acc / static_cast<double>(n);
+}
+
+Result<LeakageReport> EvaluateLeakage(const Relation& real,
+                                      const Relation& synthetic,
+                                      const LeakageOptions& options) {
+  METALEAK_RETURN_NOT_OK(CheckAligned(real, synthetic));
+  LeakageReport report;
+  for (size_t c = 0; c < real.num_columns(); ++c) {
+    const Attribute& attr = real.schema().attribute(c);
+    AttributeLeakage entry;
+    entry.attribute = c;
+    entry.name = attr.name;
+    entry.semantic = attr.semantic;
+
+    size_t compared = 0;
+    for (size_t r = 0; r < real.num_rows(); ++r) {
+      if (!real.at(r, c).is_null()) ++compared;
+    }
+    entry.rows_compared = compared;
+
+    if (attr.semantic == SemanticType::kCategorical) {
+      METALEAK_ASSIGN_OR_RETURN(entry.matches,
+                                CountCategoricalMatches(real, synthetic, c));
+    } else {
+      double epsilon;
+      if (options.absolute_epsilon.has_value()) {
+        epsilon = *options.absolute_epsilon;
+      } else {
+        Result<Domain> domain = ExtractDomain(real, c);
+        epsilon = domain.ok() ? options.epsilon_fraction * domain->range()
+                              : 0.0;
+      }
+      METALEAK_ASSIGN_OR_RETURN(
+          entry.matches, CountContinuousMatches(real, synthetic, c, epsilon));
+      METALEAK_ASSIGN_OR_RETURN(double mse, AttributeMse(real, synthetic, c));
+      entry.mse = mse;
+    }
+    entry.match_rate =
+        compared == 0 ? 0.0
+                      : static_cast<double>(entry.matches) /
+                            static_cast<double>(compared);
+    report.attributes.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace metaleak

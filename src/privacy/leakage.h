@@ -1,0 +1,81 @@
+// Privacy-leakage metrics: Definitions 2.2 and 2.3 of the paper.
+//
+// Leakage is evaluated *index-aligned*: tuple i of the synthetic relation
+// is compared against tuple i of the real relation, because in VFL the
+// tuple identities are fixed by the private-set-intersection alignment
+// (Section II-B). Categorical attributes leak on exact value match;
+// continuous attributes leak when the synthetic value lands within an
+// epsilon ball of the real value; MSE is reported as the paper's
+// aggregate error indicator for continuous attributes.
+#ifndef METALEAK_PRIVACY_LEAKAGE_H_
+#define METALEAK_PRIVACY_LEAKAGE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+
+namespace metaleak {
+
+/// Per-attribute leakage measurement.
+struct AttributeLeakage {
+  size_t attribute = 0;
+  std::string name;
+  SemanticType semantic = SemanticType::kCategorical;
+  /// Rows compared (real NULLs are skipped — an undisclosed value cannot
+  /// be leaked).
+  size_t rows_compared = 0;
+  /// Def 2.2 / 2.3 match count (exact for categorical, epsilon-ball for
+  /// continuous).
+  size_t matches = 0;
+  /// matches / rows_compared (0 when nothing compared).
+  double match_rate = 0.0;
+  /// Mean squared error over compared rows; only set for continuous
+  /// attributes.
+  std::optional<double> mse;
+};
+
+struct LeakageOptions {
+  /// Epsilon for Def 2.3, as a fraction of the attribute's observed real
+  /// range (used when `absolute_epsilon` is unset).
+  double epsilon_fraction = 0.01;
+  /// Absolute epsilon overriding the fractional policy.
+  std::optional<double> absolute_epsilon;
+};
+
+struct LeakageReport {
+  std::vector<AttributeLeakage> attributes;
+
+  /// Total matches across categorical attributes.
+  size_t TotalCategoricalMatches() const;
+  /// The entry for `attribute`; OutOfRange if missing.
+  Result<AttributeLeakage> ForAttribute(size_t attribute) const;
+};
+
+/// Counts Def-2.2 matches for one categorical attribute.
+Result<size_t> CountCategoricalMatches(const Relation& real,
+                                       const Relation& synthetic,
+                                       size_t attribute);
+
+/// Counts Def-2.3 matches for one continuous attribute with threshold
+/// `epsilon` under the absolute-difference metric d(x, y) = |x - y|.
+Result<size_t> CountContinuousMatches(const Relation& real,
+                                      const Relation& synthetic,
+                                      size_t attribute, double epsilon);
+
+/// MSE of one continuous attribute over rows where the real value is
+/// non-null.
+Result<double> AttributeMse(const Relation& real, const Relation& synthetic,
+                            size_t attribute);
+
+/// Full per-attribute evaluation. The relations must have identical arity
+/// and row counts (index alignment); attribute names must agree.
+Result<LeakageReport> EvaluateLeakage(const Relation& real,
+                                      const Relation& synthetic,
+                                      const LeakageOptions& options = {});
+
+}  // namespace metaleak
+
+#endif  // METALEAK_PRIVACY_LEAKAGE_H_

@@ -1,0 +1,166 @@
+#include "privacy/tuple_risk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/domain.h"
+#include "generation/generation_engine.h"
+#include "privacy/identifiability.h"
+
+namespace metaleak {
+
+namespace {
+
+// Whether the synthetic cell matches the real cell under the paper's
+// per-type semantics.
+bool CellMatches(const Value& real, const Value& syn,
+                 SemanticType semantic, double epsilon) {
+  if (real.is_null()) return false;
+  if (semantic == SemanticType::kCategorical) {
+    if (real == syn) return true;
+    return real.is_numeric() && syn.is_numeric() &&
+           real.AsNumeric() == syn.AsNumeric();
+  }
+  if (!real.is_numeric() || !syn.is_numeric()) return false;
+  return std::abs(real.AsNumeric() - syn.AsNumeric()) <= epsilon;
+}
+
+}  // namespace
+
+std::vector<size_t> TupleRiskReport::TopIdentifiable(size_t count) const {
+  std::vector<size_t> out;
+  for (const TupleRisk& t : tuples) {
+    if (out.size() >= count) break;
+    if (t.identifiable) out.push_back(t.row);
+  }
+  return out;
+}
+
+std::string TupleRiskReport::ToString(size_t count) const {
+  TablePrinter printer("Highest-risk tuples");
+  printer.SetHeader({"Row", "Mean matched attrs", "Max in a round",
+                     ">=50% reconstructed", "Identifiable (Def 2.1)"});
+  for (size_t i = 0; i < std::min(count, tuples.size()); ++i) {
+    const TupleRisk& t = tuples[i];
+    printer.AddRow({std::to_string(t.row),
+                    FormatDouble(t.mean_matched_attributes, 3),
+                    std::to_string(t.max_matched_attributes),
+                    FormatDouble(100.0 * t.half_reconstructed_rate, 1) +
+                        "%",
+                    t.identifiable ? "yes" : "no"});
+  }
+  return printer.ToString();
+}
+
+Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
+                                         const MetadataPackage& metadata,
+                                         const TupleRiskOptions& options) {
+  if (options.rounds == 0) {
+    return Status::Invalid("tuple risk analysis needs at least one round");
+  }
+  const size_t n = real.num_rows();
+  const size_t m = real.num_columns();
+  if (n == 0 || m == 0) {
+    return Status::Invalid("cannot analyze an empty relation");
+  }
+
+  // Per-attribute epsilon for continuous cells.
+  std::vector<double> epsilons(m, 0.0);
+  for (size_t c = 0; c < m; ++c) {
+    if (real.schema().attribute(c).semantic != SemanticType::kContinuous) {
+      continue;
+    }
+    if (options.leakage.absolute_epsilon.has_value()) {
+      epsilons[c] = *options.leakage.absolute_epsilon;
+    } else {
+      Result<Domain> domain = ExtractDomain(real, c);
+      epsilons[c] = domain.ok()
+                        ? options.leakage.epsilon_fraction * domain->range()
+                        : 0.0;
+    }
+  }
+  // Non-null attribute counts per row (the "half reconstructed" base).
+  std::vector<size_t> non_null(n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) {
+      if (!real.at(r, c).is_null()) ++non_null[r];
+    }
+  }
+
+  std::vector<double> total_matched(n, 0.0);
+  std::vector<size_t> max_matched(n, 0);
+  std::vector<size_t> half_rounds(n, 0);
+
+  Rng rng(options.seed);
+  for (size_t round = 0; round < options.rounds; ++round) {
+    Rng round_rng = rng.Fork();
+    METALEAK_ASSIGN_OR_RETURN(
+        GenerationOutcome outcome,
+        GenerateSynthetic(metadata, n, &round_rng));
+    for (size_t r = 0; r < n; ++r) {
+      size_t matched = 0;
+      for (size_t c = 0; c < m; ++c) {
+        if (CellMatches(real.at(r, c), outcome.relation.at(r, c),
+                        real.schema().attribute(c).semantic,
+                        epsilons[c])) {
+          ++matched;
+        }
+      }
+      total_matched[r] += static_cast<double>(matched);
+      max_matched[r] = std::max(max_matched[r], matched);
+      if (non_null[r] > 0 && 2 * matched >= non_null[r]) ++half_rounds[r];
+    }
+  }
+
+  // Per-row identifiability at the configured width: reuse UniqueRows
+  // over all subsets of exactly that width (uniqueness is monotone in
+  // the subset, so width-k subsets cover all narrower ones).
+  std::vector<bool> identifiable(n, false);
+  {
+    size_t width = std::min(options.identifiability_max_width, m);
+    // Enumerate subsets of exactly `width` attributes.
+    std::vector<size_t> idx(width);
+    for (size_t i = 0; i < width; ++i) idx[i] = i;
+    if (width > 0) {
+      while (true) {
+        METALEAK_ASSIGN_OR_RETURN(std::vector<bool> unique,
+                                  UniqueRows(real, AttributeSet::Of(idx)));
+        for (size_t r = 0; r < n; ++r) {
+          if (unique[r]) identifiable[r] = true;
+        }
+        size_t i = width;
+        while (i > 0 && idx[i - 1] == m - width + (i - 1)) --i;
+        if (i == 0) break;
+        ++idx[i - 1];
+        for (size_t j = i; j < width; ++j) idx[j] = idx[j - 1] + 1;
+      }
+    }
+  }
+
+  TupleRiskReport report;
+  report.tuples.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    TupleRisk t;
+    t.row = r;
+    t.mean_matched_attributes =
+        total_matched[r] / static_cast<double>(options.rounds);
+    t.max_matched_attributes = max_matched[r];
+    t.half_reconstructed_rate =
+        static_cast<double>(half_rounds[r]) /
+        static_cast<double>(options.rounds);
+    t.identifiable = identifiable[r];
+    report.tuples.push_back(t);
+  }
+  std::stable_sort(report.tuples.begin(), report.tuples.end(),
+                   [](const TupleRisk& a, const TupleRisk& b) {
+                     return a.mean_matched_attributes >
+                            b.mean_matched_attributes;
+                   });
+  return report;
+}
+
+}  // namespace metaleak

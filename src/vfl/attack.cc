@@ -1,0 +1,46 @@
+#include "vfl/attack.h"
+
+#include "common/random.h"
+
+namespace metaleak {
+
+Result<LeakageReport> SimulateReconstruction(
+    const MetadataPackage& received, const Relation& real_aligned,
+    uint64_t seed, const GenerationOptions& options) {
+  Rng rng(seed);
+  METALEAK_ASSIGN_OR_RETURN(
+      GenerationOutcome outcome,
+      GenerateSynthetic(received, real_aligned.num_rows(), &rng, options));
+  return EvaluateLeakage(real_aligned, outcome.relation);
+}
+
+Result<std::vector<AttackResult>> SweepDisclosureLevels(
+    const MetadataPackage& full_metadata, const Relation& real_aligned,
+    uint64_t seed) {
+  std::vector<AttackResult> out;
+  const DisclosureLevel levels[] = {
+      DisclosureLevel::kNames,
+      DisclosureLevel::kNamesAndDomains,
+      DisclosureLevel::kWithFds,
+      DisclosureLevel::kWithRfds,
+  };
+  for (DisclosureLevel level : levels) {
+    AttackResult result;
+    result.level = level;
+    MetadataPackage restricted = full_metadata.Restrict(level);
+    if (!restricted.HasAllDomains()) {
+      // Names alone give the adversary nothing to sample from.
+      result.reconstructed = false;
+      out.push_back(std::move(result));
+      continue;
+    }
+    METALEAK_ASSIGN_OR_RETURN(
+        result.leakage,
+        SimulateReconstruction(restricted, real_aligned, seed));
+    result.reconstructed = true;
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace metaleak

@@ -1,0 +1,237 @@
+#include "vfl/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace metaleak {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Result<FeatureEncoder> FeatureEncoder::Fit(const Relation& relation) {
+  FeatureEncoder encoder;
+  for (size_t c = 0; c < relation.num_columns(); ++c) {
+    const Attribute& attr = relation.schema().attribute(c);
+    AttributeEncoding enc;
+    enc.name = attr.name;
+    const std::vector<Value>& col = relation.column(c);
+    bool numeric = attr.semantic == SemanticType::kContinuous;
+    enc.numeric = numeric;
+    if (numeric) {
+      double sum = 0.0;
+      size_t n = 0;
+      for (const Value& v : col) {
+        if (v.is_null() || !v.is_numeric()) continue;
+        sum += v.AsNumeric();
+        ++n;
+      }
+      enc.mean = n == 0 ? 0.0 : sum / static_cast<double>(n);
+      double var = 0.0;
+      for (const Value& v : col) {
+        if (v.is_null() || !v.is_numeric()) continue;
+        double d = v.AsNumeric() - enc.mean;
+        var += d * d;
+      }
+      enc.stddev = n < 2 ? 1.0 : std::sqrt(var / static_cast<double>(n - 1));
+      if (enc.stddev < 1e-12) enc.stddev = 1.0;
+      encoder.num_features_ += 1;
+    } else {
+      std::unordered_set<Value> seen;
+      for (const Value& v : col) {
+        if (v.is_null()) continue;
+        if (seen.insert(v).second) enc.categories.push_back(v);
+      }
+      std::sort(enc.categories.begin(), enc.categories.end());
+      encoder.num_features_ += enc.categories.size();
+    }
+    encoder.attributes_.push_back(std::move(enc));
+  }
+  return encoder;
+}
+
+Result<FeatureMatrix> FeatureEncoder::Transform(
+    const Relation& relation) const {
+  if (relation.num_columns() != attributes_.size()) {
+    return Status::Invalid("relation arity does not match encoder");
+  }
+  FeatureMatrix out;
+  out.num_rows = relation.num_rows();
+  out.num_features = num_features_;
+  out.data.assign(out.num_rows * out.num_features, 0.0);
+
+  for (size_t r = 0; r < out.num_rows; ++r) {
+    size_t f = 0;
+    for (size_t c = 0; c < attributes_.size(); ++c) {
+      const AttributeEncoding& enc = attributes_[c];
+      const Value& v = relation.at(r, c);
+      if (enc.numeric) {
+        double x = (v.is_null() || !v.is_numeric()) ? enc.mean
+                                                    : v.AsNumeric();
+        out.data[r * out.num_features + f] = (x - enc.mean) / enc.stddev;
+        f += 1;
+      } else {
+        if (!v.is_null()) {
+          auto it = std::lower_bound(enc.categories.begin(),
+                                     enc.categories.end(), v);
+          if (it != enc.categories.end() && *it == v) {
+            size_t offset =
+                static_cast<size_t>(it - enc.categories.begin());
+            out.data[r * out.num_features + f + offset] = 1.0;
+          }
+        }
+        f += enc.categories.size();
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Partial scores one party computes locally: X * w.
+void PartialScores(const FeatureMatrix& x, const std::vector<double>& w,
+                   std::vector<double>* out) {
+  out->assign(x.num_rows, 0.0);
+  for (size_t r = 0; r < x.num_rows; ++r) {
+    double acc = 0.0;
+    for (size_t f = 0; f < x.num_features; ++f) {
+      acc += x.At(r, f) * w[f];
+    }
+    (*out)[r] = acc;
+  }
+}
+
+// Local gradient given the exchanged residuals: X^T * residual / n.
+void LocalGradient(const FeatureMatrix& x,
+                   const std::vector<double>& residuals, double l2,
+                   const std::vector<double>& w, std::vector<double>* grad) {
+  grad->assign(x.num_features, 0.0);
+  for (size_t r = 0; r < x.num_rows; ++r) {
+    for (size_t f = 0; f < x.num_features; ++f) {
+      (*grad)[f] += x.At(r, f) * residuals[r];
+    }
+  }
+  double inv_n = 1.0 / static_cast<double>(std::max<size_t>(1, x.num_rows));
+  for (size_t f = 0; f < x.num_features; ++f) {
+    (*grad)[f] = (*grad)[f] * inv_n + l2 * w[f];
+  }
+}
+
+}  // namespace
+
+Result<VflModel> TrainVerticalLogisticRegression(
+    const Relation& features_a, const Relation& features_b,
+    const std::vector<int>& labels, const VflTrainOptions& options) {
+  if (features_a.num_rows() != features_b.num_rows() ||
+      features_a.num_rows() != labels.size()) {
+    return Status::Invalid("feature slices and labels must be row-aligned");
+  }
+  if (labels.empty()) {
+    return Status::Invalid("cannot train on an empty dataset");
+  }
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return Status::Invalid("labels must be 0/1");
+    }
+  }
+
+  VflModel model;
+  METALEAK_ASSIGN_OR_RETURN(model.encoder_a, FeatureEncoder::Fit(features_a));
+  METALEAK_ASSIGN_OR_RETURN(model.encoder_b, FeatureEncoder::Fit(features_b));
+  METALEAK_ASSIGN_OR_RETURN(FeatureMatrix xa,
+                            model.encoder_a.Transform(features_a));
+  METALEAK_ASSIGN_OR_RETURN(FeatureMatrix xb,
+                            model.encoder_b.Transform(features_b));
+
+  Rng rng(options.seed);
+  model.weights_a.resize(xa.num_features);
+  model.weights_b.resize(xb.num_features);
+  for (double& w : model.weights_a) w = rng.Normal(0.0, 0.01);
+  for (double& w : model.weights_b) w = rng.Normal(0.0, 0.01);
+
+  const size_t n = labels.size();
+  std::vector<double> score_a;
+  std::vector<double> score_b;
+  std::vector<double> residuals(n);
+  std::vector<double> grad;
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Each party computes partial scores locally; the label holder
+    // combines them, forms residuals, and sends residuals back — the
+    // only per-row quantities crossing the boundary.
+    PartialScores(xa, model.weights_a, &score_a);
+    PartialScores(xb, model.weights_b, &score_b);
+
+    double loss = 0.0;
+    double bias_grad = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      double z = score_a[r] + score_b[r] + model.bias;
+      double p = Sigmoid(z);
+      double y = static_cast<double>(labels[r]);
+      residuals[r] = p - y;
+      bias_grad += residuals[r];
+      // Numerically stable log-loss.
+      loss += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::abs(z)));
+    }
+    model.loss_history.push_back(loss / static_cast<double>(n));
+
+    LocalGradient(xa, residuals, options.l2, model.weights_a, &grad);
+    for (size_t f = 0; f < xa.num_features; ++f) {
+      model.weights_a[f] -= options.learning_rate * grad[f];
+    }
+    LocalGradient(xb, residuals, options.l2, model.weights_b, &grad);
+    for (size_t f = 0; f < xb.num_features; ++f) {
+      model.weights_b[f] -= options.learning_rate * grad[f];
+    }
+    model.bias -=
+        options.learning_rate * bias_grad / static_cast<double>(n);
+  }
+  return model;
+}
+
+Result<std::vector<double>> PredictProbabilities(
+    const VflModel& model, const Relation& features_a,
+    const Relation& features_b) {
+  if (features_a.num_rows() != features_b.num_rows()) {
+    return Status::Invalid("feature slices must be row-aligned");
+  }
+  METALEAK_ASSIGN_OR_RETURN(FeatureMatrix xa,
+                            model.encoder_a.Transform(features_a));
+  METALEAK_ASSIGN_OR_RETURN(FeatureMatrix xb,
+                            model.encoder_b.Transform(features_b));
+  std::vector<double> score_a;
+  std::vector<double> score_b;
+  PartialScores(xa, model.weights_a, &score_a);
+  PartialScores(xb, model.weights_b, &score_b);
+  std::vector<double> out(xa.num_rows);
+  for (size_t r = 0; r < xa.num_rows; ++r) {
+    out[r] = Sigmoid(score_a[r] + score_b[r] + model.bias);
+  }
+  return out;
+}
+
+Result<double> Accuracy(const VflModel& model, const Relation& features_a,
+                        const Relation& features_b,
+                        const std::vector<int>& labels) {
+  METALEAK_ASSIGN_OR_RETURN(
+      std::vector<double> probs,
+      PredictProbabilities(model, features_a, features_b));
+  if (probs.size() != labels.size()) {
+    return Status::Invalid("labels not aligned with features");
+  }
+  if (labels.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t r = 0; r < labels.size(); ++r) {
+    int pred = probs[r] >= 0.5 ? 1 : 0;
+    if (pred == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace metaleak

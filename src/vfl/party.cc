@@ -1,0 +1,47 @@
+#include "vfl/party.h"
+
+namespace metaleak {
+
+Party::Party(std::string name, Relation data, std::string key_attribute)
+    : name_(std::move(name)),
+      data_(std::move(data)),
+      key_attribute_(std::move(key_attribute)) {}
+
+Result<size_t> Party::KeyIndex() const {
+  return data_.schema().RequireIndex(key_attribute_);
+}
+
+Result<std::vector<PsiToken>> Party::PsiTokens(uint64_t session_salt) const {
+  METALEAK_ASSIGN_OR_RETURN(size_t key, KeyIndex());
+  return DerivePsiTokens(data_.column(key), session_salt);
+}
+
+Result<MetadataPackage> Party::ShareMetadata(
+    DisclosureLevel level, const DiscoveryOptions& options) const {
+  METALEAK_ASSIGN_OR_RETURN(size_t key, KeyIndex());
+  std::vector<size_t> feature_columns;
+  for (size_t c = 0; c < data_.num_columns(); ++c) {
+    if (c != key) feature_columns.push_back(c);
+  }
+  Relation features = data_.Project(feature_columns);
+  METALEAK_ASSIGN_OR_RETURN(DiscoveryReport report,
+                            ProfileRelation(features, options));
+  return report.metadata.Restrict(level);
+}
+
+Result<Relation> Party::AlignedFeatures(
+    const std::vector<size_t>& rows) const {
+  METALEAK_ASSIGN_OR_RETURN(size_t key, KeyIndex());
+  std::vector<size_t> feature_columns;
+  for (size_t c = 0; c < data_.num_columns(); ++c) {
+    if (c != key) feature_columns.push_back(c);
+  }
+  for (size_t r : rows) {
+    if (r >= data_.num_rows()) {
+      return Status::OutOfRange("aligned row index out of range");
+    }
+  }
+  return data_.SelectRows(rows).Project(feature_columns);
+}
+
+}  // namespace metaleak

@@ -1,0 +1,50 @@
+// Party: one VFL participant holding a vertical data slice.
+#ifndef METALEAK_VFL_PARTY_H_
+#define METALEAK_VFL_PARTY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "discovery/discovery_engine.h"
+#include "metadata/metadata_package.h"
+#include "vfl/psi.h"
+
+namespace metaleak {
+
+class Party {
+ public:
+  /// `key_attribute` names the join-key column used for PSI alignment.
+  Party(std::string name, Relation data, std::string key_attribute);
+
+  const std::string& name() const { return name_; }
+  const Relation& data() const { return data_; }
+  const std::string& key_attribute() const { return key_attribute_; }
+
+  /// Index of the join-key attribute; KeyError if absent.
+  Result<size_t> KeyIndex() const;
+
+  /// Salted PSI tokens over the key column.
+  Result<std::vector<PsiToken>> PsiTokens(uint64_t session_salt) const;
+
+  /// Profiles the local relation *excluding the join key* (identifiers
+  /// are never described in shared metadata) and restricts the result to
+  /// the requested disclosure level.
+  Result<MetadataPackage> ShareMetadata(
+      DisclosureLevel level,
+      const DiscoveryOptions& options = DiscoveryOptions()) const;
+
+  /// The relation without its key column, rows restricted to `rows` in
+  /// that order (the post-PSI aligned view used for training and for
+  /// leakage evaluation).
+  Result<Relation> AlignedFeatures(const std::vector<size_t>& rows) const;
+
+ private:
+  std::string name_;
+  Relation data_;
+  std::string key_attribute_;
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_VFL_PARTY_H_

@@ -1,0 +1,78 @@
+#include "vfl/psi.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace metaleak {
+
+namespace {
+
+// splitmix64 finalizer: mixes the value hash with the session salt so
+// tokens from different sessions are unlinkable in the simulation.
+uint64_t MixToken(uint64_t h, uint64_t salt) {
+  uint64_t x = h ^ (salt + 0x9E3779B97F4A7C15ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<PsiToken> DerivePsiTokens(const std::vector<Value>& ids,
+                                      uint64_t session_salt) {
+  std::vector<PsiToken> tokens;
+  tokens.reserve(ids.size());
+  for (const Value& id : ids) {
+    tokens.push_back(MixToken(static_cast<uint64_t>(id.Hash()),
+                              session_salt));
+  }
+  return tokens;
+}
+
+Result<PsiResult> IntersectTokens(const std::vector<PsiToken>& tokens_a,
+                                  const std::vector<PsiToken>& tokens_b) {
+  std::unordered_map<PsiToken, size_t> first_a;
+  first_a.reserve(tokens_a.size());
+  for (size_t i = 0; i < tokens_a.size(); ++i) {
+    first_a.emplace(tokens_a[i], i);  // keeps the first occurrence
+  }
+
+  struct MatchedPair {
+    PsiToken token;
+    size_t row_a;
+    size_t row_b;
+  };
+  std::vector<MatchedPair> matched;
+  std::unordered_map<PsiToken, bool> used_b;
+  for (size_t j = 0; j < tokens_b.size(); ++j) {
+    auto it = first_a.find(tokens_b[j]);
+    if (it == first_a.end()) continue;
+    if (used_b[tokens_b[j]]) continue;  // first occurrence on B's side too
+    used_b[tokens_b[j]] = true;
+    matched.push_back(MatchedPair{tokens_b[j], it->second, j});
+  }
+
+  // Canonical order both parties can derive: ascending token.
+  std::sort(matched.begin(), matched.end(),
+            [](const MatchedPair& x, const MatchedPair& y) {
+              return x.token < y.token;
+            });
+
+  PsiResult out;
+  out.rows_a.reserve(matched.size());
+  out.rows_b.reserve(matched.size());
+  for (const MatchedPair& m : matched) {
+    out.rows_a.push_back(m.row_a);
+    out.rows_b.push_back(m.row_b);
+  }
+  return out;
+}
+
+Result<PsiResult> ComputePsi(const std::vector<Value>& ids_a,
+                             const std::vector<Value>& ids_b,
+                             uint64_t session_salt) {
+  return IntersectTokens(DerivePsiTokens(ids_a, session_salt),
+                         DerivePsiTokens(ids_b, session_salt));
+}
+
+}  // namespace metaleak

@@ -1,0 +1,53 @@
+// Private set intersection (simulated) for VFL sample alignment.
+//
+// Before VFL training, parties align their datasets on common entity
+// identifiers using PSI so that "the identity of the data tuples is known
+// only to the parties involved" (Section II-B). This module simulates the
+// protocol shape of a hash-based PSI: each party derives salted tokens
+// from its join keys, only tokens cross the boundary, and the output is
+// the aligned row index lists. It is not a cryptographic implementation —
+// the repository's scope is the privacy analysis of the *metadata* that
+// flows after alignment — but the dataflow (no raw identifiers exchanged)
+// matches the real protocol.
+#ifndef METALEAK_VFL_PSI_H_
+#define METALEAK_VFL_PSI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/value.h"
+
+namespace metaleak {
+
+/// Salted identifier token. Both parties derive tokens with the same
+/// session salt, so equal identifiers produce equal tokens.
+using PsiToken = uint64_t;
+
+/// Derives the token stream of one party's join-key column.
+std::vector<PsiToken> DerivePsiTokens(const std::vector<Value>& ids,
+                                      uint64_t session_salt);
+
+struct PsiResult {
+  /// Row indices into party A's / party B's relation; rows_a[i] and
+  /// rows_b[i] refer to the same entity. Ordered by token value, which is
+  /// a canonical order both parties can compute independently.
+  std::vector<size_t> rows_a;
+  std::vector<size_t> rows_b;
+
+  size_t size() const { return rows_a.size(); }
+};
+
+/// Intersects two token streams. Duplicate identifiers within one party
+/// keep their first occurrence (standard PSI post-processing).
+Result<PsiResult> IntersectTokens(const std::vector<PsiToken>& tokens_a,
+                                  const std::vector<PsiToken>& tokens_b);
+
+/// Convenience: tokenizes both key columns and intersects.
+Result<PsiResult> ComputePsi(const std::vector<Value>& ids_a,
+                             const std::vector<Value>& ids_b,
+                             uint64_t session_salt);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_VFL_PSI_H_

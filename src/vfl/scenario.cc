@@ -1,0 +1,84 @@
+#include "vfl/scenario.h"
+
+namespace metaleak {
+
+Result<ScenarioOutcome> RunScenario(const Party& party_a,
+                                    const Party& party_b,
+                                    const ScenarioOptions& options) {
+  ScenarioOutcome outcome;
+
+  // 1) PSI alignment on hashed identifier tokens.
+  METALEAK_ASSIGN_OR_RETURN(std::vector<PsiToken> tokens_a,
+                            party_a.PsiTokens(options.psi_salt));
+  METALEAK_ASSIGN_OR_RETURN(std::vector<PsiToken> tokens_b,
+                            party_b.PsiTokens(options.psi_salt));
+  METALEAK_ASSIGN_OR_RETURN(PsiResult psi,
+                            IntersectTokens(tokens_a, tokens_b));
+  outcome.intersection_size = psi.size();
+  if (psi.size() == 0) {
+    return Status::Invalid("PSI intersection is empty");
+  }
+
+  // 2) Aligned vertical slices.
+  METALEAK_ASSIGN_OR_RETURN(Relation slice_a,
+                            party_a.AlignedFeatures(psi.rows_a));
+  METALEAK_ASSIGN_OR_RETURN(Relation slice_b,
+                            party_b.AlignedFeatures(psi.rows_b));
+
+  // 3) Extract labels from party A's slice and drop the label column
+  //    from its training features.
+  METALEAK_ASSIGN_OR_RETURN(
+      size_t label_col, slice_a.schema().RequireIndex(
+                            options.label_attribute));
+  std::vector<int> labels;
+  labels.reserve(slice_a.num_rows());
+  for (size_t r = 0; r < slice_a.num_rows(); ++r) {
+    const Value& v = slice_a.at(r, label_col);
+    labels.push_back(!v.is_null() && v.is_numeric() && v.AsNumeric() >= 0.5
+                         ? 1
+                         : 0);
+  }
+  std::vector<size_t> a_feature_cols;
+  for (size_t c = 0; c < slice_a.num_columns(); ++c) {
+    if (c != label_col) a_feature_cols.push_back(c);
+  }
+  Relation features_a = slice_a.Project(a_feature_cols);
+
+  // 4) Utility: joint model vs. party A alone.
+  METALEAK_ASSIGN_OR_RETURN(
+      VflModel joint, TrainVerticalLogisticRegression(
+                          features_a, slice_b, labels, options.train));
+  METALEAK_ASSIGN_OR_RETURN(
+      outcome.joint_accuracy,
+      Accuracy(joint, features_a, slice_b, labels));
+
+  // The "no federation" baseline trains party A alone. The trainer wants
+  // two row-aligned slices, so B contributes a single constant column
+  // that encodes to nothing informative.
+  Schema const_schema({{"__const", DataType::kInt64,
+                        SemanticType::kCategorical}});
+  std::vector<std::vector<Value>> const_col(1);
+  const_col[0].assign(features_a.num_rows(), Value::Int(0));
+  METALEAK_ASSIGN_OR_RETURN(
+      Relation const_b,
+      Relation::Make(const_schema, std::move(const_col)));
+  METALEAK_ASSIGN_OR_RETURN(
+      VflModel solo, TrainVerticalLogisticRegression(
+                         features_a, const_b, labels, options.train));
+  METALEAK_ASSIGN_OR_RETURN(
+      outcome.party_a_only_accuracy,
+      Accuracy(solo, features_a, const_b, labels));
+
+  // 5) Privacy: party B shares metadata; party A (the adversary here)
+  //    reconstructs B's aligned slice from it.
+  METALEAK_ASSIGN_OR_RETURN(
+      MetadataPackage shared_b,
+      party_b.ShareMetadata(DisclosureLevel::kWithRfds));
+  METALEAK_ASSIGN_OR_RETURN(
+      outcome.leakage_by_level,
+      SweepDisclosureLevels(shared_b, slice_b, options.attack_seed));
+
+  return outcome;
+}
+
+}  // namespace metaleak

@@ -1,0 +1,48 @@
+// VflScenario: the full Figure-1 pipeline as one orchestrated object.
+//
+// Two parties -> PSI alignment -> metadata exchange at a chosen
+// disclosure level -> vertical model training (utility) -> adversarial
+// reconstruction from the received metadata (privacy). The E5 bench and
+// the fintech example drive this end to end.
+#ifndef METALEAK_VFL_SCENARIO_H_
+#define METALEAK_VFL_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "vfl/attack.h"
+#include "vfl/logistic_regression.h"
+#include "vfl/party.h"
+#include "vfl/psi.h"
+
+namespace metaleak {
+
+struct ScenarioOptions {
+  /// Attribute of party A holding the 0/1 training label.
+  std::string label_attribute = "loan_default";
+  uint64_t psi_salt = 0xA11CE;
+  uint64_t attack_seed = 99;
+  VflTrainOptions train;
+};
+
+struct ScenarioOutcome {
+  size_t intersection_size = 0;
+  /// Utility: training accuracy of the joint model, and of party A alone
+  /// (so the benefit of federation is visible).
+  double joint_accuracy = 0.0;
+  double party_a_only_accuracy = 0.0;
+  /// Privacy: leakage of party B's slice per disclosure level, measured
+  /// on the aligned rows.
+  std::vector<AttackResult> leakage_by_level;
+};
+
+/// Runs the full pipeline between `party_a` (label holder / adversary)
+/// and `party_b` (metadata discloser).
+Result<ScenarioOutcome> RunScenario(const Party& party_a,
+                                    const Party& party_b,
+                                    const ScenarioOptions& options = {});
+
+}  // namespace metaleak
+
+#endif  // METALEAK_VFL_SCENARIO_H_

@@ -1,0 +1,88 @@
+#include "vfl/vertical_split.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace metaleak {
+
+Result<VerticalSplit> SplitVertically(const Relation& relation,
+                                      const VerticalSplitOptions& options) {
+  const size_t m = relation.num_columns();
+
+  // Resolve (or synthesize) the key column.
+  Relation source = relation;
+  std::string key_name = options.key_attribute;
+  if (key_name.empty()) {
+    key_name = "row_id";
+    if (source.schema().IndexOf(key_name).has_value()) {
+      return Status::AlreadyExists(
+          "relation already has a row_id attribute; pass key_attribute");
+    }
+    std::vector<Attribute> attrs = source.schema().attributes();
+    attrs.push_back({key_name, DataType::kInt64,
+                     SemanticType::kCategorical});
+    std::vector<std::vector<Value>> columns;
+    columns.reserve(m + 1);
+    for (size_t c = 0; c < m; ++c) columns.push_back(source.column(c));
+    std::vector<Value> ids;
+    ids.reserve(source.num_rows());
+    for (size_t r = 0; r < source.num_rows(); ++r) {
+      ids.push_back(Value::Int(static_cast<int64_t>(r)));
+    }
+    columns.push_back(std::move(ids));
+    METALEAK_ASSIGN_OR_RETURN(
+        source, Relation::Make(Schema(std::move(attrs)),
+                               std::move(columns)));
+  }
+  METALEAK_ASSIGN_OR_RETURN(size_t key_index,
+                            source.schema().RequireIndex(key_name));
+
+  // Partition the feature attributes.
+  std::vector<size_t> a_columns = {key_index};
+  std::vector<size_t> b_columns = {key_index};
+  for (const std::string& name : options.party_a_attributes) {
+    if (name == key_name) {
+      return Status::Invalid("the key attribute belongs to both parties; "
+                             "do not list it");
+    }
+    METALEAK_ASSIGN_OR_RETURN(size_t idx,
+                              source.schema().RequireIndex(name));
+    a_columns.push_back(idx);
+  }
+  for (size_t c = 0; c < source.num_columns(); ++c) {
+    if (c == key_index) continue;
+    if (std::find(a_columns.begin(), a_columns.end(), c) ==
+        a_columns.end()) {
+      b_columns.push_back(c);
+    }
+  }
+  if (a_columns.size() < 2 || b_columns.size() < 2) {
+    return Status::Invalid(
+        "each party needs at least one feature attribute");
+  }
+
+  // Independent row subsampling per party.
+  Rng rng(options.seed);
+  auto sample_rows = [&](double coverage) {
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < source.num_rows(); ++r) {
+      if (rng.Bernoulli(std::clamp(coverage, 0.0, 1.0))) {
+        rows.push_back(r);
+      }
+    }
+    return rows;
+  };
+
+  VerticalSplit out;
+  out.key_attribute = key_name;
+  out.party_a =
+      source.SelectRows(sample_rows(options.party_a_coverage))
+          .Project(a_columns);
+  out.party_b =
+      source.SelectRows(sample_rows(options.party_b_coverage))
+          .Project(b_columns);
+  return out;
+}
+
+}  // namespace metaleak

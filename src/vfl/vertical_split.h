@@ -1,0 +1,46 @@
+// Vertical partitioning: turn one relation into a two-party VFL setup.
+//
+// Testing and experimentation helper: any dataset can be split into two
+// vertical slices that share the join key, optionally with per-party row
+// subsampling so the PSI intersection is non-trivial.
+#ifndef METALEAK_VFL_VERTICAL_SPLIT_H_
+#define METALEAK_VFL_VERTICAL_SPLIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+
+namespace metaleak {
+
+struct VerticalSplitOptions {
+  /// Attributes (by name) assigned to party A; everything else goes to
+  /// party B. The key attribute goes to both and must not be listed.
+  std::vector<std::string> party_a_attributes;
+  /// Name of the join-key attribute present in the source relation, or
+  /// empty to synthesize a fresh integer key column named "row_id".
+  std::string key_attribute;
+  /// Fraction of rows each party observes (subsampled independently).
+  double party_a_coverage = 1.0;
+  double party_b_coverage = 1.0;
+  uint64_t seed = 1;
+};
+
+struct VerticalSplit {
+  Relation party_a;
+  Relation party_b;
+  /// Name of the shared key column in both outputs.
+  std::string key_attribute;
+};
+
+/// Splits `relation` vertically. Fails when a listed attribute does not
+/// exist, when the key is listed as a party attribute, or when either
+/// side would end up with no feature columns.
+Result<VerticalSplit> SplitVertically(const Relation& relation,
+                                      const VerticalSplitOptions& options);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_VFL_VERTICAL_SPLIT_H_

@@ -1,0 +1,154 @@
+// Tests for src/privacy/anonymization: k-anonymity checking and the
+// generalize-then-suppress anonymizer, plus the interaction with
+// identifiability (Definition 2.1).
+#include <gtest/gtest.h>
+
+#include "data/datasets/echocardiogram.h"
+#include "data/datasets/employee.h"
+#include "privacy/anonymization.h"
+#include "privacy/identifiability.h"
+
+namespace metaleak {
+namespace {
+
+Relation MakeRelation(std::vector<Attribute> attrs,
+                      std::vector<std::vector<Value>> cols) {
+  return std::move(Relation::Make(Schema(std::move(attrs)), std::move(cols)))
+      .ValueOrDie();
+}
+
+Attribute Cat(const char* name) {
+  return {name, DataType::kString, SemanticType::kCategorical};
+}
+Attribute Cont(const char* name) {
+  return {name, DataType::kDouble, SemanticType::kContinuous};
+}
+
+TEST(KAnonymityTest, MinGroupSize) {
+  Relation r = MakeRelation(
+      {Cat("c")}, {{Value::Str("a"), Value::Str("a"), Value::Str("b")}});
+  auto min = MinGroupSize(r, AttributeSet::Single(0));
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(*min, 1u);  // "b" is alone
+
+  Relation pairs = MakeRelation(
+      {Cat("c")}, {{Value::Str("a"), Value::Str("a"), Value::Str("b"),
+                    Value::Str("b")}});
+  EXPECT_EQ(*MinGroupSize(pairs, AttributeSet::Single(0)), 2u);
+}
+
+TEST(KAnonymityTest, IsKAnonymous) {
+  Relation pairs = MakeRelation(
+      {Cat("c")}, {{Value::Str("a"), Value::Str("a"), Value::Str("b"),
+                    Value::Str("b")}});
+  EXPECT_TRUE(*IsKAnonymous(pairs, AttributeSet::Single(0), 2));
+  EXPECT_FALSE(*IsKAnonymous(pairs, AttributeSet::Single(0), 3));
+  EXPECT_FALSE(IsKAnonymous(pairs, AttributeSet::Single(0), 0).ok());
+  EXPECT_FALSE(IsKAnonymous(pairs, AttributeSet(), 2).ok());
+}
+
+TEST(KAnonymityTest, EmployeeIsNotAnonymousOnName) {
+  // Name is a key: 1-anonymous only.
+  Relation employee = datasets::Employee();
+  EXPECT_FALSE(*IsKAnonymous(employee, AttributeSet::Single(0), 2));
+  EXPECT_EQ(*MinGroupSize(employee, AttributeSet::Single(0)), 1u);
+}
+
+TEST(AnonymizeTest, GeneralizesContinuousUntilK) {
+  // 8 distinct ages; with wide enough bins groups reach k=2.
+  std::vector<Value> ages;
+  for (int i = 0; i < 8; ++i) {
+    ages.push_back(Value::Real(20.0 + 5.0 * i));
+  }
+  Relation r = MakeRelation({Cont("age")}, {ages});
+  AnonymizationOptions options;
+  options.k = 2;
+  options.initial_bins = 16;
+  auto result = Anonymize(r, AttributeSet::Single(0), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(
+      *IsKAnonymous(result->relation, AttributeSet::Single(0), 2));
+  // Generalized column is categorical interval labels now.
+  EXPECT_EQ(result->relation.schema().attribute(0).semantic,
+            SemanticType::kCategorical);
+  EXPECT_GT(result->passes, 1u);  // needed widening
+}
+
+TEST(AnonymizeTest, SuppressesRareCategoricals) {
+  std::vector<Value> col = {Value::Str("x"), Value::Str("x"),
+                            Value::Str("x"), Value::Str("rare")};
+  Relation r = MakeRelation({Cat("c")}, {col});
+  AnonymizationOptions options;
+  options.k = 3;
+  auto result = Anonymize(r, AttributeSet::Single(0), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(
+      *IsKAnonymous(result->relation, AttributeSet::Single(0), 3));
+  // The rare value was generalized to "*" or its row suppressed.
+  bool saw_star = false;
+  for (const Value& v : result->relation.column(0)) {
+    EXPECT_NE(v, Value::Str("rare"));
+    if (v == Value::Str("*")) saw_star = true;
+  }
+  EXPECT_TRUE(saw_star || result->suppressed_rows > 0);
+}
+
+TEST(AnonymizeTest, NonQuasiAttributesPassThrough) {
+  Relation r = MakeRelation(
+      {Cont("age"), Cat("payload")},
+      {{Value::Real(20), Value::Real(21)},
+       {Value::Str("keep1"), Value::Str("keep2")}});
+  auto result = Anonymize(r, AttributeSet::Single(0));
+  ASSERT_TRUE(result.ok());
+  if (result->relation.num_rows() == 2) {
+    EXPECT_EQ(result->relation.at(0, 1), Value::Str("keep1"));
+    EXPECT_EQ(result->relation.at(1, 1), Value::Str("keep2"));
+  }
+}
+
+TEST(AnonymizeTest, EchocardiogramBecomesKAnonymous) {
+  Relation r = datasets::Echocardiogram();
+  // Quasi-identifier: age + group (the demographic columns).
+  AttributeSet qi = AttributeSet::Of({2, 11});
+  AnonymizationOptions options;
+  options.k = 4;
+  auto result = Anonymize(r, qi, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*IsKAnonymous(result->relation, qi, 4));
+  // Anonymization destroys identifiability on the quasi-identifier.
+  auto frac_before = IdentifiableFraction(r, qi);
+  auto frac_after = IdentifiableFraction(result->relation, qi);
+  ASSERT_TRUE(frac_before.ok() && frac_after.ok());
+  EXPECT_GT(*frac_before, 0.0);
+  EXPECT_DOUBLE_EQ(*frac_after, 0.0);
+}
+
+TEST(AnonymizeTest, LargerKNeverDecreasesSuppression) {
+  Relation r = datasets::Echocardiogram();
+  AttributeSet qi = AttributeSet::Of({2, 11});
+  size_t prev_suppressed = 0;
+  for (size_t k : {2u, 4u, 8u, 16u}) {
+    AnonymizationOptions options;
+    options.k = k;
+    options.max_passes = 2;  // force the suppression path
+    options.initial_bins = 8;
+    auto result = Anonymize(r, qi, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->suppressed_rows, prev_suppressed);
+    prev_suppressed = result->suppressed_rows;
+  }
+}
+
+TEST(AnonymizeTest, RejectsBadOptions) {
+  Relation r = datasets::Employee();
+  AnonymizationOptions bad_k;
+  bad_k.k = 0;
+  EXPECT_FALSE(Anonymize(r, AttributeSet::Single(0), bad_k).ok());
+  AnonymizationOptions bad_bins;
+  bad_bins.initial_bins = 0;
+  EXPECT_FALSE(Anonymize(r, AttributeSet::Single(0), bad_bins).ok());
+  EXPECT_FALSE(Anonymize(r, AttributeSet(), {}).ok());
+}
+
+}  // namespace
+}  // namespace metaleak

@@ -1,0 +1,178 @@
+// Integration tests: the full paper pipeline over the echocardiogram
+// replica — profile, serialize/exchange, reconstruct, measure — plus the
+// directional claims the evaluation section rests on.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/datasets/echocardiogram.h"
+#include "data/domain.h"
+#include "discovery/discovery_engine.h"
+#include "generation/generation_engine.h"
+#include "metadata/metadata_package.h"
+#include "privacy/analytical.h"
+#include "privacy/experiment.h"
+#include "privacy/leakage.h"
+
+namespace metaleak {
+namespace {
+
+class EchoPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    real_ = new Relation(datasets::Echocardiogram());
+    DiscoveryOptions options;
+    options.discover_afds = true;
+    auto report = ProfileRelation(*real_, options);
+    ASSERT_TRUE(report.ok());
+    metadata_ = new MetadataPackage(std::move(report->metadata));
+  }
+  static void TearDownTestSuite() {
+    delete real_;
+    delete metadata_;
+    real_ = nullptr;
+    metadata_ = nullptr;
+  }
+
+  static Relation* real_;
+  static MetadataPackage* metadata_;
+};
+
+Relation* EchoPipelineTest::real_ = nullptr;
+MetadataPackage* EchoPipelineTest::metadata_ = nullptr;
+
+TEST_F(EchoPipelineTest, ProfileFindsEveryClassThePaperUses) {
+  const DependencySet& deps = metadata_->dependencies;
+  EXPECT_GT(deps.OfKind(DependencyKind::kFunctional).size(), 0u);
+  EXPECT_GT(deps.OfKind(DependencyKind::kOrder).size(), 0u);
+  EXPECT_GT(deps.OfKind(DependencyKind::kNumerical).size(), 0u);
+  EXPECT_GT(deps.OfKind(DependencyKind::kDifferential).size(), 0u);
+}
+
+TEST_F(EchoPipelineTest, MetadataSurvivesExchange) {
+  // What one party serializes, the other parses — and generation from the
+  // parsed package equals generation from the original.
+  std::string wire = metadata_->Serialize();
+  auto received = MetadataPackage::Deserialize(wire);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+
+  Rng rng_a(5);
+  Rng rng_b(5);
+  auto from_original =
+      GenerateSynthetic(*metadata_, real_->num_rows(), &rng_a);
+  auto from_received =
+      GenerateSynthetic(*received, real_->num_rows(), &rng_b);
+  ASSERT_TRUE(from_original.ok());
+  ASSERT_TRUE(from_received.ok());
+  EXPECT_EQ(from_original->relation, from_received->relation);
+}
+
+TEST_F(EchoPipelineTest, Table4Shape_FdMatchesRandomOnCategoricals) {
+  ExperimentConfig config;
+  config.rounds = 400;
+  auto results = RunExperiment(
+      *real_, *metadata_,
+      {GenerationMethod::kRandom, GenerationMethod::kFd}, config);
+  ASSERT_TRUE(results.ok());
+  const MethodResult& random = (*results)[0];
+  const MethodResult& fd = (*results)[1];
+  auto domains = metadata_->RequireDomains();
+  ASSERT_TRUE(domains.ok());
+  for (size_t c : {1u, 3u, 11u, 12u}) {
+    auto r = random.ForAttribute(c);
+    auto f = fd.ForAttribute(c);
+    ASSERT_TRUE(r.ok() && f.ok());
+    if (!f->covered) continue;  // the paper's NA cells
+    // Tolerance: a few percent of N (132 rows).
+    EXPECT_NEAR(f->mean_matches, r->mean_matches, 8.0)
+        << "attribute " << c;
+  }
+}
+
+TEST_F(EchoPipelineTest, Table3Shape_FdMseMatchesRandomOnContinuous) {
+  ExperimentConfig config;
+  config.rounds = 200;
+  auto results = RunExperiment(
+      *real_, *metadata_,
+      {GenerationMethod::kRandom, GenerationMethod::kFd}, config);
+  ASSERT_TRUE(results.ok());
+  for (size_t c : {0u, 2u, 5u, 7u}) {
+    auto r = (*results)[0].ForAttribute(c);
+    auto f = (*results)[1].ForAttribute(c);
+    ASSERT_TRUE(r.ok() && f.ok());
+    if (!f->covered) continue;
+    ASSERT_TRUE(r->mean_mse.has_value() && f->mean_mse.has_value());
+    // Same order of magnitude: ratio within [0.5, 2].
+    double ratio = *f->mean_mse / *r->mean_mse;
+    EXPECT_GT(ratio, 0.5) << "attribute " << c;
+    EXPECT_LT(ratio, 2.0) << "attribute " << c;
+  }
+}
+
+TEST_F(EchoPipelineTest, RandomMatchesBinomialExpectationPerAttribute) {
+  ExperimentConfig config;
+  config.rounds = 600;
+  auto result = RunMethod(*real_, *metadata_, GenerationMethod::kRandom,
+                          config);
+  ASSERT_TRUE(result.ok());
+  auto domains = metadata_->RequireDomains();
+  ASSERT_TRUE(domains.ok());
+  for (const MethodAttributeResult& a : result->attributes) {
+    if (a.semantic != SemanticType::kCategorical) continue;
+    // Non-null rows only (Def 2.2 skips undisclosed values).
+    size_t compared = 0;
+    for (const Value& v : real_->column(a.attribute)) {
+      if (!v.is_null()) ++compared;
+    }
+    double expected = ExpectedRandomCategoricalMatches(
+        compared, (*domains)[a.attribute]);
+    EXPECT_NEAR(a.mean_matches, expected, expected * 0.15 + 1.0)
+        << a.name;
+  }
+}
+
+TEST_F(EchoPipelineTest, DisclosureLevelsAreMonotoneInInformation) {
+  // More disclosure never removes previously disclosed metadata.
+  MetadataPackage names = metadata_->Restrict(DisclosureLevel::kNames);
+  MetadataPackage domains =
+      metadata_->Restrict(DisclosureLevel::kNamesAndDomains);
+  MetadataPackage fds = metadata_->Restrict(DisclosureLevel::kWithFds);
+  MetadataPackage rfds = metadata_->Restrict(DisclosureLevel::kWithRfds);
+  EXPECT_TRUE(names.dependencies.empty());
+  EXPECT_TRUE(domains.dependencies.empty());
+  EXPECT_TRUE(domains.HasAllDomains());
+  EXPECT_GE(rfds.dependencies.size(), fds.dependencies.size());
+  for (const Dependency& d : fds.dependencies) {
+    EXPECT_EQ(d.kind, DependencyKind::kFunctional);
+  }
+}
+
+TEST_F(EchoPipelineTest, NaCellsAppearForUncoveredAttributes) {
+  // Under the ND-only method most attributes are roots (covered=false) —
+  // the paper's Tables III/IV carry NA in exactly those cells.
+  ExperimentConfig config;
+  config.rounds = 3;
+  auto result =
+      RunMethod(*real_, *metadata_, GenerationMethod::kNd, config);
+  ASSERT_TRUE(result.ok());
+  size_t covered = 0;
+  for (const MethodAttributeResult& a : result->attributes) {
+    covered += a.covered ? 1 : 0;
+  }
+  EXPECT_GT(covered, 0u);
+  EXPECT_LT(covered, real_->num_columns());
+}
+
+TEST_F(EchoPipelineTest, LeakageEvaluationIsStableAcrossRuns) {
+  ExperimentConfig config;
+  config.rounds = 50;
+  auto a = RunMethod(*real_, *metadata_, GenerationMethod::kOd, config);
+  auto b = RunMethod(*real_, *metadata_, GenerationMethod::kOd, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t c = 0; c < a->attributes.size(); ++c) {
+    EXPECT_DOUBLE_EQ(a->attributes[c].mean_matches,
+                     b->attributes[c].mean_matches);
+  }
+}
+
+}  // namespace
+}  // namespace metaleak

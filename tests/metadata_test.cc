@@ -1,0 +1,289 @@
+// Unit tests for src/metadata: Dependency, DependencySet (closure, cover),
+// DependencyGraph, MetadataPackage (restriction + serialization).
+#include <gtest/gtest.h>
+
+#include "data/datasets/employee.h"
+#include "data/domain.h"
+#include "metadata/dependency.h"
+#include "metadata/dependency_graph.h"
+#include "metadata/dependency_set.h"
+#include "metadata/metadata_package.h"
+
+namespace metaleak {
+namespace {
+
+// --- Dependency -------------------------------------------------------------
+
+TEST(DependencyTest, FactoriesSetKindAndParams) {
+  Dependency fd = Dependency::Fd(AttributeSet::Of({0, 1}), 2);
+  EXPECT_EQ(fd.kind, DependencyKind::kFunctional);
+  EXPECT_EQ(fd.lhs.size(), 2u);
+  EXPECT_EQ(fd.rhs, 2u);
+
+  Dependency afd = Dependency::Afd(AttributeSet::Single(0), 1, 0.05);
+  EXPECT_DOUBLE_EQ(afd.g3_error, 0.05);
+
+  Dependency nd = Dependency::Nd(0, 1, 4);
+  EXPECT_EQ(nd.max_fanout, 4u);
+
+  Dependency dd = Dependency::Dd(0, 1, 0.5, 2.0);
+  EXPECT_DOUBLE_EQ(dd.lhs_epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(dd.rhs_delta, 2.0);
+}
+
+TEST(DependencyTest, ToStringUsesSchemaNames) {
+  Relation employee = datasets::Employee();
+  Dependency fd = Dependency::Fd(AttributeSet::Single(0), 1);
+  EXPECT_EQ(fd.ToString(employee.schema()), "FD {Name} -> Age");
+  Dependency nd = Dependency::Nd(2, 3, 2);
+  EXPECT_EQ(nd.ToString(employee.schema()),
+            "ND {Department} -> Salary (K=2)");
+}
+
+TEST(DependencyTest, KindCodesRoundTrip) {
+  for (DependencyKind kind :
+       {DependencyKind::kFunctional, DependencyKind::kApproximateFunctional,
+        DependencyKind::kNumerical, DependencyKind::kOrder,
+        DependencyKind::kDifferential, DependencyKind::kOrderedFunctional}) {
+    auto parsed = ParseDependencyKind(DependencyKindCode(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseDependencyKind("XYZ").ok());
+}
+
+// --- DependencySet -----------------------------------------------------------
+
+TEST(DependencySetTest, AddDeduplicates) {
+  DependencySet set;
+  set.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  set.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  EXPECT_EQ(set.size(), 1u);
+  set.Add(Dependency::Od(0, 1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DependencySetTest, FiltersByKindAndRhs) {
+  DependencySet set;
+  set.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  set.Add(Dependency::Od(0, 2));
+  set.Add(Dependency::Fd(AttributeSet::Single(2), 1));
+  EXPECT_EQ(set.OfKind(DependencyKind::kFunctional).size(), 2u);
+  EXPECT_EQ(set.WithRhs(1).size(), 2u);
+  EXPECT_EQ(set.WithRhs(5).size(), 0u);
+}
+
+TEST(DependencySetTest, FdClosureTransitivity) {
+  // A -> B, B -> C  =>  closure({A}) = {A, B, C}.
+  DependencySet set;
+  set.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  set.Add(Dependency::Fd(AttributeSet::Single(1), 2));
+  AttributeSet closure = set.FdClosure(AttributeSet::Single(0));
+  EXPECT_EQ(closure, AttributeSet::Of({0, 1, 2}));
+  EXPECT_TRUE(set.FdImplies(AttributeSet::Single(0), 2));
+  EXPECT_FALSE(set.FdImplies(AttributeSet::Single(2), 0));
+}
+
+TEST(DependencySetTest, FdClosureCompositeLhs) {
+  // {A,B} -> C only fires when both present.
+  DependencySet set;
+  set.Add(Dependency::Fd(AttributeSet::Of({0, 1}), 2));
+  EXPECT_FALSE(set.FdImplies(AttributeSet::Single(0), 2));
+  EXPECT_TRUE(set.FdImplies(AttributeSet::Of({0, 1}), 2));
+}
+
+TEST(DependencySetTest, MinimalCoverDropsRedundantFd) {
+  // A -> B, B -> C, A -> C: the last is implied by transitivity.
+  DependencySet set;
+  set.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  set.Add(Dependency::Fd(AttributeSet::Single(1), 2));
+  set.Add(Dependency::Fd(AttributeSet::Single(0), 2));
+  DependencySet cover = set.FdMinimalCover();
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_TRUE(cover.FdImplies(AttributeSet::Single(0), 2));
+}
+
+TEST(DependencySetTest, MinimalCoverLeftReduces) {
+  // A -> B plus {A,C} -> B: the latter's C is extraneous.
+  DependencySet set;
+  set.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  set.Add(Dependency::Fd(AttributeSet::Of({0, 2}), 1));
+  DependencySet cover = set.FdMinimalCover();
+  EXPECT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover.all()[0].lhs, AttributeSet::Single(0));
+}
+
+TEST(DependencySetTest, MinimalCoverIgnoresRfds) {
+  DependencySet set;
+  set.Add(Dependency::Od(0, 1));
+  set.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  DependencySet cover = set.FdMinimalCover();
+  EXPECT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover.all()[0].kind, DependencyKind::kFunctional);
+}
+
+// --- DependencyGraph ----------------------------------------------------------
+
+TEST(DependencyGraphTest, CoversEveryAttributeOnce) {
+  DependencySet deps;
+  deps.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  DependencyGraph g = DependencyGraph::Build(3, deps);
+  EXPECT_EQ(g.size(), 3u);
+  std::vector<bool> seen(3, false);
+  for (const GenerationStep& s : g.steps()) {
+    EXPECT_FALSE(seen[s.attribute]);
+    seen[s.attribute] = true;
+  }
+}
+
+TEST(DependencyGraphTest, LhsGeneratedBeforeRhs) {
+  DependencySet deps;
+  deps.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  deps.Add(Dependency::Fd(AttributeSet::Single(1), 2));
+  DependencyGraph g = DependencyGraph::Build(3, deps);
+  std::vector<size_t> position(3);
+  for (size_t i = 0; i < g.steps().size(); ++i) {
+    position[g.steps()[i].attribute] = i;
+  }
+  EXPECT_LT(position[0], position[1]);
+  EXPECT_LT(position[1], position[2]);
+  EXPECT_EQ(g.num_derived(), 2u);
+}
+
+TEST(DependencyGraphTest, BreaksCyclesDeterministically) {
+  // 0 -> 1 and 1 -> 0: one must become a root.
+  DependencySet deps;
+  deps.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  deps.Add(Dependency::Fd(AttributeSet::Single(1), 0));
+  DependencyGraph g = DependencyGraph::Build(2, deps);
+  EXPECT_EQ(g.num_derived(), 1u);
+  // Smallest index becomes the root.
+  EXPECT_FALSE(g.StepFor(0).via.has_value());
+  EXPECT_TRUE(g.StepFor(1).via.has_value());
+}
+
+TEST(DependencyGraphTest, PrefersStrongerKinds) {
+  DependencySet deps;
+  deps.Add(Dependency::Nd(0, 1, 3));
+  deps.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  DependencyGraph g = DependencyGraph::Build(2, deps);
+  ASSERT_TRUE(g.StepFor(1).via.has_value());
+  EXPECT_EQ(g.StepFor(1).via->kind, DependencyKind::kFunctional);
+}
+
+TEST(DependencyGraphTest, AllowedKindsFilter) {
+  DependencySet deps;
+  deps.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  deps.Add(Dependency::Od(0, 1));
+  DependencyGraph g =
+      DependencyGraph::Build(2, deps, {DependencyKind::kOrder});
+  ASSERT_TRUE(g.StepFor(1).via.has_value());
+  EXPECT_EQ(g.StepFor(1).via->kind, DependencyKind::kOrder);
+
+  DependencyGraph none =
+      DependencyGraph::Build(2, deps, {DependencyKind::kDifferential});
+  EXPECT_EQ(none.num_derived(), 0u);
+}
+
+TEST(DependencyGraphTest, IgnoresTrivialSelfDependency) {
+  DependencySet deps;
+  deps.Add(Dependency::Fd(AttributeSet::Of({0, 1}), 1));
+  DependencyGraph g = DependencyGraph::Build(2, deps);
+  EXPECT_EQ(g.num_derived(), 0u);
+}
+
+// --- MetadataPackage -----------------------------------------------------------
+
+MetadataPackage EmployeeMetadata() {
+  Relation employee = datasets::Employee();
+  MetadataPackage pkg;
+  pkg.schema = employee.schema();
+  pkg.num_rows = employee.num_rows();
+  auto domains = ExtractDomains(employee);
+  for (Domain& d : *domains) pkg.domains.emplace_back(std::move(d));
+  pkg.dependencies.Add(Dependency::Fd(AttributeSet::Single(0), 1));
+  pkg.dependencies.Add(Dependency::Od(1, 3));
+  pkg.dependencies.Add(Dependency::Nd(2, 3, 2));
+  pkg.dependencies.Add(Dependency::Afd(AttributeSet::Single(0), 3, 0.02));
+  pkg.dependencies.Add(Dependency::Dd(1, 3, 0.4, 2000));
+  return pkg;
+}
+
+TEST(MetadataPackageTest, RestrictNamesDropsEverything) {
+  MetadataPackage restricted =
+      EmployeeMetadata().Restrict(DisclosureLevel::kNames);
+  EXPECT_EQ(restricted.num_rows, 0u);
+  EXPECT_FALSE(restricted.HasAllDomains());
+  EXPECT_TRUE(restricted.dependencies.empty());
+  EXPECT_EQ(restricted.schema.num_attributes(), 4u);
+}
+
+TEST(MetadataPackageTest, RestrictDomainsKeepsDomainsOnly) {
+  MetadataPackage restricted =
+      EmployeeMetadata().Restrict(DisclosureLevel::kNamesAndDomains);
+  EXPECT_TRUE(restricted.HasAllDomains());
+  EXPECT_EQ(restricted.num_rows, 4u);
+  EXPECT_TRUE(restricted.dependencies.empty());
+}
+
+TEST(MetadataPackageTest, RestrictFdsKeepsOnlyFds) {
+  MetadataPackage restricted =
+      EmployeeMetadata().Restrict(DisclosureLevel::kWithFds);
+  EXPECT_EQ(restricted.dependencies.size(), 1u);
+  EXPECT_EQ(restricted.dependencies.all()[0].kind,
+            DependencyKind::kFunctional);
+}
+
+TEST(MetadataPackageTest, RestrictRfdsKeepsAll) {
+  MetadataPackage restricted =
+      EmployeeMetadata().Restrict(DisclosureLevel::kWithRfds);
+  EXPECT_EQ(restricted.dependencies.size(), 5u);
+}
+
+TEST(MetadataPackageTest, SerializationRoundTrip) {
+  MetadataPackage pkg = EmployeeMetadata();
+  std::string text = pkg.Serialize();
+  auto parsed = MetadataPackage::Deserialize(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->schema, pkg.schema);
+  EXPECT_EQ(parsed->num_rows, pkg.num_rows);
+  ASSERT_TRUE(parsed->HasAllDomains());
+  for (size_t i = 0; i < pkg.domains.size(); ++i) {
+    EXPECT_EQ(*parsed->domains[i], *pkg.domains[i]) << "domain " << i;
+  }
+  EXPECT_EQ(parsed->dependencies.size(), pkg.dependencies.size());
+  for (const Dependency& d : pkg.dependencies) {
+    EXPECT_TRUE(parsed->dependencies.Contains(d)) << d.ToString();
+  }
+}
+
+TEST(MetadataPackageTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(MetadataPackage::Deserialize("not metadata").ok());
+  EXPECT_FALSE(MetadataPackage::Deserialize("").ok());
+  EXPECT_FALSE(
+      MetadataPackage::Deserialize("metaleak-metadata v1\nbogus\trec\n")
+          .ok());
+  EXPECT_FALSE(MetadataPackage::Deserialize(
+                   "metaleak-metadata v1\nrows\tnotanumber\n")
+                   .ok());
+}
+
+TEST(MetadataPackageTest, RequireDomainsFailsWhenMissing) {
+  MetadataPackage pkg = EmployeeMetadata();
+  pkg.domains[2] = std::nullopt;
+  EXPECT_FALSE(pkg.RequireDomains().ok());
+  EXPECT_FALSE(pkg.HasAllDomains());
+}
+
+TEST(MetadataPackageTest, ValuesWithSpacesSurviveRoundTrip) {
+  // "Customer Service" in the Department domain has a space.
+  MetadataPackage pkg = EmployeeMetadata();
+  std::string text = pkg.Serialize();
+  auto parsed = MetadataPackage::Deserialize(text);
+  ASSERT_TRUE(parsed.ok());
+  const Domain& dept = *parsed->domains[2];
+  EXPECT_TRUE(dept.Contains(Value::Str("Customer Service")));
+}
+
+}  // namespace
+}  // namespace metaleak
