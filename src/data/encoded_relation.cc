@@ -1,0 +1,136 @@
+#include "data/encoded_relation.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace metaleak {
+
+namespace {
+
+// FNV-1a style 64-bit mixing for the relation fingerprint.
+inline uint64_t MixInto(uint64_t h, uint64_t x) {
+  h ^= x + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+EncodedRelation EncodedRelation::Encode(const Relation& relation) {
+  EncodedRelation out;
+  out.schema_ = relation.schema();
+  out.num_rows_ = relation.num_rows();
+  out.source_ = &relation;
+  const size_t m = relation.num_columns();
+  out.codes_.resize(m);
+  out.dicts_.resize(m);
+
+  uint64_t fp = MixInto(0x6D657461ull, relation.num_rows());
+  fp = MixInto(fp, m);
+
+  for (size_t c = 0; c < m; ++c) {
+    const std::vector<Value>& column = relation.column(c);
+    ColumnDictionary& dict = out.dicts_[c];
+
+    // Sorted distinct non-null values; Value's total order is strict
+    // within a uniformly typed column, so codes are order-preserving.
+    std::vector<Value> distinct;
+    distinct.reserve(column.size());
+    for (const Value& v : column) {
+      if (!v.is_null()) distinct.push_back(v);
+    }
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+
+    dict.values_.reserve(distinct.size() + 1);
+    dict.values_.push_back(Value::Null());  // reserved code 0
+    for (Value& v : distinct) dict.values_.push_back(std::move(v));
+    dict.counts_.assign(dict.values_.size(), 0);
+
+    std::vector<uint32_t>& codes = out.codes_[c];
+    codes.reserve(column.size());
+    const auto begin = dict.values_.begin() + 1;
+    const auto end = dict.values_.end();
+    for (const Value& v : column) {
+      uint32_t code = ColumnDictionary::kNullCode;
+      if (!v.is_null()) {
+        auto it = std::lower_bound(begin, end, v);
+        METALEAK_DCHECK(it != end && *it == v);
+        code = static_cast<uint32_t>(it - dict.values_.begin());
+      }
+      codes.push_back(code);
+      ++dict.counts_[code];
+    }
+    dict.null_count_ = dict.counts_[ColumnDictionary::kNullCode];
+
+    fp = MixInto(fp, dict.values_.size());
+    for (const Value& v : dict.values_) fp = MixInto(fp, v.Hash());
+    for (uint32_t code : codes) fp = MixInto(fp, code);
+  }
+  out.fingerprint_ = fp;
+  return out;
+}
+
+Result<Relation> EncodedRelation::Decode() const {
+  std::vector<std::vector<Value>> columns(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    columns[c].reserve(num_rows_);
+    for (uint32_t code : codes_[c]) {
+      columns[c].push_back(dicts_[c].decode(code));
+    }
+  }
+  return Relation::Make(schema_, std::move(columns));
+}
+
+Result<Domain> EncodedRelation::DomainOf(size_t c) const {
+  if (c >= num_columns()) {
+    return Status::OutOfRange("attribute index " + std::to_string(c) +
+                              " out of range");
+  }
+  const Attribute& attr = schema_.attribute(c);
+  const ColumnDictionary& dict = dicts_[c];
+  if (attr.semantic == SemanticType::kCategorical) {
+    if (dict.num_distinct() == 0) {
+      return Status::Invalid("attribute '" + attr.name +
+                             "' has no non-null values");
+    }
+    return Domain::Categorical(dict.DistinctValues());
+  }
+  // Continuous: min/max over the numeric dictionary entries. Non-numeric
+  // values (if any) sort after numerics in Value order, so the numeric
+  // entries form a sorted prefix of codes 1..K — but scanning all K keeps
+  // this robust without relying on that.
+  bool seen = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (uint32_t code = 1; code < dict.num_codes(); ++code) {
+    const Value& v = dict.decode(code);
+    if (!v.is_numeric()) continue;
+    double x = v.AsNumeric();
+    if (!seen) {
+      lo = hi = x;
+      seen = true;
+    } else {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  if (!seen) {
+    return Status::Invalid("continuous attribute '" + attr.name +
+                           "' has no numeric values");
+  }
+  return Domain::Continuous(lo, hi);
+}
+
+Result<std::vector<Domain>> EncodedRelation::Domains() const {
+  std::vector<Domain> out;
+  out.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    METALEAK_ASSIGN_OR_RETURN(Domain d, DomainOf(c));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace metaleak

@@ -1,0 +1,143 @@
+// EncodedRelation: dictionary-encoded columnar view of a Relation.
+//
+// Every hot path in the library — PLI construction, TANE's lattice
+// search, OD/ND/DD validation, identifiability scans, leakage setup —
+// ultimately groups or compares cells. Doing that on `Value` (a
+// std::variant) costs a hash + variant dispatch per cell. TANE-style
+// systems instead operate on *integer-coded* columns; this layer computes
+// that coding once per relation and lets every consumer run on dense
+// `uint32_t` codes.
+//
+// Coding scheme, per column:
+//   * code 0 is reserved for NULL (whether or not the column contains
+//     NULLs), preserving the library-wide NULL == NULL convention from
+//     value.h: all NULL cells share one code, exactly one equivalence
+//     class.
+//   * distinct non-null values get codes 1..K assigned in ascending
+//     `Value` order. Columns are uniformly typed (Relation::Make /
+//     AppendRow enforce this), so `Value`'s total order is a strict total
+//     order within a column and the assignment is *order-preserving*:
+//     code(a) < code(b) iff a < b, and code(a) == code(b) iff a == b.
+//     Order-dependency checks can therefore compare codes directly.
+//
+// The dictionaries double as precomputed per-column statistics: sorted
+// distinct values (= the categorical Domain), value frequencies (= the
+// frequency table / marginal), and min/max of the numeric values
+// (= the continuous Domain) all read straight out of the dictionary
+// instead of re-scanning the column.
+#ifndef METALEAK_DATA_ENCODED_RELATION_H_
+#define METALEAK_DATA_ENCODED_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/domain.h"
+#include "data/relation.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace metaleak {
+
+/// Per-column code book. decode(0) is always NULL; decode(1..K) lists the
+/// distinct non-null values in ascending Value order.
+class ColumnDictionary {
+ public:
+  /// The reserved NULL code.
+  static constexpr uint32_t kNullCode = 0;
+
+  /// Number of codes including the reserved NULL slot; valid codes are
+  /// [0, num_codes()).
+  uint32_t num_codes() const {
+    return static_cast<uint32_t>(values_.size());
+  }
+
+  /// Distinct non-null values in the column (== num_codes() - 1).
+  size_t num_distinct() const { return values_.size() - 1; }
+
+  /// True when the column actually contains NULL cells (code 0 occurs).
+  bool has_null() const { return null_count_ > 0; }
+  size_t null_count() const { return null_count_; }
+
+  /// The value behind `code` (NULL for code 0).
+  const Value& decode(uint32_t code) const { return values_[code]; }
+
+  /// Occurrences of `code` in the column. counts(0) == null_count().
+  size_t count(uint32_t code) const { return counts_[code]; }
+
+  /// Sorted distinct non-null values — the categorical domain, for free.
+  /// The returned view skips the NULL slot.
+  std::vector<Value> DistinctValues() const {
+    return std::vector<Value>(values_.begin() + 1, values_.end());
+  }
+
+ private:
+  friend class EncodedRelation;
+
+  std::vector<Value> values_;   // values_[0] == Value::Null()
+  std::vector<size_t> counts_;  // parallel to values_
+  size_t null_count_ = 0;
+};
+
+/// The dictionary-encoded relation. Construction (`Encode`) is O(N log D)
+/// per column; afterwards every consumer works on dense codes. The source
+/// relation must outlive the encoding (the encoding keeps a non-owning
+/// pointer for consumers that still need raw values, e.g. CFD discovery).
+class EncodedRelation {
+ public:
+  EncodedRelation() = default;
+
+  /// Encodes `relation`. Never fails: every Value is encodable.
+  static EncodedRelation Encode(const Relation& relation);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return codes_.size(); }
+
+  /// The source relation this encoding was built from (non-owning).
+  const Relation* source() const { return source_; }
+
+  /// Dense code vector of column `c` (one code per row).
+  const std::vector<uint32_t>& codes(size_t c) const { return codes_[c]; }
+
+  /// Code of cell (row, col).
+  uint32_t code_at(size_t row, size_t col) const {
+    return codes_[col][row];
+  }
+
+  const ColumnDictionary& dictionary(size_t c) const { return dicts_[c]; }
+
+  /// True iff cell (row, col) is NULL.
+  bool is_null(size_t row, size_t col) const {
+    return codes_[col][row] == ColumnDictionary::kNullCode;
+  }
+
+  /// Rebuilds the original relation from codes + dictionaries. Round-trip
+  /// identity: Decode(Encode(r)) == r.
+  Result<Relation> Decode() const;
+
+  /// Stable 64-bit fingerprint of the encoded content (schema shape,
+  /// dictionaries, code vectors). Two relations with equal fingerprints
+  /// encode the same data; used to key PLI caches across relations.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
+  /// The attribute's domain, read from the dictionary: distinct non-null
+  /// values for categorical attributes, numeric [min, max] for continuous
+  /// ones. Matches ExtractDomain(relation, c) exactly.
+  Result<Domain> DomainOf(size_t c) const;
+
+  /// All attribute domains (see DomainOf).
+  Result<std::vector<Domain>> Domains() const;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<uint32_t>> codes_;  // [column][row]
+  std::vector<ColumnDictionary> dicts_;
+  uint64_t fingerprint_ = 0;
+  const Relation* source_ = nullptr;
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_DATA_ENCODED_RELATION_H_

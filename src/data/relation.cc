@@ -67,7 +67,9 @@ Relation Relation::Project(const std::vector<size_t>& indices) const {
     METALEAK_DCHECK(i < columns_.size());
     cols.push_back(columns_[i]);
   }
-  return Relation(schema_.Project(indices), std::move(cols));
+  // Projection preserves the row count even when projecting onto the
+  // empty attribute list.
+  return Relation(schema_.Project(indices), std::move(cols), num_rows_);
 }
 
 Relation Relation::SelectRows(const std::vector<size_t>& rows) const {
@@ -79,7 +81,7 @@ Relation Relation::SelectRows(const std::vector<size_t>& rows) const {
       cols[c].push_back(columns_[c][r]);
     }
   }
-  return Relation(schema_, std::move(cols));
+  return Relation(schema_, std::move(cols), rows.size());
 }
 
 Status Relation::AppendRow(std::vector<Value> row) {
@@ -98,6 +100,9 @@ Status Relation::AppendRow(std::vector<Value> row) {
   for (size_t c = 0; c < row.size(); ++c) {
     columns_[c].push_back(std::move(row[c]));
   }
+  // Count the row even for zero-column schemas, where there is no column
+  // vector to infer the count from.
+  ++num_rows_;
   return Status::OK();
 }
 

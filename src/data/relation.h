@@ -30,9 +30,11 @@ class Relation {
   static Relation Empty(Schema schema);
 
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const {
-    return columns_.empty() ? 0 : columns_[0].size();
-  }
+  /// Row count, tracked explicitly so zero-column relations still count
+  /// rows appended via AppendRow. Make() cannot express rows for a
+  /// zero-column schema (there is no column to carry them), so
+  /// Make(schema, {}) and Empty(schema) both start at zero rows.
+  size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }
 
   const std::vector<Value>& column(size_t i) const { return columns_[i]; }
@@ -59,15 +61,25 @@ class Relation {
   std::string ToString(size_t max_rows = 20) const;
 
   friend bool operator==(const Relation& a, const Relation& b) {
-    return a.schema_ == b.schema_ && a.columns_ == b.columns_;
+    return a.schema_ == b.schema_ && a.num_rows_ == b.num_rows_ &&
+           a.columns_ == b.columns_;
   }
 
  private:
   Relation(Schema schema, std::vector<std::vector<Value>> columns)
-      : schema_(std::move(schema)), columns_(std::move(columns)) {}
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(columns_.empty() ? 0 : columns_[0].size()) {}
+
+  Relation(Schema schema, std::vector<std::vector<Value>> columns,
+           size_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
 
   Schema schema_;
   std::vector<std::vector<Value>> columns_;
+  size_t num_rows_ = 0;
 };
 
 /// Incremental row-wise construction helper.

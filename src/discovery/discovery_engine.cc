@@ -1,18 +1,25 @@
 #include "discovery/discovery_engine.h"
 
 #include "common/logging.h"
+#include "common/macros.h"
 #include "data/domain.h"
 
 namespace metaleak {
 
 Result<DiscoveryReport> ProfileRelation(const Relation& relation,
                                         const DiscoveryOptions& options) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return ProfileRelation(encoded, options);
+}
+
+Result<DiscoveryReport> ProfileRelation(const EncodedRelation& relation,
+                                        const DiscoveryOptions& options) {
   DiscoveryReport report;
   report.metadata.schema = relation.schema();
   report.metadata.num_rows = relation.num_rows();
 
   METALEAK_ASSIGN_OR_RETURN(std::vector<Domain> domains,
-                            ExtractDomains(relation));
+                            relation.Domains());
   report.metadata.domains.reserve(domains.size());
   for (Domain& d : domains) {
     report.metadata.domains.emplace_back(std::move(d));
@@ -24,8 +31,8 @@ Result<DiscoveryReport> ProfileRelation(const Relation& relation,
     for (size_t c = 0; c < relation.num_columns(); ++c) {
       METALEAK_ASSIGN_OR_RETURN(
           ValueDistribution dist,
-          ValueDistribution::FromColumn(relation, c,
-                                        options.distribution_buckets));
+          ValueDistribution::FromEncoded(relation, c,
+                                         options.distribution_buckets));
       report.metadata.distributions[c] = std::move(dist);
     }
   }
@@ -67,8 +74,12 @@ Result<DiscoveryReport> ProfileRelation(const Relation& relation,
     for (const Dependency& d : dds) report.metadata.dependencies.Add(d);
   }
   if (options.discover_cfds) {
-    METALEAK_ASSIGN_OR_RETURN(report.metadata.conditional_fds,
-                              DiscoverCfds(relation, options.cfd));
+    // CFDs match constant patterns against raw values; the encoding keeps
+    // a pointer to its source relation for exactly this path.
+    METALEAK_DCHECK(relation.source() != nullptr);
+    METALEAK_ASSIGN_OR_RETURN(
+        report.metadata.conditional_fds,
+        DiscoverCfds(*relation.source(), options.cfd));
   }
 
   METALEAK_LOG(kInfo) << "profiled relation: " << relation.num_rows()

@@ -4,6 +4,7 @@
 #define METALEAK_DISCOVERY_DISCOVERY_ENGINE_H_
 
 #include "common/result.h"
+#include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "discovery/cfd_discovery.h"
 #include "discovery/rfd_discovery.h"
@@ -42,8 +43,17 @@ struct DiscoveryReport {
 };
 
 /// Runs every enabled discovery algorithm and assembles the metadata
-/// package (names, domains, row count, dependencies).
+/// package (names, domains, row count, dependencies). Dictionary-encodes
+/// the relation once and threads the encoding through every discovery
+/// pass below.
 Result<DiscoveryReport> ProfileRelation(const Relation& relation,
+                                        const DiscoveryOptions& options = {});
+
+/// Profiles an already-encoded relation: domains and value distributions
+/// are read from the per-column dictionaries, partitions are built from
+/// dense codes. CFD discovery (when enabled) consults the raw values via
+/// `relation.source()`, which must still be alive.
+Result<DiscoveryReport> ProfileRelation(const EncodedRelation& relation,
                                         const DiscoveryOptions& options = {});
 
 }  // namespace metaleak

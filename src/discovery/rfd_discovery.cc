@@ -1,34 +1,29 @@
 #include "discovery/rfd_discovery.h"
 
-#include <unordered_set>
 #include <vector>
 
-#include "data/domain.h"
 #include "discovery/validators.h"
 #include "partition/pli_cache.h"
 
 namespace metaleak {
 
-namespace {
-
-size_t DistinctNonNull(const Relation& relation, size_t col) {
-  std::unordered_set<Value> distinct;
-  for (const Value& v : relation.column(col)) {
-    if (!v.is_null()) distinct.insert(v);
-  }
-  return distinct.size();
-}
-
-}  // namespace
+// Distinct non-null counts fall straight out of the dictionaries: the
+// encoding already deduplicated every column.
 
 Result<DependencySet> DiscoverOds(const Relation& relation,
                                   const OdDiscoveryOptions& options) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return DiscoverOds(encoded, options);
+}
+
+Result<DependencySet> DiscoverOds(const EncodedRelation& relation,
+                                  const OdDiscoveryOptions& options) {
   DependencySet out;
   size_t m = relation.num_columns();
-  std::vector<size_t> distinct(m);
-  for (size_t c = 0; c < m; ++c) distinct[c] = DistinctNonNull(relation, c);
   for (size_t x = 0; x < m; ++x) {
-    if (distinct[x] < options.min_lhs_distinct) continue;
+    if (relation.dictionary(x).num_distinct() < options.min_lhs_distinct) {
+      continue;
+    }
     for (size_t y = 0; y < m; ++y) {
       if (x == y) continue;
       if (ValidateOd(relation, x, y)) {
@@ -41,12 +36,18 @@ Result<DependencySet> DiscoverOds(const Relation& relation,
 
 Result<DependencySet> DiscoverOfds(const Relation& relation,
                                    const OdDiscoveryOptions& options) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return DiscoverOfds(encoded, options);
+}
+
+Result<DependencySet> DiscoverOfds(const EncodedRelation& relation,
+                                   const OdDiscoveryOptions& options) {
   DependencySet out;
   size_t m = relation.num_columns();
-  std::vector<size_t> distinct(m);
-  for (size_t c = 0; c < m; ++c) distinct[c] = DistinctNonNull(relation, c);
   for (size_t x = 0; x < m; ++x) {
-    if (distinct[x] < options.min_lhs_distinct) continue;
+    if (relation.dictionary(x).num_distinct() < options.min_lhs_distinct) {
+      continue;
+    }
     for (size_t y = 0; y < m; ++y) {
       if (x == y) continue;
       if (ValidateOfd(relation, x, y)) {
@@ -59,13 +60,19 @@ Result<DependencySet> DiscoverOfds(const Relation& relation,
 
 Result<DependencySet> DiscoverNds(const Relation& relation,
                                   const NdDiscoveryOptions& options) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return DiscoverNds(encoded, options);
+}
+
+Result<DependencySet> DiscoverNds(const EncodedRelation& relation,
+                                  const NdDiscoveryOptions& options) {
   DependencySet out;
   size_t m = relation.num_columns();
   PliCache cache(&relation);
   for (size_t x = 0; x < m; ++x) {
     for (size_t y = 0; y < m; ++y) {
       if (x == y) continue;
-      size_t distinct_y = DistinctNonNull(relation, y);
+      size_t distinct_y = relation.dictionary(y).num_distinct();
       if (distinct_y < 2) continue;
       size_t k = ComputeMaxFanout(&cache, x, y);
       if (k <= 1) continue;  // that is an FD, not an ND
@@ -83,16 +90,22 @@ Result<DependencySet> DiscoverNds(const Relation& relation,
 
 Result<DependencySet> DiscoverDds(const Relation& relation,
                                   const DdDiscoveryOptions& options) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return DiscoverDds(encoded, options);
+}
+
+Result<DependencySet> DiscoverDds(const EncodedRelation& relation,
+                                  const DdDiscoveryOptions& options) {
   DependencySet out;
   std::vector<size_t> continuous =
       relation.schema().IndicesOf(SemanticType::kContinuous);
   for (size_t x : continuous) {
-    METALEAK_ASSIGN_OR_RETURN(Domain dx, ExtractDomain(relation, x));
+    METALEAK_ASSIGN_OR_RETURN(Domain dx, relation.DomainOf(x));
     if (dx.range() <= 0.0) continue;
     double eps = options.epsilon_fraction * dx.range();
     for (size_t y : continuous) {
       if (x == y) continue;
-      METALEAK_ASSIGN_OR_RETURN(Domain dy, ExtractDomain(relation, y));
+      METALEAK_ASSIGN_OR_RETURN(Domain dy, relation.DomainOf(y));
       if (dy.range() <= 0.0) continue;
       METALEAK_ASSIGN_OR_RETURN(double delta,
                                 ComputeMinimalDelta(relation, x, y, eps));

@@ -9,6 +9,7 @@
 #define METALEAK_DISCOVERY_RFD_DISCOVERY_H_
 
 #include "common/result.h"
+#include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "metadata/dependency_set.h"
 
@@ -21,11 +22,17 @@ struct OdDiscoveryOptions {
 };
 
 /// Finds all order dependencies X -> Y (X != Y) that hold on `relation`.
+/// The `Relation` overloads encode once and run the code-path versions;
+/// callers that already hold an encoding should pass it directly.
 Result<DependencySet> DiscoverOds(const Relation& relation,
+                                  const OdDiscoveryOptions& options = {});
+Result<DependencySet> DiscoverOds(const EncodedRelation& relation,
                                   const OdDiscoveryOptions& options = {});
 
 /// Finds all ordered functional dependencies (FD + strict order).
 Result<DependencySet> DiscoverOfds(const Relation& relation,
+                                   const OdDiscoveryOptions& options = {});
+Result<DependencySet> DiscoverOfds(const EncodedRelation& relation,
                                    const OdDiscoveryOptions& options = {});
 
 struct NdDiscoveryOptions {
@@ -38,6 +45,8 @@ struct NdDiscoveryOptions {
 
 /// Finds numerical dependencies with their minimal fan-out K.
 Result<DependencySet> DiscoverNds(const Relation& relation,
+                                  const NdDiscoveryOptions& options = {});
+Result<DependencySet> DiscoverNds(const EncodedRelation& relation,
                                   const NdDiscoveryOptions& options = {});
 
 struct DdDiscoveryOptions {
@@ -52,6 +61,8 @@ struct DdDiscoveryOptions {
 /// Finds differential dependencies between continuous attribute pairs,
 /// recording the epsilon used and the minimal delta measured.
 Result<DependencySet> DiscoverDds(const Relation& relation,
+                                  const DdDiscoveryOptions& options = {});
+Result<DependencySet> DiscoverDds(const EncodedRelation& relation,
                                   const DdDiscoveryOptions& options = {});
 
 }  // namespace metaleak

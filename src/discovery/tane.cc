@@ -26,6 +26,12 @@ bool IsMinimalAgainst(const DependencySet& emitted, AttributeSet lhs,
 
 Result<TaneResult> DiscoverFds(const Relation& relation,
                                const TaneOptions& options) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return DiscoverFds(encoded, options);
+}
+
+Result<TaneResult> DiscoverFds(const EncodedRelation& relation,
+                               const TaneOptions& options) {
   const size_t m = relation.num_columns();
   if (m > AttributeSet::kMaxAttributes) {
     return Status::Invalid("relation exceeds 64 attributes");

@@ -14,6 +14,7 @@
 #include <cstddef>
 
 #include "common/result.h"
+#include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "metadata/dependency_set.h"
 
@@ -38,8 +39,16 @@ struct TaneResult {
 };
 
 /// Runs TANE on `relation`. Fails when the relation exceeds the 64
-/// attribute limit of AttributeSet.
+/// attribute limit of AttributeSet. Encodes the relation once and runs
+/// the code-path search below.
 Result<TaneResult> DiscoverFds(const Relation& relation,
+                               const TaneOptions& options = {});
+
+/// Runs TANE over a pre-built dictionary encoding: all partitions are
+/// constructed from dense codes (counting-style grouping) instead of
+/// `Value` hashing. Pipeline entry points that already hold an encoding
+/// should call this overload.
+Result<TaneResult> DiscoverFds(const EncodedRelation& relation,
                                const TaneOptions& options = {});
 
 }  // namespace metaleak

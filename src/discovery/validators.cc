@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include "common/macros.h"
@@ -53,6 +54,26 @@ std::vector<std::pair<Value, Value>> SortedPairs(const Relation& relation,
 bool ValueEq(const Value& a, const Value& b) { return a == b; }
 bool ValueLt(const Value& a, const Value& b) { return a < b; }
 
+// Non-null (lhs, rhs) code pairs packed as (lhs << 32 | rhs), sorted.
+// Codes are order-preserving per column, so sorting the packed pairs is
+// the sort-by-(lhs, rhs) the Value path performs — on plain integers.
+std::vector<uint64_t> SortedCodePairs(const EncodedRelation& relation,
+                                      size_t lhs, size_t rhs) {
+  const std::vector<uint32_t>& x = relation.codes(lhs);
+  const std::vector<uint32_t>& y = relation.codes(rhs);
+  std::vector<uint64_t> pairs;
+  pairs.reserve(x.size());
+  for (size_t r = 0; r < x.size(); ++r) {
+    if (x[r] == ColumnDictionary::kNullCode ||
+        y[r] == ColumnDictionary::kNullCode) {
+      continue;
+    }
+    pairs.push_back((static_cast<uint64_t>(x[r]) << 32) | y[r]);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
 }  // namespace
 
 bool ValidateOd(const Relation& relation, size_t lhs, size_t rhs) {
@@ -88,31 +109,51 @@ bool ValidateOfd(const Relation& relation, size_t lhs, size_t rhs) {
   return true;
 }
 
-Result<double> ComputeMinimalDelta(const Relation& relation, size_t lhs,
-                                   size_t rhs, double eps) {
-  if (lhs >= relation.num_columns() || rhs >= relation.num_columns()) {
-    return Status::OutOfRange("attribute index out of range");
-  }
-  if (eps < 0.0) {
-    return Status::Invalid("differential epsilon must be non-negative");
-  }
-  std::vector<std::pair<double, double>> pts;
-  const std::vector<Value>& x = relation.column(lhs);
-  const std::vector<Value>& y = relation.column(rhs);
-  for (size_t r = 0; r < relation.num_rows(); ++r) {
-    if (x[r].is_null() || y[r].is_null()) continue;
-    if (!x[r].is_numeric() || !y[r].is_numeric()) {
-      return Status::TypeError(
-          "differential dependencies require numeric attributes");
+bool ValidateOd(const EncodedRelation& relation, size_t lhs, size_t rhs) {
+  std::vector<uint64_t> pairs = SortedCodePairs(relation, lhs, rhs);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    const uint32_t px = static_cast<uint32_t>(pairs[i - 1] >> 32);
+    const uint32_t py = static_cast<uint32_t>(pairs[i - 1]);
+    const uint32_t cx = static_cast<uint32_t>(pairs[i] >> 32);
+    const uint32_t cy = static_cast<uint32_t>(pairs[i]);
+    if (cx == px) {
+      // lhs tie: both directions of the implication force rhs equality.
+      if (cy != py) return false;
+    } else {
+      // lhs strictly increased: rhs must not decrease.
+      if (cy < py) return false;
     }
-    pts.emplace_back(x[r].AsNumeric(), y[r].AsNumeric());
   }
+  return true;
+}
+
+bool ValidateOfd(const EncodedRelation& relation, size_t lhs, size_t rhs) {
+  std::vector<uint64_t> pairs = SortedCodePairs(relation, lhs, rhs);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    const uint32_t px = static_cast<uint32_t>(pairs[i - 1] >> 32);
+    const uint32_t py = static_cast<uint32_t>(pairs[i - 1]);
+    const uint32_t cx = static_cast<uint32_t>(pairs[i] >> 32);
+    const uint32_t cy = static_cast<uint32_t>(pairs[i]);
+    if (cx == px) {
+      if (cy != py) return false;  // FD part
+    } else {
+      // Strict order preservation.
+      if (cy <= py) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Shared tail of ComputeMinimalDelta once the non-null numeric (x, y)
+// points are collected. Sliding window over x with monotonic deques for
+// y min/max. For every j, all i with x_j - x_i <= eps pair with j; the
+// largest |y_i - y_j| within any such window is the minimal delta.
+double MinimalDeltaOverPoints(std::vector<std::pair<double, double>> pts,
+                              double eps) {
   if (pts.size() < 2) return 0.0;
   std::sort(pts.begin(), pts.end());
-
-  // Sliding window over x with monotonic deques for y min/max. For every
-  // j, all i with x_j - x_i <= eps pair with j; the largest |y_i - y_j|
-  // within any such window is the minimal delta.
   double delta = 0.0;
   std::deque<size_t> min_dq;
   std::deque<size_t> max_dq;
@@ -141,7 +182,81 @@ Result<double> ComputeMinimalDelta(const Relation& relation, size_t lhs,
   return delta;
 }
 
+}  // namespace
+
+Result<double> ComputeMinimalDelta(const Relation& relation, size_t lhs,
+                                   size_t rhs, double eps) {
+  if (lhs >= relation.num_columns() || rhs >= relation.num_columns()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (eps < 0.0) {
+    return Status::Invalid("differential epsilon must be non-negative");
+  }
+  std::vector<std::pair<double, double>> pts;
+  const std::vector<Value>& x = relation.column(lhs);
+  const std::vector<Value>& y = relation.column(rhs);
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    if (x[r].is_null() || y[r].is_null()) continue;
+    if (!x[r].is_numeric() || !y[r].is_numeric()) {
+      return Status::TypeError(
+          "differential dependencies require numeric attributes");
+    }
+    pts.emplace_back(x[r].AsNumeric(), y[r].AsNumeric());
+  }
+  return MinimalDeltaOverPoints(std::move(pts), eps);
+}
+
+Result<double> ComputeMinimalDelta(const EncodedRelation& relation,
+                                   size_t lhs, size_t rhs, double eps) {
+  if (lhs >= relation.num_columns() || rhs >= relation.num_columns()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (eps < 0.0) {
+    return Status::Invalid("differential epsilon must be non-negative");
+  }
+  // Decode each distinct value to a double once; the row scan then runs
+  // on the small per-column lookup tables. NaN marks non-numeric entries
+  // so the type error matches the Value path (raised only when such a
+  // value occurs in a row whose partner is non-null).
+  auto numeric_table = [&](size_t col) {
+    const ColumnDictionary& dict = relation.dictionary(col);
+    std::vector<double> table(dict.num_codes(),
+                              std::numeric_limits<double>::quiet_NaN());
+    for (uint32_t code = 1; code < dict.num_codes(); ++code) {
+      const Value& v = dict.decode(code);
+      if (v.is_numeric()) table[code] = v.AsNumeric();
+    }
+    return table;
+  };
+  const std::vector<double> xt = numeric_table(lhs);
+  const std::vector<double> yt = numeric_table(rhs);
+  const std::vector<uint32_t>& x = relation.codes(lhs);
+  const std::vector<uint32_t>& y = relation.codes(rhs);
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(x.size());
+  for (size_t r = 0; r < x.size(); ++r) {
+    if (x[r] == ColumnDictionary::kNullCode ||
+        y[r] == ColumnDictionary::kNullCode) {
+      continue;
+    }
+    double xv = xt[x[r]];
+    double yv = yt[y[r]];
+    if (std::isnan(xv) || std::isnan(yv)) {
+      return Status::TypeError(
+          "differential dependencies require numeric attributes");
+    }
+    pts.emplace_back(xv, yv);
+  }
+  return MinimalDeltaOverPoints(std::move(pts), eps);
+}
+
 Result<bool> ValidateDependency(const Relation& relation,
+                                const Dependency& dep) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return ValidateDependency(encoded, dep);
+}
+
+Result<bool> ValidateDependency(const EncodedRelation& relation,
                                 const Dependency& dep) {
   size_t n = relation.num_columns();
   if (dep.rhs >= n) return Status::OutOfRange("RHS attribute out of range");

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "metadata/dependency.h"
 #include "partition/attribute_set.h"
@@ -31,11 +32,20 @@ size_t ComputeMaxFanout(PliCache* cache, size_t lhs, size_t rhs);
 /// True iff the order dependency lhs -> rhs holds: for all tuples t, u,
 /// t[lhs] <= u[lhs] implies t[rhs] <= u[rhs]. Note this entails equal rhs
 /// values on lhs ties, i.e. OD implies FD on the non-null rows.
+/// Legacy `Value` path, agreement-tested against the encoded overload.
 bool ValidateOd(const Relation& relation, size_t lhs, size_t rhs);
+
+/// OD check on the dictionary-encoded view: codes are order-preserving,
+/// so the whole scan runs on packed uint32 pairs.
+bool ValidateOd(const EncodedRelation& relation, size_t lhs, size_t rhs);
 
 /// True iff the ordered functional dependency holds: the FD plus strict
 /// order preservation (t[lhs] < u[lhs] implies t[rhs] < u[rhs]).
+/// Legacy `Value` path, agreement-tested against the encoded overload.
 bool ValidateOfd(const Relation& relation, size_t lhs, size_t rhs);
+
+/// OFD check on the encoded view (see the OD overload).
+bool ValidateOfd(const EncodedRelation& relation, size_t lhs, size_t rhs);
 
 /// Minimal delta such that the differential dependency
 /// |t[lhs]-u[lhs]| <= eps  =>  |t[rhs]-u[rhs]| <= delta holds over all
@@ -44,11 +54,20 @@ bool ValidateOfd(const Relation& relation, size_t lhs, size_t rhs);
 Result<double> ComputeMinimalDelta(const Relation& relation, size_t lhs,
                                    size_t rhs, double eps);
 
+/// Minimal delta on the encoded view: numeric decoding happens once per
+/// distinct value (dictionary lookup) instead of once per row.
+Result<double> ComputeMinimalDelta(const EncodedRelation& relation,
+                                   size_t lhs, size_t rhs, double eps);
+
 /// Validates a dependency of any class against `relation`; for
 /// parameterized classes the recorded parameter must be satisfied
 /// (g3 <= dep.g3_error, fan-out <= dep.max_fanout, minimal delta <=
 /// dep.rhs_delta). Fails on out-of-range attribute indices.
 Result<bool> ValidateDependency(const Relation& relation,
+                                const Dependency& dep);
+
+/// Same, over a pre-built encoding (no per-call re-encode).
+Result<bool> ValidateDependency(const EncodedRelation& relation,
                                 const Dependency& dep);
 
 }  // namespace metaleak

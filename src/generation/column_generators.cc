@@ -1,7 +1,7 @@
 #include "generation/column_generators.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <unordered_map>
 
 #include "common/macros.h"
@@ -10,41 +10,54 @@ namespace metaleak {
 
 namespace {
 
-// Composite key over the LHS columns of one row.
-struct LhsKey {
-  std::vector<Value> values;
-  friend bool operator==(const LhsKey& a, const LhsKey& b) {
-    return a.values == b.values;
-  }
-};
-
-struct LhsKeyHash {
-  size_t operator()(const LhsKey& k) const {
-    size_t h = 0x811C9DC5u;
-    for (const Value& v : k.values) {
-      h ^= v.Hash();
-      h *= 0x01000193u;
-    }
-    return h;
-  }
-};
-
-LhsKey KeyAt(const std::vector<const std::vector<Value>*>& lhs_columns,
-             size_t row) {
-  LhsKey key;
-  key.values.reserve(lhs_columns.size());
-  for (const std::vector<Value>* col : lhs_columns) {
-    key.values.push_back((*col)[row]);
-  }
-  return key;
-}
-
 // Sorted distinct values of a column (Value total order).
 std::vector<Value> SortedDistinct(const std::vector<Value>& column) {
   std::vector<Value> vals = column;
   std::sort(vals.begin(), vals.end());
   vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
   return vals;
+}
+
+// Local dictionary encoding of one generated column: codes[r] is the rank
+// of column[r] among the sorted distinct values. Pools and mappings below
+// index vectors by these dense codes instead of hashing `Value`s.
+std::vector<uint32_t> EncodeByRank(const std::vector<Value>& column,
+                                   const std::vector<Value>& distinct) {
+  std::vector<uint32_t> codes;
+  codes.reserve(column.size());
+  for (const Value& v : column) {
+    codes.push_back(static_cast<uint32_t>(
+        std::lower_bound(distinct.begin(), distinct.end(), v) -
+        distinct.begin()));
+  }
+  return codes;
+}
+
+// Folds the per-column codes of a composite LHS into one dense group id
+// per row (same fold as PositionListIndex::FromEncoded). The empty LHS
+// (constant FD {} -> A) yields a single group. Group ids are numbered by
+// first occurrence in row order, so lazy sampling keyed by id draws from
+// the RNG in exactly the row-scan order the Value-hash path used.
+std::pair<std::vector<uint32_t>, uint32_t> FoldLhsGroups(
+    const std::vector<const std::vector<Value>*>& lhs_columns,
+    size_t num_rows) {
+  std::vector<uint32_t> ids(num_rows, 0);
+  uint32_t num_groups = 1;
+  for (const std::vector<Value>* col : lhs_columns) {
+    std::vector<Value> distinct = SortedDistinct(*col);
+    std::vector<uint32_t> codes = EncodeByRank(*col, distinct);
+    std::unordered_map<uint64_t, uint32_t> remap;
+    remap.reserve(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      uint64_t key = static_cast<uint64_t>(ids[r]) * distinct.size() +
+                     codes[r];
+      auto it = remap.emplace(key, static_cast<uint32_t>(remap.size()))
+                    .first;
+      ids[r] = it->second;
+    }
+    num_groups = static_cast<uint32_t>(remap.size());
+  }
+  return {std::move(ids), num_groups};
 }
 
 // `count` non-decreasing order statistics over `domain`.
@@ -113,14 +126,17 @@ std::vector<Value> GenerateFdColumn(
   METALEAK_DCHECK(rng != nullptr);
   std::vector<Value> out;
   out.reserve(num_rows);
-  std::unordered_map<LhsKey, Value, LhsKeyHash> mapping;
+  auto [ids, num_groups] = FoldLhsGroups(lhs_columns, num_rows);
+  // One lazily-sampled target per LHS group, indexed by dense group id.
+  std::vector<Value> mapping(num_groups, Value::Null());
+  std::vector<bool> sampled(num_groups, false);
   for (size_t r = 0; r < num_rows; ++r) {
-    LhsKey key = KeyAt(lhs_columns, r);
-    auto it = mapping.find(key);
-    if (it == mapping.end()) {
-      it = mapping.emplace(std::move(key), domain.Sample(rng)).first;
+    uint32_t id = ids[r];
+    if (!sampled[id]) {
+      mapping[id] = domain.Sample(rng);
+      sampled[id] = true;
     }
-    out.push_back(it->second);
+    out.push_back(mapping[id]);
   }
   return out;
 }
@@ -146,11 +162,15 @@ std::vector<Value> GenerateNdColumn(const std::vector<Value>& lhs_column,
   METALEAK_DCHECK(rng != nullptr);
   METALEAK_DCHECK(lhs_column.size() == num_rows);
   size_t k = std::max<size_t>(1, max_fanout);
-  std::unordered_map<Value, std::vector<Value>> pools;
+  std::vector<Value> distinct = SortedDistinct(lhs_column);
+  std::vector<uint32_t> codes = EncodeByRank(lhs_column, distinct);
+  // Per-LHS-value pools, indexed by dense code; filled lazily in row-scan
+  // order so RNG consumption matches the Value-hash path.
+  std::vector<std::vector<Value>> pools(distinct.size());
   std::vector<Value> out;
   out.reserve(num_rows);
   for (size_t r = 0; r < num_rows; ++r) {
-    std::vector<Value>& pool = pools[lhs_column[r]];
+    std::vector<Value>& pool = pools[codes[r]];
     if (pool.empty()) {
       if (domain.is_categorical()) {
         const std::vector<Value>& vals = domain.values();
@@ -183,14 +203,12 @@ std::vector<Value> GenerateOrderedColumn(const std::vector<Value>& lhs_column,
              : SortedSamples(domain, distinct.size(), rng);
   // Map the i-th smallest LHS value to the i-th order statistic: this is
   // exactly the interval-partition assignment of Section IV-C and keeps
-  // the order dependency satisfied by construction.
-  std::map<Value, Value> mapping;
-  for (size_t i = 0; i < distinct.size(); ++i) {
-    mapping.emplace(distinct[i], targets[i]);
-  }
+  // the order dependency satisfied by construction. The rank codes *are*
+  // the mapping — targets is indexed directly by code.
+  std::vector<uint32_t> codes = EncodeByRank(lhs_column, distinct);
   std::vector<Value> out;
   out.reserve(num_rows);
-  for (const Value& v : lhs_column) out.push_back(mapping.at(v));
+  for (uint32_t code : codes) out.push_back(targets[code]);
   return out;
 }
 

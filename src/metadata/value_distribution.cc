@@ -50,6 +50,51 @@ Result<ValueDistribution> ValueDistribution::FromColumn(
   return Continuous(std::move(hist));
 }
 
+Result<ValueDistribution> ValueDistribution::FromEncoded(
+    const EncodedRelation& relation, size_t attribute, size_t buckets) {
+  if (attribute >= relation.num_columns()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  const ColumnDictionary& dict = relation.dictionary(attribute);
+  if (relation.schema().attribute(attribute).semantic ==
+      SemanticType::kCategorical) {
+    FrequencyTable table;
+    table.values = dict.DistinctValues();
+    table.counts.reserve(table.values.size());
+    for (uint32_t code = 1; code < dict.num_codes(); ++code) {
+      table.counts.push_back(dict.count(code));
+    }
+    return Categorical(std::move(table));
+  }
+  if (buckets == 0) {
+    return Status::Invalid("histogram needs at least one bucket");
+  }
+  Histogram h;
+  bool first = true;
+  for (uint32_t code = 1; code < dict.num_codes(); ++code) {
+    const Value& v = dict.decode(code);
+    if (!v.is_numeric()) continue;
+    double x = v.AsNumeric();
+    if (first) {
+      h.lo = h.hi = x;
+      first = false;
+    } else {
+      h.lo = std::min(h.lo, x);
+      h.hi = std::max(h.hi, x);
+    }
+  }
+  if (first) {
+    return Status::Invalid("column has no numeric values");
+  }
+  h.counts.assign(buckets, 0);
+  for (uint32_t code = 1; code < dict.num_codes(); ++code) {
+    const Value& v = dict.decode(code);
+    if (!v.is_numeric()) continue;
+    h.counts[h.BucketOf(v.AsNumeric())] += dict.count(code);
+  }
+  return Continuous(std::move(h));
+}
+
 Value ValueDistribution::Sample(Rng* rng) const {
   METALEAK_DCHECK(rng != nullptr);
   if (categorical_) {

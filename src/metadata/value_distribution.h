@@ -14,6 +14,7 @@
 
 #include "common/random.h"
 #include "common/result.h"
+#include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "data/statistics.h"
 #include "data/value.h"
@@ -36,6 +37,13 @@ class ValueDistribution {
   static Result<ValueDistribution> FromColumn(const Relation& relation,
                                               size_t attribute,
                                               size_t buckets = 16);
+
+  /// Same marginal, read straight off the dictionary encoding: the
+  /// dictionary already holds each distinct value with its frequency in
+  /// Value total order, so no column re-scan is needed.
+  static Result<ValueDistribution> FromEncoded(
+      const EncodedRelation& relation, size_t attribute,
+      size_t buckets = 16);
 
   bool is_categorical() const { return categorical_; }
   const FrequencyTable& frequency_table() const { return freq_; }

@@ -2,19 +2,36 @@
 
 namespace metaleak {
 
-PliCache::PliCache(const Relation* relation) : relation_(relation) {
-  METALEAK_DCHECK(relation_ != nullptr);
-  METALEAK_DCHECK(relation_->num_columns() <= AttributeSet::kMaxAttributes);
-  cache_[AttributeSet()] = std::make_unique<PositionListIndex>(
-      PositionListIndex::Identity(relation_->num_rows()));
-  for (size_t c = 0; c < relation_->num_columns(); ++c) {
-    cache_[AttributeSet::Single(c)] = std::make_unique<PositionListIndex>(
-        PositionListIndex::FromColumn(relation_->column(c)));
+PliCache::PliCache(const EncodedRelation* encoded) : encoded_(encoded) {
+  METALEAK_DCHECK(encoded_ != nullptr);
+  BuildSingletons();
+}
+
+PliCache::PliCache(const Relation* relation) {
+  METALEAK_DCHECK(relation != nullptr);
+  owned_encoding_ =
+      std::make_unique<EncodedRelation>(EncodedRelation::Encode(*relation));
+  encoded_ = owned_encoding_.get();
+  BuildSingletons();
+}
+
+void PliCache::BuildSingletons() {
+  METALEAK_DCHECK(encoded_->num_columns() <= AttributeSet::kMaxAttributes);
+  const uint64_t fp = encoded_->Fingerprint();
+  cache_[PliCacheKey{fp, AttributeSet()}] =
+      std::make_unique<PositionListIndex>(
+          PositionListIndex::Identity(encoded_->num_rows()));
+  for (size_t c = 0; c < encoded_->num_columns(); ++c) {
+    cache_[PliCacheKey{fp, AttributeSet::Single(c)}] =
+        std::make_unique<PositionListIndex>(PositionListIndex::FromCodes(
+            encoded_->codes(c), encoded_->dictionary(c).num_codes()));
   }
 }
 
 const PositionListIndex* PliCache::Get(AttributeSet attrs) {
-  auto it = cache_.find(attrs);
+  const uint64_t fp = encoded_->Fingerprint();
+  PliCacheKey key{fp, attrs};
+  auto it = cache_.find(key);
   if (it != cache_.end()) return it->second.get();
 
   // Build by intersecting the (recursively obtained) PLI without the
@@ -25,7 +42,7 @@ const PositionListIndex* PliCache::Get(AttributeSet attrs) {
   const PositionListIndex* single = Get(AttributeSet::Single(last));
   auto built = std::make_unique<PositionListIndex>(rest->Intersect(*single));
   const PositionListIndex* out = built.get();
-  cache_[attrs] = std::move(built);
+  cache_[key] = std::move(built);
   return out;
 }
 

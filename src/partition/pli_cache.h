@@ -1,8 +1,16 @@
-// Memoizing store of PLIs keyed by attribute set.
+// Memoizing store of PLIs keyed by attribute set + encoding fingerprint.
 //
 // TANE repeatedly needs pli(X) for many X along lattice paths; building
 // each level by intersecting cached parents turns the exponential rebuild
 // cost into one intersection per requested set.
+//
+// The cache runs on the dictionary-encoded view of the relation: single-
+// attribute PLIs are built by counting-style grouping over dense codes
+// (no `Value` hashing), and composite PLIs by intersection as before.
+// Entries are keyed by (relation fingerprint, attribute set) so caches
+// over different encodings can never alias; each PliCache instance holds
+// one encoding, but the key shape lets a future shared store pool
+// entries across relations.
 #ifndef METALEAK_PARTITION_PLI_CACHE_H_
 #define METALEAK_PARTITION_PLI_CACHE_H_
 
@@ -10,16 +18,42 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "partition/attribute_set.h"
 #include "partition/position_list_index.h"
 
 namespace metaleak {
 
+/// Cache key: which relation (by encoding fingerprint) and which
+/// attribute set the partition belongs to.
+struct PliCacheKey {
+  uint64_t fingerprint = 0;
+  AttributeSet attrs;
+
+  friend bool operator==(const PliCacheKey& a, const PliCacheKey& b) {
+    return a.fingerprint == b.fingerprint && a.attrs == b.attrs;
+  }
+};
+
+struct PliCacheKeyHash {
+  size_t operator()(const PliCacheKey& k) const {
+    uint64_t h = k.fingerprint ^ (k.attrs.mask() * 0x9E3779B97F4A7C15ull);
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
 class PliCache {
  public:
-  /// Builds single-attribute PLIs eagerly; composite PLIs are built on
-  /// demand. The relation must outlive the cache.
+  /// Builds over an existing encoding (shared across consumers of one
+  /// pipeline entry point). The encoding must outlive the cache.
+  /// Single-attribute PLIs are built eagerly from the code vectors;
+  /// composite PLIs on demand.
+  explicit PliCache(const EncodedRelation* encoded);
+
+  /// Convenience: encodes `relation` internally and owns the encoding.
+  /// The relation must outlive the cache.
   explicit PliCache(const Relation* relation);
 
   METALEAK_DISALLOW_COPY_AND_ASSIGN(PliCache);
@@ -30,11 +64,20 @@ class PliCache {
   const PositionListIndex* Get(AttributeSet attrs);
 
   size_t size() const { return cache_.size(); }
-  const Relation& relation() const { return *relation_; }
+
+  /// The encoded view the cache is built over.
+  const EncodedRelation& encoded() const { return *encoded_; }
+
+  /// Fingerprint of the underlying encoding (part of every cache key).
+  uint64_t fingerprint() const { return encoded_->Fingerprint(); }
 
  private:
-  const Relation* relation_;
-  std::unordered_map<AttributeSet, std::unique_ptr<PositionListIndex>>
+  void BuildSingletons();
+
+  std::unique_ptr<EncodedRelation> owned_encoding_;  // Relation ctor only
+  const EncodedRelation* encoded_;
+  std::unordered_map<PliCacheKey, std::unique_ptr<PositionListIndex>,
+                     PliCacheKeyHash>
       cache_;
 };
 

@@ -71,6 +71,83 @@ PositionListIndex PositionListIndex::FromColumns(
   return PositionListIndex(std::move(clusters), relation.num_rows());
 }
 
+PositionListIndex PositionListIndex::FromCodes(
+    const std::vector<uint32_t>& codes, uint32_t num_codes) {
+  const size_t n = codes.size();
+  // Pass 1: occurrences per code.
+  std::vector<uint32_t> counts(num_codes, 0);
+  for (uint32_t code : codes) {
+    METALEAK_DCHECK(code < num_codes);
+    ++counts[code];
+  }
+  // Cluster slots for codes occurring >= 2 times; singletons are stripped.
+  std::vector<uint32_t> slot(num_codes, UINT32_MAX);
+  std::vector<Cluster> clusters;
+  uint32_t next_slot = 0;
+  for (uint32_t code = 0; code < num_codes; ++code) {
+    if (counts[code] >= 2) slot[code] = next_slot++;
+  }
+  clusters.resize(next_slot);
+  for (uint32_t code = 0; code < num_codes; ++code) {
+    if (slot[code] != UINT32_MAX) clusters[slot[code]].reserve(counts[code]);
+  }
+  // Pass 2: scatter rows; ascending row order within each cluster.
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t s = slot[codes[r]];
+    if (s != UINT32_MAX) clusters[s].push_back(r);
+  }
+  return PositionListIndex(std::move(clusters), n);
+}
+
+PositionListIndex PositionListIndex::FromEncoded(
+    const EncodedRelation& relation, const std::vector<size_t>& columns) {
+  if (columns.size() == 1) {
+    return FromCodes(relation.codes(columns[0]),
+                     relation.dictionary(columns[0]).num_codes());
+  }
+  const size_t n = relation.num_rows();
+  if (columns.empty() || n == 0) {
+    return Identity(n);
+  }
+  // Fold columns into running group ids. After each renumbering pass the
+  // ids are dense in [0, num_groups) with num_groups <= n, so the
+  // combined key id * num_codes + code stays well below 2^64.
+  std::vector<uint64_t> ids(relation.codes(columns[0]).begin(),
+                            relation.codes(columns[0]).end());
+  uint64_t num_groups = relation.dictionary(columns[0]).num_codes();
+  std::unordered_map<uint64_t, uint64_t> remap;
+  for (size_t i = 1; i < columns.size(); ++i) {
+    const std::vector<uint32_t>& codes = relation.codes(columns[i]);
+    const uint64_t nc = relation.dictionary(columns[i]).num_codes();
+    remap.clear();
+    remap.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t key = ids[r] * nc + codes[r];
+      auto it = remap.emplace(key, remap.size()).first;
+      ids[r] = it->second;
+    }
+    num_groups = remap.size();
+  }
+  // Final grouping over the dense ids, mirroring FromCodes.
+  std::vector<uint32_t> counts(num_groups, 0);
+  for (uint64_t id : ids) ++counts[id];
+  std::vector<uint32_t> slot(num_groups, UINT32_MAX);
+  std::vector<Cluster> clusters;
+  uint32_t next_slot = 0;
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    if (counts[g] >= 2) slot[g] = next_slot++;
+  }
+  clusters.resize(next_slot);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    if (slot[g] != UINT32_MAX) clusters[slot[g]].reserve(counts[g]);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t s = slot[ids[r]];
+    if (s != UINT32_MAX) clusters[s].push_back(r);
+  }
+  return PositionListIndex(std::move(clusters), n);
+}
+
 PositionListIndex PositionListIndex::Identity(size_t num_rows) {
   if (num_rows < 2) {
     return PositionListIndex({}, num_rows);

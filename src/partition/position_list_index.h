@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "data/value.h"
 
@@ -28,11 +29,27 @@ class PositionListIndex {
   using Cluster = std::vector<size_t>;
 
   /// Builds the PLI of a single column. O(N) expected via hashing.
+  /// This is the legacy `Value` path; the dictionary-encoded builders
+  /// below are the hot path (and agreement-tested against this one).
   static PositionListIndex FromColumn(const std::vector<Value>& column);
 
   /// Builds the PLI of a set of columns of `relation` (equality on the
-  /// whole tuple projection).
+  /// whole tuple projection). Legacy `Value` path, see FromColumn.
   static PositionListIndex FromColumns(const Relation& relation,
+                                       const std::vector<size_t>& columns);
+
+  /// Builds the PLI of one dictionary-encoded column by counting-style
+  /// grouping over the dense codes: two O(N) passes, no hashing. Codes
+  /// must lie in [0, num_codes). Clusters come out in ascending code
+  /// order with ascending row indices — fully deterministic.
+  static PositionListIndex FromCodes(const std::vector<uint32_t>& codes,
+                                     uint32_t num_codes);
+
+  /// Builds the PLI of a set of columns of an encoded relation. Single
+  /// columns use FromCodes; larger sets fold the per-column codes into
+  /// dense group ids column by column (renumbering keeps ids < N, so the
+  /// fold never overflows and never hashes a `Value`).
+  static PositionListIndex FromEncoded(const EncodedRelation& relation,
                                        const std::vector<size_t>& columns);
 
   /// The identity PLI over `num_rows` rows: one cluster with every row

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "data/domain.h"
+#include "data/encoded_relation.h"
 #include "partition/position_list_index.h"
 
 namespace metaleak {
@@ -74,8 +75,9 @@ Result<size_t> MinGroupSize(const Relation& relation,
                             AttributeSet quasi_id) {
   METALEAK_RETURN_NOT_OK(CheckQuasiId(relation, quasi_id));
   if (relation.num_rows() == 0) return 0;
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
   PositionListIndex pli =
-      PositionListIndex::FromColumns(relation, quasi_id.ToIndices());
+      PositionListIndex::FromEncoded(encoded, quasi_id.ToIndices());
   // Any stripped singleton is a group of 1.
   if (pli.num_stripped_rows() < relation.num_rows()) return 1;
   size_t min_size = relation.num_rows();
@@ -143,8 +145,9 @@ Result<AnonymizationResult> Anonymize(const Relation& relation,
         return result;
       }
       // Maximal generalization reached: suppress the violating rows.
-      PositionListIndex pli = PositionListIndex::FromColumns(
-          generalized, quasi_id.ToIndices());
+      EncodedRelation encoded = EncodedRelation::Encode(generalized);
+      PositionListIndex pli = PositionListIndex::FromEncoded(
+          encoded, quasi_id.ToIndices());
       std::vector<size_t> group_size(generalized.num_rows(), 1);
       for (const auto& cluster : pli.clusters()) {
         for (size_t row : cluster) group_size[row] = cluster.size();

@@ -19,13 +19,17 @@ Result<AuditResult> RunAudit(const Relation& relation,
   }
   AuditResult result;
 
+  // Encode once: profiling and the identifiability sweep both run on the
+  // same dictionary-encoded view.
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+
   METALEAK_ASSIGN_OR_RETURN(DiscoveryReport report,
-                            ProfileRelation(relation, options.discovery));
+                            ProfileRelation(encoded, options.discovery));
   result.metadata = std::move(report.metadata);
 
   METALEAK_ASSIGN_OR_RETURN(
       result.identifiable_fraction,
-      IdentifiableByAnySubset(relation, options.identifiability_max_width));
+      IdentifiableByAnySubset(encoded, options.identifiability_max_width));
 
   std::vector<GenerationMethod> methods = {GenerationMethod::kRandom};
   for (GenerationMethod m : options.methods) {

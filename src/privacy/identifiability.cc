@@ -8,7 +8,7 @@ namespace metaleak {
 
 namespace {
 
-Status CheckAttrs(const Relation& relation, AttributeSet attrs) {
+Status CheckAttrs(const EncodedRelation& relation, AttributeSet attrs) {
   for (size_t i : attrs.ToIndices()) {
     if (i >= relation.num_columns()) {
       return Status::OutOfRange("attribute index out of range");
@@ -38,10 +38,16 @@ void ForEachSubset(size_t m, size_t k, F&& f) {
 
 Result<std::vector<bool>> UniqueRows(const Relation& relation,
                                      AttributeSet attrs) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return UniqueRows(encoded, attrs);
+}
+
+Result<std::vector<bool>> UniqueRows(const EncodedRelation& relation,
+                                     AttributeSet attrs) {
   METALEAK_RETURN_NOT_OK(CheckAttrs(relation, attrs));
   // Stripped partitions list exactly the non-unique rows.
   PositionListIndex pli =
-      PositionListIndex::FromColumns(relation, attrs.ToIndices());
+      PositionListIndex::FromEncoded(relation, attrs.ToIndices());
   std::vector<bool> unique(relation.num_rows(), true);
   for (const auto& cluster : pli.clusters()) {
     for (size_t row : cluster) unique[row] = false;
@@ -50,6 +56,12 @@ Result<std::vector<bool>> UniqueRows(const Relation& relation,
 }
 
 Result<double> IdentifiableFraction(const Relation& relation,
+                                    AttributeSet attrs) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return IdentifiableFraction(encoded, attrs);
+}
+
+Result<double> IdentifiableFraction(const EncodedRelation& relation,
                                     AttributeSet attrs) {
   METALEAK_ASSIGN_OR_RETURN(std::vector<bool> unique,
                             UniqueRows(relation, attrs));
@@ -60,6 +72,12 @@ Result<double> IdentifiableFraction(const Relation& relation,
 }
 
 Result<double> IdentifiableByAnySubset(const Relation& relation,
+                                       size_t max_subset_size) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return IdentifiableByAnySubset(encoded, max_subset_size);
+}
+
+Result<double> IdentifiableByAnySubset(const EncodedRelation& relation,
                                        size_t max_subset_size) {
   size_t m = relation.num_columns();
   if (m == 0 || relation.num_rows() == 0) return 0.0;
@@ -93,6 +111,12 @@ Result<double> IdentifiableByAnySubset(const Relation& relation,
 
 Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
     const Relation& relation, size_t max_size) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return DiscoverUniqueColumnCombinations(encoded, max_size);
+}
+
+Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
+    const EncodedRelation& relation, size_t max_size) {
   size_t m = relation.num_columns();
   if (m > AttributeSet::kMaxAttributes) {
     return Status::Invalid("relation exceeds 64 attributes");
@@ -110,7 +134,7 @@ Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
       if (!status.ok()) return;
       if (covered_by_known(attrs)) return;  // not minimal
       PositionListIndex pli =
-          PositionListIndex::FromColumns(relation, attrs.ToIndices());
+          PositionListIndex::FromEncoded(relation, attrs.ToIndices());
       if (pli.num_clusters() == 0) {
         uccs.push_back(attrs);  // every row unique
       }

@@ -10,18 +10,25 @@
 #include <vector>
 
 #include "common/result.h"
+#include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "partition/attribute_set.h"
 
 namespace metaleak {
 
 /// Per-row flags: row r is true iff its projection onto `attrs` is unique
-/// in the relation.
+/// in the relation. The `Relation` overloads below encode once and run
+/// the code-path scans; subset sweeps should encode up front and reuse
+/// one encoding across every projection.
 Result<std::vector<bool>> UniqueRows(const Relation& relation,
+                                     AttributeSet attrs);
+Result<std::vector<bool>> UniqueRows(const EncodedRelation& relation,
                                      AttributeSet attrs);
 
 /// Fraction of rows unique under projection to `attrs`.
 Result<double> IdentifiableFraction(const Relation& relation,
+                                    AttributeSet attrs);
+Result<double> IdentifiableFraction(const EncodedRelation& relation,
                                     AttributeSet attrs);
 
 /// Fraction of rows identifiable by *some* attribute subset of size at
@@ -30,6 +37,8 @@ Result<double> IdentifiableFraction(const Relation& relation,
 /// the subset size bounds the quasi-identifier width considered).
 Result<double> IdentifiableByAnySubset(const Relation& relation,
                                        size_t max_subset_size);
+Result<double> IdentifiableByAnySubset(const EncodedRelation& relation,
+                                       size_t max_subset_size);
 
 /// Minimal unique column combinations (candidate keys) with at most
 /// `max_size` attributes: subsets whose projection is unique for every
@@ -37,6 +46,8 @@ Result<double> IdentifiableByAnySubset(const Relation& relation,
 /// identifiable.
 Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
     const Relation& relation, size_t max_size);
+Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
+    const EncodedRelation& relation, size_t max_size);
 
 }  // namespace metaleak
 

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "data/domain.h"
+#include "data/encoded_relation.h"
 #include "generation/generation_engine.h"
 #include "privacy/identifiability.h"
 
@@ -68,6 +69,10 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
     return Status::Invalid("cannot analyze an empty relation");
   }
 
+  // One dictionary encoding shared by the epsilon extraction below and
+  // every per-subset uniqueness scan in the identifiability pass.
+  EncodedRelation encoded = EncodedRelation::Encode(real);
+
   // Per-attribute epsilon for continuous cells.
   std::vector<double> epsilons(m, 0.0);
   for (size_t c = 0; c < m; ++c) {
@@ -77,7 +82,7 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
     if (options.leakage.absolute_epsilon.has_value()) {
       epsilons[c] = *options.leakage.absolute_epsilon;
     } else {
-      Result<Domain> domain = ExtractDomain(real, c);
+      Result<Domain> domain = encoded.DomainOf(c);
       epsilons[c] = domain.ok()
                         ? options.leakage.epsilon_fraction * domain->range()
                         : 0.0;
@@ -127,8 +132,9 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
     for (size_t i = 0; i < width; ++i) idx[i] = i;
     if (width > 0) {
       while (true) {
-        METALEAK_ASSIGN_OR_RETURN(std::vector<bool> unique,
-                                  UniqueRows(real, AttributeSet::Of(idx)));
+        METALEAK_ASSIGN_OR_RETURN(
+            std::vector<bool> unique,
+            UniqueRows(encoded, AttributeSet::Of(idx)));
         for (size_t r = 0; r < n; ++r) {
           if (unique[r]) identifiable[r] = true;
         }

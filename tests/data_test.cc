@@ -185,6 +185,29 @@ TEST(RelationTest, EqualityIsStructural) {
   EXPECT_FALSE(TestRelation() == other);
 }
 
+TEST(RelationTest, ZeroColumnSchemaCountsAppendedRows) {
+  // A zero-column relation cannot express its row count through its
+  // columns, so Relation tracks it explicitly: Empty()/Make(schema, {})
+  // start at 0 rows and AppendRow of the empty row still counts.
+  Schema empty_schema((std::vector<Attribute>()));
+  Relation r = Relation::Empty(empty_schema);
+  EXPECT_EQ(r.num_columns(), 0u);
+  EXPECT_EQ(r.num_rows(), 0u);
+  ASSERT_TRUE(r.AppendRow({}).ok());
+  ASSERT_TRUE(r.AppendRow({}).ok());
+  EXPECT_EQ(r.num_rows(), 2u);
+
+  auto made = Relation::Make(empty_schema, {});
+  ASSERT_TRUE(made.ok());
+  EXPECT_EQ(made->num_rows(), 0u);
+  // Row count participates in equality: two zero-column relations with
+  // different counts are different relations.
+  EXPECT_FALSE(*made == r);
+  // Projection onto no columns keeps the row count.
+  EXPECT_EQ(TestRelation().Project({}).num_rows(),
+            TestRelation().num_rows());
+}
+
 // --- Domain --------------------------------------------------------------------
 
 TEST(DomainTest, CategoricalDedupsAndSorts) {
