@@ -1,0 +1,210 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "common/macros.h"
+
+namespace metaleak {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("METALEAK_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) { Start(num_threads); }
+
+ThreadPool::~ThreadPool() { Stop(); }
+
+void ThreadPool::Start(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  stopping_ = false;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::Resize(size_t num_threads) {
+  METALEAK_DCHECK(!InWorker());
+  Stop();
+  Start(num_threads);
+}
+
+size_t ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain remaining tasks even when stopping, so Resize never drops
+      // queued work.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+size_t GlobalThreadCount() { return GlobalThreadPool().num_threads(); }
+
+void SetGlobalThreadCount(size_t n) {
+  GlobalThreadPool().Resize(n == 0 ? DefaultThreadCount() : n);
+}
+
+namespace internal {
+
+namespace {
+
+// Shared state of one RunChunks batch: workers claim chunk indices from
+// `next` and the caller sleeps until `completed` reaches `num_chunks`.
+struct ChunkBatch {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t, size_t)>* chunk_fn = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;
+  std::exception_ptr first_error;
+
+  void RunOne(size_t chunk) {
+    size_t lo = begin + chunk * grain;
+    size_t hi = std::min(end, lo + grain);
+    try {
+      (*chunk_fn)(chunk, lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+
+  // Claims and runs chunks until none remain, then records completion.
+  void DrainLoop() {
+    size_t ran = 0;
+    while (true) {
+      size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      RunOne(chunk);
+      ++ran;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    completed += ran;
+    if (completed == num_chunks) done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+void RunChunks(size_t begin, size_t end, size_t grain,
+               size_t max_parallelism,
+               const std::function<void(size_t, size_t, size_t)>& chunk_fn) {
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = NumChunks(begin, end, grain);
+  if (num_chunks == 0) return;
+
+  size_t parallelism =
+      max_parallelism == 0 ? GlobalThreadCount()
+                           : std::min(max_parallelism, GlobalThreadCount());
+  parallelism = std::min(parallelism, num_chunks);
+
+  // Inline serial fallback: single chunk, parallelism 1, or a nested call
+  // from a pool worker (new tasks from a worker could deadlock the batch
+  // the worker itself belongs to).
+  if (num_chunks == 1 || parallelism <= 1 || ThreadPool::InWorker()) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      size_t lo = begin + chunk * grain;
+      size_t hi = std::min(end, lo + grain);
+      chunk_fn(chunk, lo, hi);
+    }
+    return;
+  }
+
+  auto batch = std::make_shared<ChunkBatch>();
+  batch->begin = begin;
+  batch->end = end;
+  batch->grain = grain;
+  batch->num_chunks = num_chunks;
+  batch->chunk_fn = &chunk_fn;
+
+  ThreadPool& pool = GlobalThreadPool();
+  for (size_t t = 0; t < parallelism; ++t) {
+    pool.Submit([batch] { batch->DrainLoop(); });
+  }
+
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock,
+                      [&] { return batch->completed == batch->num_chunks; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+}  // namespace internal
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn,
+                 size_t max_parallelism) {
+  internal::RunChunks(begin, end, grain, max_parallelism,
+                      [&fn](size_t /*chunk*/, size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i) fn(i);
+                      });
+}
+
+void ParallelForChunks(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t)>& fn,
+                       size_t max_parallelism) {
+  internal::RunChunks(begin, end, grain, max_parallelism,
+                      [&fn](size_t /*chunk*/, size_t lo, size_t hi) {
+                        fn(lo, hi);
+                      });
+}
+
+}  // namespace metaleak

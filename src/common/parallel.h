@@ -1,0 +1,146 @@
+// Shared parallel runtime: a lazily-initialized global thread pool plus
+// deterministic data-parallel loops.
+//
+// Every multi-core hot path in MetaLeak (TANE candidate validation,
+// pairwise RFD scans, privacy subset scans, Monte-Carlo experiment
+// rounds) runs through ParallelFor / ParallelReduce rather than spawning
+// its own threads, so one pool serves the whole pipeline and thread
+// creation cost is paid once per process.
+//
+// Determinism contract: work is split into chunks derived ONLY from
+// (begin, end, grain) — never from the thread count — and ParallelReduce
+// combines per-chunk partial results in ascending chunk order on the
+// calling thread. Any computation whose chunk results are themselves
+// deterministic therefore produces bit-identical output at every thread
+// count, including 1.
+//
+// Nesting: a ParallelFor issued from inside a pool worker runs inline and
+// serially on that worker (no new tasks), which makes nested parallel
+// calls deadlock-free by construction.
+#ifndef METALEAK_COMMON_PARALLEL_H_
+#define METALEAK_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace metaleak {
+
+/// A fixed set of worker threads draining one FIFO task queue. Usually
+/// accessed through the global instance below; standalone pools exist for
+/// tests.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for any worker to run.
+  void Submit(std::function<void()> task);
+
+  /// Joins the current workers (after the queue drains) and restarts with
+  /// `num_threads` workers. Must not be called concurrently with Submit
+  /// or from inside a worker.
+  void Resize(size_t num_threads);
+
+  size_t num_threads() const;
+
+  /// True when the calling thread is a worker of *any* ThreadPool — used
+  /// by the parallel loops to fall back to inline serial execution.
+  static bool InWorker();
+
+ private:
+  void Start(size_t num_threads);
+  void Stop();
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// The process-wide pool. First use initializes it with
+/// `METALEAK_THREADS` (when set to a positive integer) or else the
+/// hardware concurrency.
+ThreadPool& GlobalThreadPool();
+
+/// Worker count of the global pool (initializing it if needed).
+size_t GlobalThreadCount();
+
+/// Resizes the global pool: the `--threads` override hook for CLIs and
+/// benches. `n == 0` restores the default (env var / hardware). Must not
+/// be called while parallel work is in flight.
+void SetGlobalThreadCount(size_t n);
+
+namespace internal {
+
+/// Number of grain-sized chunks covering [begin, end). Depends only on
+/// the range and grain — the unit of the determinism contract.
+inline size_t NumChunks(size_t begin, size_t end, size_t grain) {
+  if (end <= begin) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin - 1) / grain + 1;
+}
+
+/// Runs chunk_fn(chunk_index, chunk_begin, chunk_end) for every chunk,
+/// using up to `max_parallelism` pool workers (0 = pool size). Runs
+/// inline and serially when only one chunk exists, parallelism is 1, or
+/// the caller is already a pool worker. Rethrows the first exception a
+/// chunk raised.
+void RunChunks(size_t begin, size_t end, size_t grain,
+               size_t max_parallelism,
+               const std::function<void(size_t, size_t, size_t)>& chunk_fn);
+
+}  // namespace internal
+
+/// Applies fn(i) to every i in [begin, end), chunked by `grain`.
+/// `max_parallelism` caps the worker fan-out (0 = pool size); results of
+/// fn must not depend on execution order.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn,
+                 size_t max_parallelism = 0);
+
+/// Chunk-granular variant: fn(chunk_begin, chunk_end) once per chunk.
+/// Preferred on tight loops where a per-index std::function call would
+/// dominate.
+void ParallelForChunks(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t)>& fn,
+                       size_t max_parallelism = 0);
+
+/// Deterministic chunked reduction: partial = map(chunk_begin, chunk_end)
+/// per chunk, folded as combine(acc, partial) in ascending chunk order
+/// starting from `identity`. Equal to the serial fold whenever `combine`
+/// is associative over the chunk decomposition (always true for exact
+/// types; for floating point the chunking — hence the result — is still
+/// identical at every thread count).
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T identity,
+                 Map map, Combine combine, size_t max_parallelism = 0) {
+  const size_t num_chunks = internal::NumChunks(begin, end, grain);
+  if (num_chunks == 0) return identity;
+  std::vector<std::optional<T>> partials(num_chunks);
+  internal::RunChunks(begin, end, grain, max_parallelism,
+                      [&](size_t chunk, size_t lo, size_t hi) {
+                        partials[chunk].emplace(map(lo, hi));
+                      });
+  T acc = std::move(identity);
+  for (std::optional<T>& partial : partials) {
+    acc = combine(std::move(acc), std::move(*partial));
+  }
+  return acc;
+}
+
+}  // namespace metaleak
+
+#endif  // METALEAK_COMMON_PARALLEL_H_

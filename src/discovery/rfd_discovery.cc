@@ -1,7 +1,9 @@
 #include "discovery/rfd_discovery.h"
 
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "discovery/validators.h"
 #include "partition/pli_cache.h"
 
@@ -9,6 +11,13 @@ namespace metaleak {
 
 // Distinct non-null counts fall straight out of the dictionaries: the
 // encoding already deduplicated every column.
+//
+// All four discoverers share one shape: the candidate (x, y) pairs are
+// collected serially in loop order, their verdicts are computed
+// concurrently (each pair's validation is independent), and the
+// dependency set is assembled serially in candidate order — so the
+// output is identical at any thread count, and Canonicalize makes the
+// ordering explicit regardless.
 
 Result<DependencySet> DiscoverOds(const Relation& relation,
                                   const OdDiscoveryOptions& options) {
@@ -20,17 +29,27 @@ Result<DependencySet> DiscoverOds(const EncodedRelation& relation,
                                   const OdDiscoveryOptions& options) {
   DependencySet out;
   size_t m = relation.num_columns();
+  std::vector<std::pair<size_t, size_t>> candidates;
   for (size_t x = 0; x < m; ++x) {
     if (relation.dictionary(x).num_distinct() < options.min_lhs_distinct) {
       continue;
     }
     for (size_t y = 0; y < m; ++y) {
       if (x == y) continue;
-      if (ValidateOd(relation, x, y)) {
-        out.Add(Dependency::Od(x, y));
-      }
+      candidates.emplace_back(x, y);
     }
   }
+  std::vector<char> holds(candidates.size(), 0);
+  ParallelFor(0, candidates.size(), 1, [&](size_t i) {
+    holds[i] = ValidateOd(relation, candidates[i].first,
+                          candidates[i].second);
+  });
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (holds[i]) {
+      out.Add(Dependency::Od(candidates[i].first, candidates[i].second));
+    }
+  }
+  out.Canonicalize();
   return out;
 }
 
@@ -44,17 +63,27 @@ Result<DependencySet> DiscoverOfds(const EncodedRelation& relation,
                                    const OdDiscoveryOptions& options) {
   DependencySet out;
   size_t m = relation.num_columns();
+  std::vector<std::pair<size_t, size_t>> candidates;
   for (size_t x = 0; x < m; ++x) {
     if (relation.dictionary(x).num_distinct() < options.min_lhs_distinct) {
       continue;
     }
     for (size_t y = 0; y < m; ++y) {
       if (x == y) continue;
-      if (ValidateOfd(relation, x, y)) {
-        out.Add(Dependency::Ofd(x, y));
-      }
+      candidates.emplace_back(x, y);
     }
   }
+  std::vector<char> holds(candidates.size(), 0);
+  ParallelFor(0, candidates.size(), 1, [&](size_t i) {
+    holds[i] = ValidateOfd(relation, candidates[i].first,
+                           candidates[i].second);
+  });
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (holds[i]) {
+      out.Add(Dependency::Ofd(candidates[i].first, candidates[i].second));
+    }
+  }
+  out.Canonicalize();
   return out;
 }
 
@@ -69,22 +98,33 @@ Result<DependencySet> DiscoverNds(const EncodedRelation& relation,
   DependencySet out;
   size_t m = relation.num_columns();
   PliCache cache(&relation);
+  std::vector<std::pair<size_t, size_t>> candidates;
   for (size_t x = 0; x < m; ++x) {
     for (size_t y = 0; y < m; ++y) {
       if (x == y) continue;
-      size_t distinct_y = relation.dictionary(y).num_distinct();
-      if (distinct_y < 2) continue;
-      size_t k = ComputeMaxFanout(&cache, x, y);
-      if (k <= 1) continue;  // that is an FD, not an ND
-      bool small_enough =
-          static_cast<double>(k) <=
-          options.max_fanout_fraction * static_cast<double>(distinct_y);
-      bool has_slack = k + options.min_slack <= distinct_y;
-      if (small_enough && has_slack) {
-        out.Add(Dependency::Nd(x, y, k));
-      }
+      if (relation.dictionary(y).num_distinct() < 2) continue;
+      candidates.emplace_back(x, y);
     }
   }
+  std::vector<size_t> fanout(candidates.size(), 0);
+  ParallelFor(0, candidates.size(), 1, [&](size_t i) {
+    fanout[i] = ComputeMaxFanout(&cache, candidates[i].first,
+                                 candidates[i].second);
+  });
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    auto [x, y] = candidates[i];
+    size_t distinct_y = relation.dictionary(y).num_distinct();
+    size_t k = fanout[i];
+    if (k <= 1) continue;  // that is an FD, not an ND
+    bool small_enough =
+        static_cast<double>(k) <=
+        options.max_fanout_fraction * static_cast<double>(distinct_y);
+    bool has_slack = k + options.min_slack <= distinct_y;
+    if (small_enough && has_slack) {
+      out.Add(Dependency::Nd(x, y, k));
+    }
+  }
+  out.Canonicalize();
   return out;
 }
 
@@ -99,6 +139,14 @@ Result<DependencySet> DiscoverDds(const EncodedRelation& relation,
   DependencySet out;
   std::vector<size_t> continuous =
       relation.schema().IndicesOf(SemanticType::kContinuous);
+
+  struct DdCandidate {
+    size_t x = 0;
+    size_t y = 0;
+    double eps = 0.0;
+    double rhs_range = 0.0;
+  };
+  std::vector<DdCandidate> candidates;
   for (size_t x : continuous) {
     METALEAK_ASSIGN_OR_RETURN(Domain dx, relation.DomainOf(x));
     if (dx.range() <= 0.0) continue;
@@ -107,13 +155,22 @@ Result<DependencySet> DiscoverDds(const EncodedRelation& relation,
       if (x == y) continue;
       METALEAK_ASSIGN_OR_RETURN(Domain dy, relation.DomainOf(y));
       if (dy.range() <= 0.0) continue;
-      METALEAK_ASSIGN_OR_RETURN(double delta,
-                                ComputeMinimalDelta(relation, x, y, eps));
-      if (delta <= options.max_delta_fraction * dy.range()) {
-        out.Add(Dependency::Dd(x, y, eps, delta));
-      }
+      candidates.push_back(DdCandidate{x, y, eps, dy.range()});
     }
   }
+  std::vector<Result<double>> deltas(candidates.size(), 0.0);
+  ParallelFor(0, candidates.size(), 1, [&](size_t i) {
+    deltas[i] = ComputeMinimalDelta(relation, candidates[i].x,
+                                    candidates[i].y, candidates[i].eps);
+  });
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    METALEAK_ASSIGN_OR_RETURN(double delta, std::move(deltas[i]));
+    const DdCandidate& c = candidates[i];
+    if (delta <= options.max_delta_fraction * c.rhs_range) {
+      out.Add(Dependency::Dd(c.x, c.y, c.eps, delta));
+    }
+  }
+  out.Canonicalize();
   return out;
 }
 

@@ -1,8 +1,10 @@
 #include "discovery/tane.h"
 
 #include <map>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "partition/attribute_set.h"
 #include "partition/pli_cache.h"
 
@@ -53,26 +55,60 @@ Result<TaneResult> DiscoverFds(const EncodedRelation& relation,
   const size_t max_level = options.max_lhs_size + 1;
 
   for (size_t l = 1; l <= max_level && !level.empty(); ++l) {
-    // --- compute dependencies on this level ---
-    for (auto& [x, cplus] : level) {
-      ++result.nodes_visited;
+    // --- collect this level's candidates ---
+    // A node's candidate list depends only on its own C+ value at level
+    // entry (the serial algorithm fixes the list before mutating C+), so
+    // the whole level's candidates are known up front and their PLI
+    // verdicts are independent of each other.
+    struct Candidate {
+      AttributeSet lhs;
+      size_t rhs = 0;
+      bool exact = false;
+      double g3 = 1.0;
+    };
+    std::vector<Candidate> candidates;
+    std::vector<std::pair<size_t, size_t>> node_spans;
+    node_spans.reserve(level.size());
+    for (const auto& [x, cplus] : level) {
+      size_t first = candidates.size();
       for (size_t a : x.Intersect(cplus).ToIndices()) {
         AttributeSet lhs = x.Without(a);
         if (lhs.empty() && !options.include_constant_columns) continue;
-        const PositionListIndex* x_pli = cache.Get(lhs);
-        const PositionListIndex* a_pli = cache.Get(AttributeSet::Single(a));
-        bool exact = x_pli->Refines(*a_pli);
-        if (exact) {
-          result.dependencies.Add(Dependency::Fd(lhs, a));
-          cplus = cplus.Without(a);
+        candidates.push_back(Candidate{lhs, a});
+      }
+      node_spans.emplace_back(first, candidates.size());
+    }
+
+    // --- validate candidates concurrently against the shared cache ---
+    ParallelFor(0, candidates.size(), 1, [&](size_t i) {
+      Candidate& c = candidates[i];
+      const PositionListIndex* x_pli = cache.Get(c.lhs);
+      const PositionListIndex* a_pli =
+          cache.Get(AttributeSet::Single(c.rhs));
+      c.exact = x_pli->Refines(*a_pli);
+      if (!c.exact && options.max_g3_error > 0.0) {
+        c.g3 = x_pli->G3Error(*a_pli);
+      }
+    });
+
+    // --- apply verdicts serially, in node order: emission and C+ set
+    // pruning replay the serial algorithm exactly, so the discovered set
+    // is bit-identical at any thread count ---
+    size_t node_index = 0;
+    for (auto& [x, cplus] : level) {
+      ++result.nodes_visited;
+      auto [first, last] = node_spans[node_index++];
+      for (size_t i = first; i < last; ++i) {
+        const Candidate& c = candidates[i];
+        if (c.exact) {
+          result.dependencies.Add(Dependency::Fd(c.lhs, c.rhs));
+          cplus = cplus.Without(c.rhs);
           // Classic TANE pruning: all B outside X leave C+(X).
           cplus = cplus.Minus(full.Minus(x));
-        } else if (options.max_g3_error > 0.0) {
-          double g3 = x_pli->G3Error(*a_pli);
-          if (g3 <= options.max_g3_error &&
-              IsMinimalAgainst(result.dependencies, lhs, a)) {
-            result.dependencies.Add(Dependency::Afd(lhs, a, g3));
-          }
+        } else if (options.max_g3_error > 0.0 &&
+                   c.g3 <= options.max_g3_error &&
+                   IsMinimalAgainst(result.dependencies, c.lhs, c.rhs)) {
+          result.dependencies.Add(Dependency::Afd(c.lhs, c.rhs, c.g3));
         }
       }
     }
@@ -117,6 +153,7 @@ Result<TaneResult> DiscoverFds(const EncodedRelation& relation,
     level = std::move(next);
   }
 
+  result.dependencies.Canonicalize();
   return result;
 }
 

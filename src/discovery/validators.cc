@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 
 namespace metaleak {
 
@@ -109,56 +110,95 @@ bool ValidateOfd(const Relation& relation, size_t lhs, size_t rhs) {
   return true;
 }
 
+namespace {
+
+// Adjacent-pair scan grain for the chunked OD/OFD checks: large enough
+// that chunk dispatch is noise next to the scan, fixed so chunking (and
+// hence the verdict) never depends on the thread count.
+constexpr size_t kPairScanGrain = 16384;
+
+}  // namespace
+
 bool ValidateOd(const EncodedRelation& relation, size_t lhs, size_t rhs) {
   std::vector<uint64_t> pairs = SortedCodePairs(relation, lhs, rhs);
-  for (size_t i = 1; i < pairs.size(); ++i) {
-    const uint32_t px = static_cast<uint32_t>(pairs[i - 1] >> 32);
-    const uint32_t py = static_cast<uint32_t>(pairs[i - 1]);
-    const uint32_t cx = static_cast<uint32_t>(pairs[i] >> 32);
-    const uint32_t cy = static_cast<uint32_t>(pairs[i]);
-    if (cx == px) {
-      // lhs tie: both directions of the implication force rhs equality.
-      if (cy != py) return false;
-    } else {
-      // lhs strictly increased: rhs must not decrease.
-      if (cy < py) return false;
-    }
-  }
-  return true;
+  if (pairs.size() < 2) return true;
+  // Every adjacent pair (i-1, i) is checked by the chunk owning index i;
+  // chunks partition [1, n), so each pair is seen exactly once and the
+  // AND-reduction over chunk verdicts equals the serial scan.
+  return ParallelReduce<bool>(
+      1, pairs.size(), kPairScanGrain, true,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const uint32_t px = static_cast<uint32_t>(pairs[i - 1] >> 32);
+          const uint32_t py = static_cast<uint32_t>(pairs[i - 1]);
+          const uint32_t cx = static_cast<uint32_t>(pairs[i] >> 32);
+          const uint32_t cy = static_cast<uint32_t>(pairs[i]);
+          if (cx == px) {
+            // lhs tie: both directions of the implication force rhs
+            // equality.
+            if (cy != py) return false;
+          } else {
+            // lhs strictly increased: rhs must not decrease.
+            if (cy < py) return false;
+          }
+        }
+        return true;
+      },
+      [](bool a, bool b) { return a && b; });
 }
 
 bool ValidateOfd(const EncodedRelation& relation, size_t lhs, size_t rhs) {
   std::vector<uint64_t> pairs = SortedCodePairs(relation, lhs, rhs);
-  for (size_t i = 1; i < pairs.size(); ++i) {
-    const uint32_t px = static_cast<uint32_t>(pairs[i - 1] >> 32);
-    const uint32_t py = static_cast<uint32_t>(pairs[i - 1]);
-    const uint32_t cx = static_cast<uint32_t>(pairs[i] >> 32);
-    const uint32_t cy = static_cast<uint32_t>(pairs[i]);
-    if (cx == px) {
-      if (cy != py) return false;  // FD part
-    } else {
-      // Strict order preservation.
-      if (cy <= py) return false;
-    }
-  }
-  return true;
+  if (pairs.size() < 2) return true;
+  return ParallelReduce<bool>(
+      1, pairs.size(), kPairScanGrain, true,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const uint32_t px = static_cast<uint32_t>(pairs[i - 1] >> 32);
+          const uint32_t py = static_cast<uint32_t>(pairs[i - 1]);
+          const uint32_t cx = static_cast<uint32_t>(pairs[i] >> 32);
+          const uint32_t cy = static_cast<uint32_t>(pairs[i]);
+          if (cx == px) {
+            if (cy != py) return false;  // FD part
+          } else {
+            // Strict order preservation.
+            if (cy <= py) return false;
+          }
+        }
+        return true;
+      },
+      [](bool a, bool b) { return a && b; });
 }
 
 namespace {
 
-// Shared tail of ComputeMinimalDelta once the non-null numeric (x, y)
-// points are collected. Sliding window over x with monotonic deques for
-// y min/max. For every j, all i with x_j - x_i <= eps pair with j; the
-// largest |y_i - y_j| within any such window is the minimal delta.
-double MinimalDeltaOverPoints(std::vector<std::pair<double, double>> pts,
-                              double eps) {
-  if (pts.size() < 2) return 0.0;
-  std::sort(pts.begin(), pts.end());
+// Sliding-window scan of j in [jlo, jhi) over sorted points: for every
+// j, all i < j with x_j - x_i <= eps pair with j, and the deques hold
+// the window's y-min/max candidates. Seeding the deques from the window
+// content [lo, j) reproduces exactly the deque state the full serial
+// scan would have at j, so chunked scans cover the same (i, j) pairs.
+double MinimalDeltaScan(const std::vector<std::pair<double, double>>& pts,
+                        double eps, size_t jlo, size_t jhi) {
   double delta = 0.0;
   std::deque<size_t> min_dq;
   std::deque<size_t> max_dq;
-  size_t lo = 0;
-  for (size_t j = 0; j < pts.size(); ++j) {
+  size_t lo = jlo;
+  // Rewind lo to the first index inside jlo's window, using the exact
+  // predicate of the scan below (not an algebraic rearrangement, which
+  // could round differently).
+  while (lo > 0 && !(pts[jlo].first - pts[lo - 1].first > eps)) --lo;
+  auto push = [&](size_t j) {
+    while (!min_dq.empty() && pts[min_dq.back()].second >= pts[j].second) {
+      min_dq.pop_back();
+    }
+    min_dq.push_back(j);
+    while (!max_dq.empty() && pts[max_dq.back()].second <= pts[j].second) {
+      max_dq.pop_back();
+    }
+    max_dq.push_back(j);
+  };
+  for (size_t i = lo; i < jlo; ++i) push(i);
+  for (size_t j = jlo; j < jhi; ++j) {
     while (lo < j && pts[j].first - pts[lo].first > eps) {
       if (!min_dq.empty() && min_dq.front() == lo) min_dq.pop_front();
       if (!max_dq.empty() && max_dq.front() == lo) max_dq.pop_front();
@@ -170,16 +210,28 @@ double MinimalDeltaOverPoints(std::vector<std::pair<double, double>> pts,
     if (!max_dq.empty()) {
       delta = std::max(delta, pts[max_dq.front()].second - pts[j].second);
     }
-    while (!min_dq.empty() && pts[min_dq.back()].second >= pts[j].second) {
-      min_dq.pop_back();
-    }
-    min_dq.push_back(j);
-    while (!max_dq.empty() && pts[max_dq.back()].second <= pts[j].second) {
-      max_dq.pop_back();
-    }
-    max_dq.push_back(j);
+    push(j);
   }
   return delta;
+}
+
+// Shared tail of ComputeMinimalDelta once the non-null numeric (x, y)
+// points are collected. For every j, all i with x_j - x_i <= eps pair
+// with j; the largest |y_i - y_j| within any such window is the minimal
+// delta. The j-range is chunked (fixed grain) and each chunk re-seeds
+// its own window, so the max-reduction over chunks examines exactly the
+// serial pair set — identical result at any thread count.
+double MinimalDeltaOverPoints(std::vector<std::pair<double, double>> pts,
+                              double eps) {
+  if (pts.size() < 2) return 0.0;
+  std::sort(pts.begin(), pts.end());
+  constexpr size_t kGrain = 8192;
+  return ParallelReduce<double>(
+      0, pts.size(), kGrain, 0.0,
+      [&](size_t jlo, size_t jhi) {
+        return MinimalDeltaScan(pts, eps, jlo, jhi);
+      },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace metaleak {
 
@@ -15,6 +16,18 @@ void DependencySet::Add(const Dependency& dep) {
 
 bool DependencySet::Contains(const Dependency& dep) const {
   return std::find(deps_.begin(), deps_.end(), dep) != deps_.end();
+}
+
+void DependencySet::Canonicalize() {
+  auto key = [](const Dependency& d) {
+    return std::make_tuple(static_cast<int>(d.kind), d.lhs.mask(), d.rhs,
+                           d.g3_error, d.max_fanout, d.lhs_epsilon,
+                           d.rhs_delta);
+  };
+  std::sort(deps_.begin(), deps_.end(),
+            [&](const Dependency& a, const Dependency& b) {
+              return key(a) < key(b);
+            });
 }
 
 std::vector<Dependency> DependencySet::OfKind(DependencyKind kind) const {

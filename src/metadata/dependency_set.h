@@ -27,6 +27,12 @@ class DependencySet {
   auto begin() const { return deps_.begin(); }
   auto end() const { return deps_.end(); }
 
+  /// Sorts the dependencies into canonical order: (kind, LHS mask, RHS,
+  /// then the numeric parameters). Discovery routines call this before
+  /// returning so the reported set is independent of validation order —
+  /// in particular, of the thread count the search ran with.
+  void Canonicalize();
+
   /// All dependencies of one class.
   std::vector<Dependency> OfKind(DependencyKind kind) const;
 

@@ -1,5 +1,7 @@
 #include "partition/pli_cache.h"
 
+#include <vector>
+
 namespace metaleak {
 
 PliCache::PliCache(const EncodedRelation* encoded) : encoded_(encoded) {
@@ -17,33 +19,62 @@ PliCache::PliCache(const Relation* relation) {
 
 void PliCache::BuildSingletons() {
   METALEAK_DCHECK(encoded_->num_columns() <= AttributeSet::kMaxAttributes);
-  const uint64_t fp = encoded_->Fingerprint();
-  cache_[PliCacheKey{fp, AttributeSet()}] =
-      std::make_unique<PositionListIndex>(
-          PositionListIndex::Identity(encoded_->num_rows()));
+  Get(AttributeSet());
   for (size_t c = 0; c < encoded_->num_columns(); ++c) {
-    cache_[PliCacheKey{fp, AttributeSet::Single(c)}] =
-        std::make_unique<PositionListIndex>(PositionListIndex::FromCodes(
-            encoded_->codes(c), encoded_->dictionary(c).num_codes()));
+    Get(AttributeSet::Single(c));
   }
+  // The eager build is construction noise; counters report Get traffic.
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
-const PositionListIndex* PliCache::Get(AttributeSet attrs) {
-  const uint64_t fp = encoded_->Fingerprint();
-  PliCacheKey key{fp, attrs};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second.get();
-
+std::unique_ptr<PositionListIndex> PliCache::BuildPli(AttributeSet attrs) {
+  if (attrs.empty()) {
+    return std::make_unique<PositionListIndex>(
+        PositionListIndex::Identity(encoded_->num_rows()));
+  }
+  if (attrs.size() == 1) {
+    size_t c = attrs.ToIndices()[0];
+    return std::make_unique<PositionListIndex>(PositionListIndex::FromCodes(
+        encoded_->codes(c), encoded_->dictionary(c).num_codes()));
+  }
   // Build by intersecting the (recursively obtained) PLI without the
   // highest attribute with that attribute's single PLI. Depth is |attrs|.
   std::vector<size_t> indices = attrs.ToIndices();
   size_t last = indices.back();
   const PositionListIndex* rest = Get(attrs.Without(last));
   const PositionListIndex* single = Get(AttributeSet::Single(last));
-  auto built = std::make_unique<PositionListIndex>(rest->Intersect(*single));
-  const PositionListIndex* out = built.get();
-  cache_[key] = std::move(built);
-  return out;
+  return std::make_unique<PositionListIndex>(rest->Intersect(*single));
+}
+
+const PositionListIndex* PliCache::Get(AttributeSet attrs) {
+  PliCacheKey key{encoded_->Fingerprint(), attrs};
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::shared_ptr<Entry>& slot = shard.map[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<Entry>();
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry = slot;
+  }
+  // Single-flight: the first arrival builds (recursively resolving the
+  // parents outside any shard lock); latecomers block here until done.
+  std::call_once(entry->once, [&] { entry->pli = BuildPli(attrs); });
+  return entry->pli.get();
+}
+
+size_t PliCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 }  // namespace metaleak

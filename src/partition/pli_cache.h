@@ -11,10 +11,21 @@
 // over different encodings can never alias; each PliCache instance holds
 // one encoding, but the key shape lets a future shared store pool
 // entries across relations.
+//
+// Concurrency: Get is safe to call from any number of threads (TANE
+// validates a whole lattice level's candidates concurrently against one
+// cache). The key map is sharded under per-shard mutexes, and each entry
+// is built single-flight — concurrent Gets of the same missing key agree
+// on one builder and the rest block until the PLI is ready. Returned
+// pointers stay stable until destruction, as before.
 #ifndef METALEAK_PARTITION_PLI_CACHE_H_
 #define METALEAK_PARTITION_PLI_CACHE_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/macros.h"
@@ -60,10 +71,20 @@ class PliCache {
 
   /// Returns pli(attrs). The empty set yields the identity partition.
   /// The returned pointer is owned by the cache and stable until
-  /// destruction.
+  /// destruction. Thread-safe; a missing entry is built exactly once
+  /// even under concurrent lookups (single-flight).
   const PositionListIndex* Get(AttributeSet attrs);
 
-  size_t size() const { return cache_.size(); }
+  /// Entries currently resident (including the eager singletons).
+  size_t size() const;
+
+  /// Lookup counters, reset after the eager singleton build: a hit found
+  /// an existing entry (possibly waiting for its in-flight build); a miss
+  /// claimed the build for a new key.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
   /// The encoded view the cache is built over.
   const EncodedRelation& encoded() const { return *encoded_; }
@@ -72,13 +93,33 @@ class PliCache {
   uint64_t fingerprint() const { return encoded_->Fingerprint(); }
 
  private:
+  // One cached partition. `once` makes the build single-flight; `pli` is
+  // written exactly once, inside call_once, before any reader returns.
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<PositionListIndex> pli;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PliCacheKey, std::shared_ptr<Entry>, PliCacheKeyHash>
+        map;
+  };
+
+  Shard& ShardFor(const PliCacheKey& key) {
+    return shards_[PliCacheKeyHash{}(key) % kNumShards];
+  }
+
   void BuildSingletons();
+  std::unique_ptr<PositionListIndex> BuildPli(AttributeSet attrs);
 
   std::unique_ptr<EncodedRelation> owned_encoding_;  // Relation ctor only
   const EncodedRelation* encoded_;
-  std::unordered_map<PliCacheKey, std::unique_ptr<PositionListIndex>,
-                     PliCacheKeyHash>
-      cache_;
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace metaleak

@@ -1,8 +1,10 @@
 #include "partition/position_list_index.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 
 namespace metaleak {
 
@@ -208,25 +210,37 @@ double PositionListIndex::G3Error(const PositionListIndex& other) const {
   METALEAK_DCHECK(num_rows_ == other.num_rows_);
   if (num_rows_ == 0) return 0.0;
   std::vector<int64_t> probe = other.ProbeTable();
-  size_t violations = 0;
-  std::unordered_map<int64_t, size_t> counts;
-  for (const Cluster& cluster : clusters_) {
-    counts.clear();
-    size_t unique_rows = 0;
-    size_t max_count = 0;
-    for (size_t row : cluster) {
-      int64_t id = probe[row];
-      if (id == kUnique) {
-        // Singleton in `other`: its own class of size 1.
-        ++unique_rows;
-        continue;
-      }
-      size_t c = ++counts[id];
-      if (c > max_count) max_count = c;
-    }
-    if (unique_rows > 0 && max_count == 0) max_count = 1;
-    violations += cluster.size() - max_count;
-  }
+  // Per-cluster violation counts are independent; chunk the cluster list
+  // and sum the integer counts in chunk order (exact, so the result is
+  // identical at any thread count). The grain depends only on the
+  // cluster count, never on the thread count.
+  const size_t grain = std::max<size_t>(1, clusters_.size() / 256);
+  size_t violations = ParallelReduce<size_t>(
+      0, clusters_.size(), grain, size_t{0},
+      [&](size_t lo, size_t hi) {
+        size_t chunk_violations = 0;
+        std::unordered_map<int64_t, size_t> counts;
+        for (size_t k = lo; k < hi; ++k) {
+          const Cluster& cluster = clusters_[k];
+          counts.clear();
+          size_t unique_rows = 0;
+          size_t max_count = 0;
+          for (size_t row : cluster) {
+            int64_t id = probe[row];
+            if (id == kUnique) {
+              // Singleton in `other`: its own class of size 1.
+              ++unique_rows;
+              continue;
+            }
+            size_t c = ++counts[id];
+            if (c > max_count) max_count = c;
+          }
+          if (unique_rows > 0 && max_count == 0) max_count = 1;
+          chunk_violations += cluster.size() - max_count;
+        }
+        return chunk_violations;
+      },
+      [](size_t a, size_t b) { return a + b; });
   return static_cast<double>(violations) / static_cast<double>(num_rows_);
 }
 

@@ -1,10 +1,10 @@
 #include "privacy/experiment.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "common/math_util.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "generation/cfd_generator.h"
 #include "generation/generation_engine.h"
@@ -134,9 +134,7 @@ Result<MethodResult> RunMethod(const Relation& real,
   }
 
   size_t threads = config.threads;
-  if (threads == 0) {
-    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
+  if (threads == 0) threads = GlobalThreadCount();
   threads = std::min(threads, config.rounds);
   if (threads <= 1) {
     for (size_t round = 0; round < config.rounds; ++round) {
@@ -144,21 +142,14 @@ Result<MethodResult> RunMethod(const Relation& real,
     }
   } else {
     // Round 0 runs first on this thread: it fills `covered`, which the
-    // workers must not race on.
+    // pool workers must not race on. The remaining rounds fan out over
+    // the shared pool; each round's seed was drawn up front, so the
+    // outcome is identical for any thread count.
     METALEAK_RETURN_NOT_OK(run_round(0));
-    std::atomic<size_t> next{1};
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      workers.emplace_back([&] {
-        while (true) {
-          size_t round = next.fetch_add(1);
-          if (round >= config.rounds) break;
-          round_status[round] = run_round(round);
-        }
-      });
-    }
-    for (std::thread& w : workers) w.join();
+    ParallelFor(
+        1, config.rounds, 1,
+        [&](size_t round) { round_status[round] = run_round(round); },
+        threads);
     for (size_t round = 1; round < config.rounds; ++round) {
       METALEAK_RETURN_NOT_OK(round_status[round]);
     }

@@ -39,9 +39,10 @@ struct ExperimentConfig {
   size_t rounds = 100;
   uint64_t seed = 20240001;
   LeakageOptions leakage;
-  /// Worker threads for the Monte-Carlo rounds. Rounds are independent
-  /// and get their seeds up front, so the result is identical for any
-  /// thread count. 0 = use the hardware concurrency.
+  /// Worker threads for the Monte-Carlo rounds (fanned out over the
+  /// shared pool, common/parallel.h). Rounds are independent and get
+  /// their seeds up front, so the result is identical for any thread
+  /// count. 0 = use the global pool size (METALEAK_THREADS / hardware).
   size_t threads = 1;
 };
 

@@ -1,7 +1,9 @@
 #include "privacy/identifiability.h"
 
+#include <algorithm>
 #include <vector>
 
+#include "common/parallel.h"
 #include "partition/position_list_index.h"
 
 namespace metaleak {
@@ -32,6 +34,14 @@ void ForEachSubset(size_t m, size_t k, F&& f) {
     ++idx[i - 1];
     for (size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
   }
+}
+
+// All size-k subsets of {0..m-1} in lexicographic order, materialized so
+// the per-subset scans can fan out over the pool.
+std::vector<AttributeSet> SubsetsOfSize(size_t m, size_t k) {
+  std::vector<AttributeSet> out;
+  ForEachSubset(m, k, [&](AttributeSet attrs) { out.push_back(attrs); });
+  return out;
 }
 
 }  // namespace
@@ -77,32 +87,72 @@ Result<double> IdentifiableByAnySubset(const Relation& relation,
   return IdentifiableByAnySubset(encoded, max_subset_size);
 }
 
+Result<std::vector<bool>> IdentifiableRows(const EncodedRelation& relation,
+                                           size_t width) {
+  const size_t m = relation.num_columns();
+  const size_t n = relation.num_rows();
+  if (m > AttributeSet::kMaxAttributes) {
+    return Status::Invalid("relation exceeds 64 attributes");
+  }
+  std::vector<bool> identifiable(n, false);
+  if (m == 0 || n == 0 || width == 0) return identifiable;
+
+  // Adding attributes refines the partition, so uniqueness under A is
+  // preserved under every superset of A. Checking only the subsets of
+  // size exactly min(width, m) therefore covers all smaller subsets too.
+  const std::vector<AttributeSet> subsets =
+      SubsetsOfSize(m, std::min(width, m));
+
+  // Chunk the subset sweep; each chunk ORs its subsets' uniqueness flags
+  // into a private bitmap, and the chunk bitmaps are OR-merged. OR is
+  // insensitive to both chunking and merge order, so the result matches
+  // the serial sweep at any thread count. Grain depends on the subset
+  // count only.
+  struct Partial {
+    Status status;
+    std::vector<char> bits;
+  };
+  const size_t grain = std::max<size_t>(1, subsets.size() / 256);
+  Partial merged = ParallelReduce<Partial>(
+      0, subsets.size(), grain, Partial{Status::OK(), {}},
+      [&](size_t lo, size_t hi) {
+        Partial p;
+        p.bits.assign(n, 0);
+        for (size_t s = lo; s < hi; ++s) {
+          Result<std::vector<bool>> unique = UniqueRows(relation, subsets[s]);
+          if (!unique.ok()) {
+            p.status = unique.status();
+            return p;
+          }
+          for (size_t r = 0; r < n; ++r) {
+            if ((*unique)[r]) p.bits[r] = 1;
+          }
+        }
+        return p;
+      },
+      [n](Partial acc, Partial chunk) {
+        if (acc.bits.empty()) acc.bits.assign(n, 0);
+        if (acc.status.ok() && !chunk.status.ok()) {
+          acc.status = chunk.status;
+        }
+        for (size_t r = 0; r < chunk.bits.size(); ++r) {
+          if (chunk.bits[r]) acc.bits[r] = 1;
+        }
+        return acc;
+      });
+  METALEAK_RETURN_NOT_OK(merged.status);
+  for (size_t r = 0; r < n; ++r) {
+    if (merged.bits[r]) identifiable[r] = true;
+  }
+  return identifiable;
+}
+
 Result<double> IdentifiableByAnySubset(const EncodedRelation& relation,
                                        size_t max_subset_size) {
   size_t m = relation.num_columns();
   if (m == 0 || relation.num_rows() == 0) return 0.0;
-  if (m > AttributeSet::kMaxAttributes) {
-    return Status::Invalid("relation exceeds 64 attributes");
-  }
-  // Adding attributes refines the partition, so uniqueness under A is
-  // preserved under every superset of A. Checking only the subsets of
-  // size exactly min(max_subset_size, m) therefore covers all smaller
-  // subsets too.
-  size_t k = std::min(max_subset_size, m);
-  std::vector<bool> identifiable(relation.num_rows(), false);
-  Status status = Status::OK();
-  ForEachSubset(m, k, [&](AttributeSet attrs) {
-    if (!status.ok()) return;
-    Result<std::vector<bool>> unique = UniqueRows(relation, attrs);
-    if (!unique.ok()) {
-      status = unique.status();
-      return;
-    }
-    for (size_t r = 0; r < identifiable.size(); ++r) {
-      if ((*unique)[r]) identifiable[r] = true;
-    }
-  });
-  METALEAK_RETURN_NOT_OK(status);
+  METALEAK_ASSIGN_OR_RETURN(std::vector<bool> identifiable,
+                            IdentifiableRows(relation, max_subset_size));
   size_t count = 0;
   for (bool b : identifiable) count += b ? 1 : 0;
   return static_cast<double>(count) /
@@ -129,17 +179,23 @@ Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
     return false;
   };
   for (size_t k = 1; k <= std::min(max_size, m); ++k) {
-    Status status = Status::OK();
+    // Minimality only filters against smaller (previous-level) UCCs —
+    // equal-size subsets cannot contain one another — so the level's
+    // survivors can be checked concurrently and appended in lexicographic
+    // order afterwards.
+    std::vector<AttributeSet> candidates;
     ForEachSubset(m, k, [&](AttributeSet attrs) {
-      if (!status.ok()) return;
-      if (covered_by_known(attrs)) return;  // not minimal
-      PositionListIndex pli =
-          PositionListIndex::FromEncoded(relation, attrs.ToIndices());
-      if (pli.num_clusters() == 0) {
-        uccs.push_back(attrs);  // every row unique
-      }
+      if (!covered_by_known(attrs)) candidates.push_back(attrs);
     });
-    METALEAK_RETURN_NOT_OK(status);
+    std::vector<char> is_ucc(candidates.size(), 0);
+    ParallelFor(0, candidates.size(), 1, [&](size_t i) {
+      PositionListIndex pli = PositionListIndex::FromEncoded(
+          relation, candidates[i].ToIndices());
+      is_ucc[i] = pli.num_clusters() == 0;  // every row unique
+    });
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (is_ucc[i]) uccs.push_back(candidates[i]);
+    }
   }
   return uccs;
 }

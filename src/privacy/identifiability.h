@@ -31,6 +31,16 @@ Result<double> IdentifiableFraction(const Relation& relation,
 Result<double> IdentifiableFraction(const EncodedRelation& relation,
                                     AttributeSet attrs);
 
+/// Per-row flags: row r is true iff some attribute subset of size
+/// exactly min(width, num_columns) makes it unique (uniqueness is
+/// monotone in the subset, so width-k subsets cover every narrower
+/// quasi-identifier too). The subset sweep — the identifiability hot
+/// loop — runs on the shared thread pool; the per-subset verdicts are
+/// OR-merged, so the result is thread-count independent. Shared by
+/// IdentifiableByAnySubset and the tuple-risk analyzer.
+Result<std::vector<bool>> IdentifiableRows(const EncodedRelation& relation,
+                                           size_t width);
+
 /// Fraction of rows identifiable by *some* attribute subset of size at
 /// most `max_subset_size` (Definition 2.1 with a bounded search: a row
 /// identifiable at size k is identifiable at any larger size, so bounding

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -106,46 +107,33 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
     METALEAK_ASSIGN_OR_RETURN(
         GenerationOutcome outcome,
         GenerateSynthetic(metadata, n, &round_rng));
-    for (size_t r = 0; r < n; ++r) {
-      size_t matched = 0;
-      for (size_t c = 0; c < m; ++c) {
-        if (CellMatches(real.at(r, c), outcome.relation.at(r, c),
-                        real.schema().attribute(c).semantic,
-                        epsilons[c])) {
-          ++matched;
+    // Each tuple's match count only touches its own accumulator slots,
+    // so the per-tuple scan fans out over the pool.
+    ParallelForChunks(0, n, 1024, [&](size_t lo, size_t hi) {
+      for (size_t r = lo; r < hi; ++r) {
+        size_t matched = 0;
+        for (size_t c = 0; c < m; ++c) {
+          if (CellMatches(real.at(r, c), outcome.relation.at(r, c),
+                          real.schema().attribute(c).semantic,
+                          epsilons[c])) {
+            ++matched;
+          }
+        }
+        total_matched[r] += static_cast<double>(matched);
+        max_matched[r] = std::max(max_matched[r], matched);
+        if (non_null[r] > 0 && 2 * matched >= non_null[r]) {
+          ++half_rounds[r];
         }
       }
-      total_matched[r] += static_cast<double>(matched);
-      max_matched[r] = std::max(max_matched[r], matched);
-      if (non_null[r] > 0 && 2 * matched >= non_null[r]) ++half_rounds[r];
-    }
+    });
   }
 
-  // Per-row identifiability at the configured width: reuse UniqueRows
-  // over all subsets of exactly that width (uniqueness is monotone in
-  // the subset, so width-k subsets cover all narrower ones).
-  std::vector<bool> identifiable(n, false);
-  {
-    size_t width = std::min(options.identifiability_max_width, m);
-    // Enumerate subsets of exactly `width` attributes.
-    std::vector<size_t> idx(width);
-    for (size_t i = 0; i < width; ++i) idx[i] = i;
-    if (width > 0) {
-      while (true) {
-        METALEAK_ASSIGN_OR_RETURN(
-            std::vector<bool> unique,
-            UniqueRows(encoded, AttributeSet::Of(idx)));
-        for (size_t r = 0; r < n; ++r) {
-          if (unique[r]) identifiable[r] = true;
-        }
-        size_t i = width;
-        while (i > 0 && idx[i - 1] == m - width + (i - 1)) --i;
-        if (i == 0) break;
-        ++idx[i - 1];
-        for (size_t j = i; j < width; ++j) idx[j] = idx[j - 1] + 1;
-      }
-    }
-  }
+  // Per-row identifiability at the configured width: the shared parallel
+  // subset sweep (uniqueness is monotone in the subset, so width-k
+  // subsets cover all narrower ones).
+  METALEAK_ASSIGN_OR_RETURN(
+      std::vector<bool> identifiable,
+      IdentifiableRows(encoded, options.identifiability_max_width));
 
   TupleRiskReport report;
   report.tuples.reserve(n);

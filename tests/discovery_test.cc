@@ -4,7 +4,9 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/random.h"
+#include "data/datasets/echocardiogram.h"
 #include "data/datasets/employee.h"
 #include "discovery/discovery_engine.h"
 #include "discovery/rfd_discovery.h"
@@ -431,6 +433,52 @@ TEST(DiscoveryEngineTest, EveryReportedDependencyValidates) {
     auto valid = ValidateDependency(employee, d);
     ASSERT_TRUE(valid.ok()) << d.ToString();
     EXPECT_TRUE(*valid) << d.ToString(employee.schema());
+  }
+}
+
+// --- Thread-count determinism ---------------------------------------------
+
+// Runs every discovery class on `relation` and returns the concatenated
+// canonical results.
+std::vector<Dependency> DiscoverAll(const Relation& relation) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  std::vector<Dependency> out;
+  auto append = [&](const Result<DependencySet>& deps) {
+    ASSERT_TRUE(deps.ok()) << deps.status().ToString();
+    for (const Dependency& d : *deps) out.push_back(d);
+  };
+  TaneOptions tane_options;
+  tane_options.max_g3_error = 0.1;
+  auto fds = DiscoverFds(encoded, tane_options);
+  EXPECT_TRUE(fds.ok());
+  if (fds.ok()) {
+    for (const Dependency& d : fds->dependencies) out.push_back(d);
+  }
+  append(DiscoverOds(encoded));
+  append(DiscoverOfds(encoded));
+  append(DiscoverNds(encoded));
+  append(DiscoverDds(encoded));
+  return out;
+}
+
+// The satellite regression for the parallel runtime: discovery output on
+// the paper's datasets must be identical (same dependencies, same order)
+// no matter how many pool threads validated the candidates.
+TEST(ParallelDeterminismTest, DiscoveryIdenticalAtOneAndEightThreads) {
+  for (const Relation& relation :
+       {datasets::Employee(), datasets::Echocardiogram()}) {
+    SetGlobalThreadCount(1);
+    std::vector<Dependency> serial = DiscoverAll(relation);
+    SetGlobalThreadCount(8);
+    std::vector<Dependency> parallel = DiscoverAll(relation);
+    SetGlobalThreadCount(0);
+    EXPECT_FALSE(serial.empty());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i])
+          << "dependency " << i << ": " << serial[i].ToString() << " vs "
+          << parallel[i].ToString();
+    }
   }
 }
 
