@@ -1,0 +1,258 @@
+// Lattice-kernel bench: per-class discovery wall time on the shared
+// level-wise kernel (discovery/lattice.h) versus the pre-kernel
+// hand-rolled pairwise loops, and the cost of raising max_lhs from the
+// canonical 1 to 2.
+//
+// The "pairwise" rows reimplement (inline, against the public validator
+// API) exactly the loops the kernel replaced: one ordered (lhs, rhs)
+// scan per class with the same eligibility filters. They exist only at
+// max_lhs = 1 — multi-attribute search is what the kernel added. The
+// bench asserts that kernel@1 and pairwise agree on the dependency
+// count before timing anything, then writes one record per
+// class x path x max_lhs to BENCH_lattice.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/datasets/synthetic.h"
+#include "data/encoded_relation.h"
+#include "data/relation.h"
+#include "discovery/rfd_discovery.h"
+#include "discovery/tane.h"
+#include "discovery/validators.h"
+#include "metadata/dependency_set.h"
+#include "partition/pli_cache.h"
+
+namespace metaleak {
+namespace {
+
+struct BenchRecord {
+  std::string search;
+  std::string path;  // "kernel" or "pairwise"
+  size_t max_lhs = 0;
+  double ms = 0.0;
+  size_t deps = 0;
+};
+
+constexpr int kReps = 3;  // keep the best (least-disturbed) repetition
+constexpr double kMaxG3 = 0.05;
+
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+template <typename Fn>
+void Record(const std::string& search, const std::string& path,
+            size_t max_lhs, Fn&& fn, std::vector<BenchRecord>& out) {
+  BenchRecord rec;
+  rec.search = search;
+  rec.path = path;
+  rec.max_lhs = max_lhs;
+  rec.deps = fn();  // warm-up + dependency count
+  rec.ms = TimeMs([&] { (void)fn(); });
+  std::printf("%-8s %-9s max_lhs=%zu  %9.2f ms  %4zu deps\n",
+              search.c_str(), path.c_str(), max_lhs, rec.ms, rec.deps);
+  out.push_back(rec);
+}
+
+// --- The deleted pairwise loops, reconstructed --------------------------
+
+size_t PairwiseFdAfd(const EncodedRelation& enc) {
+  PliCache cache(&enc);
+  size_t found = 0;
+  for (size_t rhs = 0; rhs < enc.num_columns(); ++rhs) {
+    for (size_t lhs = 0; lhs < enc.num_columns(); ++lhs) {
+      if (lhs == rhs) continue;
+      if (ValidateFd(&cache, AttributeSet::Single(lhs), rhs)) {
+        ++found;
+      } else if (ComputeG3(&cache, AttributeSet::Single(lhs), rhs) <=
+                 kMaxG3) {
+        ++found;
+      }
+    }
+  }
+  return found;
+}
+
+size_t PairwiseOrder(const EncodedRelation& enc, bool strict) {
+  OdDiscoveryOptions options;
+  size_t found = 0;
+  for (size_t lhs = 0; lhs < enc.num_columns(); ++lhs) {
+    if (enc.dictionary(lhs).num_distinct() < options.min_lhs_distinct) {
+      continue;
+    }
+    for (size_t rhs = 0; rhs < enc.num_columns(); ++rhs) {
+      if (lhs == rhs) continue;
+      bool holds = strict ? ValidateOfd(enc, lhs, rhs)
+                          : ValidateOd(enc, lhs, rhs);
+      if (holds) ++found;
+    }
+  }
+  return found;
+}
+
+size_t PairwiseNd(const EncodedRelation& enc) {
+  NdDiscoveryOptions options;
+  PliCache cache(&enc);
+  size_t found = 0;
+  for (size_t lhs = 0; lhs < enc.num_columns(); ++lhs) {
+    for (size_t rhs = 0; rhs < enc.num_columns(); ++rhs) {
+      if (lhs == rhs) continue;
+      size_t distinct_y = enc.dictionary(rhs).num_distinct();
+      if (distinct_y < 2) continue;
+      size_t k = ComputeMaxFanout(&cache, lhs, rhs);
+      if (k <= 1) continue;
+      bool small_enough = static_cast<double>(k) <=
+                          options.max_fanout_fraction *
+                              static_cast<double>(distinct_y);
+      bool has_slack = k + options.min_slack <= distinct_y;
+      if (small_enough && has_slack) ++found;
+    }
+  }
+  return found;
+}
+
+size_t PairwiseDd(const EncodedRelation& enc) {
+  DdDiscoveryOptions options;
+  std::vector<size_t> numeric =
+      enc.schema().IndicesOf(SemanticType::kContinuous);
+  size_t found = 0;
+  for (size_t lhs : numeric) {
+    Domain dl = std::move(enc.DomainOf(lhs)).ValueOrDie();
+    if (dl.range() <= 0.0) continue;
+    for (size_t rhs : numeric) {
+      if (lhs == rhs) continue;
+      Domain dr = std::move(enc.DomainOf(rhs)).ValueOrDie();
+      if (dr.range() <= 0.0) continue;
+      double eps = options.epsilon_fraction * dl.range();
+      double delta =
+          std::move(ComputeMinimalDelta(enc, lhs, rhs, eps)).ValueOrDie();
+      if (delta <= options.max_delta_fraction * dr.range()) ++found;
+    }
+  }
+  return found;
+}
+
+int Main() {
+  constexpr size_t kRows = 4000;
+  Relation relation = std::move(datasets::SyntheticUniform(
+                                    kRows, /*num_categorical=*/4,
+                                    /*num_continuous=*/3,
+                                    /*domain_size=*/16, /*seed=*/7))
+                          .ValueOrDie();
+  EncodedRelation enc = EncodedRelation::Encode(relation);
+  std::printf("dataset: synthetic uniform, %zu rows x %zu attrs\n\n",
+              enc.num_rows(), enc.num_columns());
+
+  auto kernel_fds = [&](size_t max_lhs) {
+    TaneOptions options;
+    options.max_lhs_size = max_lhs;
+    options.max_g3_error = kMaxG3;
+    options.include_constant_columns = false;
+    auto result = DiscoverFds(enc, options);
+    if (!result.ok()) std::abort();
+    return result->dependencies.size();
+  };
+  std::vector<BenchRecord> records;
+
+  // FD/AFD. The pairwise row approximates the old dedicated TANE loop
+  // with a flat scan; counts can differ from the kernel (no minimality
+  // logic), so no parity assertion for this class.
+  Record("FD/AFD", "pairwise", 1, [&] { return PairwiseFdAfd(enc); },
+         records);
+  Record("FD/AFD", "kernel", 1, [&] { return kernel_fds(1); }, records);
+  Record("FD/AFD", "kernel", 2, [&] { return kernel_fds(2); }, records);
+
+  // The four relaxed classes: pairwise and kernel agree exactly at
+  // max_lhs = 1 (checked below before timing).
+  struct RfdClass {
+    const char* name;
+    size_t (*pairwise)(const EncodedRelation&);
+    size_t (*kernel)(const EncodedRelation&, size_t);
+  };
+  const RfdClass classes[] = {
+      {"OD",
+       [](const EncodedRelation& e) { return PairwiseOrder(e, false); },
+       [](const EncodedRelation& e, size_t max_lhs) {
+         OdDiscoveryOptions options;
+         options.max_lhs = max_lhs;
+         auto result = DiscoverOds(e, options);
+         if (!result.ok()) std::abort();
+         return result->size();
+       }},
+      {"OFD",
+       [](const EncodedRelation& e) { return PairwiseOrder(e, true); },
+       [](const EncodedRelation& e, size_t max_lhs) {
+         OdDiscoveryOptions options;
+         options.max_lhs = max_lhs;
+         auto result = DiscoverOfds(e, options);
+         if (!result.ok()) std::abort();
+         return result->size();
+       }},
+      {"ND", &PairwiseNd,
+       [](const EncodedRelation& e, size_t max_lhs) {
+         NdDiscoveryOptions options;
+         options.max_lhs = max_lhs;
+         auto result = DiscoverNds(e, options);
+         if (!result.ok()) std::abort();
+         return result->size();
+       }},
+      {"DD", &PairwiseDd,
+       [](const EncodedRelation& e, size_t max_lhs) {
+         DdDiscoveryOptions options;
+         options.max_lhs = max_lhs;
+         auto result = DiscoverDds(e, options);
+         if (!result.ok()) std::abort();
+         return result->size();
+       }},
+  };
+  for (const RfdClass& c : classes) {
+    size_t pairwise_deps = c.pairwise(enc);
+    size_t kernel_deps = c.kernel(enc, 1);
+    if (pairwise_deps != kernel_deps) {
+      std::fprintf(stderr,
+                   "%s parity FAILED: pairwise=%zu kernel=%zu\n", c.name,
+                   pairwise_deps, kernel_deps);
+      return 1;
+    }
+    Record(c.name, "pairwise", 1, [&] { return c.pairwise(enc); },
+           records);
+    Record(c.name, "kernel", 1, [&] { return c.kernel(enc, 1); },
+           records);
+    Record(c.name, "kernel", 2, [&] { return c.kernel(enc, 2); },
+           records);
+  }
+
+  std::ofstream json("BENCH_lattice.json");
+  json << "{\n  \"rows\": " << enc.num_rows()
+       << ",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    json << "    {\"search\": \"" << r.search << "\", \"path\": \""
+         << r.path << "\", \"max_lhs\": " << r.max_lhs
+         << ", \"ms\": " << r.ms << ", \"deps\": " << r.deps << "}"
+         << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_lattice.json (%zu records)\n",
+              records.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace metaleak
+
+int main() { return metaleak::Main(); }

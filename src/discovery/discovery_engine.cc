@@ -37,6 +37,10 @@ Result<DiscoveryReport> ProfileRelation(const EncodedRelation& relation,
     }
   }
 
+  // One PLI cache serves every partition-based search below (FD/AFD and
+  // ND); partitions built by one stay warm for the other.
+  PliCache cache(&relation);
+
   if (options.discover_fds || options.discover_afds) {
     TaneOptions tane_options = options.tane;
     if (options.discover_afds && tane_options.max_g3_error == 0.0) {
@@ -44,8 +48,8 @@ Result<DiscoveryReport> ProfileRelation(const EncodedRelation& relation,
     }
     if (!options.discover_afds) tane_options.max_g3_error = 0.0;
     METALEAK_ASSIGN_OR_RETURN(TaneResult tane,
-                              DiscoverFds(relation, tane_options));
-    report.tane_nodes_visited = tane.nodes_visited;
+                              DiscoverFds(&cache, tane_options));
+    report.search_stats.push_back({"FD/AFD", tane.stats});
     for (const Dependency& d : tane.dependencies) {
       if (d.kind == DependencyKind::kFunctional && !options.discover_fds) {
         continue;
@@ -54,23 +58,31 @@ Result<DiscoveryReport> ProfileRelation(const EncodedRelation& relation,
     }
   }
   if (options.discover_ods) {
+    LatticeSearchStats stats;
     METALEAK_ASSIGN_OR_RETURN(DependencySet ods,
-                              DiscoverOds(relation, options.od));
+                              DiscoverOds(relation, options.od, &stats));
+    report.search_stats.push_back({"OD", stats});
     for (const Dependency& d : ods) report.metadata.dependencies.Add(d);
   }
   if (options.discover_ofds) {
+    LatticeSearchStats stats;
     METALEAK_ASSIGN_OR_RETURN(DependencySet ofds,
-                              DiscoverOfds(relation, options.od));
+                              DiscoverOfds(relation, options.od, &stats));
+    report.search_stats.push_back({"OFD", stats});
     for (const Dependency& d : ofds) report.metadata.dependencies.Add(d);
   }
   if (options.discover_nds) {
+    LatticeSearchStats stats;
     METALEAK_ASSIGN_OR_RETURN(DependencySet nds,
-                              DiscoverNds(relation, options.nd));
+                              DiscoverNds(&cache, options.nd, &stats));
+    report.search_stats.push_back({"ND", stats});
     for (const Dependency& d : nds) report.metadata.dependencies.Add(d);
   }
   if (options.discover_dds) {
+    LatticeSearchStats stats;
     METALEAK_ASSIGN_OR_RETURN(DependencySet dds,
-                              DiscoverDds(relation, options.dd));
+                              DiscoverDds(relation, options.dd, &stats));
+    report.search_stats.push_back({"DD", stats});
     for (const Dependency& d : dds) report.metadata.dependencies.Add(d);
   }
   if (options.discover_cfds) {

@@ -3,10 +3,14 @@
 #ifndef METALEAK_DISCOVERY_DISCOVERY_ENGINE_H_
 #define METALEAK_DISCOVERY_DISCOVERY_ENGINE_H_
 
+#include <string>
+#include <vector>
+
 #include "common/result.h"
 #include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "discovery/cfd_discovery.h"
+#include "discovery/lattice.h"
 #include "discovery/rfd_discovery.h"
 #include "discovery/tane.h"
 #include "metadata/metadata_package.h"
@@ -37,9 +41,24 @@ struct DiscoveryOptions {
   bool discover_cfds = false;
 };
 
+/// Kernel counters for one class's search, labeled by the search name
+/// ("FD/AFD", "OD", "OFD", "ND", "DD").
+struct ClassSearchStats {
+  std::string search;
+  LatticeSearchStats stats;
+};
+
 struct DiscoveryReport {
   MetadataPackage metadata;
-  size_t tane_nodes_visited = 0;
+  /// Per-class lattice-search statistics, in the order the searches ran.
+  std::vector<ClassSearchStats> search_stats;
+
+  /// Sum over all searches (convenience for coarse reporting).
+  LatticeSearchStats TotalSearchStats() const {
+    LatticeSearchStats total;
+    for (const ClassSearchStats& s : search_stats) total.Accumulate(s.stats);
+    return total;
+  }
 };
 
 /// Runs every enabled discovery algorithm and assembles the metadata

@@ -3,175 +3,220 @@
 #include <utility>
 #include <vector>
 
-#include "common/parallel.h"
 #include "discovery/validators.h"
-#include "partition/pli_cache.h"
 
 namespace metaleak {
 
 // Distinct non-null counts fall straight out of the dictionaries: the
 // encoding already deduplicated every column.
 //
-// All four discoverers share one shape: the candidate (x, y) pairs are
-// collected serially in loop order, their verdicts are computed
-// concurrently (each pair's validation is independent), and the
-// dependency set is assembled serially in candidate order — so the
-// output is identical at any thread count, and Canonicalize makes the
-// ordering explicit regardless.
+// Every discoverer plugs a class validator into the shared lattice
+// kernel; the kernel guarantees thread-count-invariant output (parallel
+// verdicts, serial emission in node order) and canonicalizes the result.
+
+namespace {
+
+// OD/OFD predicate; `strict` selects the OFD rule. Both classes are
+// transitive over growing lexicographic LHS sets, so the full TANE
+// prune applies.
+class OrderValidator final : public CandidateValidator {
+ public:
+  OrderValidator(const EncodedRelation& relation,
+                 const OdDiscoveryOptions& options, bool strict)
+      : relation_(relation), options_(options), strict_(strict) {}
+
+  bool LhsEligible(size_t a) const override {
+    return relation_.dictionary(a).num_distinct() >= options_.min_lhs_distinct;
+  }
+
+  Result<Verdict> Validate(AttributeSet lhs, size_t rhs) override {
+    Verdict v;
+    bool holds = strict_ ? ValidateOfd(relation_, lhs, rhs)
+                         : ValidateOd(relation_, lhs, rhs);
+    if (holds) {
+      v.holds = true;
+      v.emit = strict_ ? Dependency::Ofd(lhs, rhs) : Dependency::Od(lhs, rhs);
+    }
+    return v;
+  }
+
+  bool TransitivePruning() const override { return true; }
+
+ private:
+  const EncodedRelation& relation_;
+  const OdDiscoveryOptions& options_;
+  const bool strict_;
+};
+
+// ND predicate over composite partitions. A fan-out of 1 is an FD in
+// disguise: it holds (supersets only tighten) but is never emitted.
+// Growing the LHS shrinks the fan-out, so a failing candidate may still
+// qualify at a superset — only the per-RHS prune is sound.
+class NdValidator final : public CandidateValidator {
+ public:
+  NdValidator(PliCache* cache, const NdDiscoveryOptions& options)
+      : cache_(cache), relation_(cache->encoded()), options_(options) {}
+
+  bool RhsEligible(size_t a) const override {
+    return relation_.dictionary(a).num_distinct() >= 2;
+  }
+
+  Result<Verdict> Validate(AttributeSet lhs, size_t rhs) override {
+    size_t k = ComputeMaxFanout(cache_, lhs, rhs);
+    Verdict v;
+    if (k <= 1) {
+      v.holds = true;
+      return v;
+    }
+    size_t distinct_y = relation_.dictionary(rhs).num_distinct();
+    bool small_enough =
+        static_cast<double>(k) <=
+        options_.max_fanout_fraction * static_cast<double>(distinct_y);
+    bool has_slack = k + options_.min_slack <= distinct_y;
+    if (small_enough && has_slack) {
+      v.holds = true;
+      v.emit = Dependency::Nd(lhs, rhs, k);
+    }
+    return v;
+  }
+
+ private:
+  PliCache* cache_;
+  const EncodedRelation& relation_;
+  const NdDiscoveryOptions& options_;
+};
+
+// DD predicate over conjunctive eps-windows. Growing the LHS shrinks
+// the window (and hence the minimal delta), so — like ND — a failing
+// candidate may qualify at a superset and only the per-RHS prune is
+// sound. A qualifying delta holds and is emitted: supersets would be
+// trivially implied.
+class DdValidator final : public CandidateValidator {
+ public:
+  DdValidator(const EncodedRelation& relation,
+              const DdDiscoveryOptions& options)
+      : relation_(relation), options_(options) {}
+
+  /// Resolves per-attribute domains up front; DomainOf failures surface
+  /// here instead of mid-search.
+  Status Init() {
+    size_t m = relation_.num_columns();
+    eligible_.assign(m, false);
+    eps_.assign(m, 0.0);
+    range_.assign(m, 0.0);
+    for (size_t a :
+         relation_.schema().IndicesOf(SemanticType::kContinuous)) {
+      METALEAK_ASSIGN_OR_RETURN(Domain d, relation_.DomainOf(a));
+      if (d.range() <= 0.0) continue;
+      eligible_[a] = true;
+      eps_[a] = options_.epsilon_fraction * d.range();
+      range_[a] = d.range();
+    }
+    return Status::OK();
+  }
+
+  bool AttributeEligible(size_t a) const override { return eligible_[a]; }
+
+  Result<Verdict> Validate(AttributeSet lhs, size_t rhs) override {
+    std::vector<double> eps;
+    eps.reserve(lhs.size());
+    for (size_t a : lhs.ToIndices()) eps.push_back(eps_[a]);
+    METALEAK_ASSIGN_OR_RETURN(
+        double delta, ComputeMinimalDelta(relation_, lhs, eps, rhs));
+    Verdict v;
+    if (delta <= options_.max_delta_fraction * range_[rhs]) {
+      v.holds = true;
+      v.emit = Dependency::Dd(lhs, rhs, std::move(eps), delta);
+    }
+    return v;
+  }
+
+ private:
+  const EncodedRelation& relation_;
+  const DdDiscoveryOptions& options_;
+  std::vector<bool> eligible_;
+  std::vector<double> eps_;
+  std::vector<double> range_;
+};
+
+Result<DependencySet> RunSearch(const EncodedRelation& relation,
+                                PliCache* cache,
+                                CandidateValidator* validator,
+                                size_t max_lhs, LatticeSearchStats* stats) {
+  LatticeSearchOptions search;
+  search.max_lhs = max_lhs;
+  METALEAK_ASSIGN_OR_RETURN(
+      LatticeSearchResult found,
+      RunLatticeSearch(relation, cache, validator, search));
+  if (stats != nullptr) *stats = found.stats;
+  return std::move(found.dependencies);
+}
+
+}  // namespace
 
 Result<DependencySet> DiscoverOds(const Relation& relation,
-                                  const OdDiscoveryOptions& options) {
+                                  const OdDiscoveryOptions& options,
+                                  LatticeSearchStats* stats) {
   EncodedRelation encoded = EncodedRelation::Encode(relation);
-  return DiscoverOds(encoded, options);
+  return DiscoverOds(encoded, options, stats);
 }
 
 Result<DependencySet> DiscoverOds(const EncodedRelation& relation,
-                                  const OdDiscoveryOptions& options) {
-  DependencySet out;
-  size_t m = relation.num_columns();
-  std::vector<std::pair<size_t, size_t>> candidates;
-  for (size_t x = 0; x < m; ++x) {
-    if (relation.dictionary(x).num_distinct() < options.min_lhs_distinct) {
-      continue;
-    }
-    for (size_t y = 0; y < m; ++y) {
-      if (x == y) continue;
-      candidates.emplace_back(x, y);
-    }
-  }
-  std::vector<char> holds(candidates.size(), 0);
-  ParallelFor(0, candidates.size(), 1, [&](size_t i) {
-    holds[i] = ValidateOd(relation, candidates[i].first,
-                          candidates[i].second);
-  });
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (holds[i]) {
-      out.Add(Dependency::Od(candidates[i].first, candidates[i].second));
-    }
-  }
-  out.Canonicalize();
-  return out;
+                                  const OdDiscoveryOptions& options,
+                                  LatticeSearchStats* stats) {
+  OrderValidator validator(relation, options, /*strict=*/false);
+  return RunSearch(relation, nullptr, &validator, options.max_lhs, stats);
 }
 
 Result<DependencySet> DiscoverOfds(const Relation& relation,
-                                   const OdDiscoveryOptions& options) {
+                                   const OdDiscoveryOptions& options,
+                                   LatticeSearchStats* stats) {
   EncodedRelation encoded = EncodedRelation::Encode(relation);
-  return DiscoverOfds(encoded, options);
+  return DiscoverOfds(encoded, options, stats);
 }
 
 Result<DependencySet> DiscoverOfds(const EncodedRelation& relation,
-                                   const OdDiscoveryOptions& options) {
-  DependencySet out;
-  size_t m = relation.num_columns();
-  std::vector<std::pair<size_t, size_t>> candidates;
-  for (size_t x = 0; x < m; ++x) {
-    if (relation.dictionary(x).num_distinct() < options.min_lhs_distinct) {
-      continue;
-    }
-    for (size_t y = 0; y < m; ++y) {
-      if (x == y) continue;
-      candidates.emplace_back(x, y);
-    }
-  }
-  std::vector<char> holds(candidates.size(), 0);
-  ParallelFor(0, candidates.size(), 1, [&](size_t i) {
-    holds[i] = ValidateOfd(relation, candidates[i].first,
-                           candidates[i].second);
-  });
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (holds[i]) {
-      out.Add(Dependency::Ofd(candidates[i].first, candidates[i].second));
-    }
-  }
-  out.Canonicalize();
-  return out;
+                                   const OdDiscoveryOptions& options,
+                                   LatticeSearchStats* stats) {
+  OrderValidator validator(relation, options, /*strict=*/true);
+  return RunSearch(relation, nullptr, &validator, options.max_lhs, stats);
 }
 
 Result<DependencySet> DiscoverNds(const Relation& relation,
-                                  const NdDiscoveryOptions& options) {
+                                  const NdDiscoveryOptions& options,
+                                  LatticeSearchStats* stats) {
   EncodedRelation encoded = EncodedRelation::Encode(relation);
-  return DiscoverNds(encoded, options);
+  return DiscoverNds(encoded, options, stats);
 }
 
 Result<DependencySet> DiscoverNds(const EncodedRelation& relation,
-                                  const NdDiscoveryOptions& options) {
-  DependencySet out;
-  size_t m = relation.num_columns();
+                                  const NdDiscoveryOptions& options,
+                                  LatticeSearchStats* stats) {
   PliCache cache(&relation);
-  std::vector<std::pair<size_t, size_t>> candidates;
-  for (size_t x = 0; x < m; ++x) {
-    for (size_t y = 0; y < m; ++y) {
-      if (x == y) continue;
-      if (relation.dictionary(y).num_distinct() < 2) continue;
-      candidates.emplace_back(x, y);
-    }
-  }
-  std::vector<size_t> fanout(candidates.size(), 0);
-  ParallelFor(0, candidates.size(), 1, [&](size_t i) {
-    fanout[i] = ComputeMaxFanout(&cache, candidates[i].first,
-                                 candidates[i].second);
-  });
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    auto [x, y] = candidates[i];
-    size_t distinct_y = relation.dictionary(y).num_distinct();
-    size_t k = fanout[i];
-    if (k <= 1) continue;  // that is an FD, not an ND
-    bool small_enough =
-        static_cast<double>(k) <=
-        options.max_fanout_fraction * static_cast<double>(distinct_y);
-    bool has_slack = k + options.min_slack <= distinct_y;
-    if (small_enough && has_slack) {
-      out.Add(Dependency::Nd(x, y, k));
-    }
-  }
-  out.Canonicalize();
-  return out;
+  return DiscoverNds(&cache, options, stats);
+}
+
+Result<DependencySet> DiscoverNds(PliCache* cache,
+                                  const NdDiscoveryOptions& options,
+                                  LatticeSearchStats* stats) {
+  NdValidator validator(cache, options);
+  return RunSearch(cache->encoded(), cache, &validator, options.max_lhs,
+                   stats);
 }
 
 Result<DependencySet> DiscoverDds(const Relation& relation,
-                                  const DdDiscoveryOptions& options) {
+                                  const DdDiscoveryOptions& options,
+                                  LatticeSearchStats* stats) {
   EncodedRelation encoded = EncodedRelation::Encode(relation);
-  return DiscoverDds(encoded, options);
+  return DiscoverDds(encoded, options, stats);
 }
 
 Result<DependencySet> DiscoverDds(const EncodedRelation& relation,
-                                  const DdDiscoveryOptions& options) {
-  DependencySet out;
-  std::vector<size_t> continuous =
-      relation.schema().IndicesOf(SemanticType::kContinuous);
-
-  struct DdCandidate {
-    size_t x = 0;
-    size_t y = 0;
-    double eps = 0.0;
-    double rhs_range = 0.0;
-  };
-  std::vector<DdCandidate> candidates;
-  for (size_t x : continuous) {
-    METALEAK_ASSIGN_OR_RETURN(Domain dx, relation.DomainOf(x));
-    if (dx.range() <= 0.0) continue;
-    double eps = options.epsilon_fraction * dx.range();
-    for (size_t y : continuous) {
-      if (x == y) continue;
-      METALEAK_ASSIGN_OR_RETURN(Domain dy, relation.DomainOf(y));
-      if (dy.range() <= 0.0) continue;
-      candidates.push_back(DdCandidate{x, y, eps, dy.range()});
-    }
-  }
-  std::vector<Result<double>> deltas(candidates.size(), 0.0);
-  ParallelFor(0, candidates.size(), 1, [&](size_t i) {
-    deltas[i] = ComputeMinimalDelta(relation, candidates[i].x,
-                                    candidates[i].y, candidates[i].eps);
-  });
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    METALEAK_ASSIGN_OR_RETURN(double delta, std::move(deltas[i]));
-    const DdCandidate& c = candidates[i];
-    if (delta <= options.max_delta_fraction * c.rhs_range) {
-      out.Add(Dependency::Dd(c.x, c.y, c.eps, delta));
-    }
-  }
-  out.Canonicalize();
-  return out;
+                                  const DdDiscoveryOptions& options,
+                                  LatticeSearchStats* stats) {
+  DdValidator validator(relation, options);
+  METALEAK_RETURN_NOT_OK(validator.Init());
+  return RunSearch(relation, nullptr, &validator, options.max_lhs, stats);
 }
 
 }  // namespace metaleak

@@ -1,28 +1,47 @@
 #include "discovery/tane.h"
 
-#include <map>
 #include <utility>
-#include <vector>
 
-#include "common/parallel.h"
 #include "partition/attribute_set.h"
-#include "partition/pli_cache.h"
+#include "partition/position_list_index.h"
 
 namespace metaleak {
 
 namespace {
 
-// Returns true if no already-emitted dependency with the same RHS has an
-// LHS that is a subset of `lhs` (minimality for threshold-mode AFDs; the
-// exact-FD path gets minimality from the C+ sets).
-bool IsMinimalAgainst(const DependencySet& emitted, AttributeSet lhs,
-                      size_t rhs) {
-  for (const Dependency& d : emitted) {
-    if (d.rhs == rhs && lhs.ContainsAll(d.lhs) && d.lhs != lhs) return false;
-    if (d.rhs == rhs && d.lhs == lhs) return false;
+// FD/AFD predicate over stripped-partition refinement: an exact
+// refinement holds (and prunes transitively); otherwise, in threshold
+// mode, a g3 error under the bound emits an AFD without pruning.
+class FdValidator final : public CandidateValidator {
+ public:
+  FdValidator(PliCache* cache, const TaneOptions& options)
+      : cache_(cache), options_(options) {}
+
+  Result<Verdict> Validate(AttributeSet lhs, size_t rhs) override {
+    const PositionListIndex* x_pli = cache_->Get(lhs);
+    const PositionListIndex* a_pli = cache_->Get(AttributeSet::Single(rhs));
+    Verdict v;
+    if (x_pli->Refines(*a_pli)) {
+      v.holds = true;
+      v.emit = Dependency::Fd(lhs, rhs);
+      return v;
+    }
+    if (options_.max_g3_error > 0.0) {
+      double g3 = x_pli->G3Error(*a_pli);
+      if (g3 <= options_.max_g3_error) {
+        v.emit = Dependency::Afd(lhs, rhs, g3);
+      }
+    }
+    return v;
   }
-  return true;
-}
+
+  bool TransitivePruning() const override { return true; }
+  bool RelaxedNeedsMinimality() const override { return true; }
+
+ private:
+  PliCache* cache_;
+  const TaneOptions& options_;
+};
 
 }  // namespace
 
@@ -34,126 +53,21 @@ Result<TaneResult> DiscoverFds(const Relation& relation,
 
 Result<TaneResult> DiscoverFds(const EncodedRelation& relation,
                                const TaneOptions& options) {
-  const size_t m = relation.num_columns();
-  if (m > AttributeSet::kMaxAttributes) {
-    return Status::Invalid("relation exceeds 64 attributes");
-  }
-  TaneResult result;
-  if (m == 0) return result;
-
   PliCache cache(&relation);
-  const AttributeSet full = AttributeSet::FullSet(m);
+  return DiscoverFds(&cache, options);
+}
 
-  // Level maps: attribute set X -> C+(X).
-  std::map<AttributeSet, AttributeSet> level;
-  for (size_t a = 0; a < m; ++a) {
-    level[AttributeSet::Single(a)] = full;
-  }
-
-  // Level 1 special case: the empty-LHS candidates {} -> A (constant
-  // columns) correspond to testing X = {A}, X \ {A} = {}.
-  const size_t max_level = options.max_lhs_size + 1;
-
-  for (size_t l = 1; l <= max_level && !level.empty(); ++l) {
-    // --- collect this level's candidates ---
-    // A node's candidate list depends only on its own C+ value at level
-    // entry (the serial algorithm fixes the list before mutating C+), so
-    // the whole level's candidates are known up front and their PLI
-    // verdicts are independent of each other.
-    struct Candidate {
-      AttributeSet lhs;
-      size_t rhs = 0;
-      bool exact = false;
-      double g3 = 1.0;
-    };
-    std::vector<Candidate> candidates;
-    std::vector<std::pair<size_t, size_t>> node_spans;
-    node_spans.reserve(level.size());
-    for (const auto& [x, cplus] : level) {
-      size_t first = candidates.size();
-      for (size_t a : x.Intersect(cplus).ToIndices()) {
-        AttributeSet lhs = x.Without(a);
-        if (lhs.empty() && !options.include_constant_columns) continue;
-        candidates.push_back(Candidate{lhs, a});
-      }
-      node_spans.emplace_back(first, candidates.size());
-    }
-
-    // --- validate candidates concurrently against the shared cache ---
-    ParallelFor(0, candidates.size(), 1, [&](size_t i) {
-      Candidate& c = candidates[i];
-      const PositionListIndex* x_pli = cache.Get(c.lhs);
-      const PositionListIndex* a_pli =
-          cache.Get(AttributeSet::Single(c.rhs));
-      c.exact = x_pli->Refines(*a_pli);
-      if (!c.exact && options.max_g3_error > 0.0) {
-        c.g3 = x_pli->G3Error(*a_pli);
-      }
-    });
-
-    // --- apply verdicts serially, in node order: emission and C+ set
-    // pruning replay the serial algorithm exactly, so the discovered set
-    // is bit-identical at any thread count ---
-    size_t node_index = 0;
-    for (auto& [x, cplus] : level) {
-      ++result.nodes_visited;
-      auto [first, last] = node_spans[node_index++];
-      for (size_t i = first; i < last; ++i) {
-        const Candidate& c = candidates[i];
-        if (c.exact) {
-          result.dependencies.Add(Dependency::Fd(c.lhs, c.rhs));
-          cplus = cplus.Without(c.rhs);
-          // Classic TANE pruning: all B outside X leave C+(X).
-          cplus = cplus.Minus(full.Minus(x));
-        } else if (options.max_g3_error > 0.0 &&
-                   c.g3 <= options.max_g3_error &&
-                   IsMinimalAgainst(result.dependencies, c.lhs, c.rhs)) {
-          result.dependencies.Add(Dependency::Afd(c.lhs, c.rhs, c.g3));
-        }
-      }
-    }
-
-    // --- prune nodes with empty candidate sets ---
-    for (auto it = level.begin(); it != level.end();) {
-      if (it->second.empty()) {
-        it = level.erase(it);
-      } else {
-        ++it;
-      }
-    }
-
-    if (l == max_level) break;
-
-    // --- generate the next level (prefix join + subset check) ---
-    std::map<AttributeSet, AttributeSet> next;
-    std::vector<AttributeSet> nodes;
-    nodes.reserve(level.size());
-    for (const auto& [x, cplus] : level) nodes.push_back(x);
-
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      for (size_t j = i + 1; j < nodes.size(); ++j) {
-        AttributeSet y = nodes[i].Union(nodes[j]);
-        if (y.size() != l + 1) continue;  // not a prefix-style join
-        if (next.count(y) != 0) continue;
-        // All l-subsets of y must be present in the current level.
-        bool all_present = true;
-        AttributeSet cplus = full;
-        for (size_t a : y.ToIndices()) {
-          auto it = level.find(y.Without(a));
-          if (it == level.end()) {
-            all_present = false;
-            break;
-          }
-          cplus = cplus.Intersect(it->second);
-        }
-        if (!all_present || cplus.empty()) continue;
-        next[y] = cplus;
-      }
-    }
-    level = std::move(next);
-  }
-
-  result.dependencies.Canonicalize();
+Result<TaneResult> DiscoverFds(PliCache* cache, const TaneOptions& options) {
+  FdValidator validator(cache, options);
+  LatticeSearchOptions search;
+  search.max_lhs = options.max_lhs_size;
+  search.include_empty_lhs = options.include_constant_columns;
+  METALEAK_ASSIGN_OR_RETURN(
+      LatticeSearchResult found,
+      RunLatticeSearch(cache->encoded(), cache, &validator, search));
+  TaneResult result;
+  result.dependencies = std::move(found.dependencies);
+  result.stats = found.stats;
   return result;
 }
 

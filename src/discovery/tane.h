@@ -3,11 +3,11 @@
 // for FD discovery), extended with g3-threshold discovery of approximate
 // functional dependencies (Kivinen–Mannila, Section IV-A of the paper).
 //
-// The search walks the attribute-set lattice level by level, maintaining
-// TANE's C+ candidate sets for minimality pruning, and validates
-// candidates against stripped-partition refinement. With
-// max_g3_error > 0, non-exact candidates whose g3 error clears the
-// threshold are emitted as AFDs (minimal by subset check).
+// The search runs on the shared lattice kernel (discovery/lattice.h)
+// with an FD/AFD validator: candidates are validated against
+// stripped-partition refinement, exact FDs prune with TANE's full C+
+// rule, and with max_g3_error > 0 non-exact candidates whose g3 error
+// clears the threshold are emitted as AFDs (minimal by subset check).
 #ifndef METALEAK_DISCOVERY_TANE_H_
 #define METALEAK_DISCOVERY_TANE_H_
 
@@ -16,7 +16,9 @@
 #include "common/result.h"
 #include "data/encoded_relation.h"
 #include "data/relation.h"
+#include "discovery/lattice.h"
 #include "metadata/dependency_set.h"
+#include "partition/pli_cache.h"
 
 namespace metaleak {
 
@@ -34,8 +36,9 @@ struct TaneOptions {
 struct TaneResult {
   /// Minimal FDs (and AFDs when enabled).
   DependencySet dependencies;
-  /// Lattice nodes visited — reported by the discovery perf bench.
-  size_t nodes_visited = 0;
+  /// Kernel counters for this search (nodes visited, candidates pruned,
+  /// validator invocations, PLI cache hit rate).
+  LatticeSearchStats stats;
 };
 
 /// Runs TANE on `relation`. Fails when the relation exceeds the 64
@@ -49,6 +52,12 @@ Result<TaneResult> DiscoverFds(const Relation& relation,
 /// `Value` hashing. Pipeline entry points that already hold an encoding
 /// should call this overload.
 Result<TaneResult> DiscoverFds(const EncodedRelation& relation,
+                               const TaneOptions& options = {});
+
+/// Runs TANE against a caller-owned PLI cache (the relation is the
+/// cache's encoding); partitions built here stay warm for later
+/// searches sharing the cache.
+Result<TaneResult> DiscoverFds(PliCache* cache,
                                const TaneOptions& options = {});
 
 }  // namespace metaleak

@@ -26,8 +26,12 @@ double ComputeG3(PliCache* cache, AttributeSet lhs, size_t rhs) {
 }
 
 size_t ComputeMaxFanout(PliCache* cache, size_t lhs, size_t rhs) {
+  return ComputeMaxFanout(cache, AttributeSet::Single(lhs), rhs);
+}
+
+size_t ComputeMaxFanout(PliCache* cache, AttributeSet lhs, size_t rhs) {
   METALEAK_DCHECK(cache != nullptr);
-  const PositionListIndex* x = cache->Get(AttributeSet::Single(lhs));
+  const PositionListIndex* x = cache->Get(lhs);
   const PositionListIndex* a = cache->Get(AttributeSet::Single(rhs));
   return x->MaxFanout(*a);
 }
@@ -172,6 +176,103 @@ bool ValidateOfd(const EncodedRelation& relation, size_t lhs, size_t rhs) {
 
 namespace {
 
+// Multi-attribute analogue of SortedCodePairs: for every row with no
+// NULL among lhs ∪ {rhs}, a fixed-width tuple (lhs codes in ascending
+// attribute order, then the rhs code), flattened and sorted
+// lexicographically. Codes are order-preserving, so tuple order is the
+// lexicographic `Value` order.
+std::vector<uint32_t> SortedCodeTuples(const EncodedRelation& relation,
+                                       const std::vector<size_t>& lhs,
+                                       size_t rhs, size_t* width_out) {
+  const size_t width = lhs.size() + 1;
+  *width_out = width;
+  std::vector<const std::vector<uint32_t>*> cols;
+  cols.reserve(width);
+  for (size_t a : lhs) cols.push_back(&relation.codes(a));
+  cols.push_back(&relation.codes(rhs));
+  std::vector<uint32_t> flat;
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    bool keep = true;
+    for (const auto* c : cols) {
+      if ((*c)[r] == ColumnDictionary::kNullCode) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    for (const auto* c : cols) flat.push_back((*c)[r]);
+  }
+  const size_t n = flat.size() / width;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::lexicographical_compare(
+        flat.begin() + a * width, flat.begin() + (a + 1) * width,
+        flat.begin() + b * width, flat.begin() + (b + 1) * width);
+  });
+  std::vector<uint32_t> sorted;
+  sorted.reserve(flat.size());
+  for (size_t i : order) {
+    sorted.insert(sorted.end(), flat.begin() + i * width,
+                  flat.begin() + (i + 1) * width);
+  }
+  return sorted;
+}
+
+// Adjacent-tuple scan shared by the multi-attribute OD/OFD checks:
+// `strict` selects the OFD rule (rhs must strictly increase when the
+// lhs tuple does).
+bool ScanSortedTuples(const std::vector<uint32_t>& tuples, size_t width,
+                      bool strict) {
+  const size_t n = tuples.size() / width;
+  if (n < 2) return true;
+  return ParallelReduce<bool>(
+      1, n, kPairScanGrain, true,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const uint32_t* prev = tuples.data() + (i - 1) * width;
+          const uint32_t* cur = tuples.data() + i * width;
+          const bool lhs_tie =
+              std::equal(prev, prev + width - 1, cur, cur + width - 1);
+          const uint32_t py = prev[width - 1];
+          const uint32_t cy = cur[width - 1];
+          if (lhs_tie) {
+            // lhs tie: both directions of the implication force rhs
+            // equality.
+            if (cy != py) return false;
+          } else if (strict) {
+            if (cy <= py) return false;
+          } else {
+            if (cy < py) return false;
+          }
+        }
+        return true;
+      },
+      [](bool a, bool b) { return a && b; });
+}
+
+}  // namespace
+
+bool ValidateOd(const EncodedRelation& relation, AttributeSet lhs,
+                size_t rhs) {
+  std::vector<size_t> xs = lhs.ToIndices();
+  if (xs.size() == 1) return ValidateOd(relation, xs[0], rhs);
+  size_t width = 0;
+  std::vector<uint32_t> tuples = SortedCodeTuples(relation, xs, rhs, &width);
+  return ScanSortedTuples(tuples, width, /*strict=*/false);
+}
+
+bool ValidateOfd(const EncodedRelation& relation, AttributeSet lhs,
+                 size_t rhs) {
+  std::vector<size_t> xs = lhs.ToIndices();
+  if (xs.size() == 1) return ValidateOfd(relation, xs[0], rhs);
+  size_t width = 0;
+  std::vector<uint32_t> tuples = SortedCodeTuples(relation, xs, rhs, &width);
+  return ScanSortedTuples(tuples, width, /*strict=*/true);
+}
+
+namespace {
+
 // Sliding-window scan of j in [jlo, jhi) over sorted points: for every
 // j, all i < j with x_j - x_i <= eps pair with j, and the deques hold
 // the window's y-min/max candidates. Seeding the deques from the window
@@ -302,6 +403,104 @@ Result<double> ComputeMinimalDelta(const EncodedRelation& relation,
   return MinimalDeltaOverPoints(std::move(pts), eps);
 }
 
+Result<double> ComputeMinimalDelta(const EncodedRelation& relation,
+                                   AttributeSet lhs,
+                                   const std::vector<double>& eps,
+                                   size_t rhs) {
+  std::vector<size_t> xs = lhs.ToIndices();
+  if (xs.size() != eps.size()) {
+    return Status::Invalid("epsilon list must match the LHS arity");
+  }
+  if (xs.size() == 1) {
+    return ComputeMinimalDelta(relation, xs[0], rhs, eps[0]);
+  }
+  for (size_t a : xs) {
+    if (a >= relation.num_columns()) {
+      return Status::OutOfRange("attribute index out of range");
+    }
+  }
+  if (rhs >= relation.num_columns()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  for (double e : eps) {
+    if (e < 0.0) {
+      return Status::Invalid("differential epsilon must be non-negative");
+    }
+  }
+  auto numeric_table = [&](size_t col) {
+    const ColumnDictionary& dict = relation.dictionary(col);
+    std::vector<double> table(dict.num_codes(),
+                              std::numeric_limits<double>::quiet_NaN());
+    for (uint32_t code = 1; code < dict.num_codes(); ++code) {
+      const Value& v = dict.decode(code);
+      if (v.is_numeric()) table[code] = v.AsNumeric();
+    }
+    return table;
+  };
+  // Qualifying rows flattened as (lhs numerics..., rhs numeric). A tuple
+  // pair is in the conjunctive window when every lhs coordinate differs
+  // by at most its eps; the minimal delta is the largest rhs gap over
+  // the window.
+  const size_t width = xs.size() + 1;
+  std::vector<std::vector<double>> tables;
+  std::vector<const std::vector<uint32_t>*> cols;
+  for (size_t a : xs) {
+    tables.push_back(numeric_table(a));
+    cols.push_back(&relation.codes(a));
+  }
+  tables.push_back(numeric_table(rhs));
+  cols.push_back(&relation.codes(rhs));
+  std::vector<double> flat;
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    bool keep = true;
+    for (const auto* c : cols) {
+      if ((*c)[r] == ColumnDictionary::kNullCode) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    for (size_t k = 0; k < width; ++k) {
+      double v = tables[k][(*cols[k])[r]];
+      if (std::isnan(v)) {
+        return Status::TypeError(
+            "differential dependencies require numeric attributes");
+      }
+      flat.push_back(v);
+    }
+  }
+  const size_t n = flat.size() / width;
+  if (n < 2) return 0.0;
+  // The conjunctive window has no 1-D sort that makes it contiguous, so
+  // every unordered pair is checked directly. Chunking the i-range keeps
+  // the O(n^2) scan parallel; max-reduction is order-invariant, so the
+  // result is thread-count independent.
+  constexpr size_t kRowGrain = 64;
+  return ParallelReduce<double>(
+      0, n, kRowGrain, 0.0,
+      [&](size_t lo, size_t hi) {
+        double delta = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          const double* ti = flat.data() + i * width;
+          for (size_t j = i + 1; j < n; ++j) {
+            const double* tj = flat.data() + j * width;
+            bool within = true;
+            for (size_t k = 0; k + 1 < width; ++k) {
+              if (std::fabs(ti[k] - tj[k]) > eps[k]) {
+                within = false;
+                break;
+              }
+            }
+            if (!within) continue;
+            delta = std::max(delta,
+                             std::fabs(ti[width - 1] - tj[width - 1]));
+          }
+        }
+        return delta;
+      },
+      [](double a, double b) { return std::max(a, b); });
+}
+
 Result<bool> ValidateDependency(const Relation& relation,
                                 const Dependency& dep) {
   EncodedRelation encoded = EncodedRelation::Encode(relation);
@@ -310,48 +509,58 @@ Result<bool> ValidateDependency(const Relation& relation,
 
 Result<bool> ValidateDependency(const EncodedRelation& relation,
                                 const Dependency& dep) {
+  PliCache cache(&relation);
+  return ValidateDependency(&cache, dep);
+}
+
+Result<bool> ValidateDependency(PliCache* cache, const Dependency& dep) {
+  METALEAK_DCHECK(cache != nullptr);
+  const EncodedRelation& relation = cache->encoded();
   size_t n = relation.num_columns();
   if (dep.rhs >= n) return Status::OutOfRange("RHS attribute out of range");
   for (size_t i : dep.lhs.ToIndices()) {
     if (i >= n) return Status::OutOfRange("LHS attribute out of range");
   }
-  PliCache cache(&relation);
   switch (dep.kind) {
     case DependencyKind::kFunctional:
-      return ValidateFd(&cache, dep.lhs, dep.rhs);
+      return ValidateFd(cache, dep.lhs, dep.rhs);
     case DependencyKind::kApproximateFunctional:
-      return ComputeG3(&cache, dep.lhs, dep.rhs) <= dep.g3_error;
-    case DependencyKind::kNumerical: {
-      if (dep.lhs.size() != 1) {
-        return Status::Invalid("numerical dependency needs a single LHS");
-      }
-      size_t lhs = dep.lhs.ToIndices()[0];
-      return ComputeMaxFanout(&cache, lhs, dep.rhs) <= dep.max_fanout;
-    }
-    case DependencyKind::kOrder: {
-      if (dep.lhs.size() != 1) {
-        return Status::Invalid("order dependency needs a single LHS");
-      }
-      return ValidateOd(relation, dep.lhs.ToIndices()[0], dep.rhs);
-    }
-    case DependencyKind::kOrderedFunctional: {
-      if (dep.lhs.size() != 1) {
-        return Status::Invalid("OFD needs a single LHS");
-      }
-      return ValidateOfd(relation, dep.lhs.ToIndices()[0], dep.rhs);
-    }
+      return ComputeG3(cache, dep.lhs, dep.rhs) <= dep.g3_error;
+    case DependencyKind::kNumerical:
+      return ComputeMaxFanout(cache, dep.lhs, dep.rhs) <= dep.max_fanout;
+    case DependencyKind::kOrder:
+      return ValidateOd(relation, dep.lhs, dep.rhs);
+    case DependencyKind::kOrderedFunctional:
+      return ValidateOfd(relation, dep.lhs, dep.rhs);
     case DependencyKind::kDifferential: {
-      if (dep.lhs.size() != 1) {
-        return Status::Invalid("differential dependency needs a single LHS");
+      std::vector<double> eps = dep.lhs_epsilons;
+      if (eps.empty()) {
+        eps.assign(dep.lhs.size(), dep.lhs_epsilon);
       }
       METALEAK_ASSIGN_OR_RETURN(
-          double delta,
-          ComputeMinimalDelta(relation, dep.lhs.ToIndices()[0], dep.rhs,
-                              dep.lhs_epsilon));
+          double delta, ComputeMinimalDelta(relation, dep.lhs, eps, dep.rhs));
       return delta <= dep.rhs_delta;
     }
   }
   return Status::Invalid("unknown dependency kind");
+}
+
+Result<std::vector<bool>> ValidateDependencies(const Relation& relation,
+                                               const DependencySet& deps) {
+  EncodedRelation encoded = EncodedRelation::Encode(relation);
+  return ValidateDependencies(encoded, deps);
+}
+
+Result<std::vector<bool>> ValidateDependencies(
+    const EncodedRelation& relation, const DependencySet& deps) {
+  PliCache cache(&relation);
+  std::vector<bool> verdicts;
+  verdicts.reserve(deps.size());
+  for (const Dependency& d : deps) {
+    METALEAK_ASSIGN_OR_RETURN(bool ok, ValidateDependency(&cache, d));
+    verdicts.push_back(ok);
+  }
+  return verdicts;
 }
 
 }  // namespace metaleak

@@ -8,11 +8,13 @@
 #define METALEAK_DISCOVERY_VALIDATORS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "metadata/dependency.h"
+#include "metadata/dependency_set.h"
 #include "partition/attribute_set.h"
 #include "partition/pli_cache.h"
 
@@ -29,6 +31,10 @@ double ComputeG3(PliCache* cache, AttributeSet lhs, size_t rhs);
 /// maximum number of distinct rhs values co-occurring with one lhs value.
 size_t ComputeMaxFanout(PliCache* cache, size_t lhs, size_t rhs);
 
+/// Multi-attribute fan-out: distinct rhs values per equivalence class of
+/// the composite lhs partition.
+size_t ComputeMaxFanout(PliCache* cache, AttributeSet lhs, size_t rhs);
+
 /// True iff the order dependency lhs -> rhs holds: for all tuples t, u,
 /// t[lhs] <= u[lhs] implies t[rhs] <= u[rhs]. Note this entails equal rhs
 /// values on lhs ties, i.e. OD implies FD on the non-null rows.
@@ -39,6 +45,12 @@ bool ValidateOd(const Relation& relation, size_t lhs, size_t rhs);
 /// so the whole scan runs on packed uint32 pairs.
 bool ValidateOd(const EncodedRelation& relation, size_t lhs, size_t rhs);
 
+/// Multi-attribute OD: the LHS orders rows lexicographically by the
+/// attributes in ascending index order; rows with a NULL in any involved
+/// column are skipped. |lhs| == 1 is exactly the single-attribute check.
+bool ValidateOd(const EncodedRelation& relation, AttributeSet lhs,
+                size_t rhs);
+
 /// True iff the ordered functional dependency holds: the FD plus strict
 /// order preservation (t[lhs] < u[lhs] implies t[rhs] < u[rhs]).
 /// Legacy `Value` path, agreement-tested against the encoded overload.
@@ -46,6 +58,11 @@ bool ValidateOfd(const Relation& relation, size_t lhs, size_t rhs);
 
 /// OFD check on the encoded view (see the OD overload).
 bool ValidateOfd(const EncodedRelation& relation, size_t lhs, size_t rhs);
+
+/// Multi-attribute OFD under the same lexicographic LHS order as the OD
+/// overload above.
+bool ValidateOfd(const EncodedRelation& relation, AttributeSet lhs,
+                 size_t rhs);
 
 /// Minimal delta such that the differential dependency
 /// |t[lhs]-u[lhs]| <= eps  =>  |t[rhs]-u[rhs]| <= delta holds over all
@@ -59,16 +76,38 @@ Result<double> ComputeMinimalDelta(const Relation& relation, size_t lhs,
 Result<double> ComputeMinimalDelta(const EncodedRelation& relation,
                                    size_t lhs, size_t rhs, double eps);
 
+/// Multi-attribute minimal delta: a pair qualifies when every LHS
+/// attribute a_k is within its eps[k] (conjunctive window); `eps` is
+/// parallel to lhs.ToIndices(). |lhs| == 1 is exactly the
+/// single-attribute sliding-window scan.
+Result<double> ComputeMinimalDelta(const EncodedRelation& relation,
+                                   AttributeSet lhs,
+                                   const std::vector<double>& eps,
+                                   size_t rhs);
+
 /// Validates a dependency of any class against `relation`; for
 /// parameterized classes the recorded parameter must be satisfied
 /// (g3 <= dep.g3_error, fan-out <= dep.max_fanout, minimal delta <=
-/// dep.rhs_delta). Fails on out-of-range attribute indices.
+/// dep.rhs_delta). Fails on out-of-range attribute indices. Handles
+/// multi-attribute LHSes for every class.
 Result<bool> ValidateDependency(const Relation& relation,
                                 const Dependency& dep);
 
 /// Same, over a pre-built encoding (no per-call re-encode).
 Result<bool> ValidateDependency(const EncodedRelation& relation,
                                 const Dependency& dep);
+
+/// Same, over a caller-owned PLI cache (no per-call cache rebuild; the
+/// relation is the cache's encoding). The cheapest form when validating
+/// many dependencies against one relation.
+Result<bool> ValidateDependency(PliCache* cache, const Dependency& dep);
+
+/// Batch validation: encodes / builds partitions once for the whole set.
+/// Element i of the result answers for the i-th dependency of `deps`.
+Result<std::vector<bool>> ValidateDependencies(const Relation& relation,
+                                               const DependencySet& deps);
+Result<std::vector<bool>> ValidateDependencies(
+    const EncodedRelation& relation, const DependencySet& deps);
 
 }  // namespace metaleak
 

@@ -70,18 +70,26 @@ Dependency Dependency::Afd(AttributeSet lhs, size_t rhs, double g3_error) {
 }
 
 Dependency Dependency::Nd(size_t lhs, size_t rhs, size_t max_fanout) {
+  return Nd(AttributeSet::Single(lhs), rhs, max_fanout);
+}
+
+Dependency Dependency::Nd(AttributeSet lhs, size_t rhs, size_t max_fanout) {
   Dependency d;
   d.kind = DependencyKind::kNumerical;
-  d.lhs = AttributeSet::Single(lhs);
+  d.lhs = lhs;
   d.rhs = rhs;
   d.max_fanout = max_fanout;
   return d;
 }
 
 Dependency Dependency::Od(size_t lhs, size_t rhs) {
+  return Od(AttributeSet::Single(lhs), rhs);
+}
+
+Dependency Dependency::Od(AttributeSet lhs, size_t rhs) {
   Dependency d;
   d.kind = DependencyKind::kOrder;
-  d.lhs = AttributeSet::Single(lhs);
+  d.lhs = lhs;
   d.rhs = rhs;
   return d;
 }
@@ -97,10 +105,32 @@ Dependency Dependency::Dd(size_t lhs, size_t rhs, double lhs_epsilon,
   return d;
 }
 
+Dependency Dependency::Dd(AttributeSet lhs, size_t rhs,
+                          std::vector<double> lhs_epsilons,
+                          double rhs_delta) {
+  if (lhs.size() == 1 && lhs_epsilons.size() == 1) {
+    return Dd(lhs.ToIndices()[0], rhs, lhs_epsilons[0], rhs_delta);
+  }
+  Dependency d;
+  d.kind = DependencyKind::kDifferential;
+  d.lhs = lhs;
+  d.rhs = rhs;
+  // lhs_epsilon keeps the first attribute's threshold so consumers that
+  // understand only the single-attribute form degrade gracefully.
+  d.lhs_epsilon = lhs_epsilons.empty() ? 0.0 : lhs_epsilons[0];
+  d.rhs_delta = rhs_delta;
+  d.lhs_epsilons = std::move(lhs_epsilons);
+  return d;
+}
+
 Dependency Dependency::Ofd(size_t lhs, size_t rhs) {
+  return Ofd(AttributeSet::Single(lhs), rhs);
+}
+
+Dependency Dependency::Ofd(AttributeSet lhs, size_t rhs) {
   Dependency d;
   d.kind = DependencyKind::kOrderedFunctional;
-  d.lhs = AttributeSet::Single(lhs);
+  d.lhs = lhs;
   d.rhs = rhs;
   return d;
 }
@@ -140,8 +170,16 @@ std::string Render(const Dependency& d, const Schema* schema) {
       os << " (K=" << d.max_fanout << ')';
       break;
     case DependencyKind::kDifferential:
-      os << " (eps=" << FormatDouble(d.lhs_epsilon, 4)
-         << ", delta=" << FormatDouble(d.rhs_delta, 4) << ')';
+      os << " (eps=";
+      if (d.lhs_epsilons.empty()) {
+        os << FormatDouble(d.lhs_epsilon, 4);
+      } else {
+        for (size_t i = 0; i < d.lhs_epsilons.size(); ++i) {
+          if (i > 0) os << '|';
+          os << FormatDouble(d.lhs_epsilons[i], 4);
+        }
+      }
+      os << ", delta=" << FormatDouble(d.rhs_delta, 4) << ')';
       break;
     default:
       break;
@@ -160,7 +198,8 @@ std::string Dependency::ToString() const { return Render(*this, nullptr); }
 bool operator==(const Dependency& a, const Dependency& b) {
   return a.kind == b.kind && a.lhs == b.lhs && a.rhs == b.rhs &&
          a.g3_error == b.g3_error && a.max_fanout == b.max_fanout &&
-         a.lhs_epsilon == b.lhs_epsilon && a.rhs_delta == b.rhs_delta;
+         a.lhs_epsilon == b.lhs_epsilon && a.rhs_delta == b.rhs_delta &&
+         a.lhs_epsilons == b.lhs_epsilons;
 }
 
 }  // namespace metaleak

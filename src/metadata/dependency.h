@@ -52,15 +52,26 @@ struct Dependency {
   /// DD: the metric thresholds on LHS and RHS.
   double lhs_epsilon = 0.0;
   double rhs_delta = 0.0;
+  /// DD with |LHS| > 1: per-attribute epsilons, parallel to
+  /// lhs.ToIndices(). Empty in the canonical single-attribute form, where
+  /// lhs_epsilon alone carries the threshold.
+  std::vector<double> lhs_epsilons;
 
-  /// Factories for each class keep call sites self-describing.
+  /// Factories for each class keep call sites self-describing. The
+  /// relaxed classes come in the paper's canonical single-attribute form
+  /// plus the multi-attribute LHS form the lattice kernel emits.
   static Dependency Fd(AttributeSet lhs, size_t rhs);
   static Dependency Afd(AttributeSet lhs, size_t rhs, double g3_error);
   static Dependency Nd(size_t lhs, size_t rhs, size_t max_fanout);
+  static Dependency Nd(AttributeSet lhs, size_t rhs, size_t max_fanout);
   static Dependency Od(size_t lhs, size_t rhs);
+  static Dependency Od(AttributeSet lhs, size_t rhs);
   static Dependency Dd(size_t lhs, size_t rhs, double lhs_epsilon,
                        double rhs_delta);
+  static Dependency Dd(AttributeSet lhs, size_t rhs,
+                       std::vector<double> lhs_epsilons, double rhs_delta);
   static Dependency Ofd(size_t lhs, size_t rhs);
+  static Dependency Ofd(AttributeSet lhs, size_t rhs);
 
   /// "FD {Name} -> Age" style rendering using schema names.
   std::string ToString(const Schema& schema) const;

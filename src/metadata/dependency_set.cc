@@ -22,7 +22,7 @@ void DependencySet::Canonicalize() {
   auto key = [](const Dependency& d) {
     return std::make_tuple(static_cast<int>(d.kind), d.lhs.mask(), d.rhs,
                            d.g3_error, d.max_fanout, d.lhs_epsilon,
-                           d.rhs_delta);
+                           d.rhs_delta, d.lhs_epsilons);
   };
   std::sort(deps_.begin(), deps_.end(),
             [&](const Dependency& a, const Dependency& b) {

@@ -155,9 +155,17 @@ std::string MetadataPackage::Serialize() const {
   for (const Dependency& d : dependencies) {
     std::vector<std::string> lhs;
     for (size_t i : d.lhs.ToIndices()) lhs.push_back(std::to_string(i));
+    // The epsilon field is a comma list for multi-attribute DDs; the
+    // single-epsilon form stays byte-identical to the v1 records.
+    std::vector<std::string> eps;
+    if (d.lhs_epsilons.empty()) {
+      eps.push_back(FormatDouble(d.lhs_epsilon, 12));
+    } else {
+      for (double e : d.lhs_epsilons) eps.push_back(FormatDouble(e, 12));
+    }
     os << "dep\t" << DependencyKindCode(d.kind) << '\t' << Join(lhs, ",")
        << '\t' << d.rhs << '\t' << FormatDouble(d.g3_error, 12) << '\t'
-       << d.max_fanout << '\t' << FormatDouble(d.lhs_epsilon, 12) << '\t'
+       << d.max_fanout << '\t' << Join(eps, ",") << '\t'
        << FormatDouble(d.rhs_delta, 12) << '\n';
   }
   for (const ConditionalFd& cfd : conditional_fds) {
@@ -258,15 +266,21 @@ Result<MetadataPackage> MetadataPackage::Deserialize(
       auto rhs = ParseInt64(f[3]);
       auto g3 = ParseDouble(f[4]);
       auto fanout = ParseInt64(f[5]);
-      auto eps = ParseDouble(f[6]);
+      std::vector<double> eps_list;
+      for (const std::string& part : Split(f[6], ',')) {
+        auto e = ParseDouble(part);
+        if (!e) return Status::IoError("bad dep parameters");
+        eps_list.push_back(*e);
+      }
       auto delta = ParseDouble(f[7]);
-      if (!rhs || !g3 || !fanout || !eps || !delta) {
+      if (!rhs || !g3 || !fanout || eps_list.empty() || !delta) {
         return Status::IoError("bad dep parameters");
       }
       d.rhs = static_cast<size_t>(*rhs);
       d.g3_error = *g3;
       d.max_fanout = static_cast<size_t>(*fanout);
-      d.lhs_epsilon = *eps;
+      d.lhs_epsilon = eps_list[0];
+      if (eps_list.size() > 1) d.lhs_epsilons = std::move(eps_list);
       d.rhs_delta = *delta;
       pkg.dependencies.Add(d);
     } else if (tag == "cfd") {

@@ -26,6 +26,7 @@ Result<AuditResult> RunAudit(const Relation& relation,
   METALEAK_ASSIGN_OR_RETURN(DiscoveryReport report,
                             ProfileRelation(encoded, options.discovery));
   result.metadata = std::move(report.metadata);
+  result.discovery_stats = std::move(report.search_stats);
 
   METALEAK_ASSIGN_OR_RETURN(
       result.identifiable_fraction,
@@ -108,6 +109,21 @@ std::string AuditResult::ToMarkdown() const {
     os << "- `" << cfd.ToString(metadata.schema) << "`\n";
   }
   os << '\n';
+
+  if (!discovery_stats.empty()) {
+    os << "## Discovery search statistics\n\n";
+    TablePrinter stats_table;
+    stats_table.SetHeader({"Search", "Nodes", "Pruned", "Validations",
+                           "PLI hit rate"});
+    for (const ClassSearchStats& s : discovery_stats) {
+      stats_table.AddRow(
+          {s.search, std::to_string(s.stats.nodes_visited),
+           std::to_string(s.stats.candidates_pruned),
+           std::to_string(s.stats.validator_invocations),
+           FormatDouble(s.stats.PliCacheHitRate(), 3)});
+    }
+    os << stats_table.ToMarkdown() << '\n';
+  }
 
   os << "## Per-attribute verdicts\n\n";
   TablePrinter table;

@@ -51,6 +51,8 @@ struct AttributeAudit {
 
 struct AuditResult {
   MetadataPackage metadata;
+  /// Per-class lattice-search statistics from the discovery pass.
+  std::vector<ClassSearchStats> discovery_stats;
   /// Fraction of tuples identifiable via subsets up to the configured
   /// width (Definition 2.1).
   double identifiable_fraction = 0.0;

@@ -406,7 +406,20 @@ TEST(DiscoveryEngineTest, ProfileEmployeeProducesFullPackage) {
   EXPECT_EQ(pkg.num_rows, 4u);
   EXPECT_TRUE(pkg.HasAllDomains());
   EXPECT_GT(pkg.dependencies.size(), 0u);
-  EXPECT_GT(report->tane_nodes_visited, 0u);
+  // One stats entry per enabled class, FD first, each with visited nodes.
+  ASSERT_EQ(report->search_stats.size(), 5u);
+  EXPECT_EQ(report->search_stats[0].search, "FD/AFD");
+  for (const ClassSearchStats& s : report->search_stats) {
+    EXPECT_GT(s.stats.nodes_visited, 0u) << s.search;
+    EXPECT_GT(s.stats.validator_invocations, 0u) << s.search;
+  }
+  // The FD search runs on the shared PLI cache; its lookups must show
+  // up in the per-search hit/miss deltas.
+  EXPECT_GT(report->search_stats[0].stats.pli_cache_hits +
+                report->search_stats[0].stats.pli_cache_misses,
+            0u);
+  EXPECT_GT(report->TotalSearchStats().nodes_visited,
+            report->search_stats[0].stats.nodes_visited);
 }
 
 TEST(DiscoveryEngineTest, TogglesDisableClasses) {
@@ -429,10 +442,14 @@ TEST(DiscoveryEngineTest, EveryReportedDependencyValidates) {
   options.discover_afds = true;
   auto report = ProfileRelation(employee, options);
   ASSERT_TRUE(report.ok());
+  // Batch form: one encoding + one PLI cache for the whole set.
+  auto verdicts =
+      ValidateDependencies(employee, report->metadata.dependencies);
+  ASSERT_TRUE(verdicts.ok());
+  ASSERT_EQ(verdicts->size(), report->metadata.dependencies.size());
+  size_t i = 0;
   for (const Dependency& d : report->metadata.dependencies) {
-    auto valid = ValidateDependency(employee, d);
-    ASSERT_TRUE(valid.ok()) << d.ToString();
-    EXPECT_TRUE(*valid) << d.ToString(employee.schema());
+    EXPECT_TRUE((*verdicts)[i++]) << d.ToString(employee.schema());
   }
 }
 

@@ -285,8 +285,17 @@ TEST(EncodingAgreementTest, DiscoveryOutputIsIdentical) {
                                 rel.schema()));
     EXPECT_EQ(from_relation->metadata.domains.size(),
               from_encoded->metadata.domains.size());
-    EXPECT_EQ(from_relation->tane_nodes_visited,
-              from_encoded->tane_nodes_visited);
+    ASSERT_EQ(from_relation->search_stats.size(),
+              from_encoded->search_stats.size());
+    for (size_t i = 0; i < from_relation->search_stats.size(); ++i) {
+      EXPECT_EQ(from_relation->search_stats[i].search,
+                from_encoded->search_stats[i].search);
+      EXPECT_EQ(from_relation->search_stats[i].stats.nodes_visited,
+                from_encoded->search_stats[i].stats.nodes_visited);
+      EXPECT_EQ(
+          from_relation->search_stats[i].stats.validator_invocations,
+          from_encoded->search_stats[i].stats.validator_invocations);
+    }
   }
 }
 

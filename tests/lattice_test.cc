@@ -1,0 +1,814 @@
+// Tests for the shared lattice-search kernel (discovery/lattice.{h,cc}):
+// golden-parity against the pre-refactor per-class search loops, the
+// pruning hooks, degenerate inputs, and the max_lhs bound.
+#include "discovery/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "data/datasets/echocardiogram.h"
+#include "data/datasets/employee.h"
+#include "data/datasets/synthetic.h"
+#include "discovery/rfd_discovery.h"
+#include "discovery/tane.h"
+#include "metadata/metadata_package.h"
+
+namespace metaleak {
+namespace {
+
+// Canonical discovery output of the pre-refactor code paths (TANE's
+// hand-rolled level loop and the four pairwise RFD loops), captured on
+// the reference datasets before the kernel refactor. One line per
+// dependency: `dataset|CLASS|rendered dependency`. The kernel-based
+// paths must reproduce every line exactly, at any thread count.
+constexpr const char* kGoldenDiscovery = R"GOLDEN(
+employee|FD|FD {0} -> 1
+employee|FD|FD {0} -> 2
+employee|FD|FD {0} -> 3
+employee|FD|FD {1, 2} -> 0
+employee|FD|FD {1, 2} -> 3
+employee|FD|FD {3} -> 0
+employee|FD|FD {3} -> 1
+employee|FD|FD {3} -> 2
+employee|AFD|FD {0} -> 1
+employee|AFD|FD {0} -> 2
+employee|AFD|FD {0} -> 3
+employee|AFD|FD {3} -> 0
+employee|AFD|FD {3} -> 1
+employee|AFD|FD {3} -> 2
+employee|OD|OD {0} -> 1
+employee|OD|OD {0} -> 3
+employee|OD|OD {3} -> 0
+employee|OD|OD {3} -> 1
+employee|OFD|OFD {0} -> 3
+employee|OFD|OFD {3} -> 0
+employee|ND|ND {1} -> 0 (K=2)
+employee|ND|ND {1} -> 3 (K=2)
+employee|ND|ND {2} -> 0 (K=2)
+employee|ND|ND {2} -> 3 (K=2)
+employee|DD|DD {1} -> 3 (eps=0.4, delta=2000)
+employee|DD|DD {3} -> 1 (eps=750, delta=0)
+echocardiogram|FD|FD {} -> 10
+echocardiogram|FD|FD {0} -> 1
+echocardiogram|FD|FD {0} -> 12
+echocardiogram|FD|FD {0, 2} -> 3
+echocardiogram|FD|FD {0, 2} -> 4
+echocardiogram|FD|FD {0, 2} -> 5
+echocardiogram|FD|FD {0, 2} -> 6
+echocardiogram|FD|FD {0, 2} -> 7
+echocardiogram|FD|FD {0, 2} -> 8
+echocardiogram|FD|FD {0, 2} -> 9
+echocardiogram|FD|FD {0, 2} -> 11
+echocardiogram|FD|FD {0, 4} -> 2
+echocardiogram|FD|FD {0, 4} -> 3
+echocardiogram|FD|FD {0, 4} -> 5
+echocardiogram|FD|FD {0, 4} -> 6
+echocardiogram|FD|FD {0, 4} -> 7
+echocardiogram|FD|FD {0, 4} -> 8
+echocardiogram|FD|FD {0, 4} -> 9
+echocardiogram|FD|FD {0, 4} -> 11
+echocardiogram|FD|FD {2, 4} -> 1
+echocardiogram|FD|FD {2, 4} -> 3
+echocardiogram|FD|FD {5} -> 6
+echocardiogram|FD|FD {0, 5} -> 2
+echocardiogram|FD|FD {0, 5} -> 3
+echocardiogram|FD|FD {0, 5} -> 4
+echocardiogram|FD|FD {0, 5} -> 7
+echocardiogram|FD|FD {0, 5} -> 8
+echocardiogram|FD|FD {0, 5} -> 9
+echocardiogram|FD|FD {0, 5} -> 11
+echocardiogram|FD|FD {2, 5} -> 0
+echocardiogram|FD|FD {2, 5} -> 1
+echocardiogram|FD|FD {2, 5} -> 3
+echocardiogram|FD|FD {2, 5} -> 4
+echocardiogram|FD|FD {2, 5} -> 7
+echocardiogram|FD|FD {2, 5} -> 8
+echocardiogram|FD|FD {2, 5} -> 9
+echocardiogram|FD|FD {2, 5} -> 11
+echocardiogram|FD|FD {2, 5} -> 12
+echocardiogram|FD|FD {4, 5} -> 0
+echocardiogram|FD|FD {4, 5} -> 1
+echocardiogram|FD|FD {4, 5} -> 2
+echocardiogram|FD|FD {4, 5} -> 3
+echocardiogram|FD|FD {4, 5} -> 7
+echocardiogram|FD|FD {4, 5} -> 8
+echocardiogram|FD|FD {4, 5} -> 9
+echocardiogram|FD|FD {4, 5} -> 11
+echocardiogram|FD|FD {4, 5} -> 12
+echocardiogram|FD|FD {0, 6} -> 2
+echocardiogram|FD|FD {0, 6} -> 3
+echocardiogram|FD|FD {0, 6} -> 4
+echocardiogram|FD|FD {0, 6} -> 5
+echocardiogram|FD|FD {0, 6} -> 7
+echocardiogram|FD|FD {0, 6} -> 8
+echocardiogram|FD|FD {0, 6} -> 9
+echocardiogram|FD|FD {0, 6} -> 11
+echocardiogram|FD|FD {1, 2, 6} -> 12
+echocardiogram|FD|FD {2, 3, 6} -> 1
+echocardiogram|FD|FD {2, 3, 6} -> 11
+echocardiogram|FD|FD {2, 3, 6} -> 12
+echocardiogram|FD|FD {4, 6} -> 0
+echocardiogram|FD|FD {4, 6} -> 1
+echocardiogram|FD|FD {4, 6} -> 2
+echocardiogram|FD|FD {4, 6} -> 3
+echocardiogram|FD|FD {4, 6} -> 5
+echocardiogram|FD|FD {4, 6} -> 7
+echocardiogram|FD|FD {4, 6} -> 8
+echocardiogram|FD|FD {4, 6} -> 9
+echocardiogram|FD|FD {4, 6} -> 11
+echocardiogram|FD|FD {4, 6} -> 12
+echocardiogram|FD|FD {7} -> 8
+echocardiogram|FD|FD {2, 7} -> 3
+echocardiogram|FD|FD {1, 2, 7} -> 0
+echocardiogram|FD|FD {1, 2, 7} -> 4
+echocardiogram|FD|FD {1, 2, 7} -> 5
+echocardiogram|FD|FD {1, 2, 7} -> 6
+echocardiogram|FD|FD {1, 2, 7} -> 9
+echocardiogram|FD|FD {1, 2, 7} -> 11
+echocardiogram|FD|FD {1, 2, 7} -> 12
+echocardiogram|FD|FD {0, 3, 7} -> 2
+echocardiogram|FD|FD {0, 3, 7} -> 4
+echocardiogram|FD|FD {0, 3, 7} -> 5
+echocardiogram|FD|FD {0, 3, 7} -> 6
+echocardiogram|FD|FD {0, 3, 7} -> 9
+echocardiogram|FD|FD {0, 3, 7} -> 11
+echocardiogram|FD|FD {4, 7} -> 0
+echocardiogram|FD|FD {4, 7} -> 1
+echocardiogram|FD|FD {4, 7} -> 2
+echocardiogram|FD|FD {4, 7} -> 3
+echocardiogram|FD|FD {4, 7} -> 5
+echocardiogram|FD|FD {4, 7} -> 6
+echocardiogram|FD|FD {4, 7} -> 9
+echocardiogram|FD|FD {4, 7} -> 11
+echocardiogram|FD|FD {4, 7} -> 12
+echocardiogram|FD|FD {5, 7} -> 1
+echocardiogram|FD|FD {5, 7} -> 11
+echocardiogram|FD|FD {5, 7} -> 12
+echocardiogram|FD|FD {3, 5, 7} -> 0
+echocardiogram|FD|FD {3, 5, 7} -> 2
+echocardiogram|FD|FD {3, 5, 7} -> 4
+echocardiogram|FD|FD {3, 5, 7} -> 9
+echocardiogram|FD|FD {6, 7} -> 12
+echocardiogram|FD|FD {2, 6, 7} -> 0
+echocardiogram|FD|FD {2, 6, 7} -> 1
+echocardiogram|FD|FD {2, 6, 7} -> 4
+echocardiogram|FD|FD {2, 6, 7} -> 5
+echocardiogram|FD|FD {2, 6, 7} -> 9
+echocardiogram|FD|FD {2, 6, 7} -> 11
+echocardiogram|FD|FD {8} -> 7
+echocardiogram|FD|FD {2, 8} -> 3
+echocardiogram|FD|FD {1, 2, 8} -> 0
+echocardiogram|FD|FD {1, 2, 8} -> 4
+echocardiogram|FD|FD {1, 2, 8} -> 5
+echocardiogram|FD|FD {1, 2, 8} -> 6
+echocardiogram|FD|FD {1, 2, 8} -> 9
+echocardiogram|FD|FD {1, 2, 8} -> 11
+echocardiogram|FD|FD {1, 2, 8} -> 12
+echocardiogram|FD|FD {0, 3, 8} -> 2
+echocardiogram|FD|FD {0, 3, 8} -> 4
+echocardiogram|FD|FD {0, 3, 8} -> 5
+echocardiogram|FD|FD {0, 3, 8} -> 6
+echocardiogram|FD|FD {0, 3, 8} -> 9
+echocardiogram|FD|FD {0, 3, 8} -> 11
+echocardiogram|FD|FD {4, 8} -> 0
+echocardiogram|FD|FD {4, 8} -> 1
+echocardiogram|FD|FD {4, 8} -> 2
+echocardiogram|FD|FD {4, 8} -> 3
+echocardiogram|FD|FD {4, 8} -> 5
+echocardiogram|FD|FD {4, 8} -> 6
+echocardiogram|FD|FD {4, 8} -> 9
+echocardiogram|FD|FD {4, 8} -> 11
+echocardiogram|FD|FD {4, 8} -> 12
+echocardiogram|FD|FD {5, 8} -> 1
+echocardiogram|FD|FD {5, 8} -> 11
+echocardiogram|FD|FD {5, 8} -> 12
+echocardiogram|FD|FD {3, 5, 8} -> 0
+echocardiogram|FD|FD {3, 5, 8} -> 2
+echocardiogram|FD|FD {3, 5, 8} -> 4
+echocardiogram|FD|FD {3, 5, 8} -> 9
+echocardiogram|FD|FD {6, 8} -> 12
+echocardiogram|FD|FD {2, 6, 8} -> 0
+echocardiogram|FD|FD {2, 6, 8} -> 1
+echocardiogram|FD|FD {2, 6, 8} -> 4
+echocardiogram|FD|FD {2, 6, 8} -> 5
+echocardiogram|FD|FD {2, 6, 8} -> 9
+echocardiogram|FD|FD {2, 6, 8} -> 11
+echocardiogram|FD|FD {0, 9} -> 2
+echocardiogram|FD|FD {0, 9} -> 3
+echocardiogram|FD|FD {0, 9} -> 4
+echocardiogram|FD|FD {0, 9} -> 5
+echocardiogram|FD|FD {0, 9} -> 6
+echocardiogram|FD|FD {0, 9} -> 7
+echocardiogram|FD|FD {0, 9} -> 8
+echocardiogram|FD|FD {0, 9} -> 11
+echocardiogram|FD|FD {2, 9} -> 12
+echocardiogram|FD|FD {4, 9} -> 3
+echocardiogram|FD|FD {1, 4, 9} -> 12
+echocardiogram|FD|FD {2, 4, 9} -> 0
+echocardiogram|FD|FD {2, 4, 9} -> 5
+echocardiogram|FD|FD {2, 4, 9} -> 6
+echocardiogram|FD|FD {2, 4, 9} -> 7
+echocardiogram|FD|FD {2, 4, 9} -> 8
+echocardiogram|FD|FD {2, 4, 9} -> 11
+echocardiogram|FD|FD {1, 5, 9} -> 0
+echocardiogram|FD|FD {1, 5, 9} -> 2
+echocardiogram|FD|FD {1, 5, 9} -> 3
+echocardiogram|FD|FD {1, 5, 9} -> 4
+echocardiogram|FD|FD {1, 5, 9} -> 7
+echocardiogram|FD|FD {1, 5, 9} -> 8
+echocardiogram|FD|FD {1, 5, 9} -> 11
+echocardiogram|FD|FD {1, 5, 9} -> 12
+echocardiogram|FD|FD {1, 6, 9} -> 0
+echocardiogram|FD|FD {1, 6, 9} -> 2
+echocardiogram|FD|FD {1, 6, 9} -> 3
+echocardiogram|FD|FD {1, 6, 9} -> 4
+echocardiogram|FD|FD {1, 6, 9} -> 5
+echocardiogram|FD|FD {1, 6, 9} -> 7
+echocardiogram|FD|FD {1, 6, 9} -> 8
+echocardiogram|FD|FD {1, 6, 9} -> 11
+echocardiogram|FD|FD {1, 6, 9} -> 12
+echocardiogram|FD|FD {2, 6, 9} -> 0
+echocardiogram|FD|FD {2, 6, 9} -> 1
+echocardiogram|FD|FD {2, 6, 9} -> 3
+echocardiogram|FD|FD {2, 6, 9} -> 4
+echocardiogram|FD|FD {2, 6, 9} -> 5
+echocardiogram|FD|FD {2, 6, 9} -> 7
+echocardiogram|FD|FD {2, 6, 9} -> 8
+echocardiogram|FD|FD {2, 6, 9} -> 11
+echocardiogram|FD|FD {7, 9} -> 1
+echocardiogram|FD|FD {7, 9} -> 3
+echocardiogram|FD|FD {7, 9} -> 11
+echocardiogram|FD|FD {7, 9} -> 12
+echocardiogram|FD|FD {2, 7, 9} -> 0
+echocardiogram|FD|FD {2, 7, 9} -> 4
+echocardiogram|FD|FD {2, 7, 9} -> 5
+echocardiogram|FD|FD {2, 7, 9} -> 6
+echocardiogram|FD|FD {5, 7, 9} -> 0
+echocardiogram|FD|FD {5, 7, 9} -> 2
+echocardiogram|FD|FD {5, 7, 9} -> 4
+echocardiogram|FD|FD {6, 7, 9} -> 0
+echocardiogram|FD|FD {6, 7, 9} -> 2
+echocardiogram|FD|FD {6, 7, 9} -> 4
+echocardiogram|FD|FD {6, 7, 9} -> 5
+echocardiogram|FD|FD {8, 9} -> 1
+echocardiogram|FD|FD {8, 9} -> 3
+echocardiogram|FD|FD {8, 9} -> 11
+echocardiogram|FD|FD {8, 9} -> 12
+echocardiogram|FD|FD {2, 8, 9} -> 0
+echocardiogram|FD|FD {2, 8, 9} -> 4
+echocardiogram|FD|FD {2, 8, 9} -> 5
+echocardiogram|FD|FD {2, 8, 9} -> 6
+echocardiogram|FD|FD {5, 8, 9} -> 0
+echocardiogram|FD|FD {5, 8, 9} -> 2
+echocardiogram|FD|FD {5, 8, 9} -> 4
+echocardiogram|FD|FD {6, 8, 9} -> 0
+echocardiogram|FD|FD {6, 8, 9} -> 2
+echocardiogram|FD|FD {6, 8, 9} -> 4
+echocardiogram|FD|FD {6, 8, 9} -> 5
+echocardiogram|FD|FD {11} -> 1
+echocardiogram|FD|FD {4, 11} -> 12
+echocardiogram|FD|FD {2, 4, 11} -> 0
+echocardiogram|FD|FD {2, 4, 11} -> 5
+echocardiogram|FD|FD {2, 4, 11} -> 6
+echocardiogram|FD|FD {2, 4, 11} -> 7
+echocardiogram|FD|FD {2, 4, 11} -> 8
+echocardiogram|FD|FD {2, 4, 11} -> 9
+echocardiogram|FD|FD {3, 5, 11} -> 12
+echocardiogram|FD|FD {2, 6, 11} -> 3
+echocardiogram|FD|FD {2, 6, 11} -> 12
+echocardiogram|FD|FD {0, 7, 11} -> 2
+echocardiogram|FD|FD {0, 7, 11} -> 3
+echocardiogram|FD|FD {0, 7, 11} -> 4
+echocardiogram|FD|FD {0, 7, 11} -> 5
+echocardiogram|FD|FD {0, 7, 11} -> 6
+echocardiogram|FD|FD {0, 7, 11} -> 9
+echocardiogram|FD|FD {2, 7, 11} -> 0
+echocardiogram|FD|FD {2, 7, 11} -> 4
+echocardiogram|FD|FD {2, 7, 11} -> 5
+echocardiogram|FD|FD {2, 7, 11} -> 6
+echocardiogram|FD|FD {2, 7, 11} -> 9
+echocardiogram|FD|FD {2, 7, 11} -> 12
+echocardiogram|FD|FD {0, 8, 11} -> 2
+echocardiogram|FD|FD {0, 8, 11} -> 3
+echocardiogram|FD|FD {0, 8, 11} -> 4
+echocardiogram|FD|FD {0, 8, 11} -> 5
+echocardiogram|FD|FD {0, 8, 11} -> 6
+echocardiogram|FD|FD {0, 8, 11} -> 9
+echocardiogram|FD|FD {2, 8, 11} -> 0
+echocardiogram|FD|FD {2, 8, 11} -> 4
+echocardiogram|FD|FD {2, 8, 11} -> 5
+echocardiogram|FD|FD {2, 8, 11} -> 6
+echocardiogram|FD|FD {2, 8, 11} -> 9
+echocardiogram|FD|FD {2, 8, 11} -> 12
+echocardiogram|FD|FD {2, 9, 11} -> 3
+echocardiogram|FD|FD {4, 9, 11} -> 0
+echocardiogram|FD|FD {4, 9, 11} -> 2
+echocardiogram|FD|FD {4, 9, 11} -> 5
+echocardiogram|FD|FD {4, 9, 11} -> 6
+echocardiogram|FD|FD {4, 9, 11} -> 7
+echocardiogram|FD|FD {4, 9, 11} -> 8
+echocardiogram|FD|FD {5, 9, 11} -> 0
+echocardiogram|FD|FD {5, 9, 11} -> 2
+echocardiogram|FD|FD {5, 9, 11} -> 3
+echocardiogram|FD|FD {5, 9, 11} -> 4
+echocardiogram|FD|FD {5, 9, 11} -> 7
+echocardiogram|FD|FD {5, 9, 11} -> 8
+echocardiogram|FD|FD {5, 9, 11} -> 12
+echocardiogram|FD|FD {6, 9, 11} -> 0
+echocardiogram|FD|FD {6, 9, 11} -> 2
+echocardiogram|FD|FD {6, 9, 11} -> 3
+echocardiogram|FD|FD {6, 9, 11} -> 4
+echocardiogram|FD|FD {6, 9, 11} -> 5
+echocardiogram|FD|FD {6, 9, 11} -> 7
+echocardiogram|FD|FD {6, 9, 11} -> 8
+echocardiogram|FD|FD {6, 9, 11} -> 12
+echocardiogram|FD|FD {2, 6, 12} -> 1
+echocardiogram|FD|FD {2, 7, 12} -> 0
+echocardiogram|FD|FD {2, 7, 12} -> 1
+echocardiogram|FD|FD {2, 7, 12} -> 4
+echocardiogram|FD|FD {2, 7, 12} -> 5
+echocardiogram|FD|FD {2, 7, 12} -> 6
+echocardiogram|FD|FD {2, 7, 12} -> 9
+echocardiogram|FD|FD {2, 7, 12} -> 11
+echocardiogram|FD|FD {2, 8, 12} -> 0
+echocardiogram|FD|FD {2, 8, 12} -> 1
+echocardiogram|FD|FD {2, 8, 12} -> 4
+echocardiogram|FD|FD {2, 8, 12} -> 5
+echocardiogram|FD|FD {2, 8, 12} -> 6
+echocardiogram|FD|FD {2, 8, 12} -> 9
+echocardiogram|FD|FD {2, 8, 12} -> 11
+echocardiogram|FD|FD {4, 9, 12} -> 1
+echocardiogram|AFD|FD {0} -> 1
+echocardiogram|AFD|FD {0} -> 10
+echocardiogram|AFD|FD {0} -> 12
+echocardiogram|AFD|FD {1} -> 10
+echocardiogram|AFD|FD {2} -> 10
+echocardiogram|AFD|FD {3} -> 10
+echocardiogram|AFD|FD {4} -> 10
+echocardiogram|AFD|FD {5} -> 6
+echocardiogram|AFD|FD {5} -> 10
+echocardiogram|AFD|FD {6} -> 10
+echocardiogram|AFD|FD {7} -> 8
+echocardiogram|AFD|FD {7} -> 10
+echocardiogram|AFD|FD {8} -> 7
+echocardiogram|AFD|FD {8} -> 10
+echocardiogram|AFD|FD {9} -> 10
+echocardiogram|AFD|FD {11} -> 1
+echocardiogram|AFD|FD {11} -> 10
+echocardiogram|AFD|FD {12} -> 10
+echocardiogram|AFD|AFD {4} -> 1 (g3=0.0682)
+echocardiogram|AFD|AFD {4} -> 3 (g3=0.0303)
+echocardiogram|AFD|AFD {4} -> 11 (g3=0.0985)
+echocardiogram|AFD|AFD {4} -> 12 (g3=0.0455)
+echocardiogram|AFD|AFD {5} -> 1 (g3=0.0833)
+echocardiogram|AFD|AFD {5} -> 3 (g3=0.0379)
+echocardiogram|AFD|AFD {5} -> 12 (g3=0.0379)
+echocardiogram|AFD|AFD {9} -> 3 (g3=0.0833)
+echocardiogram|OD|OD {0} -> 1
+echocardiogram|OD|OD {0} -> 10
+echocardiogram|OD|OD {0} -> 12
+echocardiogram|OD|OD {1} -> 10
+echocardiogram|OD|OD {2} -> 10
+echocardiogram|OD|OD {3} -> 10
+echocardiogram|OD|OD {4} -> 10
+echocardiogram|OD|OD {5} -> 6
+echocardiogram|OD|OD {5} -> 10
+echocardiogram|OD|OD {6} -> 10
+echocardiogram|OD|OD {7} -> 8
+echocardiogram|OD|OD {7} -> 10
+echocardiogram|OD|OD {8} -> 7
+echocardiogram|OD|OD {8} -> 10
+echocardiogram|OD|OD {9} -> 10
+echocardiogram|OD|OD {11} -> 1
+echocardiogram|OD|OD {11} -> 10
+echocardiogram|OD|OD {12} -> 10
+echocardiogram|OFD|OFD {7} -> 8
+echocardiogram|OFD|OFD {8} -> 7
+echocardiogram|ND|ND {0} -> 2 (K=3)
+echocardiogram|ND|ND {0} -> 4 (K=3)
+echocardiogram|ND|ND {0} -> 5 (K=3)
+echocardiogram|ND|ND {0} -> 6 (K=3)
+echocardiogram|ND|ND {0} -> 7 (K=3)
+echocardiogram|ND|ND {0} -> 8 (K=3)
+echocardiogram|ND|ND {0} -> 9 (K=3)
+echocardiogram|ND|ND {0} -> 11 (K=2)
+echocardiogram|ND|ND {1} -> 0 (K=54)
+echocardiogram|ND|ND {1} -> 4 (K=66)
+echocardiogram|ND|ND {1} -> 5 (K=61)
+echocardiogram|ND|ND {1} -> 7 (K=40)
+echocardiogram|ND|ND {1} -> 8 (K=40)
+echocardiogram|ND|ND {1} -> 9 (K=56)
+echocardiogram|ND|ND {1} -> 11 (K=2)
+echocardiogram|ND|ND {2} -> 0 (K=6)
+echocardiogram|ND|ND {2} -> 4 (K=6)
+echocardiogram|ND|ND {2} -> 5 (K=6)
+echocardiogram|ND|ND {2} -> 6 (K=6)
+echocardiogram|ND|ND {2} -> 7 (K=6)
+echocardiogram|ND|ND {2} -> 8 (K=6)
+echocardiogram|ND|ND {2} -> 9 (K=6)
+echocardiogram|ND|ND {4} -> 0 (K=7)
+echocardiogram|ND|ND {4} -> 2 (K=6)
+echocardiogram|ND|ND {4} -> 5 (K=7)
+echocardiogram|ND|ND {4} -> 6 (K=7)
+echocardiogram|ND|ND {4} -> 7 (K=7)
+echocardiogram|ND|ND {4} -> 8 (K=7)
+echocardiogram|ND|ND {4} -> 9 (K=6)
+echocardiogram|ND|ND {5} -> 0 (K=10)
+echocardiogram|ND|ND {5} -> 2 (K=10)
+echocardiogram|ND|ND {5} -> 4 (K=10)
+echocardiogram|ND|ND {5} -> 7 (K=9)
+echocardiogram|ND|ND {5} -> 8 (K=9)
+echocardiogram|ND|ND {5} -> 9 (K=8)
+echocardiogram|ND|ND {6} -> 0 (K=10)
+echocardiogram|ND|ND {6} -> 2 (K=10)
+echocardiogram|ND|ND {6} -> 4 (K=10)
+echocardiogram|ND|ND {6} -> 5 (K=6)
+echocardiogram|ND|ND {6} -> 7 (K=9)
+echocardiogram|ND|ND {6} -> 8 (K=9)
+echocardiogram|ND|ND {6} -> 9 (K=8)
+echocardiogram|ND|ND {7} -> 0 (K=6)
+echocardiogram|ND|ND {7} -> 2 (K=6)
+echocardiogram|ND|ND {7} -> 4 (K=6)
+echocardiogram|ND|ND {7} -> 5 (K=6)
+echocardiogram|ND|ND {7} -> 6 (K=6)
+echocardiogram|ND|ND {7} -> 9 (K=6)
+echocardiogram|ND|ND {8} -> 0 (K=6)
+echocardiogram|ND|ND {8} -> 2 (K=6)
+echocardiogram|ND|ND {8} -> 4 (K=6)
+echocardiogram|ND|ND {8} -> 5 (K=6)
+echocardiogram|ND|ND {8} -> 6 (K=6)
+echocardiogram|ND|ND {8} -> 9 (K=6)
+echocardiogram|ND|ND {9} -> 0 (K=9)
+echocardiogram|ND|ND {9} -> 2 (K=7)
+echocardiogram|ND|ND {9} -> 4 (K=8)
+echocardiogram|ND|ND {9} -> 5 (K=8)
+echocardiogram|ND|ND {9} -> 6 (K=8)
+echocardiogram|ND|ND {9} -> 7 (K=9)
+echocardiogram|ND|ND {9} -> 8 (K=9)
+echocardiogram|ND|ND {11} -> 0 (K=36)
+echocardiogram|ND|ND {11} -> 2 (K=29)
+echocardiogram|ND|ND {11} -> 4 (K=39)
+echocardiogram|ND|ND {11} -> 5 (K=36)
+echocardiogram|ND|ND {11} -> 6 (K=26)
+echocardiogram|ND|ND {11} -> 7 (K=28)
+echocardiogram|ND|ND {11} -> 8 (K=28)
+echocardiogram|ND|ND {11} -> 9 (K=35)
+echocardiogram|ND|ND {12} -> 0 (K=74)
+echocardiogram|DD|DD {5} -> 6 (eps=1.98, delta=0.3)
+echocardiogram|DD|DD {6} -> 5 (eps=0.22, delta=2.6)
+echocardiogram|DD|DD {7} -> 8 (eps=1.85, delta=0.11)
+echocardiogram|DD|DD {8} -> 7 (eps=0.1325, delta=1.5)
+synthetic|FD|FD {1} -> 2
+synthetic|FD|FD {0, 1} -> 3
+synthetic|FD|FD {0, 1} -> 4
+synthetic|FD|FD {0, 2} -> 1
+synthetic|FD|FD {0, 2} -> 3
+synthetic|FD|FD {0, 2} -> 4
+synthetic|FD|FD {1, 3} -> 0
+synthetic|FD|FD {1, 3} -> 4
+synthetic|FD|FD {2, 3} -> 0
+synthetic|FD|FD {2, 3} -> 1
+synthetic|FD|FD {2, 3} -> 4
+synthetic|FD|FD {1, 4} -> 0
+synthetic|FD|FD {1, 4} -> 3
+synthetic|FD|FD {2, 4} -> 0
+synthetic|FD|FD {2, 4} -> 1
+synthetic|FD|FD {2, 4} -> 3
+synthetic|AFD|FD {1} -> 2
+synthetic|AFD|AFD {0} -> 4 (g3=0.05)
+synthetic|AFD|AFD {1} -> 0 (g3=0.005)
+synthetic|AFD|AFD {1} -> 3 (g3=0.005)
+synthetic|AFD|AFD {1} -> 4 (g3=0.005)
+synthetic|AFD|AFD {2} -> 0 (g3=0.015)
+synthetic|AFD|AFD {2} -> 1 (g3=0.01)
+synthetic|AFD|AFD {2} -> 3 (g3=0.015)
+synthetic|AFD|AFD {2} -> 4 (g3=0.015)
+synthetic|OD|OD {1} -> 2
+synthetic|ND|ND {0} -> 1 (K=41)
+synthetic|ND|ND {0} -> 2 (K=41)
+synthetic|ND|ND {0} -> 3 (K=2)
+synthetic|ND|ND {1} -> 0 (K=2)
+synthetic|ND|ND {1} -> 3 (K=2)
+synthetic|ND|ND {1} -> 4 (K=2)
+synthetic|ND|ND {2} -> 0 (K=2)
+synthetic|ND|ND {2} -> 1 (K=2)
+synthetic|ND|ND {2} -> 3 (K=2)
+synthetic|ND|ND {2} -> 4 (K=2)
+synthetic|ND|ND {3} -> 0 (K=3)
+synthetic|ND|ND {3} -> 1 (K=41)
+synthetic|ND|ND {3} -> 2 (K=41)
+synthetic|ND|ND {3} -> 4 (K=4)
+synthetic|ND|ND {4} -> 0 (K=3)
+synthetic|ND|ND {4} -> 1 (K=70)
+synthetic|ND|ND {4} -> 2 (K=70)
+synthetic|ND|ND {4} -> 3 (K=5)
+synthetic|DD|DD {1} -> 2 (eps=4.9625, delta=1.84)
+synthetic|DD|DD {2} -> 1 (eps=1.836, delta=4.95)
+)GOLDEN";
+
+Relation MakeRelation(std::vector<Attribute> attrs,
+                      std::vector<std::vector<Value>> cols) {
+  return std::move(Relation::Make(Schema(std::move(attrs)), std::move(cols)))
+      .ValueOrDie();
+}
+
+std::vector<Value> Ints(std::initializer_list<int64_t> xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.push_back(Value::Int(x));
+  return out;
+}
+
+Attribute Cat(const char* name) {
+  return {name, DataType::kInt64, SemanticType::kCategorical};
+}
+
+// The synthetic dataset the golden baseline was captured on.
+Relation SyntheticGolden() {
+  datasets::SyntheticConfig cfg;
+  cfg.num_rows = 200;
+  cfg.seed = 7;
+  using Kind = datasets::SyntheticAttribute::Kind;
+  cfg.attributes = {
+      {.name = "cat", .kind = Kind::kCategoricalBase, .domain_size = 6},
+      {.name = "cont", .kind = Kind::kContinuousBase, .lo = 0, .hi = 100},
+      {.name = "mono", .kind = Kind::kDerivedMonotone, .domain_size = 0,
+       .source = 1},
+      {.name = "pool", .kind = Kind::kDerivedBoundedFanout, .domain_size = 8,
+       .source = 0, .fanout = 2},
+      {.name = "near", .kind = Kind::kDerivedApproximate, .domain_size = 6,
+       .source = 0, .violation_rate = 0.05},
+  };
+  return std::move(datasets::Synthetic(cfg)).ValueOrDie();
+}
+
+// Replays the exact class configurations the golden dump used, through
+// the kernel-based discovery paths.
+std::vector<std::string> RunAllClasses(const char* dataset,
+                                       const Relation& relation) {
+  std::vector<std::string> lines;
+  auto print = [&](const char* cls, const DependencySet& deps) {
+    for (const Dependency& d : deps) {
+      lines.push_back(std::string(dataset) + "|" + cls + "|" + d.ToString());
+    }
+  };
+  TaneOptions fd_options;  // defaults: max_lhs_size=3
+  print("FD",
+        std::move(DiscoverFds(relation, fd_options)).ValueOrDie().dependencies);
+  TaneOptions afd_options;
+  afd_options.max_lhs_size = 1;
+  afd_options.max_g3_error = 0.1;
+  afd_options.include_constant_columns = false;
+  print("AFD", std::move(DiscoverFds(relation, afd_options))
+                   .ValueOrDie()
+                   .dependencies);
+  print("OD", std::move(DiscoverOds(relation)).ValueOrDie());
+  print("OFD", std::move(DiscoverOfds(relation)).ValueOrDie());
+  print("ND", std::move(DiscoverNds(relation)).ValueOrDie());
+  print("DD", std::move(DiscoverDds(relation)).ValueOrDie());
+  return lines;
+}
+
+std::vector<std::string> GoldenLines(const std::string& dataset) {
+  std::vector<std::string> out;
+  for (const std::string& line : Split(kGoldenDiscovery, '\n')) {
+    if (line.empty()) continue;
+    if (line.rfind(dataset + "|", 0) == 0) out.push_back(line);
+  }
+  return out;
+}
+
+class LatticeGoldenParityTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override { SetGlobalThreadCount(GetParam()); }
+  void TearDown() override { SetGlobalThreadCount(0); }
+};
+
+TEST_P(LatticeGoldenParityTest, ReproducesPreRefactorEmployee) {
+  EXPECT_EQ(RunAllClasses("employee", datasets::Employee()),
+            GoldenLines("employee"));
+}
+
+TEST_P(LatticeGoldenParityTest, ReproducesPreRefactorEchocardiogram) {
+  EXPECT_EQ(RunAllClasses("echocardiogram", datasets::Echocardiogram()),
+            GoldenLines("echocardiogram"));
+}
+
+TEST_P(LatticeGoldenParityTest, ReproducesPreRefactorSynthetic) {
+  EXPECT_EQ(RunAllClasses("synthetic", SyntheticGolden()),
+            GoldenLines("synthetic"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, LatticeGoldenParityTest,
+                         ::testing::Values(1u, 8u));
+
+// --- Kernel unit tests ----------------------------------------------------
+
+// Data-independent validator scripted on (lhs mask, rhs) pairs; records
+// every Validate call so tests can assert which candidates the pruning
+// hooks eliminated.
+class ScriptedValidator : public CandidateValidator {
+ public:
+  ScriptedValidator(std::set<std::pair<uint64_t, size_t>> holding,
+                    bool transitive)
+      : holding_(std::move(holding)), transitive_(transitive) {}
+
+  Result<Verdict> Validate(AttributeSet lhs, size_t rhs) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      validated_.insert({lhs.mask(), rhs});
+    }
+    Verdict v;
+    if (holding_.count({lhs.mask(), rhs}) != 0) {
+      v.holds = true;
+      v.emit = Dependency::Fd(lhs, rhs);
+    }
+    return v;
+  }
+
+  bool TransitivePruning() const override { return transitive_; }
+
+  bool WasValidated(AttributeSet lhs, size_t rhs) const {
+    return validated_.count({lhs.mask(), rhs}) != 0;
+  }
+  size_t num_validated() const { return validated_.size(); }
+
+ private:
+  std::set<std::pair<uint64_t, size_t>> holding_;
+  bool transitive_;
+  std::mutex mu_;
+  std::set<std::pair<uint64_t, size_t>> validated_;
+};
+
+Relation ThreeColumns() {
+  return MakeRelation({Cat("a"), Cat("b"), Cat("c")},
+                      {Ints({1, 2, 3}), Ints({1, 2, 3}), Ints({1, 2, 3})});
+}
+
+TEST(LatticeKernelTest, RhsPruneStopsSupersetValidation) {
+  Relation r = ThreeColumns();
+  EncodedRelation encoded = EncodedRelation::Encode(r);
+  // {0} -> 1 holds; with plain per-RHS pruning the kernel must never
+  // re-validate RHS 1 against any superset of {0}.
+  ScriptedValidator validator(
+      {{AttributeSet::Single(0).mask(), 1}}, /*transitive=*/false);
+  LatticeSearchOptions options;
+  options.max_lhs = 2;
+  auto result = RunLatticeSearch(encoded, nullptr, &validator, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dependencies.size(), 1u);
+  EXPECT_TRUE(validator.WasValidated(AttributeSet::Single(0), 1));
+  EXPECT_FALSE(
+      validator.WasValidated(AttributeSet::Of({0, 2}), 1));
+  // Unrelated RHS attributes keep their superset candidates.
+  EXPECT_TRUE(validator.WasValidated(AttributeSet::Of({1, 2}), 0));
+}
+
+TEST(LatticeKernelTest, TransitivePruneRemovesOutsideAttributes) {
+  Relation r = ThreeColumns();
+  EncodedRelation encoded = EncodedRelation::Encode(r);
+  // With TANE's full rule, {0} -> 1 removes attribute 2 from
+  // C+({0,1}), so level 3 only tests {1,2} -> 0.
+  ScriptedValidator plain({{AttributeSet::Single(0).mask(), 1}},
+                          /*transitive=*/false);
+  ScriptedValidator transitive({{AttributeSet::Single(0).mask(), 1}},
+                               /*transitive=*/true);
+  LatticeSearchOptions options;
+  options.max_lhs = 2;
+  auto plain_result =
+      RunLatticeSearch(encoded, nullptr, &plain, options);
+  auto transitive_result =
+      RunLatticeSearch(encoded, nullptr, &transitive, options);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(transitive_result.ok());
+  EXPECT_TRUE(plain.WasValidated(AttributeSet::Of({0, 1}), 2));
+  EXPECT_FALSE(transitive.WasValidated(AttributeSet::Of({0, 1}), 2));
+  EXPECT_LT(transitive.num_validated(), plain.num_validated());
+  EXPECT_GT(transitive_result->stats.candidates_pruned,
+            plain_result->stats.candidates_pruned);
+}
+
+TEST(LatticeKernelTest, StatsCountNodesAndInvocations) {
+  Relation r = ThreeColumns();
+  EncodedRelation encoded = EncodedRelation::Encode(r);
+  ScriptedValidator validator({}, /*transitive=*/false);
+  LatticeSearchOptions options;
+  options.max_lhs = 2;
+  auto result = RunLatticeSearch(encoded, nullptr, &validator, options);
+  ASSERT_TRUE(result.ok());
+  // Levels: 3 singletons + 3 pairs + 1 triple.
+  EXPECT_EQ(result->stats.nodes_visited, 7u);
+  EXPECT_EQ(result->stats.validator_invocations, validator.num_validated());
+  // 2 per pair + 3 at the triple; singletons only offer empty LHSes.
+  EXPECT_EQ(result->stats.validator_invocations, 9u);
+  // The empty-LHS candidates are reported as pruned.
+  EXPECT_EQ(result->stats.candidates_pruned, 3u);
+  EXPECT_EQ(result->stats.pli_cache_hits, 0u);
+  EXPECT_EQ(result->stats.pli_cache_misses, 0u);
+}
+
+TEST(LatticeKernelTest, EmptyRelation) {
+  Relation r = Relation::Empty(Schema(std::vector<Attribute>{}));
+  EncodedRelation encoded = EncodedRelation::Encode(r);
+  ScriptedValidator validator({}, false);
+  auto result = RunLatticeSearch(encoded, nullptr, &validator, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->dependencies.empty());
+  EXPECT_EQ(result->stats.nodes_visited, 0u);
+
+  auto fds = DiscoverFds(r);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(fds->dependencies.empty());
+  auto ods = DiscoverOds(r);
+  ASSERT_TRUE(ods.ok());
+  EXPECT_TRUE(ods->empty());
+}
+
+TEST(LatticeKernelTest, AllNullColumn) {
+  Relation r = MakeRelation(
+      {Cat("a"), Cat("null_col")},
+      {Ints({1, 2, 3}),
+       {Value::Null(), Value::Null(), Value::Null()}});
+  // The all-NULL column cannot order anything (0 distinct values bars it
+  // from LHS positions), but as an RHS the pair list is empty and the OD
+  // holds vacuously — matching the pre-refactor pairwise loop.
+  auto ods = DiscoverOds(r);
+  ASSERT_TRUE(ods.ok());
+  ASSERT_EQ(ods->size(), 1u);
+  EXPECT_EQ(*ods->begin(), Dependency::Od(0, 1));
+  // Under the PLI convention (NULL equals NULL) the column is constant:
+  // {} -> null_col and a -> null_col both hold.
+  TaneOptions options;
+  options.max_lhs_size = 1;
+  auto fds = DiscoverFds(r, options);
+  ASSERT_TRUE(fds.ok());
+  bool found_constant = false;
+  for (const Dependency& d : fds->dependencies) {
+    if (d.lhs.empty() && d.rhs == 1) found_constant = true;
+  }
+  EXPECT_TRUE(found_constant);
+}
+
+TEST(LatticeKernelTest, MaxLhsBoundGatesMultiAttributeSearch) {
+  // A planted OD that needs both LHS attributes: lexicographic (a, b)
+  // orders the rows exactly as y does, but neither a nor b alone does.
+  Relation r = MakeRelation({Cat("a"), Cat("b"), Cat("y")},
+                            {Ints({1, 1, 2, 2}), Ints({1, 2, 1, 2}),
+                             Ints({1, 2, 3, 4})});
+  OdDiscoveryOptions narrow;
+  narrow.max_lhs = 1;
+  auto single = DiscoverOds(r, narrow);
+  ASSERT_TRUE(single.ok());
+  // Only y -> a survives at width 1 (y strictly increases, a is
+  // non-decreasing); the planted {a,b} -> y is out of reach.
+  ASSERT_EQ(single->size(), 1u);
+  EXPECT_EQ(*single->begin(), Dependency::Od(2, 0));
+
+  OdDiscoveryOptions wide;
+  wide.max_lhs = 2;
+  LatticeSearchStats stats;
+  auto multi = DiscoverOds(r, wide, &stats);
+  ASSERT_TRUE(multi.ok());
+  std::vector<Dependency> found(multi->begin(), multi->end());
+  ASSERT_EQ(found.size(), 2u);
+  // Canonical order sorts by LHS mask: {0,1} before {2}.
+  EXPECT_EQ(found[0], Dependency::Od(AttributeSet::Of({0, 1}), 2));
+  EXPECT_EQ(found[1], Dependency::Od(2, 0));
+  EXPECT_GT(stats.nodes_visited, 0u);
+
+  // max_lhs = 2 with an ND search exercises composite partitions.
+  NdDiscoveryOptions nd_wide;
+  nd_wide.max_lhs = 2;
+  auto nds = DiscoverNds(r, nd_wide);
+  ASSERT_TRUE(nds.ok());
+}
+
+TEST(LatticeKernelTest, MultiAttributeDdRoundTripsThroughMetadata) {
+  // Multi-attribute DDs carry per-attribute epsilons; the package
+  // serialization must round-trip them losslessly.
+  MetadataPackage pkg;
+  pkg.schema = Schema({Cat("a"), Cat("b"), Cat("c")});
+  pkg.num_rows = 3;
+  pkg.dependencies.Add(
+      Dependency::Dd(AttributeSet::Of({0, 1}), 2, {0.5, 0.25}, 10.0));
+  pkg.dependencies.Add(Dependency::Dd(0, 2, 0.5, 10.0));
+  std::string text = pkg.Serialize();
+  auto parsed = MetadataPackage::Deserialize(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->dependencies.size(), 2u);
+  std::vector<Dependency> deps(parsed->dependencies.begin(),
+                               parsed->dependencies.end());
+  std::vector<Dependency> expected(pkg.dependencies.begin(),
+                                   pkg.dependencies.end());
+  EXPECT_EQ(deps[0], expected[0]);
+  EXPECT_EQ(deps[1], expected[1]);
+}
+
+}  // namespace
+}  // namespace metaleak
