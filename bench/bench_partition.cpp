@@ -1,0 +1,333 @@
+// Partition-layout bench: the flat CSR stripped-partition engine versus
+// the pre-CSR nested-vector layout, at 10k-200k rows.
+//
+// The "nested" rows reimplement (inline) the exact algorithms the CSR
+// engine replaced: per-cluster vector allocations, a fresh probe table
+// per Intersect call, and — for the identifiability sweep — a full
+// FromEncoded rebuild per width-2 subset instead of one cached
+// intersection through the PliCache. Before timing anything the bench
+// asserts both layouts agree bit-for-bit (cluster contents and sweep
+// verdicts); any disagreement exits non-zero. Results go to
+// BENCH_partition.json, including the width-2 sweep speedup at each row
+// count (the acceptance number is the 50k-row entry).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/parallel.h"
+#include "data/datasets/synthetic.h"
+#include "data/encoded_relation.h"
+#include "data/relation.h"
+#include "partition/attribute_set.h"
+#include "partition/pli_cache.h"
+#include "partition/position_list_index.h"
+#include "privacy/identifiability.h"
+
+namespace metaleak {
+namespace {
+
+struct BenchRecord {
+  std::string op;
+  std::string layout;
+  size_t rows = 0;
+  double ms = 0.0;
+};
+
+constexpr int kReps = 3;  // keep the best (least-disturbed) repetition
+
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+// --- The nested-vector engine, reconstructed ----------------------------
+
+constexpr int64_t kLegacyUnique = -1;
+
+struct LegacyPli {
+  std::vector<std::vector<size_t>> clusters;
+  size_t num_rows = 0;
+
+  std::vector<int64_t> ProbeTable() const {
+    std::vector<int64_t> probe(num_rows, kLegacyUnique);
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      for (size_t row : clusters[c]) probe[row] = static_cast<int64_t>(c);
+    }
+    return probe;
+  }
+};
+
+LegacyPli LegacyFromCodes(const std::vector<uint32_t>& codes,
+                          uint32_t num_codes) {
+  LegacyPli out;
+  out.num_rows = codes.size();
+  std::vector<uint32_t> counts(num_codes, 0);
+  for (uint32_t code : codes) ++counts[code];
+  std::vector<uint32_t> slot(num_codes, UINT32_MAX);
+  uint32_t next_slot = 0;
+  for (uint32_t code = 0; code < num_codes; ++code) {
+    if (counts[code] >= 2) slot[code] = next_slot++;
+  }
+  out.clusters.resize(next_slot);
+  for (uint32_t code = 0; code < num_codes; ++code) {
+    if (slot[code] != UINT32_MAX) {
+      out.clusters[slot[code]].reserve(counts[code]);
+    }
+  }
+  for (size_t r = 0; r < codes.size(); ++r) {
+    uint32_t s = slot[codes[r]];
+    if (s != UINT32_MAX) out.clusters[s].push_back(r);
+  }
+  return out;
+}
+
+LegacyPli LegacyFromEncoded(const EncodedRelation& relation,
+                            const std::vector<size_t>& columns) {
+  if (columns.size() == 1) {
+    return LegacyFromCodes(relation.codes(columns[0]),
+                           relation.dictionary(columns[0]).num_codes());
+  }
+  const size_t n = relation.num_rows();
+  std::vector<uint64_t> ids(relation.codes(columns[0]).begin(),
+                            relation.codes(columns[0]).end());
+  uint64_t num_groups = relation.dictionary(columns[0]).num_codes();
+  std::unordered_map<uint64_t, uint64_t> remap;
+  for (size_t i = 1; i < columns.size(); ++i) {
+    const std::vector<uint32_t>& codes = relation.codes(columns[i]);
+    const uint64_t nc = relation.dictionary(columns[i]).num_codes();
+    remap.clear();
+    remap.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t key = ids[r] * nc + codes[r];
+      auto it = remap.emplace(key, remap.size()).first;
+      ids[r] = it->second;
+    }
+    num_groups = remap.size();
+  }
+  LegacyPli out;
+  out.num_rows = n;
+  std::vector<uint32_t> counts(num_groups, 0);
+  for (uint64_t id : ids) ++counts[id];
+  std::vector<uint32_t> slot(num_groups, UINT32_MAX);
+  uint32_t next_slot = 0;
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    if (counts[g] >= 2) slot[g] = next_slot++;
+  }
+  out.clusters.resize(next_slot);
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t s = slot[ids[r]];
+    if (s != UINT32_MAX) out.clusters[s].push_back(r);
+  }
+  return out;
+}
+
+// The pre-CSR Intersect: fresh probe table per call, hash-map split.
+LegacyPli LegacyIntersect(const LegacyPli& a, const LegacyPli& b) {
+  std::vector<int64_t> probe = b.ProbeTable();
+  LegacyPli out;
+  out.num_rows = a.num_rows;
+  std::unordered_map<int64_t, std::vector<size_t>> split;
+  for (const auto& cluster : a.clusters) {
+    split.clear();
+    for (size_t row : cluster) {
+      int64_t id = probe[row];
+      if (id == kLegacyUnique) continue;
+      split[id].push_back(row);
+    }
+    for (auto& [id, rows] : split) {
+      if (rows.size() >= 2) out.clusters.push_back(std::move(rows));
+    }
+  }
+  return out;
+}
+
+// The pre-CSR identifiability sweep: one full FromEncoded rebuild per
+// width-2 subset, parallelized exactly like the old IdentifiableRows.
+std::vector<char> SweepByRebuild(const EncodedRelation& enc,
+                                 const std::vector<AttributeSet>& subsets) {
+  const size_t n = enc.num_rows();
+  const size_t grain = subsets.size() / 256 > 0 ? subsets.size() / 256 : 1;
+  return ParallelReduce<std::vector<char>>(
+      0, subsets.size(), grain, std::vector<char>(n, 0),
+      [&](size_t lo, size_t hi) {
+        std::vector<char> bits(n, 0);
+        for (size_t s = lo; s < hi; ++s) {
+          LegacyPli pli = LegacyFromEncoded(enc, subsets[s].ToIndices());
+          std::vector<char> in_cluster(n, 0);
+          for (const auto& cluster : pli.clusters) {
+            for (size_t row : cluster) in_cluster[row] = 1;
+          }
+          for (size_t r = 0; r < n; ++r) {
+            if (!in_cluster[r]) bits[r] = 1;
+          }
+        }
+        return bits;
+      },
+      [](std::vector<char> acc, std::vector<char> chunk) {
+        for (size_t r = 0; r < chunk.size(); ++r) {
+          if (chunk[r]) acc[r] = 1;
+        }
+        return acc;
+      });
+}
+
+// All width-2 subsets over m attributes, lexicographic.
+std::vector<AttributeSet> Width2Subsets(size_t m) {
+  std::vector<AttributeSet> out;
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = a + 1; b < m; ++b) {
+      out.push_back(AttributeSet::Of({a, b}));
+    }
+  }
+  return out;
+}
+
+int Main() {
+  const std::vector<size_t> kRowCounts = {10000, 50000, 200000};
+  std::vector<BenchRecord> records;
+  double speedup_50k = 0.0;
+
+  for (size_t rows : kRowCounts) {
+    Relation relation = std::move(datasets::SyntheticUniform(
+                                      rows, /*num_categorical=*/6,
+                                      /*num_continuous=*/2,
+                                      /*domain_size=*/48, /*seed=*/7))
+                            .ValueOrDie();
+    EncodedRelation enc = EncodedRelation::Encode(relation);
+    const size_t m = enc.num_columns();
+    std::printf("dataset: synthetic uniform, %zu rows x %zu attrs\n",
+                enc.num_rows(), m);
+
+    // --- Parity: both layouts must agree bit-for-bit ------------------
+    for (size_t c = 0; c < m; ++c) {
+      LegacyPli legacy = LegacyFromEncoded(enc, {c});
+      PositionListIndex csr = PositionListIndex::FromEncoded(enc, {c});
+      if (legacy.clusters != csr.ToNestedClusters()) {
+        std::fprintf(stderr, "parity FAILED: column %zu clusters\n", c);
+        return 1;
+      }
+    }
+    const std::vector<AttributeSet> subsets = Width2Subsets(m);
+    std::vector<char> rebuild_bits = SweepByRebuild(enc, subsets);
+    {
+      PliCache cache(&enc);
+      auto extend = IdentifiableRowsForSubsets(cache, subsets);
+      if (!extend.ok()) std::abort();
+      for (size_t r = 0; r < rows; ++r) {
+        if (static_cast<bool>(rebuild_bits[r]) != (*extend)[r]) {
+          std::fprintf(stderr, "parity FAILED: sweep verdict row %zu\n", r);
+          return 1;
+        }
+      }
+    }
+
+    // --- build: all single-column partitions --------------------------
+    double nested_build = TimeMs([&] {
+      size_t total = 0;
+      for (size_t c = 0; c < m; ++c) {
+        total += LegacyFromEncoded(enc, {c}).clusters.size();
+      }
+      if (total == SIZE_MAX) std::abort();  // keep the loop observable
+    });
+    double csr_build = TimeMs([&] {
+      size_t total = 0;
+      for (size_t c = 0; c < m; ++c) {
+        total += PositionListIndex::FromEncoded(enc, {c}).num_clusters();
+      }
+      if (total == SIZE_MAX) std::abort();
+    });
+
+    // --- intersect: all ordered pairs of singles ----------------------
+    std::vector<LegacyPli> legacy_singles;
+    std::vector<PositionListIndex> csr_singles;
+    for (size_t c = 0; c < m; ++c) {
+      legacy_singles.push_back(LegacyFromEncoded(enc, {c}));
+      csr_singles.push_back(PositionListIndex::FromEncoded(enc, {c}));
+      (void)csr_singles.back().probe_table();  // warm the cached probes
+    }
+    double nested_intersect = TimeMs([&] {
+      size_t total = 0;
+      for (size_t a = 0; a < m; ++a) {
+        for (size_t b = 0; b < m; ++b) {
+          if (a == b) continue;
+          total += LegacyIntersect(legacy_singles[a], legacy_singles[b])
+                       .clusters.size();
+        }
+      }
+      if (total == SIZE_MAX) std::abort();
+    });
+    IntersectionScratch scratch;
+    double csr_intersect = TimeMs([&] {
+      size_t total = 0;
+      for (size_t a = 0; a < m; ++a) {
+        for (size_t b = 0; b < m; ++b) {
+          if (a == b) continue;
+          total += csr_singles[a]
+                       .Intersect(csr_singles[b], &scratch)
+                       .num_clusters();
+        }
+      }
+      if (total == SIZE_MAX) std::abort();
+    });
+
+    // --- sweep: width-2 identifiability -------------------------------
+    // Cold cache per repetition: the number measured is "build every
+    // width-2 partition and mark unique rows", rebuild versus extension.
+    double sweep_rebuild = TimeMs([&] { SweepByRebuild(enc, subsets); });
+    double sweep_extend = TimeMs([&] {
+      PliCache cache(&enc);
+      auto result = IdentifiableRowsForSubsets(cache, subsets);
+      if (!result.ok()) std::abort();
+    });
+
+    const double speedup = sweep_rebuild / sweep_extend;
+    if (rows == 50000) speedup_50k = speedup;
+    std::printf("  build     nested %8.2f ms | csr %8.2f ms\n",
+                nested_build, csr_build);
+    std::printf("  intersect nested %8.2f ms | csr %8.2f ms\n",
+                nested_intersect, csr_intersect);
+    std::printf(
+        "  sweep w2  rebuild %7.2f ms | extend %6.2f ms  (%.2fx)\n\n",
+        sweep_rebuild, sweep_extend, speedup);
+
+    records.push_back({"build_singles", "nested", rows, nested_build});
+    records.push_back({"build_singles", "csr", rows, csr_build});
+    records.push_back({"intersect_pairs", "nested", rows, nested_intersect});
+    records.push_back({"intersect_pairs", "csr", rows, csr_intersect});
+    records.push_back({"sweep_width2", "rebuild", rows, sweep_rebuild});
+    records.push_back({"sweep_width2", "extend", rows, sweep_extend});
+  }
+
+  std::ofstream json("BENCH_partition.json");
+  json << "{\n  \"sweep_width2_speedup_50k\": " << speedup_50k
+       << ",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    json << "    {\"op\": \"" << r.op << "\", \"layout\": \"" << r.layout
+         << "\", \"rows\": " << r.rows << ", \"ms\": " << r.ms << "}"
+         << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_partition.json (%zu records, 50k sweep %.2fx)\n",
+              records.size(), speedup_50k);
+  return 0;
+}
+
+}  // namespace
+}  // namespace metaleak
+
+int main() { return metaleak::Main(); }

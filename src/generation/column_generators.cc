@@ -164,27 +164,36 @@ std::vector<Value> GenerateNdColumn(const std::vector<Value>& lhs_column,
   size_t k = std::max<size_t>(1, max_fanout);
   std::vector<Value> distinct = SortedDistinct(lhs_column);
   std::vector<uint32_t> codes = EncodeByRank(lhs_column, distinct);
-  // Per-LHS-value pools, indexed by dense code; filled lazily in row-scan
-  // order so RNG consumption matches the Value-hash path.
-  std::vector<std::vector<Value>> pools(distinct.size());
+  // Per-LHS-value pools in one flat arena with constant stride: every
+  // pool has the same size (min(k, |Dom(Y)|) when categorical, k
+  // otherwise), so pool i is pools[i*take, (i+1)*take). Pools fill
+  // lazily in row-scan order, so RNG consumption is identical to the
+  // per-pool-vector layout this replaces.
+  const size_t take = domain.is_categorical()
+                          ? std::min(k, domain.values().size())
+                          : k;
+  std::vector<Value> pools(distinct.size() * take, Value::Null());
+  std::vector<char> filled(distinct.size(), 0);
   std::vector<Value> out;
   out.reserve(num_rows);
   for (size_t r = 0; r < num_rows; ++r) {
-    std::vector<Value>& pool = pools[codes[r]];
-    if (pool.empty()) {
+    const uint32_t code = codes[r];
+    Value* pool = pools.data() + code * take;
+    if (!filled[code]) {
+      filled[code] = 1;
       if (domain.is_categorical()) {
         const std::vector<Value>& vals = domain.values();
-        size_t take = std::min(k, vals.size());
         // Sampling without replacement from Dom(Y): the hyper-geometric
         // selection in the paper's ND analysis.
+        size_t j = 0;
         for (size_t i : rng->SampleWithoutReplacement(vals.size(), take)) {
-          pool.push_back(vals[i]);
+          pool[j++] = vals[i];
         }
       } else {
-        for (size_t i = 0; i < k; ++i) pool.push_back(domain.Sample(rng));
+        for (size_t i = 0; i < take; ++i) pool[i] = domain.Sample(rng);
       }
     }
-    out.push_back(pool[rng->UniformIndex(pool.size())]);
+    out.push_back(pool[rng->UniformIndex(take)]);
   }
   return out;
 }

@@ -44,7 +44,11 @@ std::unique_ptr<PositionListIndex> PliCache::BuildPli(AttributeSet attrs) {
   size_t last = indices.back();
   const PositionListIndex* rest = Get(attrs.Without(last));
   const PositionListIndex* single = Get(AttributeSet::Single(last));
-  return std::make_unique<PositionListIndex>(rest->Intersect(*single));
+  // One grow-only intersection workspace per worker thread: a level-wise
+  // lattice sweep through the cache allocates O(1) scratch total instead
+  // of O(candidates) probe tables.
+  static thread_local IntersectionScratch scratch;
+  return std::make_unique<PositionListIndex>(rest->Intersect(*single, &scratch));
 }
 
 const PositionListIndex* PliCache::Get(AttributeSet attrs) {

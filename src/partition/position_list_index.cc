@@ -29,15 +29,40 @@ struct RowKeyHash {
   }
 };
 
+constexpr uint32_t kNoSlot = UINT32_MAX;
+
 }  // namespace
 
-PositionListIndex::PositionListIndex(std::vector<Cluster> clusters,
+PositionListIndex::PositionListIndex(std::vector<Row> rows,
+                                     std::vector<uint32_t> offsets,
                                      size_t num_rows)
-    : clusters_(std::move(clusters)), num_rows_(num_rows) {
-  for (const Cluster& c : clusters_) {
+    : rows_(std::move(rows)),
+      offsets_(std::move(offsets)),
+      num_rows_(num_rows),
+      probe_(std::make_shared<ProbeState>()) {
+  METALEAK_DCHECK(!offsets_.empty());
+  METALEAK_DCHECK(offsets_.front() == 0);
+  METALEAK_DCHECK(offsets_.back() == rows_.size());
+}
+
+PositionListIndex PositionListIndex::FromNested(
+    const std::vector<Cluster>& clusters, size_t num_rows) {
+  METALEAK_DCHECK(num_rows < UINT32_MAX);
+  size_t total = 0;
+  for (const Cluster& c : clusters) {
     METALEAK_DCHECK(c.size() >= 2);
-    stripped_rows_ += c.size();
+    total += c.size();
   }
+  std::vector<Row> rows;
+  rows.reserve(total);
+  std::vector<uint32_t> offsets;
+  offsets.reserve(clusters.size() + 1);
+  offsets.push_back(0);
+  for (const Cluster& c : clusters) {
+    for (size_t row : c) rows.push_back(static_cast<Row>(row));
+    offsets.push_back(static_cast<uint32_t>(rows.size()));
+  }
+  return PositionListIndex(std::move(rows), std::move(offsets), num_rows);
 }
 
 PositionListIndex PositionListIndex::FromColumn(
@@ -51,7 +76,7 @@ PositionListIndex PositionListIndex::FromColumn(
   for (auto& [value, rows] : groups) {
     if (rows.size() >= 2) clusters.push_back(std::move(rows));
   }
-  return PositionListIndex(std::move(clusters), column.size());
+  return FromNested(clusters, column.size());
 }
 
 PositionListIndex PositionListIndex::FromColumns(
@@ -70,35 +95,42 @@ PositionListIndex PositionListIndex::FromColumns(
   for (auto& [key, rows] : groups) {
     if (rows.size() >= 2) clusters.push_back(std::move(rows));
   }
-  return PositionListIndex(std::move(clusters), relation.num_rows());
+  return FromNested(clusters, relation.num_rows());
 }
 
 PositionListIndex PositionListIndex::FromCodes(
     const std::vector<uint32_t>& codes, uint32_t num_codes) {
   const size_t n = codes.size();
+  METALEAK_DCHECK(n < UINT32_MAX);
   // Pass 1: occurrences per code.
   std::vector<uint32_t> counts(num_codes, 0);
   for (uint32_t code : codes) {
     METALEAK_DCHECK(code < num_codes);
     ++counts[code];
   }
-  // Cluster slots for codes occurring >= 2 times; singletons are stripped.
-  std::vector<uint32_t> slot(num_codes, UINT32_MAX);
-  std::vector<Cluster> clusters;
+  // Cluster slots for codes occurring >= 2 times (ascending code order);
+  // singletons are stripped. The prefix sums become the CSR offsets.
+  std::vector<uint32_t> slot(num_codes, kNoSlot);
+  std::vector<uint32_t> offsets;
+  offsets.push_back(0);
   uint32_t next_slot = 0;
+  uint32_t total = 0;
   for (uint32_t code = 0; code < num_codes; ++code) {
-    if (counts[code] >= 2) slot[code] = next_slot++;
+    if (counts[code] >= 2) {
+      slot[code] = next_slot++;
+      total += counts[code];
+      offsets.push_back(total);
+    }
   }
-  clusters.resize(next_slot);
-  for (uint32_t code = 0; code < num_codes; ++code) {
-    if (slot[code] != UINT32_MAX) clusters[slot[code]].reserve(counts[code]);
-  }
-  // Pass 2: scatter rows; ascending row order within each cluster.
+  // Pass 2: scatter rows into the arena; the ascending row scan keeps each
+  // cluster's members in ascending order.
+  std::vector<Row> rows(total);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
   for (size_t r = 0; r < n; ++r) {
     uint32_t s = slot[codes[r]];
-    if (s != UINT32_MAX) clusters[s].push_back(r);
+    if (s != kNoSlot) rows[cursor[s]++] = static_cast<Row>(r);
   }
-  return PositionListIndex(std::move(clusters), n);
+  return PositionListIndex(std::move(rows), std::move(offsets), n);
 }
 
 PositionListIndex PositionListIndex::FromEncoded(
@@ -111,6 +143,7 @@ PositionListIndex PositionListIndex::FromEncoded(
   if (columns.empty() || n == 0) {
     return Identity(n);
   }
+  METALEAK_DCHECK(n < UINT32_MAX);
   // Fold columns into running group ids. After each renumbering pass the
   // ids are dense in [0, num_groups) with num_groups <= n, so the
   // combined key id * num_codes + code stays well below 2^64.
@@ -133,74 +166,137 @@ PositionListIndex PositionListIndex::FromEncoded(
   // Final grouping over the dense ids, mirroring FromCodes.
   std::vector<uint32_t> counts(num_groups, 0);
   for (uint64_t id : ids) ++counts[id];
-  std::vector<uint32_t> slot(num_groups, UINT32_MAX);
-  std::vector<Cluster> clusters;
+  std::vector<uint32_t> slot(num_groups, kNoSlot);
+  std::vector<uint32_t> offsets;
+  offsets.push_back(0);
   uint32_t next_slot = 0;
+  uint32_t total = 0;
   for (uint64_t g = 0; g < num_groups; ++g) {
-    if (counts[g] >= 2) slot[g] = next_slot++;
+    if (counts[g] >= 2) {
+      slot[g] = next_slot++;
+      total += counts[g];
+      offsets.push_back(total);
+    }
   }
-  clusters.resize(next_slot);
-  for (uint64_t g = 0; g < num_groups; ++g) {
-    if (slot[g] != UINT32_MAX) clusters[slot[g]].reserve(counts[g]);
-  }
+  std::vector<Row> rows(total);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
   for (size_t r = 0; r < n; ++r) {
     uint32_t s = slot[ids[r]];
-    if (s != UINT32_MAX) clusters[s].push_back(r);
+    if (s != kNoSlot) rows[cursor[s]++] = static_cast<Row>(r);
   }
-  return PositionListIndex(std::move(clusters), n);
+  return PositionListIndex(std::move(rows), std::move(offsets), n);
 }
 
 PositionListIndex PositionListIndex::Identity(size_t num_rows) {
+  METALEAK_DCHECK(num_rows < UINT32_MAX);
   if (num_rows < 2) {
-    return PositionListIndex({}, num_rows);
+    return PositionListIndex({}, {0}, num_rows);
   }
-  Cluster all(num_rows);
-  for (size_t r = 0; r < num_rows; ++r) all[r] = r;
-  return PositionListIndex({std::move(all)}, num_rows);
+  std::vector<Row> rows(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) rows[r] = static_cast<Row>(r);
+  return PositionListIndex(std::move(rows),
+                           {0, static_cast<uint32_t>(num_rows)}, num_rows);
 }
 
-std::vector<int64_t> PositionListIndex::ProbeTable() const {
-  std::vector<int64_t> probe(num_rows_, kUnique);
-  for (size_t c = 0; c < clusters_.size(); ++c) {
-    for (size_t row : clusters_[c]) {
-      probe[row] = static_cast<int64_t>(c);
-    }
+std::vector<PositionListIndex::Cluster> PositionListIndex::ToNestedClusters()
+    const {
+  std::vector<Cluster> out;
+  out.reserve(num_clusters());
+  for (size_t c = 0; c < num_clusters(); ++c) {
+    out.push_back(cluster(c).ToVector());
   }
-  return probe;
+  return out;
+}
+
+const std::vector<int32_t>& PositionListIndex::probe_table() const {
+  std::call_once(probe_->once, [this] {
+    METALEAK_DCHECK(num_clusters() < static_cast<size_t>(INT32_MAX));
+    std::vector<int32_t>& table = probe_->table;
+    table.assign(num_rows_, kUnique);
+    for (size_t c = 0; c < num_clusters(); ++c) {
+      const int32_t id = static_cast<int32_t>(c);
+      for (size_t row : cluster(c)) table[row] = id;
+    }
+  });
+  return probe_->table;
 }
 
 PositionListIndex PositionListIndex::Intersect(
     const PositionListIndex& other) const {
+  IntersectionScratch scratch;
+  return Intersect(other, &scratch);
+}
+
+PositionListIndex PositionListIndex::Intersect(
+    const PositionListIndex& other, IntersectionScratch* scratch) const {
   METALEAK_DCHECK(num_rows_ == other.num_rows_);
-  std::vector<int64_t> probe = other.ProbeTable();
-  std::vector<Cluster> out;
-  // For each of our clusters, split rows by the other partition's class.
-  // Rows landing on kUnique are singletons in the product; drop them.
-  std::unordered_map<int64_t, Cluster> split;
-  for (const Cluster& cluster : clusters_) {
-    split.clear();
-    for (size_t row : cluster) {
-      int64_t id = probe[row];
-      if (id == kUnique) continue;
-      split[id].push_back(row);
-    }
-    for (auto& [id, rows] : split) {
-      if (rows.size() >= 2) out.push_back(std::move(rows));
-    }
+  METALEAK_DCHECK(scratch != nullptr);
+  // Small-side pick: iterate the operand with fewer stripped rows and
+  // probe the other, so the scan is bounded by the smaller side. The pick
+  // depends only on sizes, keeping the output deterministic.
+  const bool other_smaller = other.rows_.size() < rows_.size();
+  const PositionListIndex& iter = other_smaller ? other : *this;
+  const PositionListIndex& probe_side = other_smaller ? *this : other;
+  const std::vector<int32_t>& probe = probe_side.probe_table();
+
+  // Grow-only workspace; `counts` is all zero on entry and restored to all
+  // zero before returning (via `touched`), so reuse across calls is free.
+  std::vector<uint32_t>& counts = scratch->counts;
+  std::vector<uint32_t>& cursor = scratch->cursor;
+  std::vector<uint32_t>& touched = scratch->touched;
+  if (counts.size() < probe_side.num_clusters()) {
+    counts.resize(probe_side.num_clusters(), 0);
+    cursor.resize(probe_side.num_clusters(), 0);
   }
-  return PositionListIndex(std::move(out), num_rows_);
+  touched.clear();
+
+  std::vector<Row> out_rows;
+  std::vector<uint32_t> out_offsets;
+  out_offsets.push_back(0);
+  // For each iterated cluster, split rows by the probe side's class. Rows
+  // landing on kUnique are singletons in the product; drop them. Output
+  // subclusters appear in first-occurrence order of the probe class
+  // within the cluster — deterministic, and row order inside each
+  // subcluster stays ascending because the cluster scan is ascending.
+  for (const ClusterView cl : iter.clusters()) {
+    touched.clear();
+    for (size_t row : cl) {
+      int32_t id = probe[row];
+      if (id == kUnique) continue;
+      if (counts[id]++ == 0) touched.push_back(static_cast<uint32_t>(id));
+    }
+    uint32_t total = static_cast<uint32_t>(out_rows.size());
+    for (uint32_t id : touched) {
+      if (counts[id] >= 2) {
+        cursor[id] = total;
+        total += counts[id];
+        out_offsets.push_back(total);
+      } else {
+        cursor[id] = kNoSlot;
+      }
+    }
+    out_rows.resize(total);
+    for (size_t row : cl) {
+      int32_t id = probe[row];
+      if (id == kUnique || cursor[id] == kNoSlot) continue;
+      out_rows[cursor[id]++] = static_cast<Row>(row);
+    }
+    for (uint32_t id : touched) counts[id] = 0;
+  }
+  return PositionListIndex(std::move(out_rows), std::move(out_offsets),
+                           num_rows_);
 }
 
 bool PositionListIndex::Refines(const PositionListIndex& other) const {
   METALEAK_DCHECK(num_rows_ == other.num_rows_);
-  std::vector<int64_t> probe = other.ProbeTable();
-  for (const Cluster& cluster : clusters_) {
-    int64_t first = probe[cluster[0]];
+  const std::vector<int32_t>& probe = other.probe_table();
+  for (const ClusterView cl : clusters()) {
+    int32_t first = probe[cl[0]];
     // A stripped (size >= 2) cluster containing a row that is unique in
     // `other` has two rows disagreeing on the RHS: violation.
     if (first == kUnique) return false;
-    for (size_t i = 1; i < cluster.size(); ++i) {
-      if (probe[cluster[i]] != first) return false;
+    for (size_t i = 1; i < cl.size(); ++i) {
+      if (probe[cl[i]] != first) return false;
     }
   }
   return true;
@@ -209,34 +305,37 @@ bool PositionListIndex::Refines(const PositionListIndex& other) const {
 double PositionListIndex::G3Error(const PositionListIndex& other) const {
   METALEAK_DCHECK(num_rows_ == other.num_rows_);
   if (num_rows_ == 0) return 0.0;
-  std::vector<int64_t> probe = other.ProbeTable();
+  const std::vector<int32_t>& probe = other.probe_table();
+  const size_t probe_clusters = other.num_clusters();
   // Per-cluster violation counts are independent; chunk the cluster list
   // and sum the integer counts in chunk order (exact, so the result is
   // identical at any thread count). The grain depends only on the
   // cluster count, never on the thread count.
-  const size_t grain = std::max<size_t>(1, clusters_.size() / 256);
+  const size_t grain = std::max<size_t>(1, num_clusters() / 256);
   size_t violations = ParallelReduce<size_t>(
-      0, clusters_.size(), grain, size_t{0},
+      0, num_clusters(), grain, size_t{0},
       [&](size_t lo, size_t hi) {
         size_t chunk_violations = 0;
-        std::unordered_map<int64_t, size_t> counts;
+        std::vector<uint32_t> counts(probe_clusters, 0);
+        std::vector<uint32_t> touched;
         for (size_t k = lo; k < hi; ++k) {
-          const Cluster& cluster = clusters_[k];
-          counts.clear();
+          const ClusterView cl = cluster(k);
+          touched.clear();
           size_t unique_rows = 0;
           size_t max_count = 0;
-          for (size_t row : cluster) {
-            int64_t id = probe[row];
+          for (size_t row : cl) {
+            int32_t id = probe[row];
             if (id == kUnique) {
               // Singleton in `other`: its own class of size 1.
               ++unique_rows;
               continue;
             }
-            size_t c = ++counts[id];
-            if (c > max_count) max_count = c;
+            if (counts[id]++ == 0) touched.push_back(static_cast<uint32_t>(id));
+            if (counts[id] > max_count) max_count = counts[id];
           }
+          for (uint32_t id : touched) counts[id] = 0;
           if (unique_rows > 0 && max_count == 0) max_count = 1;
-          chunk_violations += cluster.size() - max_count;
+          chunk_violations += cl.size() - max_count;
         }
         return chunk_violations;
       },
@@ -246,20 +345,23 @@ double PositionListIndex::G3Error(const PositionListIndex& other) const {
 
 size_t PositionListIndex::MaxFanout(const PositionListIndex& other) const {
   METALEAK_DCHECK(num_rows_ == other.num_rows_);
-  std::vector<int64_t> probe = other.ProbeTable();
+  const std::vector<int32_t>& probe = other.probe_table();
   size_t max_fanout = num_rows_ > 0 ? 1 : 0;
-  std::unordered_map<int64_t, size_t> seen;
-  for (const Cluster& cluster : clusters_) {
-    seen.clear();
+  std::vector<uint32_t> seen(other.num_clusters(), 0);
+  std::vector<uint32_t> touched;
+  for (const ClusterView cl : clusters()) {
+    touched.clear();
     size_t distinct = 0;
-    for (size_t row : cluster) {
-      int64_t id = probe[row];
+    for (size_t row : cl) {
+      int32_t id = probe[row];
       if (id == kUnique) {
         ++distinct;  // each RHS-singleton is its own value
-      } else if (++seen[id] == 1) {
+      } else if (seen[id]++ == 0) {
+        touched.push_back(static_cast<uint32_t>(id));
         ++distinct;
       }
     }
+    for (uint32_t id : touched) seen[id] = 0;
     if (distinct > max_fanout) max_fanout = distinct;
   }
   return max_fanout;

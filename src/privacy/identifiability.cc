@@ -1,9 +1,12 @@
 #include "privacy/identifiability.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "common/parallel.h"
+#include "partition/pli_cache.h"
 #include "partition/position_list_index.h"
 
 namespace metaleak {
@@ -87,21 +90,12 @@ Result<double> IdentifiableByAnySubset(const Relation& relation,
   return IdentifiableByAnySubset(encoded, max_subset_size);
 }
 
-Result<std::vector<bool>> IdentifiableRows(const EncodedRelation& relation,
-                                           size_t width) {
-  const size_t m = relation.num_columns();
+Result<std::vector<bool>> IdentifiableRowsForSubsets(
+    PliCache& cache, const std::vector<AttributeSet>& subsets) {
+  const EncodedRelation& relation = cache.encoded();
   const size_t n = relation.num_rows();
-  if (m > AttributeSet::kMaxAttributes) {
-    return Status::Invalid("relation exceeds 64 attributes");
-  }
   std::vector<bool> identifiable(n, false);
-  if (m == 0 || n == 0 || width == 0) return identifiable;
-
-  // Adding attributes refines the partition, so uniqueness under A is
-  // preserved under every superset of A. Checking only the subsets of
-  // size exactly min(width, m) therefore covers all smaller subsets too.
-  const std::vector<AttributeSet> subsets =
-      SubsetsOfSize(m, std::min(width, m));
+  if (n == 0 || subsets.empty()) return identifiable;
 
   // Chunk the subset sweep; each chunk ORs its subsets' uniqueness flags
   // into a private bitmap, and the chunk bitmaps are OR-merged. OR is
@@ -117,34 +111,85 @@ Result<std::vector<bool>> IdentifiableRows(const EncodedRelation& relation,
       0, subsets.size(), grain, Partial{Status::OK(), {}},
       [&](size_t lo, size_t hi) {
         Partial p;
-        p.bits.assign(n, 0);
+        std::vector<char> in_cluster;
         for (size_t s = lo; s < hi; ++s) {
-          Result<std::vector<bool>> unique = UniqueRows(relation, subsets[s]);
-          if (!unique.ok()) {
-            p.status = unique.status();
+          Status status = CheckAttrs(relation, subsets[s]);
+          if (!status.ok()) {
+            // Bail before touching the bitmap: an erroring chunk may
+            // return bits shorter than n (possibly empty).
+            p.status = std::move(status);
             return p;
           }
+          // Cached extension: pli(prefix) ∩ pli(last attribute), built
+          // once per subset across the whole process, not per call.
+          const PositionListIndex* pli = cache.Get(subsets[s]);
+          if (pli->num_stripped_rows() == n) continue;  // no unique rows
+          if (p.bits.empty()) p.bits.assign(n, 0);
+          if (pli->num_clusters() == 0) {
+            // Every row unique under this subset.
+            std::fill(p.bits.begin(), p.bits.end(), 1);
+            continue;
+          }
+          // Unique rows = rows absent from every stripped cluster.
+          in_cluster.assign(n, 0);
+          for (const auto cl : pli->clusters()) {
+            for (size_t row : cl) in_cluster[row] = 1;
+          }
           for (size_t r = 0; r < n; ++r) {
-            if ((*unique)[r]) p.bits[r] = 1;
+            if (!in_cluster[r]) p.bits[r] = 1;
           }
         }
         return p;
       },
       [n](Partial acc, Partial chunk) {
-        if (acc.bits.empty()) acc.bits.assign(n, 0);
+        // Either side can carry short (or empty) bits: the identity
+        // accumulator, a chunk that errored out early, or a chunk whose
+        // subsets had no unique rows. Normalize both to length n before
+        // OR-merging.
+        if (acc.bits.size() < n) acc.bits.resize(n, 0);
+        if (chunk.bits.size() < n) chunk.bits.resize(n, 0);
         if (acc.status.ok() && !chunk.status.ok()) {
           acc.status = chunk.status;
         }
-        for (size_t r = 0; r < chunk.bits.size(); ++r) {
+        for (size_t r = 0; r < n; ++r) {
           if (chunk.bits[r]) acc.bits[r] = 1;
         }
         return acc;
       });
   METALEAK_RETURN_NOT_OK(merged.status);
-  for (size_t r = 0; r < n; ++r) {
+  for (size_t r = 0; r < merged.bits.size(); ++r) {
     if (merged.bits[r]) identifiable[r] = true;
   }
   return identifiable;
+}
+
+Result<std::vector<bool>> IdentifiableRows(PliCache& cache, size_t width) {
+  const size_t m = cache.encoded().num_columns();
+  const size_t n = cache.encoded().num_rows();
+  if (m > AttributeSet::kMaxAttributes) {
+    return Status::Invalid("relation exceeds 64 attributes");
+  }
+  if (m == 0 || n == 0 || width == 0) {
+    return std::vector<bool>(n, false);
+  }
+  // Adding attributes refines the partition, so uniqueness under A is
+  // preserved under every superset of A. Checking only the subsets of
+  // size exactly min(width, m) therefore covers all smaller subsets too.
+  return IdentifiableRowsForSubsets(cache,
+                                    SubsetsOfSize(m, std::min(width, m)));
+}
+
+Result<std::vector<bool>> IdentifiableRows(const EncodedRelation& relation,
+                                           size_t width) {
+  if (relation.num_columns() > AttributeSet::kMaxAttributes) {
+    return Status::Invalid("relation exceeds 64 attributes");
+  }
+  if (relation.num_columns() == 0 || relation.num_rows() == 0 ||
+      width == 0) {
+    return std::vector<bool>(relation.num_rows(), false);
+  }
+  PliCache cache(&relation);
+  return IdentifiableRows(cache, width);
 }
 
 Result<double> IdentifiableByAnySubset(const EncodedRelation& relation,
@@ -167,12 +212,35 @@ Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
 
 Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
     const EncodedRelation& relation, size_t max_size) {
-  size_t m = relation.num_columns();
+  if (relation.num_columns() > AttributeSet::kMaxAttributes) {
+    return Status::Invalid("relation exceeds 64 attributes");
+  }
+  PliCache cache(&relation);
+  return DiscoverUniqueColumnCombinations(cache, max_size);
+}
+
+Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
+    PliCache& cache, size_t max_size) {
+  size_t m = cache.encoded().num_columns();
   if (m > AttributeSet::kMaxAttributes) {
     return Status::Invalid("relation exceeds 64 attributes");
   }
   std::vector<AttributeSet> uccs;
+  std::unordered_set<uint64_t> known_masks;
   auto covered_by_known = [&](AttributeSet attrs) {
+    if (uccs.empty()) return false;
+    // A candidate is non-minimal iff some known (strictly smaller) UCC
+    // is a subset of it. When the known list outgrows the candidate's
+    // 2^k proper-submask count, probing the bitmask set is cheaper than
+    // the linear ContainsAll scan; otherwise scan the short list.
+    const size_t k = attrs.size();
+    const uint64_t mask = attrs.mask();
+    if (k < 20 && (uint64_t{1} << k) < uccs.size()) {
+      for (uint64_t s = (mask - 1) & mask; s != 0; s = (s - 1) & mask) {
+        if (known_masks.count(s) > 0) return true;
+      }
+      return false;
+    }
     for (AttributeSet known : uccs) {
       if (attrs.ContainsAll(known)) return true;
     }
@@ -188,13 +256,17 @@ Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
       if (!covered_by_known(attrs)) candidates.push_back(attrs);
     });
     std::vector<char> is_ucc(candidates.size(), 0);
-    ParallelFor(0, candidates.size(), 1, [&](size_t i) {
-      PositionListIndex pli = PositionListIndex::FromEncoded(
-          relation, candidates[i].ToIndices());
-      is_ucc[i] = pli.num_clusters() == 0;  // every row unique
+    const size_t grain = std::max<size_t>(1, candidates.size() / 256);
+    ParallelFor(0, candidates.size(), grain, [&](size_t i) {
+      // Cached extension of the width-(k-1) prefix: one intersection per
+      // candidate instead of a k-column FromEncoded rebuild.
+      is_ucc[i] = cache.Get(candidates[i])->num_clusters() == 0;
     });
     for (size_t i = 0; i < candidates.size(); ++i) {
-      if (is_ucc[i]) uccs.push_back(candidates[i]);
+      if (is_ucc[i]) {
+        uccs.push_back(candidates[i]);
+        known_masks.insert(candidates[i].mask());
+      }
     }
   }
   return uccs;

@@ -16,6 +16,8 @@
 
 namespace metaleak {
 
+class PliCache;
+
 /// Per-row flags: row r is true iff its projection onto `attrs` is unique
 /// in the relation. The `Relation` overloads below encode once and run
 /// the code-path scans; subset sweeps should encode up front and reuse
@@ -38,8 +40,22 @@ Result<double> IdentifiableFraction(const EncodedRelation& relation,
 /// loop — runs on the shared thread pool; the per-subset verdicts are
 /// OR-merged, so the result is thread-count independent. Shared by
 /// IdentifiableByAnySubset and the tuple-risk analyzer.
+///
+/// Subset partitions are built by extension through the PliCache: each
+/// width-k subset's PLI is the cached width-(k-1) prefix intersected
+/// with one singleton, not a k-column rebuild. The PliCache overload
+/// lets callers share the cache (and its subset partitions) across
+/// several sweeps; the EncodedRelation overload owns a transient one.
 Result<std::vector<bool>> IdentifiableRows(const EncodedRelation& relation,
                                            size_t width);
+Result<std::vector<bool>> IdentifiableRows(PliCache& cache, size_t width);
+
+/// The sweep kernel under IdentifiableRows: OR of per-subset uniqueness
+/// over an explicit subset list (callers pick the frontier; this runs
+/// it). Fails with the first error if any subset references an attribute
+/// outside the relation.
+Result<std::vector<bool>> IdentifiableRowsForSubsets(
+    PliCache& cache, const std::vector<AttributeSet>& subsets);
 
 /// Fraction of rows identifiable by *some* attribute subset of size at
 /// most `max_subset_size` (Definition 2.1 with a bounded search: a row
@@ -58,6 +74,8 @@ Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
     const Relation& relation, size_t max_size);
 Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
     const EncodedRelation& relation, size_t max_size);
+Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
+    PliCache& cache, size_t max_size);
 
 }  // namespace metaleak
 

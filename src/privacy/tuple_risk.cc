@@ -89,11 +89,14 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
                         : 0.0;
     }
   }
-  // Non-null attribute counts per row (the "half reconstructed" base).
+  // Non-null attribute counts per row (the "half reconstructed" base),
+  // read column-major off the dense code vectors: code 0 is the reserved
+  // NULL slot, so no Value is materialized.
   std::vector<size_t> non_null(n, 0);
-  for (size_t r = 0; r < n; ++r) {
-    for (size_t c = 0; c < m; ++c) {
-      if (!real.at(r, c).is_null()) ++non_null[r];
+  for (size_t c = 0; c < m; ++c) {
+    const std::vector<uint32_t>& codes = encoded.codes(c);
+    for (size_t r = 0; r < n; ++r) {
+      if (codes[r] != ColumnDictionary::kNullCode) ++non_null[r];
     }
   }
 

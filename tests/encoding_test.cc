@@ -55,7 +55,7 @@ Relation Synthetic50(uint64_t seed) {
 // Canonical cluster form: clusters sorted, rows within already ascending
 // for the code path and made ascending here for the hash path.
 std::vector<std::vector<size_t>> Canonical(const PositionListIndex& pli) {
-  std::vector<std::vector<size_t>> out = pli.clusters();
+  std::vector<std::vector<size_t>> out = pli.ToNestedClusters();
   for (auto& c : out) std::sort(c.begin(), c.end());
   std::sort(out.begin(), out.end());
   return out;

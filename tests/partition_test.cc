@@ -93,7 +93,7 @@ TEST(PliTest, IdentityHasOneCluster) {
 TEST(PliTest, ProbeTableMarksSingletons) {
   PositionListIndex pli =
       PositionListIndex::FromColumn(Ints({1, 1, 2}));
-  std::vector<int64_t> probe = pli.ProbeTable();
+  const std::vector<int32_t>& probe = pli.probe_table();
   EXPECT_EQ(probe[0], probe[1]);
   EXPECT_EQ(probe[2], PositionListIndex::kUnique);
 }
@@ -106,7 +106,7 @@ TEST(PliTest, IntersectMatchesProductPartition) {
       PositionListIndex::FromColumn(Ints({1, 2, 1, 1}));
   PositionListIndex xy = x.Intersect(y);
   ASSERT_EQ(xy.num_clusters(), 1u);
-  EXPECT_EQ(xy.clusters()[0], (std::vector<size_t>{2, 3}));
+  EXPECT_EQ(xy.cluster(0).ToVector(), (std::vector<size_t>{2, 3}));
 }
 
 TEST(PliTest, RefinesDetectsFd) {
@@ -179,7 +179,7 @@ TEST(PliTest, FromColumnsProjectsTuples) {
   Relation r = std::move(builder.Finish()).ValueOrDie();
   PositionListIndex ab = PositionListIndex::FromColumns(r, {0, 1});
   ASSERT_EQ(ab.num_clusters(), 1u);
-  EXPECT_EQ(ab.clusters()[0], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(ab.cluster(0).ToVector(), (std::vector<size_t>{0, 1}));
 }
 
 // --- PliCache -------------------------------------------------------------------
@@ -244,11 +244,8 @@ TEST_P(PliPropertyTest, IntersectEqualsDirectConstruction) {
   EXPECT_EQ(via_intersect.num_stripped_rows(), direct.num_stripped_rows());
   // Same partition as sets: compare sorted cluster contents.
   auto canonical = [](const PositionListIndex& pli) {
-    std::vector<std::vector<size_t>> cs;
-    for (auto c : pli.clusters()) {
-      std::sort(c.begin(), c.end());
-      cs.push_back(std::move(c));
-    }
+    std::vector<std::vector<size_t>> cs = pli.ToNestedClusters();
+    for (auto& c : cs) std::sort(c.begin(), c.end());
     std::sort(cs.begin(), cs.end());
     return cs;
   };

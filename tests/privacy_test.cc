@@ -2,9 +2,12 @@
 // (Def 2.1), analytical models, and the Monte-Carlo experiment runner.
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "data/datasets/employee.h"
 #include "data/domain.h"
+#include "data/encoded_relation.h"
+#include "partition/pli_cache.h"
 #include "discovery/discovery_engine.h"
 #include "generation/generation_engine.h"
 #include "privacy/analytical.h"
@@ -180,6 +183,46 @@ TEST(IdentifiabilityTest, DiscoverUccsFindsMinimalKeys) {
       if (a != b) EXPECT_FALSE(a.ContainsAll(b));
     }
   }
+}
+
+TEST(IdentifiabilityTest, ForSubsetsMatchesPerSubsetUnion) {
+  Relation employee = datasets::Employee();
+  EncodedRelation encoded = EncodedRelation::Encode(employee);
+  PliCache cache(&encoded);
+  std::vector<AttributeSet> subsets = {AttributeSet::Single(1),
+                                       AttributeSet::Of({1, 2})};
+  auto rows = IdentifiableRowsForSubsets(cache, subsets);
+  ASSERT_TRUE(rows.ok());
+  auto age = UniqueRows(encoded, AttributeSet::Single(1));
+  auto age_dept = UniqueRows(encoded, AttributeSet::Of({1, 2}));
+  ASSERT_TRUE(age.ok());
+  ASSERT_TRUE(age_dept.ok());
+  ASSERT_EQ(rows->size(), employee.num_rows());
+  for (size_t r = 0; r < rows->size(); ++r) {
+    EXPECT_EQ((*rows)[r], (*age)[r] || (*age_dept)[r]) << "row " << r;
+  }
+}
+
+TEST(IdentifiabilityTest, ForSubsetsErroringSubsetPropagates) {
+  // Regression: a chunk that errors bails with a short (possibly empty)
+  // bitmap, so the OR-merge must normalize both sides to n instead of
+  // assuming every chunk produced n bits. Mix valid subsets with an
+  // out-of-range one so erroring and clean chunks merge, at both thread
+  // counts.
+  Relation employee = datasets::Employee();
+  EncodedRelation encoded = EncodedRelation::Encode(employee);
+  PliCache cache(&encoded);
+  std::vector<AttributeSet> subsets;
+  for (size_t c = 0; c < encoded.num_columns(); ++c) {
+    subsets.push_back(AttributeSet::Single(c));
+  }
+  subsets.push_back(AttributeSet::Single(63));  // out of range
+  for (size_t threads : {1, 8}) {
+    SetGlobalThreadCount(threads);
+    auto rows = IdentifiableRowsForSubsets(cache, subsets);
+    EXPECT_FALSE(rows.ok()) << "threads=" << threads;
+  }
+  SetGlobalThreadCount(0);
 }
 
 TEST(IdentifiabilityTest, NoKeysInDuplicatedRelation) {
