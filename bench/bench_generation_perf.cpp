@@ -1,12 +1,25 @@
-// A9 — Throughput of the adversarial generation and leakage evaluation
-// paths per dependency class (google-benchmark).
-#include <benchmark/benchmark.h>
+// Attack-pipeline bench: the dictionary-encoded code path (generation
+// into an EncodedBatch arena + leakage over translated codes) versus the
+// boxed-Value reference path, end to end through the experiment runner
+// at 10k-200k rows.
+//
+// Before timing anything the bench asserts the two paths produce
+// bit-identical experiment results (same per-round seeds, means,
+// stddevs, MSEs); any disagreement exits non-zero. Results go to
+// BENCH_generation.json, including the code-path speedup at each row
+// count (the acceptance number is the 50k-row entry).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "common/random.h"
 #include "data/datasets/synthetic.h"
 #include "discovery/discovery_engine.h"
 #include "generation/generation_engine.h"
-#include "privacy/leakage.h"
+#include "privacy/experiment.h"
 
 namespace metaleak {
 namespace {
@@ -16,12 +29,11 @@ struct Fixture {
   MetadataPackage metadata;
 };
 
-// One planted-structure relation reused across the benchmarks.
-const Fixture& SharedFixture(size_t rows) {
-  static auto* cache = new std::map<size_t, Fixture>();
-  auto it = cache->find(rows);
-  if (it != cache->end()) return it->second;
-
+// One planted-structure relation per row count: a categorical base, a
+// continuous base, a monotone derivation (FD + OD) and a bounded-fanout
+// derivation (ND), so every timed method generates through a real
+// dependency.
+Fixture MakeFixture(size_t rows) {
   datasets::SyntheticConfig config;
   config.num_rows = rows;
   config.seed = 7;
@@ -48,93 +60,146 @@ const Fixture& SharedFixture(size_t rows) {
   config.attributes = {a, b, c, d};
 
   Fixture fixture{std::move(datasets::Synthetic(config)).ValueOrDie(), {}};
-  DiscoveryOptions discovery;
   fixture.metadata =
-      std::move(ProfileRelation(fixture.real, discovery)).ValueOrDie()
-          .metadata;
-  return cache->emplace(rows, std::move(fixture)).first->second;
-}
-
-GenerationOptions OptionsFor(const std::string& method) {
-  GenerationOptions out;
-  if (method == "random") {
-    out.ignore_dependencies = true;
-  } else if (method == "fd") {
-    out.allowed_kinds = {DependencyKind::kFunctional};
-  } else if (method == "od") {
-    out.allowed_kinds = {DependencyKind::kOrder};
-  } else if (method == "nd") {
-    out.allowed_kinds = {DependencyKind::kNumerical};
-  }
-  return out;
-}
-
-void RunGeneration(benchmark::State& state, const std::string& method) {
-  const Fixture& fixture =
-      SharedFixture(static_cast<size_t>(state.range(0)));
-  Rng rng(1);
-  GenerationOptions options = OptionsFor(method);
-  for (auto _ : state) {
-    auto outcome = GenerateSynthetic(
-        fixture.metadata, fixture.real.num_rows(), &rng, options);
-    benchmark::DoNotOptimize(outcome.ok());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-
-void BM_GenerateRandom(benchmark::State& state) {
-  RunGeneration(state, "random");
-}
-void BM_GenerateFd(benchmark::State& state) { RunGeneration(state, "fd"); }
-void BM_GenerateOd(benchmark::State& state) { RunGeneration(state, "od"); }
-void BM_GenerateNd(benchmark::State& state) { RunGeneration(state, "nd"); }
-
-BENCHMARK(BM_GenerateRandom)->Arg(1000)->Arg(10000)->Arg(100000);
-BENCHMARK(BM_GenerateFd)->Arg(1000)->Arg(10000)->Arg(100000);
-BENCHMARK(BM_GenerateOd)->Arg(1000)->Arg(10000)->Arg(100000);
-BENCHMARK(BM_GenerateNd)->Arg(1000)->Arg(10000)->Arg(100000);
-
-void BM_EvaluateLeakage(benchmark::State& state) {
-  const Fixture& fixture =
-      SharedFixture(static_cast<size_t>(state.range(0)));
-  Rng rng(2);
-  GenerationOptions options;
-  options.ignore_dependencies = true;
-  Relation synthetic =
-      std::move(GenerateSynthetic(fixture.metadata,
-                                  fixture.real.num_rows(), &rng, options))
+      std::move(ProfileRelation(fixture.real, DiscoveryOptions{}))
           .ValueOrDie()
-          .relation;
-  for (auto _ : state) {
-    auto report = EvaluateLeakage(fixture.real, synthetic);
-    benchmark::DoNotOptimize(report.ok());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+          .metadata;
+  return fixture;
 }
-BENCHMARK(BM_EvaluateLeakage)->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_MetadataSerialize(benchmark::State& state) {
-  const Fixture& fixture =
-      SharedFixture(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    std::string wire = fixture.metadata.Serialize();
-    benchmark::DoNotOptimize(wire.size());
-  }
-}
-BENCHMARK(BM_MetadataSerialize)->Arg(10000);
+const std::vector<GenerationMethod> kMethods = {
+    GenerationMethod::kRandom,
+    GenerationMethod::kFd,
+    GenerationMethod::kNd,
+    GenerationMethod::kOd,
+};
 
-void BM_MetadataDeserialize(benchmark::State& state) {
-  const Fixture& fixture =
-      SharedFixture(static_cast<size_t>(state.range(0)));
-  std::string wire = fixture.metadata.Serialize();
-  for (auto _ : state) {
-    auto parsed = MetadataPackage::Deserialize(wire);
-    benchmark::DoNotOptimize(parsed.ok());
+bool BitIdentical(const std::vector<MethodResult>& a,
+                  const std::vector<MethodResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t m = 0; m < a.size(); ++m) {
+    if (a[m].round_seeds != b[m].round_seeds) return false;
+    if (a[m].attributes.size() != b[m].attributes.size()) return false;
+    for (size_t c = 0; c < a[m].attributes.size(); ++c) {
+      const MethodAttributeResult& x = a[m].attributes[c];
+      const MethodAttributeResult& y = b[m].attributes[c];
+      if (x.mean_matches != y.mean_matches ||
+          x.stddev_matches != y.stddev_matches ||
+          x.covered != y.covered ||
+          x.mean_mse.has_value() != y.mean_mse.has_value()) {
+        return false;
+      }
+      if (x.mean_mse.has_value() && *x.mean_mse != *y.mean_mse) {
+        return false;
+      }
+    }
   }
+  return true;
 }
-BENCHMARK(BM_MetadataDeserialize)->Arg(10000);
+
+struct BenchRecord {
+  std::string path;
+  size_t rows = 0;
+  size_t rounds = 0;
+  double ms = 0.0;
+  double rounds_per_sec = 0.0;
+  double rows_per_sec = 0.0;
+};
+
+int Main() {
+  struct Size {
+    size_t rows;
+    size_t rounds;
+  };
+  const std::vector<Size> kSizes = {{10000, 60}, {50000, 100}, {200000, 20}};
+  std::vector<BenchRecord> records;
+  double speedup_50k = 0.0;
+
+  for (const Size& size : kSizes) {
+    Fixture fixture = MakeFixture(size.rows);
+    std::printf("dataset: planted synthetic, %zu rows x %zu attrs\n",
+                fixture.real.num_rows(), fixture.real.num_columns());
+
+    // The speedup claim is vacuous unless the code path is live.
+    auto ctx = GenerationContext::Build(fixture.metadata);
+    if (!ctx.ok() || !ctx->encodable()) {
+      std::fprintf(stderr, "code path not live for the bench fixture\n");
+      return 1;
+    }
+
+    ExperimentEngine engine(fixture.real, fixture.metadata);
+    ExperimentConfig config;
+    config.rounds = size.rounds;
+    config.threads = 1;
+
+    auto time_sweep = [&](bool value_path, double* ms)
+        -> Result<std::vector<MethodResult>> {
+      config.use_value_path = value_path;
+      auto start = std::chrono::steady_clock::now();
+      auto result = engine.RunAll(kMethods, config);
+      auto stop = std::chrono::steady_clock::now();
+      *ms = std::chrono::duration<double, std::milli>(stop - start).count();
+      return result;
+    };
+
+    double code_ms = 0.0;
+    double value_ms = 0.0;
+    auto code = time_sweep(false, &code_ms);
+    auto value = time_sweep(true, &value_ms);
+    if (!code.ok() || !value.ok()) {
+      std::fprintf(stderr, "experiment failed\n");
+      return 1;
+    }
+    if (!BitIdentical(*code, *value)) {
+      std::fprintf(stderr, "parity FAILED at %zu rows: code path and "
+                           "value path disagree\n",
+                   size.rows);
+      return 1;
+    }
+
+    const double total_rounds =
+        static_cast<double>(size.rounds * kMethods.size());
+    auto record = [&](const char* path, double ms) {
+      BenchRecord r;
+      r.path = path;
+      r.rows = size.rows;
+      r.rounds = size.rounds;
+      r.ms = ms;
+      r.rounds_per_sec = total_rounds / (ms / 1000.0);
+      r.rows_per_sec =
+          total_rounds * static_cast<double>(size.rows) / (ms / 1000.0);
+      records.push_back(std::move(r));
+    };
+    record("code", code_ms);
+    record("value", value_ms);
+
+    const double speedup = value_ms / code_ms;
+    if (size.rows == 50000) speedup_50k = speedup;
+    std::printf(
+        "  %zu rounds x %zu methods  value %8.1f ms | code %8.1f ms  "
+        "(%.2fx)\n\n",
+        size.rounds, kMethods.size(), value_ms, code_ms, speedup);
+  }
+
+  std::ofstream json("BENCH_generation.json");
+  json << "{\n  \"codepath_speedup_50k\": " << speedup_50k
+       << ",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    json << "    {\"path\": \"" << r.path << "\", \"rows\": " << r.rows
+         << ", \"rounds\": " << r.rounds << ", \"ms\": " << r.ms
+         << ", \"rounds_per_sec\": " << r.rounds_per_sec
+         << ", \"rows_per_sec\": " << r.rows_per_sec << "}"
+         << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_generation.json (%zu records, 50k speedup "
+              "%.2fx)\n",
+              records.size(), speedup_50k);
+  return 0;
+}
 
 }  // namespace
 }  // namespace metaleak
 
-BENCHMARK_MAIN();
+int main() { return metaleak::Main(); }

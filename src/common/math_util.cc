@@ -88,6 +88,20 @@ double StdDev(const std::vector<double>& xs) {
   return std::sqrt(Variance(xs));
 }
 
+void WelfordAccumulator::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double WelfordAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double WelfordAccumulator::stddev() const { return std::sqrt(variance()); }
+
 double MeanSquaredError(const std::vector<double>& a,
                         const std::vector<double>& b) {
   METALEAK_DCHECK(a.size() == b.size());

@@ -61,6 +61,31 @@ double Variance(const std::vector<double>& xs);
 /// Population standard deviation of the sample variance above.
 double StdDev(const std::vector<double>& xs);
 
+/// Streaming mean / variance accumulator (Welford's algorithm).
+///
+/// Folding the same values in the same order produces bit-identical
+/// results regardless of how they were computed, which the experiment
+/// runner relies on for its value-path / code-path parity guarantee:
+/// both paths feed their per-round statistics through this accumulator
+/// in ascending round order.
+class WelfordAccumulator {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  /// 0 for an empty accumulator.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  /// sqrt(variance()).
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
 /// Mean of element-wise squared differences. Requires equal sizes.
 double MeanSquaredError(const std::vector<double>& a,
                         const std::vector<double>& b);

@@ -53,11 +53,13 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   return out;
 }
 
-Rng Rng::Fork() {
+Rng Rng::Fork() { return Rng(ForkSeed()); }
+
+uint64_t Rng::ForkSeed() {
   // Mixing two independent draws avoids correlated child streams.
   uint64_t a = engine_();
   uint64_t b = engine_();
-  return Rng(a ^ (b * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL));
+  return a ^ (b * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL);
 }
 
 }  // namespace metaleak

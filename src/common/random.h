@@ -64,6 +64,12 @@ class Rng {
   /// round its own stream so adding attributes does not perturb others.
   Rng Fork();
 
+  /// Advances the stream exactly like Fork() but returns the derived
+  /// child *seed*: Fork() is equivalent to Rng(ForkSeed()). Recording the
+  /// seed makes a derived stream replayable in isolation (the experiment
+  /// runner stores one per Monte-Carlo round).
+  uint64_t ForkSeed();
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

@@ -1,0 +1,87 @@
+// EncodedBatch: a reusable, dictionary-coded generation target.
+//
+// The attack pipeline's Monte-Carlo loop (generate R_syn, score leakage,
+// repeat) used to materialize a boxed `Value` Relation per round. An
+// EncodedBatch is the columnar arena the encoded generators write into
+// instead: categorical columns hold dense uint32 codes into the
+// *generation domain* (code 0 is reserved for NULL, matching
+// ColumnDictionary::kNullCode; code i+1 means domain.values()[i]), and
+// continuous columns hold raw doubles. Configure() fixes the per-column
+// storage kind; ResetRows() re-arms the arena for the next round while
+// keeping each column's capacity, so a thread that owns a batch
+// allocates only on its first round.
+#ifndef METALEAK_DATA_ENCODED_BATCH_H_
+#define METALEAK_DATA_ENCODED_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/domain.h"
+#include "data/relation.h"
+#include "data/schema.h"
+
+namespace metaleak {
+
+class EncodedBatch {
+ public:
+  /// Storage kind of one column: dense domain codes (categorical
+  /// domains) or raw doubles (continuous domains).
+  enum class ColumnKind : uint8_t { kCodes, kReals };
+
+  /// Sets the column layout. Existing storage is kept when the kinds
+  /// are unchanged (the reuse fast path) and rebuilt otherwise.
+  void Configure(const std::vector<ColumnKind>& kinds);
+
+  /// Resizes every column to `num_rows`, keeping capacity.
+  void ResetRows(size_t num_rows);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  ColumnKind kind(size_t c) const { return columns_[c].kind; }
+
+  /// Code / real storage of column `c`; only the vector matching the
+  /// column's kind is meaningful.
+  std::vector<uint32_t>& codes(size_t c) { return columns_[c].codes; }
+  const std::vector<uint32_t>& codes(size_t c) const {
+    return columns_[c].codes;
+  }
+  std::vector<double>& reals(size_t c) { return columns_[c].reals; }
+  const std::vector<double>& reals(size_t c) const {
+    return columns_[c].reals;
+  }
+
+ private:
+  struct Column {
+    ColumnKind kind = ColumnKind::kCodes;
+    std::vector<uint32_t> codes;
+    std::vector<double> reals;
+  };
+
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// The storage kind each generation domain implies: codes for
+/// categorical domains, raw doubles for continuous ones. Every consumer
+/// of an EncodedBatch (generators, CFD repair, leakage evaluators)
+/// derives its column layout through this one function so the layouts
+/// always agree.
+std::vector<EncodedBatch::ColumnKind> ColumnKindsForDomains(
+    const std::vector<Domain>& domains);
+
+/// Decodes a batch into a boxed-Value Relation over `schema`, applying
+/// the same physical-type relaxation the value-path generator performs
+/// (continuous domains produce doubles regardless of the disclosed
+/// type; mixed int/double columns coerce to double). `domains` must be
+/// the generation domains the batch was coded against. This is the
+/// adapter boundary: Relation-returning public APIs call it once after
+/// the encoded generators finish.
+Result<Relation> MaterializeRelation(const Schema& schema,
+                                     const std::vector<Domain>& domains,
+                                     const EncodedBatch& batch);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_DATA_ENCODED_BATCH_H_

@@ -1,6 +1,7 @@
 #include "data/encoded_relation.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/macros.h"
 
@@ -129,6 +130,15 @@ Result<std::vector<Domain>> EncodedRelation::Domains() const {
   for (size_t c = 0; c < num_columns(); ++c) {
     METALEAK_ASSIGN_OR_RETURN(Domain d, DomainOf(c));
     out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<double> ColumnDictionary::NumericByCode() const {
+  std::vector<double> out(values_.size(),
+                          std::numeric_limits<double>::quiet_NaN());
+  for (size_t code = 1; code < values_.size(); ++code) {
+    if (values_[code].is_numeric()) out[code] = values_[code].AsNumeric();
   }
   return out;
 }

@@ -71,6 +71,12 @@ class ColumnDictionary {
     return std::vector<Value>(values_.begin() + 1, values_.end());
   }
 
+  /// Per-code numeric view: out[code] is the numeric value behind
+  /// `code`, or NaN for NULL and non-numeric entries. Lets batch-style
+  /// consumers (the code-path leakage evaluators, tuple risk) compare
+  /// cells without decoding a Value per row.
+  std::vector<double> NumericByCode() const;
+
  private:
   friend class EncodedRelation;
 

@@ -10,11 +10,13 @@
 #ifndef METALEAK_GENERATION_CFD_GENERATOR_H_
 #define METALEAK_GENERATION_CFD_GENERATOR_H_
 
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
 #include "data/domain.h"
+#include "data/encoded_batch.h"
 #include "data/relation.h"
 #include "metadata/conditional_fd.h"
 
@@ -33,6 +35,73 @@ namespace metaleak {
 Result<Relation> ApplyCfds(const Relation& relation,
                            const std::vector<ConditionalFd>& cfds,
                            const std::vector<Domain>& domains, Rng* rng);
+
+/// Chase rules pre-resolved against an EncodedBatch layout: condition
+/// values and constant RHS values are translated to codes / raw doubles
+/// once, and per-code Value hashes are tabulated so the variable-CFD
+/// mapping keys come out identical to the value path's (the mapping is
+/// keyed by an FNV fold of Value::Hash, so even hash *collisions* repeat
+/// exactly). supported() is false when the batch cannot represent the
+/// chase bit-for-bit — e.g. a constant outside its column's domain, or a
+/// domain whose mixed value types would trigger the value path's
+/// data-dependent type coercion; callers then fall back to ApplyCfds.
+class EncodedCfdPlan {
+ public:
+  struct Rule {
+    size_t condition_attr = 0;
+    size_t rhs = 0;
+    std::vector<size_t> lhs;
+    bool rhs_is_constant = false;
+    /// Condition value unrepresentable in the condition column: the rule
+    /// can never fire (same observable behavior as the value path, which
+    /// compares it against every cell and never matches).
+    bool never_fires = false;
+    bool condition_is_code = false;
+    uint32_t condition_code = 0;
+    double condition_real = 0.0;
+    uint32_t rhs_code = 0;   // constant RHS, code-stored column
+    double rhs_real = 0.0;   // constant RHS, real-stored column
+    size_t sample_k = 0;     // variable RHS: domain size (code-stored)
+    double sample_lo = 0.0;  // variable RHS: domain range (real-stored)
+    double sample_hi = 0.0;
+  };
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  /// Rule application order: constants first, then variables.
+  const std::vector<size_t>& order() const { return order_; }
+  size_t num_columns() const { return kinds_.size(); }
+  bool supported() const { return supported_; }
+  const std::string& fallback_reason() const { return fallback_reason_; }
+
+ private:
+  friend Result<EncodedCfdPlan> BuildEncodedCfdPlan(
+      const std::vector<ConditionalFd>&, const std::vector<Domain>&,
+      const std::vector<EncodedBatch::ColumnKind>&);
+  friend Status ApplyCfdsEncoded(const EncodedCfdPlan&, EncodedBatch*,
+                                 Rng*);
+
+  std::vector<Rule> rules_;
+  std::vector<size_t> order_;
+  std::vector<EncodedBatch::ColumnKind> kinds_;
+  std::vector<std::vector<size_t>> hash_by_code_;  // per code-stored column
+  bool supported_ = true;
+  std::string fallback_reason_;
+};
+
+/// Resolves `cfds` against the batch layout implied by `domains`/`kinds`.
+/// Hard validation failures (attribute out of range, domains not parallel
+/// to the layout) return the same Status ApplyCfds would; mere
+/// representability problems clear plan.supported() instead.
+Result<EncodedCfdPlan> BuildEncodedCfdPlan(
+    const std::vector<ConditionalFd>& cfds,
+    const std::vector<Domain>& domains,
+    const std::vector<EncodedBatch::ColumnKind>& kinds);
+
+/// Runs the bounded chase of ApplyCfds directly on batch codes/doubles,
+/// consuming the RNG in the identical order. Invalid when the plan is
+/// unsupported or the batch layout does not match.
+Status ApplyCfdsEncoded(const EncodedCfdPlan& plan, EncodedBatch* batch,
+                        Rng* rng);
 
 }  // namespace metaleak
 

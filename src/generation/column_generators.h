@@ -33,6 +33,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "data/domain.h"
+#include "data/encoded_batch.h"
 #include "data/value.h"
 
 namespace metaleak {
@@ -80,6 +81,64 @@ std::vector<Value> GenerateOfdColumn(const std::vector<Value>& lhs_column,
 Result<std::vector<Value>> GenerateDdColumn(
     const std::vector<Value>& lhs_column, const Domain& domain,
     size_t num_rows, double lhs_epsilon, double rhs_delta, Rng* rng);
+
+/// --- Encoded (code-path) generators ------------------------------------
+///
+/// Mirrors of the generators above that emit dense domain codes
+/// (categorical domains: code i+1 means domain.values()[i], code 0 is
+/// NULL) or raw doubles (continuous domains) straight into an
+/// EncodedBatch column. Each mirror consumes the RNG in *exactly* the
+/// same sequence as its boxed-Value twin, so decoding the batch
+/// reproduces the Value column bit for bit. The batch must be
+/// Configure()d with ColumnKindsForDomains of the generation domains and
+/// ResetRows() to `num_rows` before any generator runs; LHS columns are
+/// read back out of the same batch by index. Internal scratch (rank
+/// maps, group ids, ND pools) is thread-local and reused across calls,
+/// which is what makes the Monte-Carlo loop allocation-free after the
+/// first round on each worker thread.
+
+/// Root: i.i.d. uniform draws from the domain.
+void GenerateRootColumnEncoded(const Domain& domain, size_t num_rows,
+                               Rng* rng, EncodedBatch* batch,
+                               size_t target);
+
+/// FD: one lazily-sampled target per distinct LHS group (empty
+/// `lhs_columns` models the constant FD {} -> A).
+void GenerateFdColumnEncoded(const std::vector<size_t>& lhs_columns,
+                             const Domain& domain, size_t num_rows,
+                             Rng* rng, EncodedBatch* batch, size_t target);
+
+/// AFD: the FD process + a g3 fraction of rows re-drawn independently.
+void GenerateAfdColumnEncoded(const std::vector<size_t>& lhs_columns,
+                              const Domain& domain, size_t num_rows,
+                              double g3_error, Rng* rng,
+                              EncodedBatch* batch, size_t target);
+
+/// ND: per distinct LHS value a pool of up to `max_fanout` values.
+void GenerateNdColumnEncoded(size_t lhs_column, const Domain& domain,
+                             size_t num_rows, size_t max_fanout, Rng* rng,
+                             EncodedBatch* batch, size_t target);
+
+/// OD: distinct LHS ranks mapped to non-decreasing order statistics.
+void GenerateOdColumnEncoded(size_t lhs_column, const Domain& domain,
+                             size_t num_rows, Rng* rng, EncodedBatch* batch,
+                             size_t target);
+
+/// OFD: like OD but strictly increasing where the domain permits.
+void GenerateOfdColumnEncoded(size_t lhs_column, const Domain& domain,
+                              size_t num_rows, Rng* rng,
+                              EncodedBatch* batch, size_t target);
+
+/// DD: Markov interval process. `lhs_code_numeric` is the per-code
+/// numeric view of the LHS column's domain (code -> AsNumeric, 0.0 for
+/// non-numeric entries) when the LHS is code-stored; unused for a
+/// real-stored LHS. TypeError for a categorical target domain, exactly
+/// like the Value twin (the engine falls back to a root draw).
+Status GenerateDdColumnEncoded(size_t lhs_column, const Domain& domain,
+                               const std::vector<double>& lhs_code_numeric,
+                               size_t num_rows, double lhs_epsilon,
+                               double rhs_delta, Rng* rng,
+                               EncodedBatch* batch, size_t target);
 
 }  // namespace metaleak
 

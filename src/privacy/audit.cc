@@ -36,10 +36,11 @@ Result<AuditResult> RunAudit(const Relation& relation,
   for (GenerationMethod m : options.methods) {
     if (m != GenerationMethod::kRandom) methods.push_back(m);
   }
-  METALEAK_ASSIGN_OR_RETURN(
-      result.method_results,
-      RunExperiment(relation, result.metadata, methods,
-                    options.experiment));
+  // One engine across all methods: the relation is encoded once and each
+  // method's rounds stream through the code path (see experiment.h).
+  ExperimentEngine engine(relation, result.metadata);
+  METALEAK_ASSIGN_OR_RETURN(result.method_results,
+                            engine.RunAll(methods, options.experiment));
 
   METALEAK_ASSIGN_OR_RETURN(std::vector<Domain> domains,
                             result.metadata.RequireDomains());

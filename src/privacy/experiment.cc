@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/math_util.h"
 #include "common/parallel.h"
@@ -71,6 +73,12 @@ GenerationOptions OptionsForMethod(GenerationMethod method) {
 
 Result<MethodAttributeResult> MethodResult::ForAttribute(
     size_t attribute) const {
+  // Results hold attribute i at index i; answer from the index and keep
+  // the scan only for hand-assembled results.
+  if (attribute < attributes.size() &&
+      attributes[attribute].attribute == attribute) {
+    return attributes[attribute];
+  }
   for (const MethodAttributeResult& a : attributes) {
     if (a.attribute == attribute) return a;
   }
@@ -78,60 +86,132 @@ Result<MethodAttributeResult> MethodResult::ForAttribute(
                             std::to_string(attribute));
 }
 
-Result<MethodResult> RunMethod(const Relation& real,
-                               const MetadataPackage& metadata,
-                               GenerationMethod method,
-                               const ExperimentConfig& config) {
+// Everything one method's rounds share, resolved before any RNG draw:
+// the generation context, the CFD chase plan, the leakage evaluator, and
+// the decision which path runs. The plan is RNG-independent, so `covered`
+// comes from it up front and every round — including round 0 — fans out.
+struct ExperimentEngine::MethodPlan {
+  GenerationOptions gen_options;
+  std::optional<GenerationContext> ctx;
+  std::optional<EncodedCfdPlan> cfd_plan;
+  std::optional<EncodedLeakageContext> leakage_ctx;
+  bool use_code = false;
+  std::vector<bool> covered;
+};
+
+ExperimentEngine::ExperimentEngine(const Relation& real,
+                                   const MetadataPackage& metadata)
+    : real_(real),
+      metadata_(metadata),
+      encoded_real_(EncodedRelation::Encode(real)) {}
+
+Result<ExperimentEngine::MethodPlan> ExperimentEngine::PlanFor(
+    GenerationMethod method, const ExperimentConfig& config) const {
+  MethodPlan plan;
+  plan.gen_options = OptionsForMethod(method);
+  METALEAK_ASSIGN_OR_RETURN(
+      GenerationContext ctx,
+      GenerationContext::Build(metadata_, plan.gen_options));
+  plan.ctx.emplace(std::move(ctx));
+
+  const size_t m = real_.num_columns();
+  plan.covered.assign(m, method == GenerationMethod::kRandom);
+  if (method == GenerationMethod::kCfd) {
+    for (const ConditionalFd& cfd : metadata_.conditional_fds) {
+      if (cfd.rhs < m) plan.covered[cfd.rhs] = true;
+    }
+  } else if (method != GenerationMethod::kRandom) {
+    for (const GenerationStep& step : plan.ctx->plan().steps()) {
+      plan.covered[step.attribute] = step.via.has_value();
+    }
+  }
+
+  plan.use_code = !config.use_value_path && plan.ctx->encodable();
+  if (plan.use_code && method == GenerationMethod::kCfd) {
+    METALEAK_ASSIGN_OR_RETURN(
+        EncodedCfdPlan cfd_plan,
+        BuildEncodedCfdPlan(metadata_.conditional_fds, plan.ctx->domains(),
+                            plan.ctx->kinds()));
+    if (cfd_plan.supported()) {
+      plan.cfd_plan.emplace(std::move(cfd_plan));
+    } else {
+      plan.use_code = false;
+    }
+  }
+  if (plan.use_code) {
+    METALEAK_ASSIGN_OR_RETURN(
+        EncodedLeakageContext leakage_ctx,
+        EncodedLeakageContext::Build(encoded_real_, plan.ctx->schema(),
+                                     plan.ctx->domains(), config.leakage));
+    if (leakage_ctx.supported()) {
+      plan.leakage_ctx.emplace(std::move(leakage_ctx));
+    } else {
+      plan.use_code = false;
+    }
+  }
+  return plan;
+}
+
+Result<MethodResult> ExperimentEngine::Run(
+    GenerationMethod method, const ExperimentConfig& config) const {
   if (config.rounds == 0) {
     return Status::Invalid("experiment needs at least one round");
   }
-  GenerationOptions gen_options = OptionsForMethod(method);
-  Rng rng(config.seed);
-
-  const size_t m = real.num_columns();
-  std::vector<std::vector<double>> matches(m);
-  std::vector<std::vector<double>> mses(m);
-  std::vector<bool> covered(m, method == GenerationMethod::kRandom);
+  METALEAK_ASSIGN_OR_RETURN(MethodPlan plan, PlanFor(method, config));
+  const size_t m = real_.num_columns();
 
   // Per-round seeds drawn up front so the outcome is identical for any
-  // thread count.
-  std::vector<Rng> round_rngs;
-  round_rngs.reserve(config.rounds);
+  // thread count; recorded in the result so any round can be replayed.
+  Rng rng(config.seed);
+  std::vector<uint64_t> round_seeds;
+  round_seeds.reserve(config.rounds);
   for (size_t round = 0; round < config.rounds; ++round) {
-    round_rngs.push_back(rng.Fork());
+    round_seeds.push_back(rng.ForkSeed());
   }
 
-  // One round of the Monte-Carlo loop; writes its report into `slot`.
-  std::vector<LeakageReport> reports(config.rounds);
-  std::vector<Status> round_status(config.rounds);
-  auto run_round = [&](size_t round) -> Status {
-    Rng round_rng = round_rngs[round];
+  // rounds x m raw stats; both paths fill the same array, and the
+  // Welford fold below walks it in ascending round order, so the
+  // aggregate is bit-identical across paths and thread counts.
+  std::vector<AttributeRoundStats> stats(config.rounds * m);
+  auto run_round_code = [&](size_t round) -> Status {
+    Rng round_rng(round_seeds[round]);
+    thread_local EncodedBatch batch;
+    METALEAK_RETURN_NOT_OK(
+        GenerateEncoded(*plan.ctx, real_.num_rows(), &round_rng, &batch));
+    if (plan.cfd_plan.has_value()) {
+      METALEAK_RETURN_NOT_OK(
+          ApplyCfdsEncoded(*plan.cfd_plan, &batch, &round_rng));
+    }
+    return plan.leakage_ctx->Evaluate(batch, stats.data() + round * m);
+  };
+  auto run_round_value = [&](size_t round) -> Status {
+    Rng round_rng(round_seeds[round]);
     METALEAK_ASSIGN_OR_RETURN(
         GenerationOutcome outcome,
-        GenerateSynthetic(metadata, real.num_rows(), &round_rng,
-                          gen_options));
+        GenerateSyntheticValuePath(metadata_, real_.num_rows(), &round_rng,
+                                   plan.gen_options));
     if (method == GenerationMethod::kCfd) {
-      METALEAK_ASSIGN_OR_RETURN(std::vector<Domain> domains,
-                                metadata.RequireDomains());
       METALEAK_ASSIGN_OR_RETURN(
           outcome.relation,
-          ApplyCfds(outcome.relation, metadata.conditional_fds, domains,
-                    &round_rng));
-    } else if (round == 0 && method != GenerationMethod::kRandom) {
-      for (const GenerationStep& step : outcome.plan.steps()) {
-        covered[step.attribute] = step.via.has_value();
-      }
+          ApplyCfds(outcome.relation, metadata_.conditional_fds,
+                    plan.ctx->domains(), &round_rng));
     }
     METALEAK_ASSIGN_OR_RETURN(
-        reports[round],
-        EvaluateLeakage(real, outcome.relation, config.leakage));
+        LeakageReport report,
+        EvaluateLeakage(real_, outcome.relation, config.leakage));
+    for (const AttributeLeakage& a : report.attributes) {
+      AttributeRoundStats& slot = stats[round * m + a.attribute];
+      slot.matches = a.matches;
+      if (a.mse.has_value()) {
+        slot.mse = *a.mse;
+        slot.has_mse = true;
+      }
+    }
     return Status::OK();
   };
-  if (method == GenerationMethod::kCfd) {
-    for (const ConditionalFd& cfd : metadata.conditional_fds) {
-      if (cfd.rhs < m) covered[cfd.rhs] = true;
-    }
-  }
+  auto run_round = [&](size_t round) -> Status {
+    return plan.use_code ? run_round_code(round) : run_round_value(round);
+  };
 
   size_t threads = config.threads;
   if (threads == 0) threads = GlobalThreadCount();
@@ -141,57 +221,98 @@ Result<MethodResult> RunMethod(const Relation& real,
       METALEAK_RETURN_NOT_OK(run_round(round));
     }
   } else {
-    // Round 0 runs first on this thread: it fills `covered`, which the
-    // pool workers must not race on. The remaining rounds fan out over
-    // the shared pool; each round's seed was drawn up front, so the
-    // outcome is identical for any thread count.
-    METALEAK_RETURN_NOT_OK(run_round(0));
+    std::vector<Status> round_status(config.rounds);
     ParallelFor(
-        1, config.rounds, 1,
+        0, config.rounds, 1,
         [&](size_t round) { round_status[round] = run_round(round); },
         threads);
-    for (size_t round = 1; round < config.rounds; ++round) {
+    for (size_t round = 0; round < config.rounds; ++round) {
       METALEAK_RETURN_NOT_OK(round_status[round]);
-    }
-  }
-
-  for (size_t round = 0; round < config.rounds; ++round) {
-    for (const AttributeLeakage& a : reports[round].attributes) {
-      matches[a.attribute].push_back(static_cast<double>(a.matches));
-      if (a.mse.has_value()) mses[a.attribute].push_back(*a.mse);
     }
   }
 
   MethodResult result;
   result.method = method;
+  result.round_seeds = std::move(round_seeds);
+  result.attributes.reserve(m);
   for (size_t c = 0; c < m; ++c) {
     MethodAttributeResult entry;
     entry.attribute = c;
-    entry.name = real.schema().attribute(c).name;
-    entry.semantic = real.schema().attribute(c).semantic;
-    entry.covered = covered[c];
-    entry.mean_matches = Mean(matches[c]);
-    entry.stddev_matches = StdDev(matches[c]);
-    if (!mses[c].empty()) entry.mean_mse = Mean(mses[c]);
+    entry.name = real_.schema().attribute(c).name;
+    entry.semantic = real_.schema().attribute(c).semantic;
+    entry.covered = plan.covered[c];
+    WelfordAccumulator match_acc;
+    WelfordAccumulator mse_acc;
+    for (size_t round = 0; round < config.rounds; ++round) {
+      const AttributeRoundStats& slot = stats[round * m + c];
+      match_acc.Add(static_cast<double>(slot.matches));
+      if (slot.has_mse) mse_acc.Add(slot.mse);
+    }
+    entry.mean_matches = match_acc.mean();
+    entry.stddev_matches = match_acc.stddev();
+    if (mse_acc.count() > 0) entry.mean_mse = mse_acc.mean();
     result.attributes.push_back(std::move(entry));
   }
   return result;
+}
+
+Result<std::vector<MethodResult>> ExperimentEngine::RunAll(
+    const std::vector<GenerationMethod>& methods,
+    const ExperimentConfig& config) const {
+  std::vector<MethodResult> out;
+  out.reserve(methods.size());
+  Rng seeder(config.seed);
+  for (GenerationMethod method : methods) {
+    ExperimentConfig method_config = config;
+    method_config.seed = seeder.Fork().engine()();
+    METALEAK_ASSIGN_OR_RETURN(MethodResult r, Run(method, method_config));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<LeakageReport> ExperimentEngine::ReplayRound(
+    GenerationMethod method, uint64_t round_seed,
+    const ExperimentConfig& config) const {
+  METALEAK_ASSIGN_OR_RETURN(MethodPlan plan, PlanFor(method, config));
+  Rng round_rng(round_seed);
+  if (plan.use_code) {
+    EncodedBatch batch;
+    METALEAK_RETURN_NOT_OK(
+        GenerateEncoded(*plan.ctx, real_.num_rows(), &round_rng, &batch));
+    if (plan.cfd_plan.has_value()) {
+      METALEAK_RETURN_NOT_OK(
+          ApplyCfdsEncoded(*plan.cfd_plan, &batch, &round_rng));
+    }
+    return plan.leakage_ctx->EvaluateReport(batch);
+  }
+  METALEAK_ASSIGN_OR_RETURN(
+      GenerationOutcome outcome,
+      GenerateSyntheticValuePath(metadata_, real_.num_rows(), &round_rng,
+                                 plan.gen_options));
+  if (method == GenerationMethod::kCfd) {
+    METALEAK_ASSIGN_OR_RETURN(
+        outcome.relation,
+        ApplyCfds(outcome.relation, metadata_.conditional_fds,
+                  plan.ctx->domains(), &round_rng));
+  }
+  return EvaluateLeakage(real_, outcome.relation, config.leakage);
+}
+
+Result<MethodResult> RunMethod(const Relation& real,
+                               const MetadataPackage& metadata,
+                               GenerationMethod method,
+                               const ExperimentConfig& config) {
+  ExperimentEngine engine(real, metadata);
+  return engine.Run(method, config);
 }
 
 Result<std::vector<MethodResult>> RunExperiment(
     const Relation& real, const MetadataPackage& metadata,
     const std::vector<GenerationMethod>& methods,
     const ExperimentConfig& config) {
-  std::vector<MethodResult> out;
-  Rng seeder(config.seed);
-  for (GenerationMethod method : methods) {
-    ExperimentConfig method_config = config;
-    method_config.seed = seeder.Fork().engine()();
-    METALEAK_ASSIGN_OR_RETURN(
-        MethodResult r, RunMethod(real, metadata, method, method_config));
-    out.push_back(std::move(r));
-  }
-  return out;
+  ExperimentEngine engine(real, metadata);
+  return engine.RunAll(methods, config);
 }
 
 }  // namespace metaleak

@@ -5,14 +5,24 @@
 // runner generates R_syn `rounds` times, evaluates index-aligned leakage
 // against R_real each round, and averages ("the MSE is the mean error
 // over many generation rounds to decrease the variance").
+//
+// The hot loop runs on the dictionary-encoded code path: the real
+// relation is encoded once, every round writes dense codes/doubles into a
+// per-thread EncodedBatch arena, and per-round AttributeRoundStats stream
+// into Welford accumulators — no Relation is materialized per round.
+// Packages the code path cannot represent fall back to the boxed-Value
+// reference pipeline; both paths reduce rounds to the same stats array
+// and share the same fold, so their results are bit-identical.
 #ifndef METALEAK_PRIVACY_EXPERIMENT_H_
 #define METALEAK_PRIVACY_EXPERIMENT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "metadata/metadata_package.h"
 #include "privacy/leakage.h"
@@ -44,6 +54,10 @@ struct ExperimentConfig {
   /// their seeds up front, so the result is identical for any thread
   /// count. 0 = use the global pool size (METALEAK_THREADS / hardware).
   size_t threads = 1;
+  /// Force the boxed-Value reference pipeline even when the code path
+  /// could run. Parity tests and benchmarks flip this to compare the
+  /// two paths; results are bit-identical either way.
+  bool use_value_path = false;
 };
 
 /// Averaged per-attribute outcome of one method.
@@ -63,19 +77,56 @@ struct MethodAttributeResult {
 struct MethodResult {
   GenerationMethod method = GenerationMethod::kRandom;
   std::vector<MethodAttributeResult> attributes;
+  /// Seed of each round's derived RNG stream, in round order: round k of
+  /// this run replays exactly as ExperimentEngine::ReplayRound(method,
+  /// round_seeds[k]).
+  std::vector<uint64_t> round_seeds;
 
   Result<MethodAttributeResult> ForAttribute(size_t attribute) const;
 };
 
-/// Runs one method. `metadata` must disclose all domains; dependency
-/// classes other than the method's are ignored.
+/// Runs experiment methods against one real relation. Encodes the real
+/// relation once in the constructor; `real` and `metadata` must outlive
+/// the engine. Run/RunAll/ReplayRound are const and thread-safe.
+class ExperimentEngine {
+ public:
+  ExperimentEngine(const Relation& real, const MetadataPackage& metadata);
+
+  /// Runs one method. `metadata` must disclose all domains; dependency
+  /// classes other than the method's are ignored.
+  Result<MethodResult> Run(GenerationMethod method,
+                           const ExperimentConfig& config = {}) const;
+
+  /// Runs several methods under the same config (fresh derived RNG
+  /// streams per method, so methods are independent but reproducible).
+  Result<std::vector<MethodResult>> RunAll(
+      const std::vector<GenerationMethod>& methods,
+      const ExperimentConfig& config = {}) const;
+
+  /// Re-executes a single recorded Monte-Carlo round (see
+  /// MethodResult::round_seeds) and returns its full per-attribute
+  /// report — the round's exact contribution to the recorded means.
+  Result<LeakageReport> ReplayRound(GenerationMethod method,
+                                    uint64_t round_seed,
+                                    const ExperimentConfig& config = {}) const;
+
+ private:
+  struct MethodPlan;
+  Result<MethodPlan> PlanFor(GenerationMethod method,
+                             const ExperimentConfig& config) const;
+
+  const Relation& real_;
+  const MetadataPackage& metadata_;
+  EncodedRelation encoded_real_;
+};
+
+/// One-shot wrapper around ExperimentEngine::Run.
 Result<MethodResult> RunMethod(const Relation& real,
                                const MetadataPackage& metadata,
                                GenerationMethod method,
                                const ExperimentConfig& config = {});
 
-/// Runs several methods under the same config (fresh derived RNG streams
-/// per method, so methods are independent but reproducible).
+/// One-shot wrapper around ExperimentEngine::RunAll.
 Result<std::vector<MethodResult>> RunExperiment(
     const Relation& real, const MetadataPackage& metadata,
     const std::vector<GenerationMethod>& methods,

@@ -1,6 +1,8 @@
 #include "privacy/leakage.h"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "data/domain.h"
 
@@ -56,6 +58,12 @@ size_t LeakageReport::TotalCategoricalMatches() const {
 }
 
 Result<AttributeLeakage> LeakageReport::ForAttribute(size_t attribute) const {
+  // Reports built by EvaluateLeakage hold attribute i at index i; answer
+  // from the index and keep the scan only for hand-assembled reports.
+  if (attribute < attributes.size() &&
+      attributes[attribute].attribute == attribute) {
+    return attributes[attribute];
+  }
   for (const AttributeLeakage& a : attributes) {
     if (a.attribute == attribute) return a;
   }
@@ -72,7 +80,13 @@ Result<size_t> CountCategoricalMatches(const Relation& real,
   for (size_t r = 0; r < real.num_rows(); ++r) {
     const Value& rv = real.at(r, attribute);
     if (rv.is_null()) continue;
-    if (ValuesMatchCategorical(rv, synthetic.at(r, attribute))) ++matches;
+    const Value& sv = synthetic.at(r, attribute);
+    // A synthetic NULL is never a match: the adversary produced no guess
+    // for the cell. Stated explicitly so both this path and the code
+    // path (where NULL is code 0 and real cells never translate to 0)
+    // agree by construction rather than by accident of Value equality.
+    if (sv.is_null()) continue;
+    if (ValuesMatchCategorical(rv, sv)) ++matches;
   }
   return matches;
 }
@@ -154,6 +168,232 @@ Result<LeakageReport> EvaluateLeakage(const Relation& real,
         compared == 0 ? 0.0
                       : static_cast<double>(entry.matches) /
                             static_cast<double>(compared);
+    report.attributes.push_back(std::move(entry));
+  }
+  return report;
+}
+
+// --- Code-path evaluator -------------------------------------------------
+
+Result<EncodedLeakageContext> EncodedLeakageContext::Build(
+    const EncodedRelation& real, const Schema& syn_schema,
+    const std::vector<Domain>& domains, const LeakageOptions& options) {
+  const size_t m = real.num_columns();
+  if (m != syn_schema.num_attributes() || m != domains.size()) {
+    return Status::Invalid("relations have different arity");
+  }
+  for (size_t c = 0; c < m; ++c) {
+    if (real.schema().attribute(c).name != syn_schema.attribute(c).name) {
+      return Status::Invalid("attribute name mismatch at index " +
+                             std::to_string(c));
+    }
+  }
+
+  EncodedLeakageContext ctx;
+  ctx.num_rows_ = real.num_rows();
+  const std::vector<EncodedBatch::ColumnKind> kinds =
+      ColumnKindsForDomains(domains);
+  auto mark_unsupported = [&ctx](const char* reason) {
+    if (ctx.supported_) {
+      ctx.supported_ = false;
+      ctx.fallback_reason_ = reason;
+    }
+  };
+
+  ctx.attrs_.resize(m);
+  for (size_t c = 0; c < m; ++c) {
+    const ColumnDictionary& dict = real.dictionary(c);
+    const std::vector<uint32_t>& real_column = real.codes(c);
+    AttrPlan& plan = ctx.attrs_[c];
+    const Attribute& attr = real.schema().attribute(c);
+    plan.name = attr.name;
+    plan.semantic = attr.semantic;
+    plan.kind = kinds[c];
+    plan.rows_compared = real.num_rows() - dict.null_count();
+
+    const bool categorical = attr.semantic == SemanticType::kCategorical;
+    if (categorical &&
+        plan.kind == EncodedBatch::ColumnKind::kCodes) {
+      // Translate each distinct real value into the generation domain
+      // once (Def 2.2's match predicate, including the cross-type
+      // numeric equality), then gather per row.
+      const std::vector<Value>& domain_values = domains[c].values();
+      std::vector<uint32_t> translate(dict.num_codes(), kNoMatchCode);
+      for (uint32_t code = 1; code < dict.num_codes(); ++code) {
+        const Value& rv = dict.decode(code);
+        size_t hits = 0;
+        for (size_t i = 0; i < domain_values.size(); ++i) {
+          if (ValuesMatchCategorical(rv, domain_values[i])) {
+            ++hits;
+            translate[code] = static_cast<uint32_t>(i) + 1;
+          }
+        }
+        if (hits > 1) {
+          // E.g. Int(3) and Real(3.0) both disclosed: one real cell
+          // matches two distinct synthetic codes, which a single
+          // translated code cannot express.
+          mark_unsupported(
+              "real value matches several domain entries cross-type");
+        }
+      }
+      plan.real_codes.resize(real.num_rows());
+      for (size_t r = 0; r < real.num_rows(); ++r) {
+        plan.real_codes[r] = translate[real_column[r]];
+      }
+      continue;
+    }
+
+    // Numeric comparisons: per-row real numeric view (NaN = the row is
+    // skipped / can never match).
+    std::vector<double> by_code = dict.NumericByCode();
+    plan.real_numeric.resize(real.num_rows());
+    for (size_t r = 0; r < real.num_rows(); ++r) {
+      plan.real_numeric[r] = by_code[real_column[r]];
+    }
+
+    if (!categorical) {
+      // NaN is a *value* to the value path (it reaches the MSE sum) but
+      // a skip marker here; fall back rather than diverge.
+      for (uint32_t code = 1; code < dict.num_codes(); ++code) {
+        if (std::isnan(by_code[code]) && dict.decode(code).is_numeric()) {
+          mark_unsupported("NaN value in a continuous real column");
+        }
+      }
+      if (options.absolute_epsilon.has_value()) {
+        plan.epsilon = *options.absolute_epsilon;
+      } else {
+        Result<Domain> domain = real.DomainOf(c);
+        plan.epsilon =
+            domain.ok() ? options.epsilon_fraction * domain->range() : 0.0;
+      }
+      if (plan.kind == EncodedBatch::ColumnKind::kCodes) {
+        const std::vector<Value>& domain_values = domains[c].values();
+        plan.code_numeric.assign(domain_values.size() + 1,
+                                 std::numeric_limits<double>::quiet_NaN());
+        for (size_t i = 0; i < domain_values.size(); ++i) {
+          if (domain_values[i].is_numeric()) {
+            double x = domain_values[i].AsNumeric();
+            if (std::isnan(x)) {
+              mark_unsupported("NaN value in a generation domain");
+              continue;
+            }
+            plan.code_numeric[i + 1] = x;
+          }
+        }
+      }
+    }
+  }
+  return ctx;
+}
+
+Status EncodedLeakageContext::Evaluate(const EncodedBatch& batch,
+                                       AttributeRoundStats* stats) const {
+  if (batch.num_columns() != attrs_.size()) {
+    return Status::Invalid("relations have different arity");
+  }
+  if (batch.num_rows() != num_rows_) {
+    return Status::Invalid(
+        "index-aligned leakage needs equal row counts (got " +
+        std::to_string(num_rows_) + " vs " +
+        std::to_string(batch.num_rows()) + ")");
+  }
+  if (!supported_) {
+    return Status::Invalid("leakage context is not encodable: " +
+                           fallback_reason_);
+  }
+  const size_t n = num_rows_;
+  for (size_t c = 0; c < attrs_.size(); ++c) {
+    const AttrPlan& plan = attrs_[c];
+    AttributeRoundStats& out = stats[c];
+    out = AttributeRoundStats{};
+    if (plan.semantic == SemanticType::kCategorical) {
+      size_t matches = 0;
+      if (plan.kind == EncodedBatch::ColumnKind::kCodes) {
+        const std::vector<uint32_t>& syn = batch.codes(c);
+        const std::vector<uint32_t>& rc = plan.real_codes;
+        // A synthetic NULL (code 0) never matches: real cells translate
+        // to domain codes >= 1 or the sentinel.
+        for (size_t r = 0; r < n; ++r) matches += rc[r] == syn[r];
+      } else {
+        const std::vector<double>& syn = batch.reals(c);
+        const std::vector<double>& rn = plan.real_numeric;
+        // NaN real entries (NULL / non-numeric) fail every comparison.
+        for (size_t r = 0; r < n; ++r) matches += rn[r] == syn[r];
+      }
+      out.matches = matches;
+      continue;
+    }
+    // Continuous: epsilon-ball matches + MSE accumulated in row order
+    // with the value path's exact skip predicate.
+    size_t matches = 0;
+    double acc = 0.0;
+    size_t compared = 0;
+    const std::vector<double>& rn = plan.real_numeric;
+    if (plan.kind == EncodedBatch::ColumnKind::kCodes) {
+      const std::vector<uint32_t>& syn = batch.codes(c);
+      for (size_t r = 0; r < n; ++r) {
+        double rv = rn[r];
+        double sv = plan.code_numeric[syn[r]];
+        if (std::isnan(rv) || std::isnan(sv)) continue;
+        double d = rv - sv;
+        if (std::abs(d) <= plan.epsilon) ++matches;
+        acc += d * d;
+        ++compared;
+      }
+    } else {
+      const std::vector<double>& syn = batch.reals(c);
+      for (size_t r = 0; r < n; ++r) {
+        double rv = rn[r];
+        if (std::isnan(rv)) continue;
+        double d = rv - syn[r];
+        if (std::abs(d) <= plan.epsilon) ++matches;
+        acc += d * d;
+        ++compared;
+      }
+    }
+    out.matches = matches;
+    out.mse = compared == 0 ? 0.0 : acc / static_cast<double>(compared);
+    out.has_mse = true;
+  }
+  return Status::OK();
+}
+
+EncodedLeakageContext::AttributeView EncodedLeakageContext::ViewAttribute(
+    size_t attribute) const {
+  const AttrPlan& plan = attrs_[attribute];
+  AttributeView view;
+  view.semantic = plan.semantic;
+  view.kind = plan.kind;
+  view.epsilon = plan.epsilon;
+  if (!plan.real_codes.empty()) view.real_codes = plan.real_codes.data();
+  if (!plan.real_numeric.empty()) {
+    view.real_numeric = plan.real_numeric.data();
+  }
+  if (!plan.code_numeric.empty()) {
+    view.code_numeric = plan.code_numeric.data();
+  }
+  return view;
+}
+
+Result<LeakageReport> EncodedLeakageContext::EvaluateReport(
+    const EncodedBatch& batch) const {
+  std::vector<AttributeRoundStats> stats(attrs_.size());
+  METALEAK_RETURN_NOT_OK(Evaluate(batch, stats.data()));
+  LeakageReport report;
+  report.attributes.reserve(attrs_.size());
+  for (size_t c = 0; c < attrs_.size(); ++c) {
+    const AttrPlan& plan = attrs_[c];
+    AttributeLeakage entry;
+    entry.attribute = c;
+    entry.name = plan.name;
+    entry.semantic = plan.semantic;
+    entry.rows_compared = plan.rows_compared;
+    entry.matches = stats[c].matches;
+    if (stats[c].has_mse) entry.mse = stats[c].mse;
+    entry.match_rate = plan.rows_compared == 0
+                           ? 0.0
+                           : static_cast<double>(entry.matches) /
+                                 static_cast<double>(plan.rows_compared);
     report.attributes.push_back(std::move(entry));
   }
   return report;

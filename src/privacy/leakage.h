@@ -10,12 +10,17 @@
 #ifndef METALEAK_PRIVACY_LEAKAGE_H_
 #define METALEAK_PRIVACY_LEAKAGE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "data/domain.h"
+#include "data/encoded_batch.h"
+#include "data/encoded_relation.h"
 #include "data/relation.h"
+#include "data/schema.h"
 
 namespace metaleak {
 
@@ -75,6 +80,94 @@ Result<double> AttributeMse(const Relation& real, const Relation& synthetic,
 Result<LeakageReport> EvaluateLeakage(const Relation& real,
                                       const Relation& synthetic,
                                       const LeakageOptions& options = {});
+
+/// One Monte-Carlo round's raw numbers for one attribute: everything the
+/// experiment runner needs to accumulate, without a LeakageReport's
+/// strings. Both the value path and the code path reduce a round to this
+/// struct, so the runner's Welford fold is shared and bit-identical.
+struct AttributeRoundStats {
+  size_t matches = 0;
+  double mse = 0.0;
+  bool has_mse = false;  // set for continuous attributes
+};
+
+/// Code-path leakage evaluator: everything about R_real that Def 2.2/2.3
+/// need, resolved once against a *generation-domain* batch layout so each
+/// round is a branch-free scan over dense codes and doubles.
+///
+///   * Categorical attributes over code-stored columns compare the
+///     synthetic code against a per-row translation of the real cell into
+///     generation-domain codes (real cells matching no domain value get a
+///     sentinel that never equals a synthetic code — including the NULL
+///     code 0, so a synthetic NULL is never a match).
+///   * Continuous attributes compare raw doubles under the epsilon ball
+///     and accumulate the MSE in row order, skipping exactly the rows the
+///     value path skips (real/synthetic NULL or non-numeric).
+///
+/// Build() fails with the Status EvaluateLeakage would produce for a
+/// structural mismatch (arity, attribute names). Value patterns the code
+/// path cannot reproduce bit-for-bit (a real value matching several
+/// domain entries cross-type, NaNs feeding the MSE) clear supported()
+/// instead, and callers fall back to the value path.
+class EncodedLeakageContext {
+ public:
+  /// Sentinel for real cells with no generation-domain code (NULLs and
+  /// out-of-domain values); never equals any synthetic code.
+  static constexpr uint32_t kNoMatchCode = 0xFFFFFFFFu;
+
+  /// `real` is the encoded real relation, `syn_schema` the schema the
+  /// generator emits (names must match), `domains` the generation
+  /// domains the batch is coded against.
+  static Result<EncodedLeakageContext> Build(
+      const EncodedRelation& real, const Schema& syn_schema,
+      const std::vector<Domain>& domains,
+      const LeakageOptions& options = {});
+
+  bool supported() const { return supported_; }
+  const std::string& fallback_reason() const { return fallback_reason_; }
+  size_t num_attributes() const { return attrs_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Scores one generated batch into `stats` (an array of
+  /// num_attributes() entries). Thread-safe: the context is read-only.
+  Status Evaluate(const EncodedBatch& batch,
+                  AttributeRoundStats* stats) const;
+
+  /// Convenience wrapper producing a full LeakageReport (adapter
+  /// boundary for Relation-level callers like the VFL attack).
+  Result<LeakageReport> EvaluateReport(const EncodedBatch& batch) const;
+
+  /// Dense read-only view of one attribute's resolved tables, for
+  /// per-cell consumers (tuple risk) that score rows rather than whole
+  /// attributes. Pointers stay valid while the context lives; only the
+  /// tables the attribute's comparison actually reads are non-null.
+  struct AttributeView {
+    SemanticType semantic = SemanticType::kCategorical;
+    EncodedBatch::ColumnKind kind = EncodedBatch::ColumnKind::kCodes;
+    double epsilon = 0.0;
+    const uint32_t* real_codes = nullptr;  // categorical x codes, per row
+    const double* real_numeric = nullptr;  // per row, NaN = skip
+    const double* code_numeric = nullptr;  // synthetic code -> numeric
+  };
+  AttributeView ViewAttribute(size_t attribute) const;
+
+ private:
+  struct AttrPlan {
+    std::string name;
+    SemanticType semantic = SemanticType::kCategorical;
+    EncodedBatch::ColumnKind kind = EncodedBatch::ColumnKind::kCodes;
+    double epsilon = 0.0;
+    size_t rows_compared = 0;
+    std::vector<uint32_t> real_codes;   // categorical x codes, per row
+    std::vector<double> real_numeric;   // per row, NaN = skip
+    std::vector<double> code_numeric;   // synthetic code -> numeric, NaN
+  };
+
+  std::vector<AttrPlan> attrs_;
+  size_t num_rows_ = 0;
+  bool supported_ = true;
+  std::string fallback_reason_;
+};
 
 }  // namespace metaleak
 

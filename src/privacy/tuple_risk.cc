@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "data/domain.h"
+#include "data/encoded_batch.h"
 #include "data/encoded_relation.h"
 #include "generation/generation_engine.h"
 #include "privacy/identifiability.h"
@@ -104,23 +107,39 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
   std::vector<size_t> max_matched(n, 0);
   std::vector<size_t> half_rounds(n, 0);
 
-  Rng rng(options.seed);
-  for (size_t round = 0; round < options.rounds; ++round) {
-    Rng round_rng = rng.Fork();
-    METALEAK_ASSIGN_OR_RETURN(
-        GenerationOutcome outcome,
-        GenerateSynthetic(metadata, n, &round_rng));
+  // Code path: resolve the generation plan and the per-cell leakage
+  // tables once, then score every round as a scan over dense codes and
+  // doubles — no Relation is materialized. Packages or value patterns
+  // the encoded pipeline cannot reproduce fall back to the boxed-Value
+  // loop below (this analysis never index-checks schemas itself, so a
+  // context build error also just means "use the reference path").
+  std::optional<GenerationContext> gen_ctx;
+  std::optional<EncodedLeakageContext> leak_ctx;
+  {
+    Result<GenerationContext> built = GenerationContext::Build(metadata);
+    if (built.ok() && built->encodable()) {
+      Result<EncodedLeakageContext> leak = EncodedLeakageContext::Build(
+          encoded, built->schema(), built->domains(), options.leakage);
+      if (leak.ok() && leak->supported()) {
+        gen_ctx.emplace(std::move(*built));
+        leak_ctx.emplace(std::move(*leak));
+      }
+    }
+  }
+  std::vector<EncodedLeakageContext::AttributeView> views;
+  if (leak_ctx.has_value()) {
+    views.reserve(m);
+    for (size_t c = 0; c < m; ++c) views.push_back(leak_ctx->ViewAttribute(c));
+  }
+
+  auto score_round = [&](auto&& cell_matched) {
     // Each tuple's match count only touches its own accumulator slots,
     // so the per-tuple scan fans out over the pool.
     ParallelForChunks(0, n, 1024, [&](size_t lo, size_t hi) {
       for (size_t r = lo; r < hi; ++r) {
         size_t matched = 0;
         for (size_t c = 0; c < m; ++c) {
-          if (CellMatches(real.at(r, c), outcome.relation.at(r, c),
-                          real.schema().attribute(c).semantic,
-                          epsilons[c])) {
-            ++matched;
-          }
+          if (cell_matched(r, c)) ++matched;
         }
         total_matched[r] += static_cast<double>(matched);
         max_matched[r] = std::max(max_matched[r], matched);
@@ -128,6 +147,39 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
           ++half_rounds[r];
         }
       }
+    });
+  };
+
+  Rng rng(options.seed);
+  EncodedBatch batch;
+  for (size_t round = 0; round < options.rounds; ++round) {
+    Rng round_rng = rng.Fork();
+    if (gen_ctx.has_value()) {
+      METALEAK_RETURN_NOT_OK(
+          GenerateEncoded(*gen_ctx, n, &round_rng, &batch));
+      score_round([&](size_t r, size_t c) {
+        const EncodedLeakageContext::AttributeView& v = views[c];
+        if (v.semantic == SemanticType::kCategorical) {
+          if (v.kind == EncodedBatch::ColumnKind::kCodes) {
+            return v.real_codes[r] == batch.codes(c)[r];
+          }
+          return v.real_numeric[r] == batch.reals(c)[r];
+        }
+        double rv = v.real_numeric[r];
+        double sv = v.kind == EncodedBatch::ColumnKind::kCodes
+                        ? v.code_numeric[batch.codes(c)[r]]
+                        : batch.reals(c)[r];
+        return !std::isnan(rv) && !std::isnan(sv) &&
+               std::abs(rv - sv) <= v.epsilon;
+      });
+      continue;
+    }
+    METALEAK_ASSIGN_OR_RETURN(
+        GenerationOutcome outcome,
+        GenerateSynthetic(metadata, n, &round_rng));
+    score_round([&](size_t r, size_t c) {
+      return CellMatches(real.at(r, c), outcome.relation.at(r, c),
+                         real.schema().attribute(c).semantic, epsilons[c]);
     });
   }
 
