@@ -2,11 +2,13 @@
 //
 // Usage: metadata_audit [file.csv]
 //
-// Profiles the relation (domains + FDs/RFDs), then answers the question a
-// data owner should ask before joining a VFL federation: "if I share this
-// metadata, what can the counterpart reconstruct?" — per disclosure
-// level, with the analytical expectations alongside measurements.
-// Without an argument it audits the bundled echocardiogram replica.
+// Registers the relation with an AuditService once and serves every
+// stage — profiling, identifiability, measured leakage, tuple risk —
+// from that session's snapshot: one encoding, one discovery pass, one
+// partition cache shared across the stages (the old version re-encoded
+// the relation in each of them). The footer prints the cache counters so
+// the sharing is visible. Without an argument it audits the bundled
+// echocardiogram replica.
 #include <cstdio>
 #include <string>
 
@@ -15,11 +17,11 @@
 #include "data/csv_loader.h"
 #include "data/datasets/echocardiogram.h"
 #include "data/domain.h"
-#include "discovery/discovery_engine.h"
 #include "privacy/analytical.h"
 #include "privacy/experiment.h"
 #include "privacy/identifiability.h"
 #include "privacy/tuple_risk.h"
+#include "service/audit_service.h"
 
 using namespace metaleak;  // Example code; library code never does this.
 
@@ -43,16 +45,20 @@ int main(int argc, char** argv) {
         relation.num_rows(), relation.num_columns());
   }
 
-  // 1) Profile.
-  DiscoveryOptions discovery;
-  discovery.discover_afds = true;
-  Result<DiscoveryReport> report = ProfileRelation(relation, discovery);
-  if (!report.ok()) {
-    std::fprintf(stderr, "profiling failed: %s\n",
-                 report.status().ToString().c_str());
+  // 1) Register once; profiling happens here and only here.
+  ServiceOptions service_options;
+  service_options.discovery.discover_afds = true;
+  AuditService service(service_options);
+  Result<SessionId> session = service.Register(relation);
+  if (!session.ok()) {
+    std::fprintf(stderr, "registration failed: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
-  const MetadataPackage& metadata = report->metadata;
+  Result<std::shared_ptr<const RelationSnapshot>> snapshot =
+      service.Snapshot(*session);
+  if (!snapshot.ok()) return 1;
+  const MetadataPackage& metadata = (*snapshot)->profile().metadata;
 
   std::printf("== Discovered metadata ==\n");
   for (const Attribute& a : metadata.schema.attributes()) {
@@ -66,11 +72,13 @@ int main(int argc, char** argv) {
     std::printf("    %s\n", d.ToString(metadata.schema).c_str());
   }
 
-  // 2) Identifiability (Definition 2.1).
+  // 2) Identifiability (Definition 2.1), on the snapshot's shared
+  //    partition cache: the width-1 sweep seeds the width-2 extensions.
   std::printf("\n== Identifiability (GDPR Art. 5 / Definition 2.1) ==\n");
   for (size_t k = 1; k <= std::min<size_t>(2, relation.num_columns());
        ++k) {
-    Result<double> frac = IdentifiableByAnySubset(relation, k);
+    Result<double> frac =
+        IdentifiableByAnySubset((*snapshot)->pli_cache(), k);
     if (frac.ok()) {
       std::printf(
           "  %.1f%% of tuples identifiable via some %zu-attribute "
@@ -79,43 +87,44 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 3) Expected leakage per attribute if names+domains are shared.
+  // 3) Expected leakage per attribute if names+domains are shared —
+  //    precomputed analytically in the snapshot's leakage profile.
   std::printf("\n== Expected leakage from names+domains alone ==\n");
   TablePrinter table;
   table.SetHeader({"Attribute", "Domain", "E[matches]", "Risk"});
   Result<std::vector<Domain>> domains = metadata.RequireDomains();
   if (!domains.ok()) return 1;
+  const LeakageProfile& leakage = (*snapshot)->leakage();
   for (size_t c = 0; c < relation.num_columns(); ++c) {
-    const Attribute& attr = metadata.schema.attribute(c);
-    double expected =
-        attr.semantic == SemanticType::kCategorical
-            ? ExpectedRandomCategoricalMatches(relation.num_rows(),
-                                               (*domains)[c])
-            : ExpectedRandomContinuousMatches(
-                  relation.num_rows(), (*domains)[c],
-                  0.01 * (*domains)[c].range());
+    const AttributeExpectation& attr = leakage.attributes[c];
     std::string domain_str = (*domains)[c].is_categorical()
                                  ? "|D|=" + FormatDouble(
                                                 (*domains)[c].Size(), 0)
                                  : (*domains)[c].ToString();
-    table.AddRow({attr.name, domain_str, FormatDouble(expected, 3),
-                  expected >= 1.0 ? "LEAK EXPECTED" : "low"});
+    table.AddRow({attr.name, domain_str,
+                  FormatDouble(attr.expected_random_matches, 3),
+                  attr.domain_leaks ? "LEAK EXPECTED" : "low"});
   }
   table.Print();
 
-  // 4) Does adding FDs/RFDs make it worse? Measure.
+  // 4) Does adding FDs/RFDs make it worse? Measure, against the same
+  //    snapshot (no re-encoding per method).
   std::printf("\n== Measured leakage: random vs dependency-informed ==\n");
   ExperimentConfig config;
   config.rounds = 200;
-  Result<std::vector<MethodResult>> results = RunExperiment(
-      relation, metadata,
-      {GenerationMethod::kRandom, GenerationMethod::kFd,
-       GenerationMethod::kOd, GenerationMethod::kNd},
-      config);
-  if (!results.ok()) {
-    std::fprintf(stderr, "experiment failed: %s\n",
-                 results.status().ToString().c_str());
-    return 1;
+  const std::vector<GenerationMethod> methods = {
+      GenerationMethod::kRandom, GenerationMethod::kFd,
+      GenerationMethod::kOd, GenerationMethod::kNd};
+  std::vector<MethodResult> results;
+  for (GenerationMethod method : methods) {
+    Result<MethodResult> run =
+        service.MeasureLeakage(*session, method, config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(std::move(*run));
   }
   TablePrinter measured;
   measured.SetHeader(
@@ -125,8 +134,8 @@ int main(int argc, char** argv) {
         metadata.schema.attribute(c).name};
     double random_mean = 0.0;
     double max_dep = 0.0;
-    for (size_t m = 0; m < results->size(); ++m) {
-      Result<MethodAttributeResult> a = (*results)[m].ForAttribute(c);
+    for (size_t m = 0; m < results.size(); ++m) {
+      Result<MethodAttributeResult> a = results[m].ForAttribute(c);
       if (!a.ok() || (!a->covered && m != 0)) {
         row.push_back("NA");
         continue;
@@ -144,16 +153,31 @@ int main(int argc, char** argv) {
     measured.AddRow(std::move(row));
   }
   measured.Print();
+
   // 5) Which tuples are most at risk (Section V's targeted-advertising
   //    discussion: a correct reconstruction is valuable per tuple).
   TupleRiskOptions risk_options;
   risk_options.rounds = 100;
-  Result<TupleRiskReport> risk =
-      AnalyzeTupleRisk(relation, metadata, risk_options);
+  Result<TupleRiskReport> risk = service.TupleRisk(*session, risk_options);
   if (risk.ok()) {
     std::printf("\n== Highest-risk tuples (mean reconstructed attrs) ==\n");
     std::fputs(risk->ToString(5).c_str(), stdout);
   }
+
+  // 6) What the session sharing bought: one snapshot, many queries.
+  const PliCache& cache = (*snapshot)->pli_cache();
+  ServiceStats stats = service.stats();
+  std::printf("\n== Cache observability ==\n");
+  std::printf(
+      "  PLI cache: %llu hits / %llu misses across discovery + "
+      "identifiability\n",
+      static_cast<unsigned long long>(cache.hits()),
+      static_cast<unsigned long long>(cache.misses()));
+  std::printf(
+      "  Snapshot cache: %llu hits, %llu misses, %llu evictions\n",
+      static_cast<unsigned long long>(stats.snapshot_hits),
+      static_cast<unsigned long long>(stats.snapshot_misses),
+      static_cast<unsigned long long>(stats.snapshot_evictions));
 
   std::printf(
       "\nRecommendation: share attribute names and dependencies; treat\n"

@@ -1,15 +1,15 @@
-// privacy_report: the one-call API, plus a round drill-down.
+// privacy_report: the session API, plus a round drill-down.
 //
 // Usage: privacy_report [file.csv] > report.md
 //
-// RunAudit() wraps the whole pipeline — discovery, identifiability,
-// adversarial generation, leakage measurement — and ToMarkdown() renders
-// a report with per-attribute share/withhold verdicts. The audit's
-// Monte-Carlo rounds stream through ExperimentEngine's encoded code
-// path; the drill-down below uses the same engine directly to replay
-// the single most-leaking recorded round (MethodResult::round_seeds +
-// ReplayRound) and show its per-attribute numbers. Without an argument
-// it audits the bundled echocardiogram replica.
+// Registers the relation with an AuditService and serves the full audit
+// from the session's snapshot: encoding and discovery happen once at
+// registration, Audit() runs only the measurement stages, and the report
+// ends with the cache counters that make the reuse visible. The
+// drill-down borrows the same snapshot's encoding to replay the single
+// most-leaking recorded round (MethodResult::round_seeds + ReplayRound)
+// and show its per-attribute numbers. Without an argument it audits the
+// bundled echocardiogram replica.
 #include <cstdio>
 
 #include "common/string_util.h"
@@ -17,6 +17,7 @@
 #include "data/datasets/echocardiogram.h"
 #include "privacy/audit.h"
 #include "privacy/experiment.h"
+#include "service/audit_service.h"
 
 using namespace metaleak;  // Example code; library code never does this.
 
@@ -34,13 +35,24 @@ int main(int argc, char** argv) {
     relation = datasets::Echocardiogram();
   }
 
+  // One registration = one encoding + one discovery pass; the audit and
+  // the drill-down below both run against the resulting snapshot.
+  ServiceOptions service_options;
+  service_options.discovery.discover_cfds = true;
+  AuditService service(service_options);
+  Result<SessionId> session = service.Register(relation);
+  if (!session.ok()) {
+    std::fprintf(stderr, "registration failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
   AuditOptions options;
   options.experiment.rounds = 200;
   options.experiment.threads = 0;  // use all cores
-  options.discovery.discover_cfds = true;
   options.methods = {GenerationMethod::kFd, GenerationMethod::kOd,
                      GenerationMethod::kNd, GenerationMethod::kCfd};
-  Result<AuditResult> audit = RunAudit(relation, options);
+  Result<AuditResult> audit = service.Audit(*session, options);
   if (!audit.ok()) {
     std::fprintf(stderr, "audit failed: %s\n",
                  audit.status().ToString().c_str());
@@ -48,10 +60,13 @@ int main(int argc, char** argv) {
   }
   std::fputs(audit->ToMarkdown().c_str(), stdout);
 
-  // Drill-down: re-run one method on the streaming engine, then use the
-  // recorded per-round seeds to find and replay the round with the most
-  // categorical matches — the worst single draw behind the averages.
-  ExperimentEngine engine(relation, audit->metadata);
+  // Drill-down: re-run one method on the snapshot's encoding, then use
+  // the recorded per-round seeds to find and replay the round with the
+  // most categorical matches — the worst single draw behind the averages.
+  Result<std::shared_ptr<const RelationSnapshot>> snapshot =
+      service.Snapshot(*session);
+  if (!snapshot.ok()) return 1;
+  ExperimentEngine engine((*snapshot)->encoding(), audit->metadata);
   ExperimentConfig config;
   config.rounds = 64;
   config.threads = 0;  // use all cores

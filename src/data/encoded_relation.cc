@@ -73,6 +73,42 @@ EncodedRelation EncodedRelation::Encode(const Relation& relation) {
   return out;
 }
 
+ColumnDictionary ColumnDictionary::FromSortedParts(
+    std::vector<Value> values, std::vector<size_t> counts) {
+  METALEAK_DCHECK(!values.empty() && values[0].is_null());
+  METALEAK_DCHECK(values.size() == counts.size());
+  ColumnDictionary dict;
+  dict.values_ = std::move(values);
+  dict.counts_ = std::move(counts);
+  dict.null_count_ = dict.counts_[kNullCode];
+  return dict;
+}
+
+EncodedRelation EncodedRelation::FromParts(
+    Schema schema, std::vector<std::vector<uint32_t>> codes,
+    std::vector<ColumnDictionary> dicts, const Relation* source) {
+  METALEAK_DCHECK(codes.size() == dicts.size());
+  EncodedRelation out;
+  out.schema_ = std::move(schema);
+  out.num_rows_ = codes.empty() ? 0 : codes[0].size();
+  out.source_ = source;
+  out.codes_ = std::move(codes);
+  out.dicts_ = std::move(dicts);
+
+  // Same mixing sequence as Encode, so FromParts of canonical parts is
+  // fingerprint-identical to encoding the decoded relation from scratch.
+  uint64_t fp = MixInto(0x6D657461ull, out.num_rows_);
+  fp = MixInto(fp, out.codes_.size());
+  for (size_t c = 0; c < out.codes_.size(); ++c) {
+    const ColumnDictionary& dict = out.dicts_[c];
+    fp = MixInto(fp, dict.values_.size());
+    for (const Value& v : dict.values_) fp = MixInto(fp, v.Hash());
+    for (uint32_t code : out.codes_[c]) fp = MixInto(fp, code);
+  }
+  out.fingerprint_ = fp;
+  return out;
+}
+
 Result<Relation> EncodedRelation::Decode() const {
   std::vector<std::vector<Value>> columns(num_columns());
   for (size_t c = 0; c < num_columns(); ++c) {

@@ -77,6 +77,14 @@ class ColumnDictionary {
   /// cells without decoding a Value per row.
   std::vector<double> NumericByCode() const;
 
+  /// Assembles a dictionary from canonical parts: `values` must start
+  /// with Value::Null() and continue with the distinct non-null values in
+  /// ascending Value order; `counts` is parallel (counts[0] = NULL
+  /// occurrences). Used by the delta layer when it publishes a snapshot —
+  /// the result is indistinguishable from the dictionary Encode builds.
+  static ColumnDictionary FromSortedParts(std::vector<Value> values,
+                                          std::vector<size_t> counts);
+
  private:
   friend class EncodedRelation;
 
@@ -95,6 +103,21 @@ class EncodedRelation {
 
   /// Encodes `relation`. Never fails: every Value is encodable.
   static EncodedRelation Encode(const Relation& relation);
+
+  /// Assembles an encoding from already-canonical parts: per-column code
+  /// vectors and dictionaries in the exact form Encode would produce
+  /// (NULL code 0, dense order-preserving codes, counts populated). The
+  /// fingerprint is recomputed with Encode's mixing sequence, so equal
+  /// content yields an equal fingerprint regardless of which path built
+  /// it. `source` may be null when no backing Relation exists yet.
+  static EncodedRelation FromParts(Schema schema,
+                                   std::vector<std::vector<uint32_t>> codes,
+                                   std::vector<ColumnDictionary> dicts,
+                                   const Relation* source);
+
+  /// Re-points the non-owning source pointer, e.g. after the caller
+  /// materializes (and takes ownership of) the decoded relation.
+  void set_source(const Relation* source) { source_ = source; }
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }

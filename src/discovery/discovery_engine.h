@@ -75,6 +75,25 @@ Result<DiscoveryReport> ProfileRelation(const Relation& relation,
 Result<DiscoveryReport> ProfileRelation(const EncodedRelation& relation,
                                         const DiscoveryOptions& options = {});
 
+/// Per-class reuse hooks for targeted revalidation (see
+/// discovery/revalidate.h, which assembles these from a delta's touch
+/// set). Null members run that class's search from scratch.
+struct DiscoveryReuse {
+  const LatticeReuse* fd = nullptr;
+  const LatticeReuse* od = nullptr;
+  const LatticeReuse* ofd = nullptr;
+  const LatticeReuse* nd = nullptr;
+  const LatticeReuse* dd = nullptr;
+};
+
+/// Profiles against a caller-owned PLI cache (the relation is the
+/// cache's encoding): partitions built by the searches stay warm in the
+/// caller's cache for later audit / leakage queries on the same
+/// snapshot. The other overloads delegate here with a transient cache.
+Result<DiscoveryReport> ProfileRelation(PliCache* cache,
+                                        const DiscoveryOptions& options = {},
+                                        const DiscoveryReuse* reuse = nullptr);
+
 }  // namespace metaleak
 
 #endif  // METALEAK_DISCOVERY_DISCOVERY_ENGINE_H_

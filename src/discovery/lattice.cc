@@ -1,5 +1,6 @@
 #include "discovery/lattice.h"
 
+#include <atomic>
 #include <map>
 #include <utility>
 #include <vector>
@@ -27,7 +28,8 @@ bool IsMinimalAgainst(const DependencySet& emitted, AttributeSet lhs,
 
 Result<LatticeSearchResult> RunLatticeSearch(
     const EncodedRelation& relation, PliCache* cache,
-    CandidateValidator* validator, const LatticeSearchOptions& options) {
+    CandidateValidator* validator, const LatticeSearchOptions& options,
+    const LatticeReuse* reuse) {
   METALEAK_DCHECK(validator != nullptr);
   const size_t m = relation.num_columns();
   if (m > AttributeSet::kMaxAttributes) {
@@ -90,12 +92,36 @@ Result<LatticeSearchResult> RunLatticeSearch(
     }
 
     // --- validate candidates concurrently ---
-    result.stats.validator_invocations += cand_lhs.size();
+    // A candidate whose prior-run verdict is provably unchanged (the
+    // reuse predicate's contract) short-circuits validation; since a
+    // reused verdict equals what Validate would return, the serial
+    // apply below replays identically and the output stays
+    // bit-identical to a from-scratch search.
     std::vector<Result<CandidateValidator::Verdict>> verdicts(
         cand_lhs.size(), CandidateValidator::Verdict{});
+    std::atomic<size_t> reused{0};
     ParallelFor(0, cand_lhs.size(), 1, [&](size_t i) {
+      if (reuse != nullptr && reuse->prior != nullptr && reuse->reusable) {
+        const CandidateValidator::Verdict* prior =
+            reuse->prior->Find(cand_lhs[i], cand_rhs[i]);
+        if (prior != nullptr &&
+            reuse->reusable(cand_lhs[i], cand_rhs[i], *prior)) {
+          verdicts[i] = *prior;
+          reused.fetch_add(1, std::memory_order_relaxed);
+          if (reuse->record != nullptr) {
+            reuse->record->Record(cand_lhs[i], cand_rhs[i], *prior);
+          }
+          return;
+        }
+      }
       verdicts[i] = validator->Validate(cand_lhs[i], cand_rhs[i]);
+      if (reuse != nullptr && reuse->record != nullptr && verdicts[i].ok()) {
+        reuse->record->Record(cand_lhs[i], cand_rhs[i], *verdicts[i]);
+      }
     });
+    const size_t reused_here = reused.load(std::memory_order_relaxed);
+    result.stats.verdicts_reused += reused_here;
+    result.stats.validator_invocations += cand_lhs.size() - reused_here;
 
     // --- apply verdicts serially, in node order: emission and C+ set
     // pruning replay the serial algorithm exactly, so the discovered set

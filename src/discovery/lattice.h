@@ -27,7 +27,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "common/result.h"
 #include "data/encoded_relation.h"
@@ -55,6 +58,9 @@ struct LatticeSearchStats {
   size_t candidates_pruned = 0;
   /// CandidateValidator::Validate calls issued.
   size_t validator_invocations = 0;
+  /// Candidates answered from a prior run's verdict memo instead of the
+  /// validator (targeted revalidation; see LatticeReuse).
+  size_t verdicts_reused = 0;
   /// PLI cache lookups attributable to this search (deltas of the
   /// cache's counters; zero when the search runs without a cache).
   uint64_t pli_cache_hits = 0;
@@ -71,6 +77,7 @@ struct LatticeSearchStats {
     nodes_visited += other.nodes_visited;
     candidates_pruned += other.candidates_pruned;
     validator_invocations += other.validator_invocations;
+    verdicts_reused += other.verdicts_reused;
     pli_cache_hits += other.pli_cache_hits;
     pli_cache_misses += other.pli_cache_misses;
   }
@@ -123,15 +130,84 @@ struct LatticeSearchResult {
   LatticeSearchStats stats;
 };
 
+/// Verdict store from one lattice run, keyed by (LHS set, RHS). Records
+/// are thread-safe (the search inserts concurrently); Find is
+/// unsynchronized and must only be called on a memo whose producing
+/// search has finished. The search result is a pure function of the
+/// verdict function, so replaying a search with memoized verdicts that
+/// provably match what the validator would return yields a bit-identical
+/// dependency set — the foundation of targeted revalidation
+/// (discovery/revalidate.h).
+class VerdictMemo {
+ public:
+  void Record(AttributeSet lhs, size_t rhs,
+              const CandidateValidator::Verdict& verdict) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.insert_or_assign(Key{lhs.mask(), rhs}, verdict);
+  }
+
+  const CandidateValidator::Verdict* Find(AttributeSet lhs,
+                                          size_t rhs) const {
+    auto it = map_.find(Key{lhs.mask(), rhs});
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+
+  /// Exchanges contents (the mutexes stay put — memos are not movable,
+  /// so round-to-round handover swaps the maps instead).
+  void Swap(VerdictMemo& other) { map_.swap(other.map_); }
+
+ private:
+  struct Key {
+    uint64_t lhs_mask = 0;
+    size_t rhs = 0;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.lhs_mask == b.lhs_mask && a.rhs == b.rhs;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = (k.lhs_mask + k.rhs) * 0x9E3779B97F4A7C15ull;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<Key, CandidateValidator::Verdict, KeyHash> map_;
+};
+
+/// Hooks a prior run's verdicts into a search. For each candidate whose
+/// prior verdict exists and whose `reusable` predicate approves it, the
+/// verdict is taken from `prior` instead of invoking the validator. The
+/// predicate sees the prior verdict so directional rules can be
+/// expressed (e.g. order dependencies: under insert-only deltas a
+/// violation can only persist, so `holds == false` is reusable; under
+/// delete-only deltas a hold can only persist). Soundness is the
+/// caller's contract: approve only candidates whose verdict provably
+/// equals a fresh validation.
+struct LatticeReuse {
+  const VerdictMemo* prior = nullptr;
+  std::function<bool(AttributeSet lhs, size_t rhs,
+                     const CandidateValidator::Verdict& prior_verdict)>
+      reusable;
+  /// When set, every verdict of this run — reused or freshly computed —
+  /// is recorded here for the next round. Must not alias `prior`.
+  VerdictMemo* record = nullptr;
+};
+
 /// Runs the level-wise search over `relation`'s attributes with
 /// `validator`'s predicate. `cache` may be null; when given, the PLI
 /// hit/miss deltas across the search land in the stats (the cache is
-/// not otherwise touched — validators hold their own handle). Fails
-/// when the relation exceeds the 64-attribute limit or a validation
-/// fails.
+/// not otherwise touched — validators hold their own handle). `reuse`
+/// may be null; when given, memoized prior verdicts short-circuit
+/// validation (see LatticeReuse). Fails when the relation exceeds the
+/// 64-attribute limit or a validation fails.
 Result<LatticeSearchResult> RunLatticeSearch(
     const EncodedRelation& relation, PliCache* cache,
-    CandidateValidator* validator, const LatticeSearchOptions& options);
+    CandidateValidator* validator, const LatticeSearchOptions& options,
+    const LatticeReuse* reuse = nullptr);
 
 }  // namespace metaleak
 

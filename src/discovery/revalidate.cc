@@ -1,0 +1,93 @@
+#include "discovery/revalidate.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace metaleak {
+
+Result<DiscoveryReport> ProfileRelationIncremental(
+    PliCache* cache, const DiscoveryOptions& options, const DeltaTouch& touch,
+    DiscoveryMemo* memo) {
+  METALEAK_DCHECK(memo != nullptr);
+  METALEAK_DCHECK(touch.cluster_touched.size() ==
+                  cache->encoded().num_columns());
+  using Verdict = CandidateValidator::Verdict;
+
+  // This run's verdicts land in fresh memos and swap into `memo` on
+  // success, so a failed search never poisons the carried state.
+  DiscoveryMemo next;
+
+  LatticeReuse fd;
+  fd.record = &next.fd;
+  LatticeReuse od;
+  od.record = &next.od;
+  LatticeReuse ofd;
+  ofd.record = &next.ofd;
+  LatticeReuse nd;
+  nd.record = &next.nd;
+  LatticeReuse dd;
+  dd.record = &next.dd;
+
+  if (memo->valid) {
+    const bool afd_mode = options.discover_afds;
+    fd.prior = &memo->fd;
+    fd.reusable = [&touch, afd_mode](AttributeSet lhs, size_t /*rhs*/,
+                                     const Verdict& /*prior*/) {
+      if (!touch.any_change()) return true;
+      // AFD g3 and the empty-LHS constant check depend on the full row
+      // count; the subset-refinement verdict only on the LHS clusters.
+      if (afd_mode || lhs.empty()) return false;
+      return !touch.ClusterTouched(lhs);
+    };
+    auto order_reusable = [&touch](AttributeSet /*lhs*/, size_t /*rhs*/,
+                                   const Verdict& prior) {
+      if (!touch.any_change()) return true;
+      if (touch.insert_only()) {
+        // Surviving rows keep their values, so an order violation
+        // witnessed before the inserts still stands.
+        return !prior.holds && !prior.emit.has_value();
+      }
+      if (touch.delete_only()) {
+        // Removing rows can only remove violations; OD/OFD emissions
+        // are parameterless, so the reused verdict is exact.
+        return prior.holds;
+      }
+      return false;
+    };
+    od.prior = &memo->od;
+    od.reusable = order_reusable;
+    ofd.prior = &memo->ofd;
+    ofd.reusable = order_reusable;
+    nd.prior = &memo->nd;
+    nd.reusable = [&touch](AttributeSet lhs, size_t rhs,
+                           const Verdict& /*prior*/) {
+      if (!touch.any_change()) return true;
+      return !touch.ClusterTouched(lhs) && !touch.dictionary_touched[rhs];
+    };
+    dd.prior = &memo->dd;
+    dd.reusable = [&touch](AttributeSet /*lhs*/, size_t /*rhs*/,
+                           const Verdict& /*prior*/) {
+      return !touch.any_change();
+    };
+  }
+
+  DiscoveryReuse reuse;
+  reuse.fd = &fd;
+  reuse.od = &od;
+  reuse.ofd = &ofd;
+  reuse.nd = &nd;
+  reuse.dd = &dd;
+
+  METALEAK_ASSIGN_OR_RETURN(DiscoveryReport report,
+                            ProfileRelation(cache, options, &reuse));
+  memo->fd.Swap(next.fd);
+  memo->od.Swap(next.od);
+  memo->ofd.Swap(next.ofd);
+  memo->nd.Swap(next.nd);
+  memo->dd.Swap(next.dd);
+  memo->valid = true;
+  return report;
+}
+
+}  // namespace metaleak

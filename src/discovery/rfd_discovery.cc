@@ -142,12 +142,13 @@ class DdValidator final : public CandidateValidator {
 Result<DependencySet> RunSearch(const EncodedRelation& relation,
                                 PliCache* cache,
                                 CandidateValidator* validator,
-                                size_t max_lhs, LatticeSearchStats* stats) {
+                                size_t max_lhs, LatticeSearchStats* stats,
+                                const LatticeReuse* reuse = nullptr) {
   LatticeSearchOptions search;
   search.max_lhs = max_lhs;
   METALEAK_ASSIGN_OR_RETURN(
       LatticeSearchResult found,
-      RunLatticeSearch(relation, cache, validator, search));
+      RunLatticeSearch(relation, cache, validator, search, reuse));
   if (stats != nullptr) *stats = found.stats;
   return std::move(found.dependencies);
 }
@@ -163,9 +164,11 @@ Result<DependencySet> DiscoverOds(const Relation& relation,
 
 Result<DependencySet> DiscoverOds(const EncodedRelation& relation,
                                   const OdDiscoveryOptions& options,
-                                  LatticeSearchStats* stats) {
+                                  LatticeSearchStats* stats,
+                                  const LatticeReuse* reuse) {
   OrderValidator validator(relation, options, /*strict=*/false);
-  return RunSearch(relation, nullptr, &validator, options.max_lhs, stats);
+  return RunSearch(relation, nullptr, &validator, options.max_lhs, stats,
+                   reuse);
 }
 
 Result<DependencySet> DiscoverOfds(const Relation& relation,
@@ -177,9 +180,11 @@ Result<DependencySet> DiscoverOfds(const Relation& relation,
 
 Result<DependencySet> DiscoverOfds(const EncodedRelation& relation,
                                    const OdDiscoveryOptions& options,
-                                   LatticeSearchStats* stats) {
+                                   LatticeSearchStats* stats,
+                                   const LatticeReuse* reuse) {
   OrderValidator validator(relation, options, /*strict=*/true);
-  return RunSearch(relation, nullptr, &validator, options.max_lhs, stats);
+  return RunSearch(relation, nullptr, &validator, options.max_lhs, stats,
+                   reuse);
 }
 
 Result<DependencySet> DiscoverNds(const Relation& relation,
@@ -198,10 +203,11 @@ Result<DependencySet> DiscoverNds(const EncodedRelation& relation,
 
 Result<DependencySet> DiscoverNds(PliCache* cache,
                                   const NdDiscoveryOptions& options,
-                                  LatticeSearchStats* stats) {
+                                  LatticeSearchStats* stats,
+                                  const LatticeReuse* reuse) {
   NdValidator validator(cache, options);
   return RunSearch(cache->encoded(), cache, &validator, options.max_lhs,
-                   stats);
+                   stats, reuse);
 }
 
 Result<DependencySet> DiscoverDds(const Relation& relation,
@@ -213,10 +219,12 @@ Result<DependencySet> DiscoverDds(const Relation& relation,
 
 Result<DependencySet> DiscoverDds(const EncodedRelation& relation,
                                   const DdDiscoveryOptions& options,
-                                  LatticeSearchStats* stats) {
+                                  LatticeSearchStats* stats,
+                                  const LatticeReuse* reuse) {
   DdValidator validator(relation, options);
   METALEAK_RETURN_NOT_OK(validator.Init());
-  return RunSearch(relation, nullptr, &validator, options.max_lhs, stats);
+  return RunSearch(relation, nullptr, &validator, options.max_lhs, stats,
+                   reuse);
 }
 
 }  // namespace metaleak

@@ -39,7 +39,8 @@ Result<DependencySet> DiscoverOds(const Relation& relation,
                                   LatticeSearchStats* stats = nullptr);
 Result<DependencySet> DiscoverOds(const EncodedRelation& relation,
                                   const OdDiscoveryOptions& options = {},
-                                  LatticeSearchStats* stats = nullptr);
+                                  LatticeSearchStats* stats = nullptr,
+                                  const LatticeReuse* reuse = nullptr);
 
 /// Finds all ordered functional dependencies (FD + strict order).
 Result<DependencySet> DiscoverOfds(const Relation& relation,
@@ -47,7 +48,8 @@ Result<DependencySet> DiscoverOfds(const Relation& relation,
                                    LatticeSearchStats* stats = nullptr);
 Result<DependencySet> DiscoverOfds(const EncodedRelation& relation,
                                    const OdDiscoveryOptions& options = {},
-                                   LatticeSearchStats* stats = nullptr);
+                                   LatticeSearchStats* stats = nullptr,
+                                   const LatticeReuse* reuse = nullptr);
 
 struct NdDiscoveryOptions {
   /// An ND X ->(<=K) Y is reported only when K is at most this fraction of
@@ -72,7 +74,8 @@ Result<DependencySet> DiscoverNds(const EncodedRelation& relation,
 /// cache.
 Result<DependencySet> DiscoverNds(PliCache* cache,
                                   const NdDiscoveryOptions& options = {},
-                                  LatticeSearchStats* stats = nullptr);
+                                  LatticeSearchStats* stats = nullptr,
+                                  const LatticeReuse* reuse = nullptr);
 
 struct DdDiscoveryOptions {
   /// LHS neighbourhood radius, as a fraction of the LHS attribute range
@@ -93,7 +96,8 @@ Result<DependencySet> DiscoverDds(const Relation& relation,
                                   LatticeSearchStats* stats = nullptr);
 Result<DependencySet> DiscoverDds(const EncodedRelation& relation,
                                   const DdDiscoveryOptions& options = {},
-                                  LatticeSearchStats* stats = nullptr);
+                                  LatticeSearchStats* stats = nullptr,
+                                  const LatticeReuse* reuse = nullptr);
 
 }  // namespace metaleak
 

@@ -57,14 +57,15 @@ Result<TaneResult> DiscoverFds(const EncodedRelation& relation,
   return DiscoverFds(&cache, options);
 }
 
-Result<TaneResult> DiscoverFds(PliCache* cache, const TaneOptions& options) {
+Result<TaneResult> DiscoverFds(PliCache* cache, const TaneOptions& options,
+                               const LatticeReuse* reuse) {
   FdValidator validator(cache, options);
   LatticeSearchOptions search;
   search.max_lhs = options.max_lhs_size;
   search.include_empty_lhs = options.include_constant_columns;
   METALEAK_ASSIGN_OR_RETURN(
       LatticeSearchResult found,
-      RunLatticeSearch(cache->encoded(), cache, &validator, search));
+      RunLatticeSearch(cache->encoded(), cache, &validator, search, reuse));
   TaneResult result;
   result.dependencies = std::move(found.dependencies);
   result.stats = found.stats;

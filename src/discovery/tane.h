@@ -56,9 +56,12 @@ Result<TaneResult> DiscoverFds(const EncodedRelation& relation,
 
 /// Runs TANE against a caller-owned PLI cache (the relation is the
 /// cache's encoding); partitions built here stay warm for later
-/// searches sharing the cache.
+/// searches sharing the cache. `reuse` (optional) short-circuits
+/// candidates whose prior verdicts are provably unchanged — see
+/// LatticeReuse in discovery/lattice.h.
 Result<TaneResult> DiscoverFds(PliCache* cache,
-                               const TaneOptions& options = {});
+                               const TaneOptions& options = {},
+                               const LatticeReuse* reuse = nullptr);
 
 }  // namespace metaleak
 

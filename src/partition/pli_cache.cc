@@ -17,6 +17,35 @@ PliCache::PliCache(const Relation* relation) {
   BuildSingletons();
 }
 
+PliCache::PliCache(const EncodedRelation* encoded,
+                   std::vector<PositionListIndex> singles)
+    : encoded_(encoded) {
+  METALEAK_DCHECK(encoded_ != nullptr);
+  METALEAK_DCHECK(singles.size() == encoded_->num_columns());
+  // Pre-fire the singleton entries with the caller's partitions: insert
+  // the entry and run its call_once immediately, so later Gets see a
+  // completed build exactly as if BuildSingletons had made it.
+  for (size_t c = 0; c < singles.size(); ++c) {
+    PliCacheKey key{encoded_->Fingerprint(), AttributeSet::Single(c)};
+    Shard& shard = ShardFor(key);
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      std::shared_ptr<Entry>& slot = shard.map[key];
+      METALEAK_DCHECK(slot == nullptr);
+      slot = std::make_shared<Entry>();
+      entry = slot;
+    }
+    std::call_once(entry->once, [&] {
+      entry->pli =
+          std::make_unique<PositionListIndex>(std::move(singles[c]));
+    });
+  }
+  Get(AttributeSet());
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
 void PliCache::BuildSingletons() {
   METALEAK_DCHECK(encoded_->num_columns() <= AttributeSet::kMaxAttributes);
   Get(AttributeSet());

@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/macros.h"
 #include "data/encoded_relation.h"
@@ -66,6 +67,14 @@ class PliCache {
   /// Convenience: encodes `relation` internally and owns the encoding.
   /// The relation must outlive the cache.
   explicit PliCache(const Relation* relation);
+
+  /// Builds over an existing encoding but seeds the single-attribute
+  /// entries from `singles` (one per column, canonical CSR form) instead
+  /// of rebuilding them from the code vectors. The maintenance layer
+  /// hands its incrementally-kept PLIs in here, so a warm snapshot's
+  /// cache never pays the per-column FromCodes pass again.
+  PliCache(const EncodedRelation* encoded,
+           std::vector<PositionListIndex> singles);
 
   METALEAK_DISALLOW_COPY_AND_ASSIGN(PliCache);
 

@@ -133,6 +133,21 @@ PositionListIndex PositionListIndex::FromCodes(
   return PositionListIndex(std::move(rows), std::move(offsets), n);
 }
 
+PositionListIndex PositionListIndex::FromCsrArrays(
+    std::vector<Row> rows, std::vector<uint32_t> offsets, size_t num_rows) {
+  METALEAK_DCHECK(!offsets.empty() && offsets.front() == 0);
+  METALEAK_DCHECK(offsets.back() == rows.size());
+#ifndef NDEBUG
+  for (size_t c = 0; c + 1 < offsets.size(); ++c) {
+    METALEAK_DCHECK(offsets[c + 1] - offsets[c] >= 2);
+    for (uint32_t i = offsets[c] + 1; i < offsets[c + 1]; ++i) {
+      METALEAK_DCHECK(rows[i - 1] < rows[i]);
+    }
+  }
+#endif
+  return PositionListIndex(std::move(rows), std::move(offsets), num_rows);
+}
+
 PositionListIndex PositionListIndex::FromEncoded(
     const EncodedRelation& relation, const std::vector<size_t>& columns) {
   if (columns.size() == 1) {

@@ -156,6 +156,16 @@ class PositionListIndex {
   /// (the PLI of the empty attribute set).
   static PositionListIndex Identity(size_t num_rows);
 
+  /// Wraps already-canonical CSR arrays as a PLI: `offsets` has one entry
+  /// per cluster plus the trailing total, clusters appear in ascending
+  /// code order, every cluster has >= 2 rows in ascending order. This is
+  /// the emission path of the in-place maintenance layer
+  /// (pli_maintenance.h), which guarantees the canonical form; the
+  /// invariants are DCHECK-checked here.
+  static PositionListIndex FromCsrArrays(std::vector<Row> rows,
+                                         std::vector<uint32_t> offsets,
+                                         size_t num_rows);
+
   /// Product partition pli(X ∪ Y) from pli(X) (this) and pli(Y) (other).
   /// Probe-table intersection over the CSR arena, O(stripped rows of the
   /// smaller operand) given both probe tables are built. The overload

@@ -17,44 +17,60 @@ Result<AuditResult> RunAudit(const Relation& relation,
   if (relation.num_rows() == 0 || relation.num_columns() == 0) {
     return Status::Invalid("cannot audit an empty relation");
   }
-  AuditResult result;
-
-  // Encode once: profiling and the identifiability sweep both run on the
-  // same dictionary-encoded view.
+  // Encode once: profiling, the identifiability sweep, and the experiment
+  // engine all run on the same dictionary-encoded view, sharing one
+  // partition cache.
   EncodedRelation encoded = EncodedRelation::Encode(relation);
-
+  PliCache cache(&encoded);
   METALEAK_ASSIGN_OR_RETURN(DiscoveryReport report,
-                            ProfileRelation(encoded, options.discovery));
-  result.metadata = std::move(report.metadata);
-  result.discovery_stats = std::move(report.search_stats);
+                            ProfileRelation(&cache, options.discovery));
+  return RunAuditProfiled(cache, report, options);
+}
+
+Result<AuditResult> RunAuditProfiled(PliCache& cache,
+                                     const DiscoveryReport& profile,
+                                     const AuditOptions& options) {
+  const EncodedRelation& encoded = cache.encoded();
+  if (encoded.num_rows() == 0 || encoded.num_columns() == 0) {
+    return Status::Invalid("cannot audit an empty relation");
+  }
+  if (encoded.source() == nullptr) {
+    return Status::Invalid(
+        "profiled audit needs an encoding with a live source relation");
+  }
+  const uint64_t pli_hits_before = cache.hits();
+  const uint64_t pli_misses_before = cache.misses();
+
+  AuditResult result;
+  result.metadata = profile.metadata;
+  result.discovery_stats = profile.search_stats;
 
   METALEAK_ASSIGN_OR_RETURN(
       result.identifiable_fraction,
-      IdentifiableByAnySubset(encoded, options.identifiability_max_width));
+      IdentifiableByAnySubset(cache, options.identifiability_max_width));
 
   std::vector<GenerationMethod> methods = {GenerationMethod::kRandom};
   for (GenerationMethod m : options.methods) {
     if (m != GenerationMethod::kRandom) methods.push_back(m);
   }
-  // One engine across all methods: the relation is encoded once and each
-  // method's rounds stream through the code path (see experiment.h).
-  ExperimentEngine engine(relation, result.metadata);
+  // One engine across all methods, borrowing the snapshot's encoding:
+  // each method's rounds stream through the code path (see experiment.h).
+  ExperimentEngine engine(encoded, result.metadata);
   METALEAK_ASSIGN_OR_RETURN(result.method_results,
                             engine.RunAll(methods, options.experiment));
 
   METALEAK_ASSIGN_OR_RETURN(std::vector<Domain> domains,
                             result.metadata.RequireDomains());
   const MethodResult& random = result.method_results[0];
-  for (size_t c = 0; c < relation.num_columns(); ++c) {
+  for (size_t c = 0; c < encoded.num_columns(); ++c) {
     AttributeAudit audit;
     audit.attribute = c;
-    audit.name = relation.schema().attribute(c).name;
-    audit.semantic = relation.schema().attribute(c).semantic;
+    audit.name = encoded.schema().attribute(c).name;
+    audit.semantic = encoded.schema().attribute(c).semantic;
 
-    size_t compared = 0;
-    for (const Value& v : relation.column(c)) {
-      if (!v.is_null()) ++compared;
-    }
+    // Non-null cell count, straight off the dictionary: code 0 is NULL.
+    size_t compared =
+        encoded.num_rows() - encoded.dictionary(c).count(0);
     if (audit.semantic == SemanticType::kCategorical) {
       audit.expected_random_matches =
           ExpectedRandomCategoricalMatches(compared, domains[c]);
@@ -87,6 +103,11 @@ Result<AuditResult> RunAudit(const Relation& relation,
     }
     result.attributes.push_back(std::move(audit));
   }
+
+  AuditCacheStats cache_stats;
+  cache_stats.pli_hits = cache.hits() - pli_hits_before;
+  cache_stats.pli_misses = cache.misses() - pli_misses_before;
+  result.cache_stats = cache_stats;
   return result;
 }
 
@@ -115,15 +136,35 @@ std::string AuditResult::ToMarkdown() const {
     os << "## Discovery search statistics\n\n";
     TablePrinter stats_table;
     stats_table.SetHeader({"Search", "Nodes", "Pruned", "Validations",
-                           "PLI hit rate"});
+                           "Reused", "PLI hit rate"});
     for (const ClassSearchStats& s : discovery_stats) {
       stats_table.AddRow(
           {s.search, std::to_string(s.stats.nodes_visited),
            std::to_string(s.stats.candidates_pruned),
            std::to_string(s.stats.validator_invocations),
+           std::to_string(s.stats.verdicts_reused),
            FormatDouble(s.stats.PliCacheHitRate(), 3)});
     }
     os << stats_table.ToMarkdown() << '\n';
+  }
+
+  if (cache_stats.has_value()) {
+    os << "## Cache observability\n\n";
+    TablePrinter cache_table;
+    cache_table.SetHeader({"Counter", "Value"});
+    cache_table.AddRow({"PLI cache hits (this audit)",
+                        std::to_string(cache_stats->pli_hits)});
+    cache_table.AddRow({"PLI cache misses (this audit)",
+                        std::to_string(cache_stats->pli_misses)});
+    cache_table.AddRow(
+        {"PLI cache hit rate", FormatDouble(cache_stats->PliHitRate(), 3)});
+    cache_table.AddRow({"Snapshot cache hits",
+                        std::to_string(cache_stats->snapshot_hits)});
+    cache_table.AddRow({"Snapshot cache misses",
+                        std::to_string(cache_stats->snapshot_misses)});
+    cache_table.AddRow({"Snapshot cache evictions",
+                        std::to_string(cache_stats->snapshot_evictions)});
+    os << cache_table.ToMarkdown() << '\n';
   }
 
   os << "## Per-attribute verdicts\n\n";

@@ -8,12 +8,15 @@
 #ifndef METALEAK_PRIVACY_AUDIT_H_
 #define METALEAK_PRIVACY_AUDIT_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "data/relation.h"
 #include "discovery/discovery_engine.h"
+#include "partition/pli_cache.h"
 #include "privacy/experiment.h"
 
 namespace metaleak {
@@ -49,6 +52,24 @@ struct AttributeAudit {
   bool domain_leaks = false;
 };
 
+/// Cache counters surfaced in the markdown report. The PLI numbers are
+/// the audit-attributable deltas of the cache it ran against; the
+/// snapshot numbers are filled by the session layer (service/) when the
+/// audit is served from a registered snapshot.
+struct AuditCacheStats {
+  uint64_t pli_hits = 0;
+  uint64_t pli_misses = 0;
+  uint64_t snapshot_hits = 0;
+  uint64_t snapshot_misses = 0;
+  uint64_t snapshot_evictions = 0;
+
+  double PliHitRate() const {
+    uint64_t total = pli_hits + pli_misses;
+    if (total == 0) return 0.0;
+    return static_cast<double>(pli_hits) / static_cast<double>(total);
+  }
+};
+
 struct AuditResult {
   MetadataPackage metadata;
   /// Per-class lattice-search statistics from the discovery pass.
@@ -58,6 +79,9 @@ struct AuditResult {
   double identifiable_fraction = 0.0;
   std::vector<MethodResult> method_results;  // [0] is the random baseline
   std::vector<AttributeAudit> attributes;
+  /// Present when the audit ran against a caller-owned cache (the
+  /// profiled path) — rendered as a "Cache observability" section.
+  std::optional<AuditCacheStats> cache_stats;
 
   /// Markdown report (headers, dependency list, verdict table,
   /// recommendation).
@@ -67,6 +91,15 @@ struct AuditResult {
 /// Runs the full audit.
 Result<AuditResult> RunAudit(const Relation& relation,
                              const AuditOptions& options = {});
+
+/// Audits an already-profiled snapshot — the warm path: no encoding, no
+/// discovery. `cache` must be built over the snapshot's encoding (with
+/// a live source Relation) and `profile` must be that snapshot's
+/// discovery output; only identifiability, the Monte-Carlo experiment,
+/// and the verdicts run here. `AuditOptions::discovery` is ignored.
+Result<AuditResult> RunAuditProfiled(PliCache& cache,
+                                     const DiscoveryReport& profile,
+                                     const AuditOptions& options = {});
 
 }  // namespace metaleak
 

@@ -101,9 +101,18 @@ struct ExperimentEngine::MethodPlan {
 
 ExperimentEngine::ExperimentEngine(const Relation& real,
                                    const MetadataPackage& metadata)
-    : real_(real),
-      metadata_(metadata),
-      encoded_real_(EncodedRelation::Encode(real)) {}
+    : real_(&real),
+      metadata_(&metadata),
+      owned_encoding_(EncodedRelation::Encode(real)),
+      encoded_real_(&*owned_encoding_) {}
+
+ExperimentEngine::ExperimentEngine(const EncodedRelation& encoded,
+                                   const MetadataPackage& metadata)
+    : real_(encoded.source()),
+      metadata_(&metadata),
+      encoded_real_(&encoded) {
+  METALEAK_DCHECK(real_ != nullptr);
+}
 
 Result<ExperimentEngine::MethodPlan> ExperimentEngine::PlanFor(
     GenerationMethod method, const ExperimentConfig& config) const {
@@ -111,13 +120,13 @@ Result<ExperimentEngine::MethodPlan> ExperimentEngine::PlanFor(
   plan.gen_options = OptionsForMethod(method);
   METALEAK_ASSIGN_OR_RETURN(
       GenerationContext ctx,
-      GenerationContext::Build(metadata_, plan.gen_options));
+      GenerationContext::Build(*metadata_, plan.gen_options));
   plan.ctx.emplace(std::move(ctx));
 
-  const size_t m = real_.num_columns();
+  const size_t m = real_->num_columns();
   plan.covered.assign(m, method == GenerationMethod::kRandom);
   if (method == GenerationMethod::kCfd) {
-    for (const ConditionalFd& cfd : metadata_.conditional_fds) {
+    for (const ConditionalFd& cfd : metadata_->conditional_fds) {
       if (cfd.rhs < m) plan.covered[cfd.rhs] = true;
     }
   } else if (method != GenerationMethod::kRandom) {
@@ -130,7 +139,7 @@ Result<ExperimentEngine::MethodPlan> ExperimentEngine::PlanFor(
   if (plan.use_code && method == GenerationMethod::kCfd) {
     METALEAK_ASSIGN_OR_RETURN(
         EncodedCfdPlan cfd_plan,
-        BuildEncodedCfdPlan(metadata_.conditional_fds, plan.ctx->domains(),
+        BuildEncodedCfdPlan(metadata_->conditional_fds, plan.ctx->domains(),
                             plan.ctx->kinds()));
     if (cfd_plan.supported()) {
       plan.cfd_plan.emplace(std::move(cfd_plan));
@@ -141,7 +150,7 @@ Result<ExperimentEngine::MethodPlan> ExperimentEngine::PlanFor(
   if (plan.use_code) {
     METALEAK_ASSIGN_OR_RETURN(
         EncodedLeakageContext leakage_ctx,
-        EncodedLeakageContext::Build(encoded_real_, plan.ctx->schema(),
+        EncodedLeakageContext::Build(*encoded_real_, plan.ctx->schema(),
                                      plan.ctx->domains(), config.leakage));
     if (leakage_ctx.supported()) {
       plan.leakage_ctx.emplace(std::move(leakage_ctx));
@@ -158,7 +167,7 @@ Result<MethodResult> ExperimentEngine::Run(
     return Status::Invalid("experiment needs at least one round");
   }
   METALEAK_ASSIGN_OR_RETURN(MethodPlan plan, PlanFor(method, config));
-  const size_t m = real_.num_columns();
+  const size_t m = real_->num_columns();
 
   // Per-round seeds drawn up front so the outcome is identical for any
   // thread count; recorded in the result so any round can be replayed.
@@ -177,7 +186,7 @@ Result<MethodResult> ExperimentEngine::Run(
     Rng round_rng(round_seeds[round]);
     thread_local EncodedBatch batch;
     METALEAK_RETURN_NOT_OK(
-        GenerateEncoded(*plan.ctx, real_.num_rows(), &round_rng, &batch));
+        GenerateEncoded(*plan.ctx, real_->num_rows(), &round_rng, &batch));
     if (plan.cfd_plan.has_value()) {
       METALEAK_RETURN_NOT_OK(
           ApplyCfdsEncoded(*plan.cfd_plan, &batch, &round_rng));
@@ -188,17 +197,17 @@ Result<MethodResult> ExperimentEngine::Run(
     Rng round_rng(round_seeds[round]);
     METALEAK_ASSIGN_OR_RETURN(
         GenerationOutcome outcome,
-        GenerateSyntheticValuePath(metadata_, real_.num_rows(), &round_rng,
+        GenerateSyntheticValuePath(*metadata_, real_->num_rows(), &round_rng,
                                    plan.gen_options));
     if (method == GenerationMethod::kCfd) {
       METALEAK_ASSIGN_OR_RETURN(
           outcome.relation,
-          ApplyCfds(outcome.relation, metadata_.conditional_fds,
+          ApplyCfds(outcome.relation, metadata_->conditional_fds,
                     plan.ctx->domains(), &round_rng));
     }
     METALEAK_ASSIGN_OR_RETURN(
         LeakageReport report,
-        EvaluateLeakage(real_, outcome.relation, config.leakage));
+        EvaluateLeakage(*real_, outcome.relation, config.leakage));
     for (const AttributeLeakage& a : report.attributes) {
       AttributeRoundStats& slot = stats[round * m + a.attribute];
       slot.matches = a.matches;
@@ -238,8 +247,8 @@ Result<MethodResult> ExperimentEngine::Run(
   for (size_t c = 0; c < m; ++c) {
     MethodAttributeResult entry;
     entry.attribute = c;
-    entry.name = real_.schema().attribute(c).name;
-    entry.semantic = real_.schema().attribute(c).semantic;
+    entry.name = real_->schema().attribute(c).name;
+    entry.semantic = real_->schema().attribute(c).semantic;
     entry.covered = plan.covered[c];
     WelfordAccumulator match_acc;
     WelfordAccumulator mse_acc;
@@ -279,7 +288,7 @@ Result<LeakageReport> ExperimentEngine::ReplayRound(
   if (plan.use_code) {
     EncodedBatch batch;
     METALEAK_RETURN_NOT_OK(
-        GenerateEncoded(*plan.ctx, real_.num_rows(), &round_rng, &batch));
+        GenerateEncoded(*plan.ctx, real_->num_rows(), &round_rng, &batch));
     if (plan.cfd_plan.has_value()) {
       METALEAK_RETURN_NOT_OK(
           ApplyCfdsEncoded(*plan.cfd_plan, &batch, &round_rng));
@@ -288,15 +297,15 @@ Result<LeakageReport> ExperimentEngine::ReplayRound(
   }
   METALEAK_ASSIGN_OR_RETURN(
       GenerationOutcome outcome,
-      GenerateSyntheticValuePath(metadata_, real_.num_rows(), &round_rng,
+      GenerateSyntheticValuePath(*metadata_, real_->num_rows(), &round_rng,
                                  plan.gen_options));
   if (method == GenerationMethod::kCfd) {
     METALEAK_ASSIGN_OR_RETURN(
         outcome.relation,
-        ApplyCfds(outcome.relation, metadata_.conditional_fds,
+        ApplyCfds(outcome.relation, metadata_->conditional_fds,
                   plan.ctx->domains(), &round_rng));
   }
-  return EvaluateLeakage(real_, outcome.relation, config.leakage);
+  return EvaluateLeakage(*real_, outcome.relation, config.leakage);
 }
 
 Result<MethodResult> RunMethod(const Relation& real,

@@ -92,6 +92,14 @@ class ExperimentEngine {
  public:
   ExperimentEngine(const Relation& real, const MetadataPackage& metadata);
 
+  /// Runs against a pre-built encoding instead of re-encoding the
+  /// relation — the warm-snapshot path. `encoded.source()` must be
+  /// non-null (the value-path fallback and per-attribute naming still
+  /// read the backing relation) and outlive the engine, as must
+  /// `encoded` and `metadata`.
+  ExperimentEngine(const EncodedRelation& encoded,
+                   const MetadataPackage& metadata);
+
   /// Runs one method. `metadata` must disclose all domains; dependency
   /// classes other than the method's are ignored.
   Result<MethodResult> Run(GenerationMethod method,
@@ -115,9 +123,12 @@ class ExperimentEngine {
   Result<MethodPlan> PlanFor(GenerationMethod method,
                              const ExperimentConfig& config) const;
 
-  const Relation& real_;
-  const MetadataPackage& metadata_;
-  EncodedRelation encoded_real_;
+  const Relation* real_;
+  const MetadataPackage* metadata_;
+  /// Set by the Relation constructor only; the EncodedRelation
+  /// constructor borrows the caller's encoding instead.
+  std::optional<EncodedRelation> owned_encoding_;
+  const EncodedRelation* encoded_real_;
 };
 
 /// One-shot wrapper around ExperimentEngine::Run.

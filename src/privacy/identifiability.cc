@@ -204,6 +204,18 @@ Result<double> IdentifiableByAnySubset(const EncodedRelation& relation,
          static_cast<double>(identifiable.size());
 }
 
+Result<double> IdentifiableByAnySubset(PliCache& cache,
+                                       size_t max_subset_size) {
+  const size_t m = cache.encoded().num_columns();
+  if (m == 0 || cache.encoded().num_rows() == 0) return 0.0;
+  METALEAK_ASSIGN_OR_RETURN(std::vector<bool> identifiable,
+                            IdentifiableRows(cache, max_subset_size));
+  size_t count = 0;
+  for (bool b : identifiable) count += b ? 1 : 0;
+  return static_cast<double>(count) /
+         static_cast<double>(identifiable.size());
+}
+
 Result<std::vector<AttributeSet>> DiscoverUniqueColumnCombinations(
     const Relation& relation, size_t max_size) {
   EncodedRelation encoded = EncodedRelation::Encode(relation);

@@ -65,6 +65,10 @@ Result<double> IdentifiableByAnySubset(const Relation& relation,
                                        size_t max_subset_size);
 Result<double> IdentifiableByAnySubset(const EncodedRelation& relation,
                                        size_t max_subset_size);
+/// Shares the caller's cache (and its subset partitions) instead of
+/// building a transient one — the warm-snapshot path.
+Result<double> IdentifiableByAnySubset(PliCache& cache,
+                                       size_t max_subset_size);
 
 /// Minimal unique column combinations (candidate keys) with at most
 /// `max_size` attributes: subsets whose projection is unique for every

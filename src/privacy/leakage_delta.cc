@@ -1,0 +1,104 @@
+#include "privacy/leakage_delta.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "privacy/analytical.h"
+
+namespace metaleak {
+
+Result<LeakageProfile> ComputeLeakageProfile(const EncodedRelation& encoded,
+                                             const MetadataPackage& metadata,
+                                             const LeakageOptions& leakage) {
+  if (encoded.num_columns() != metadata.schema.num_attributes()) {
+    return Status::Invalid(
+        "metadata schema does not match the encoded relation");
+  }
+  METALEAK_ASSIGN_OR_RETURN(std::vector<Domain> domains,
+                            metadata.RequireDomains());
+  LeakageProfile profile;
+  profile.schema = metadata.schema;
+  profile.num_rows = encoded.num_rows();
+  profile.dependencies = metadata.dependencies;
+  profile.num_conditional_fds = metadata.conditional_fds.size();
+  for (size_t c = 0; c < encoded.num_columns(); ++c) {
+    AttributeExpectation attr;
+    attr.attribute = c;
+    attr.name = metadata.schema.attribute(c).name;
+    attr.semantic = metadata.schema.attribute(c).semantic;
+    attr.compared =
+        encoded.num_rows() - encoded.dictionary(c).null_count();
+    if (attr.semantic == SemanticType::kCategorical) {
+      attr.expected_random_matches =
+          ExpectedRandomCategoricalMatches(attr.compared, domains[c]);
+    } else {
+      double eps = leakage.absolute_epsilon.has_value()
+                       ? *leakage.absolute_epsilon
+                       : leakage.epsilon_fraction * domains[c].range();
+      attr.expected_random_matches =
+          ExpectedRandomContinuousMatches(attr.compared, domains[c], eps);
+    }
+    attr.domain_leaks = attr.expected_random_matches >= 1.0;
+    profile.attributes.push_back(std::move(attr));
+  }
+  return profile;
+}
+
+Result<LeakageDelta> DiffLeakageProfiles(const LeakageProfile& before,
+                                         const LeakageProfile& after) {
+  if (before.attributes.size() != after.attributes.size()) {
+    return Status::Invalid("leakage profiles have different widths");
+  }
+  LeakageDelta delta;
+  delta.rows_delta = static_cast<long long>(after.num_rows) -
+                     static_cast<long long>(before.num_rows);
+  delta.expected_matches_delta.reserve(after.attributes.size());
+  for (size_t c = 0; c < after.attributes.size(); ++c) {
+    const AttributeExpectation& b = before.attributes[c];
+    const AttributeExpectation& a = after.attributes[c];
+    delta.expected_matches_delta.push_back(a.expected_random_matches -
+                                           b.expected_random_matches);
+    if (!b.domain_leaks && a.domain_leaks) delta.newly_leaking.push_back(c);
+    if (b.domain_leaks && !a.domain_leaks) {
+      delta.no_longer_leaking.push_back(c);
+    }
+  }
+  for (const Dependency& d : after.dependencies.all()) {
+    if (!before.dependencies.Contains(d)) {
+      delta.dependencies_added.push_back(d);
+    }
+  }
+  for (const Dependency& d : before.dependencies.all()) {
+    if (!after.dependencies.Contains(d)) {
+      delta.dependencies_removed.push_back(d);
+    }
+  }
+  return delta;
+}
+
+std::string LeakageDelta::ToString(const Schema& schema) const {
+  if (empty()) return "";
+  std::ostringstream os;
+  if (rows_delta != 0) {
+    os << "rows " << (rows_delta > 0 ? "+" : "") << rows_delta << "\n";
+  }
+  for (size_t c : newly_leaking) {
+    os << schema.attribute(c).name
+       << ": domain now leaks (E[matches] crossed 1, delta "
+       << FormatDouble(expected_matches_delta[c], 3) << ")\n";
+  }
+  for (size_t c : no_longer_leaking) {
+    os << schema.attribute(c).name
+       << ": domain no longer leaks (E[matches] dropped below 1, delta "
+       << FormatDouble(expected_matches_delta[c], 3) << ")\n";
+  }
+  for (const Dependency& d : dependencies_added) {
+    os << "+ " << d.ToString(schema) << "\n";
+  }
+  for (const Dependency& d : dependencies_removed) {
+    os << "- " << d.ToString(schema) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace metaleak

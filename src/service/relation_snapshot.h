@@ -1,0 +1,79 @@
+// RelationSnapshot: the immutable half of the snapshot/delta split, as a
+// shareable bundle.
+//
+// A snapshot owns everything a query needs — the decoded relation, its
+// canonical encoding, a thread-safe partition cache seeded with the
+// single-attribute PLIs, the discovered dependency profile, and the
+// analytical leakage profile. Once built it is never mutated; concurrent
+// audit / leakage / attack queries all read the same bundle (the PliCache
+// mutates internally but is thread-safe and single-flight). The service
+// layer hands snapshots out by shared_ptr, so a session can move on to a
+// newer snapshot while in-flight queries finish against the old one.
+#ifndef METALEAK_SERVICE_RELATION_SNAPSHOT_H_
+#define METALEAK_SERVICE_RELATION_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "data/encoded_relation.h"
+#include "data/relation.h"
+#include "discovery/discovery_engine.h"
+#include "discovery/revalidate.h"
+#include "partition/pli_cache.h"
+#include "partition/position_list_index.h"
+#include "privacy/leakage_delta.h"
+
+namespace metaleak {
+
+class RelationSnapshot {
+ public:
+  /// Builds a snapshot from a caller's relation: copies the rows, encodes
+  /// them, profiles through `memo` (recording verdicts for later
+  /// incremental rounds), and evaluates the analytical leakage model.
+  static Result<std::shared_ptr<const RelationSnapshot>> FromRelation(
+      const Relation& relation, const DiscoveryOptions& discovery,
+      const LeakageOptions& leakage, DiscoveryMemo* memo);
+
+  /// Builds a snapshot from a DeltaRelation publish: takes the canonical
+  /// encoding, materializes (and owns) its decoded relation, seeds the
+  /// partition cache with the incrementally maintained single-attribute
+  /// PLIs, and re-profiles via targeted revalidation — only candidates
+  /// whose support sets `touch` reached are re-validated.
+  static Result<std::shared_ptr<const RelationSnapshot>> FromPublished(
+      EncodedRelation published, std::vector<PositionListIndex> singles,
+      const DiscoveryOptions& discovery, const LeakageOptions& leakage,
+      const DeltaTouch& touch, DiscoveryMemo* memo);
+
+  const Relation& relation() const { return *relation_; }
+  const EncodedRelation& encoding() const { return *encoded_; }
+  /// Thread-safe; intentionally non-const through a const snapshot (the
+  /// cache memoizes internally but never changes observable state).
+  PliCache& pli_cache() const { return *cache_; }
+  const DiscoveryReport& profile() const { return profile_; }
+  const LeakageProfile& leakage() const { return leakage_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  size_t num_rows() const { return encoded_->num_rows(); }
+  size_t num_columns() const { return encoded_->num_columns(); }
+
+ private:
+  RelationSnapshot() = default;
+
+  /// Shared tail of both factories: profile + leakage over the already-
+  /// wired relation/encoding/cache members.
+  Status Finish(const DiscoveryOptions& discovery,
+                const LeakageOptions& leakage, const DeltaTouch& touch,
+                DiscoveryMemo* memo);
+
+  std::unique_ptr<Relation> relation_;        // owns the rows
+  std::unique_ptr<EncodedRelation> encoded_;  // source() == relation_.get()
+  std::unique_ptr<PliCache> cache_;
+  DiscoveryReport profile_;
+  LeakageProfile leakage_;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace metaleak
+
+#endif  // METALEAK_SERVICE_RELATION_SNAPSHOT_H_
