@@ -12,14 +12,21 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
+#include "common/simd.h"
 #include "data/datasets/synthetic.h"
+#include "data/domain.h"
+#include "data/encoded_batch.h"
+#include "data/encoded_relation.h"
 #include "discovery/discovery_engine.h"
 #include "generation/generation_engine.h"
 #include "privacy/experiment.h"
+#include "privacy/leakage.h"
 
 namespace metaleak {
 namespace {
@@ -106,6 +113,79 @@ struct BenchRecord {
   double rows_per_sec = 0.0;
 };
 
+// Times the fused Def 2.2/2.3 leakage scan (EncodedLeakageContext::
+// Evaluate) over pre-generated batches, with the kernels forced to
+// scalar and to the best supported level. Returns {scalar_ms, simd_ms}
+// and reports bitwise parity of the accumulated per-attribute stats.
+struct LeakageScanAxis {
+  double scalar_ms = 0.0;
+  double simd_ms = 0.0;
+  bool parity_ok = true;
+};
+
+LeakageScanAxis TimeLeakageScan(const Fixture& fixture, size_t rounds) {
+  LeakageScanAxis axis;
+  const size_t n = fixture.real.num_rows();
+  EncodedRelation encoded = EncodedRelation::Encode(fixture.real);
+  GenerationContext gen =
+      std::move(GenerationContext::Build(fixture.metadata)).ValueOrDie();
+  EncodedLeakageContext ctx =
+      std::move(EncodedLeakageContext::Build(encoded, gen.schema(),
+                                             gen.domains(), {}))
+          .ValueOrDie();
+  if (!ctx.supported()) std::abort();
+
+  // Pre-generate a small pool of batches and cycle through it, so the
+  // timed loop is the scan alone, not the generator.
+  constexpr size_t kPool = 8;
+  std::vector<EncodedBatch> pool(kPool);
+  Rng rng(11);
+  for (EncodedBatch& batch : pool) {
+    Rng round_rng = rng.Fork();
+    if (!GenerateEncoded(gen, n, &round_rng, &batch).ok()) std::abort();
+  }
+
+  const size_t m = ctx.num_attributes();
+  std::vector<AttributeRoundStats> stats(m);
+  auto run = [&](double* ms) {
+    // Accumulated totals over every round, for the parity check.
+    std::vector<AttributeRoundStats> total(m);
+    auto start = std::chrono::steady_clock::now();
+    for (size_t round = 0; round < rounds; ++round) {
+      if (!ctx.Evaluate(pool[round % kPool], stats.data()).ok()) {
+        std::abort();
+      }
+      for (size_t c = 0; c < m; ++c) {
+        total[c].matches += stats[c].matches;
+        total[c].mse += stats[c].mse;
+        total[c].has_mse = stats[c].has_mse;
+      }
+    }
+    auto stop = std::chrono::steady_clock::now();
+    *ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    return total;
+  };
+
+  SetSimdLevelOverride(SimdLevel::kScalar);
+  const std::vector<AttributeRoundStats> scalar_total = run(&axis.scalar_ms);
+  SetSimdLevelOverride(SupportedSimdLevel());
+  const std::vector<AttributeRoundStats> simd_total = run(&axis.simd_ms);
+  ClearSimdLevelOverride();
+
+  for (size_t c = 0; c < m; ++c) {
+    // Bitwise double comparison: the kernels promise byte-identical
+    // accumulation, not just approximate agreement.
+    uint64_t a, b;
+    std::memcpy(&a, &scalar_total[c].mse, sizeof(a));
+    std::memcpy(&b, &simd_total[c].mse, sizeof(b));
+    if (scalar_total[c].matches != simd_total[c].matches || a != b ||
+        scalar_total[c].has_mse != simd_total[c].has_mse) {
+      axis.parity_ok = false;
+    }
+  }
+  return axis;
+}
+
 int Main() {
   struct Size {
     size_t rows;
@@ -114,6 +194,8 @@ int Main() {
   const std::vector<Size> kSizes = {{10000, 60}, {50000, 100}, {200000, 20}};
   std::vector<BenchRecord> records;
   double speedup_50k = 0.0;
+  double simd_scan_50k = 0.0;
+  bool simd_parity_ok = true;
 
   for (const Size& size : kSizes) {
     Fixture fixture = MakeFixture(size.rows);
@@ -177,12 +259,44 @@ int Main() {
     if (size.rows == 50000) speedup_50k = speedup;
     std::printf(
         "  %zu rounds x %zu methods  value %8.1f ms | code %8.1f ms  "
-        "(%.2fx)\n\n",
+        "(%.2fx)\n",
         size.rounds, kMethods.size(), value_ms, code_ms, speedup);
+
+    // --- SIMD axis: the fused leakage scan, scalar vs dispatched ------
+    const LeakageScanAxis scan = TimeLeakageScan(fixture, 100);
+    if (!scan.parity_ok) {
+      std::fprintf(stderr,
+                   "SIMD parity FAILED at %zu rows: leakage scan\n",
+                   size.rows);
+      simd_parity_ok = false;
+    }
+    const double scan_speedup = scan.scalar_ms / scan.simd_ms;
+    if (size.rows == 50000) simd_scan_50k = scan_speedup;
+    std::printf(
+        "  leakage scan x100       scalar %7.1f ms | simd %7.1f ms  "
+        "(%.2fx)\n\n",
+        scan.scalar_ms, scan.simd_ms, scan_speedup);
+    auto scan_record = [&](const char* path, double ms) {
+      BenchRecord r;
+      r.path = path;
+      r.rows = size.rows;
+      r.rounds = 100;
+      r.ms = ms;
+      r.rounds_per_sec = 100.0 / (ms / 1000.0);
+      r.rows_per_sec =
+          100.0 * static_cast<double>(size.rows) / (ms / 1000.0);
+      records.push_back(std::move(r));
+    };
+    scan_record("leakage_scan_scalar", scan.scalar_ms);
+    scan_record("leakage_scan_simd", scan.simd_ms);
   }
 
   std::ofstream json("BENCH_generation.json");
-  json << "{\n  \"codepath_speedup_50k\": " << speedup_50k
+  json << "{\n  " << BenchMetadataJson()
+       << ",\n  \"codepath_speedup_50k\": " << speedup_50k
+       << ",\n  \"simd_parity\": \""
+       << (simd_parity_ok ? "ok" : "MISMATCH")
+       << "\",\n  \"simd_leakage_scan_speedup_50k\": " << simd_scan_50k
        << ",\n  \"benchmarks\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
@@ -194,9 +308,9 @@ int Main() {
   }
   json << "  ]\n}\n";
   std::printf("wrote BENCH_generation.json (%zu records, 50k speedup "
-              "%.2fx)\n",
-              records.size(), speedup_50k);
-  return 0;
+              "%.2fx, 50k simd scan %.2fx)\n",
+              records.size(), speedup_50k, simd_scan_50k);
+  return simd_parity_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "data/datasets/synthetic.h"
 #include "data/encoded_relation.h"
 #include "data/relation.h"
@@ -237,7 +238,8 @@ int Main() {
   }
 
   std::ofstream json("BENCH_lattice.json");
-  json << "{\n  \"rows\": " << enc.num_rows()
+  json << "{\n  " << BenchMetadataJson()
+       << ",\n  \"rows\": " << enc.num_rows()
        << ",\n  \"benchmarks\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/parallel.h"
 #include "data/datasets/synthetic.h"
 #include "data/encoded_relation.h"
@@ -136,7 +137,7 @@ int Main() {
       records);
 
   std::ofstream json("BENCH_parallel.json");
-  json << "{\n  \"benchmarks\": [\n";
+  json << "{\n  " << BenchMetadataJson() << ",\n  \"benchmarks\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     json << "    {\"op\": \"" << r.op << "\", \"rows\": " << r.rows

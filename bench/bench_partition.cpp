@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "data/datasets/synthetic.h"
 #include "data/encoded_relation.h"
 #include "data/relation.h"
@@ -196,10 +197,89 @@ std::vector<AttributeSet> Width2Subsets(size_t m) {
   return out;
 }
 
+// All single-column PLIs of `enc`, probe tables pre-warmed so the timed
+// loops measure intersections, not lazy probe builds.
+std::vector<PositionListIndex> WarmSingles(const EncodedRelation& enc) {
+  std::vector<PositionListIndex> singles;
+  for (size_t c = 0; c < enc.num_columns(); ++c) {
+    singles.push_back(PositionListIndex::FromEncoded(enc, {c}));
+    (void)singles.back().probe_table();
+  }
+  return singles;
+}
+
+// Deterministic digest of every ordered-pair product partition: the CSR
+// arrays concatenated. Two kernel levels agree iff the digests are equal.
+std::vector<uint32_t> PairDigest(
+    const std::vector<PositionListIndex>& singles) {
+  std::vector<uint32_t> digest;
+  IntersectionScratch scratch;
+  for (size_t a = 0; a < singles.size(); ++a) {
+    for (size_t b = 0; b < singles.size(); ++b) {
+      if (a == b) continue;
+      PositionListIndex p = singles[a].Intersect(singles[b], &scratch);
+      digest.insert(digest.end(), p.cluster_offsets().begin(),
+                    p.cluster_offsets().end());
+      digest.insert(digest.end(), p.rows().begin(), p.rows().end());
+    }
+  }
+  return digest;
+}
+
+// Deterministic digest of the counting queries over every ordered pair:
+// g3 error, fan-out, and refinement verdict. Exact integers underneath,
+// so kernel levels agree iff the digests are equal.
+std::vector<double> CountingDigest(
+    const std::vector<PositionListIndex>& singles) {
+  std::vector<double> digest;
+  for (size_t a = 0; a < singles.size(); ++a) {
+    for (size_t b = 0; b < singles.size(); ++b) {
+      if (a == b) continue;
+      digest.push_back(singles[a].G3Error(singles[b]));
+      digest.push_back(static_cast<double>(singles[a].MaxFanout(singles[b])));
+      digest.push_back(singles[a].Refines(singles[b]) ? 1.0 : 0.0);
+    }
+  }
+  return digest;
+}
+
+double TimeCountingQueries(const std::vector<PositionListIndex>& singles) {
+  return TimeMs([&] {
+    double total = 0.0;
+    for (size_t a = 0; a < singles.size(); ++a) {
+      for (size_t b = 0; b < singles.size(); ++b) {
+        if (a == b) continue;
+        total += singles[a].G3Error(singles[b]);
+        total += static_cast<double>(singles[a].MaxFanout(singles[b]));
+      }
+    }
+    if (total < 0.0) std::abort();
+  });
+}
+
+double TimePairIntersects(const std::vector<PositionListIndex>& singles) {
+  IntersectionScratch scratch;
+  return TimeMs([&] {
+    size_t total = 0;
+    for (size_t a = 0; a < singles.size(); ++a) {
+      for (size_t b = 0; b < singles.size(); ++b) {
+        if (a == b) continue;
+        total +=
+            singles[a].Intersect(singles[b], &scratch).num_clusters();
+      }
+    }
+    if (total == SIZE_MAX) std::abort();
+  });
+}
+
 int Main() {
   const std::vector<size_t> kRowCounts = {10000, 50000, 200000};
   std::vector<BenchRecord> records;
   double speedup_50k = 0.0;
+  double simd_intersect_50k = 0.0;
+  double simd_sweep_50k = 0.0;
+  double simd_lowcard_50k = 0.0;
+  bool simd_parity_ok = true;
 
   for (size_t rows : kRowCounts) {
     Relation relation = std::move(datasets::SyntheticUniform(
@@ -310,10 +390,98 @@ int Main() {
     records.push_back({"intersect_pairs", "csr", rows, csr_intersect});
     records.push_back({"sweep_width2", "rebuild", rows, sweep_rebuild});
     records.push_back({"sweep_width2", "extend", rows, sweep_extend});
+
+    // --- SIMD axis: the same CSR engine with the kernels forced to
+    // scalar versus the best level the host supports. Outputs must be
+    // bit-identical; timings feed the speedup fields in the JSON.
+    // The low-cardinality fixture (domain 4, categorical only) drives
+    // the bit-parallel AND+popcount paths of G3Error / MaxFanout /
+    // Refines.
+    const SimdLevel best = SupportedSimdLevel();
+    EncodedRelation lowcard = EncodedRelation::Encode(
+        std::move(datasets::SyntheticUniform(rows, /*num_categorical=*/6,
+                                             /*num_continuous=*/0,
+                                             /*domain_size=*/4, /*seed=*/13))
+            .ValueOrDie());
+
+    SetSimdLevelOverride(SimdLevel::kScalar);
+    const std::vector<uint32_t> scalar_digest = PairDigest(csr_singles);
+    std::vector<bool> scalar_sweep_bits;
+    {
+      PliCache cache(&enc);
+      scalar_sweep_bits =
+          std::move(IdentifiableRowsForSubsets(cache, subsets)).ValueOrDie();
+    }
+    std::vector<PositionListIndex> lowcard_singles = WarmSingles(lowcard);
+    const std::vector<double> scalar_lowcard_digest =
+        CountingDigest(lowcard_singles);
+    const double scalar_intersect_ms = TimePairIntersects(csr_singles);
+    const double scalar_lowcard_ms = TimeCountingQueries(lowcard_singles);
+    const double scalar_sweep_ms = TimeMs([&] {
+      PliCache cache(&enc);
+      if (!IdentifiableRowsForSubsets(cache, subsets).ok()) std::abort();
+    });
+
+    SetSimdLevelOverride(best);
+    if (PairDigest(csr_singles) != scalar_digest ||
+        CountingDigest(lowcard_singles) != scalar_lowcard_digest) {
+      std::fprintf(stderr, "SIMD parity FAILED: intersect digests\n");
+      simd_parity_ok = false;
+    }
+    {
+      PliCache cache(&enc);
+      auto simd_sweep_bits =
+          std::move(IdentifiableRowsForSubsets(cache, subsets)).ValueOrDie();
+      if (simd_sweep_bits != scalar_sweep_bits) {
+        std::fprintf(stderr, "SIMD parity FAILED: sweep verdicts\n");
+        simd_parity_ok = false;
+      }
+    }
+    const double simd_intersect_ms = TimePairIntersects(csr_singles);
+    const double simd_lowcard_ms = TimeCountingQueries(lowcard_singles);
+    const double simd_sweep_ms = TimeMs([&] {
+      PliCache cache(&enc);
+      if (!IdentifiableRowsForSubsets(cache, subsets).ok()) std::abort();
+    });
+    ClearSimdLevelOverride();
+
+    const double si = scalar_intersect_ms / simd_intersect_ms;
+    const double ss = scalar_sweep_ms / simd_sweep_ms;
+    const double sl = scalar_lowcard_ms / simd_lowcard_ms;
+    if (rows == 50000) {
+      simd_intersect_50k = si;
+      simd_sweep_50k = ss;
+      simd_lowcard_50k = sl;
+    }
+    std::printf(
+        "  simd (%s) intersect %7.2f -> %6.2f ms (%.2fx) | lowcard g3 "
+        "%6.2f -> %6.2f ms (%.2fx) | sweep %6.2f -> %6.2f ms (%.2fx)\n\n",
+        SimdLevelName(best), scalar_intersect_ms, simd_intersect_ms, si,
+        scalar_lowcard_ms, simd_lowcard_ms, sl, scalar_sweep_ms,
+        simd_sweep_ms, ss);
+
+    records.push_back(
+        {"intersect_pairs", "scalar_kernels", rows, scalar_intersect_ms});
+    records.push_back(
+        {"intersect_pairs", "simd_kernels", rows, simd_intersect_ms});
+    records.push_back(
+        {"counting_lowcard", "scalar_kernels", rows, scalar_lowcard_ms});
+    records.push_back(
+        {"counting_lowcard", "simd_kernels", rows, simd_lowcard_ms});
+    records.push_back(
+        {"sweep_width2", "scalar_kernels", rows, scalar_sweep_ms});
+    records.push_back(
+        {"sweep_width2", "simd_kernels", rows, simd_sweep_ms});
   }
 
   std::ofstream json("BENCH_partition.json");
-  json << "{\n  \"sweep_width2_speedup_50k\": " << speedup_50k
+  json << "{\n  " << BenchMetadataJson()
+       << ",\n  \"sweep_width2_speedup_50k\": " << speedup_50k
+       << ",\n  \"simd_parity\": \""
+       << (simd_parity_ok ? "ok" : "MISMATCH")
+       << "\",\n  \"simd_intersect_speedup_50k\": " << simd_intersect_50k
+       << ",\n  \"simd_sweep_speedup_50k\": " << simd_sweep_50k
+       << ",\n  \"simd_lowcard_speedup_50k\": " << simd_lowcard_50k
        << ",\n  \"benchmarks\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
@@ -324,7 +492,7 @@ int Main() {
   json << "  ]\n}\n";
   std::printf("wrote BENCH_partition.json (%zu records, 50k sweep %.2fx)\n",
               records.size(), speedup_50k);
-  return 0;
+  return simd_parity_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "data/datasets/synthetic.h"
 #include "data/encoded_relation.h"
 #include "data/relation.h"
@@ -271,7 +272,8 @@ int Main() {
   }
 
   std::ofstream json("BENCH_service.json");
-  json << "{\n  \"warm_audit_speedup_50k\": " << speedup_50k << ",\n";
+  json << "{\n  " << BenchMetadataJson()
+       << ",\n  \"warm_audit_speedup_50k\": " << speedup_50k << ",\n";
   json << "  \"benchmarks\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];

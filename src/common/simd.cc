@@ -1,0 +1,967 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+// The vector paths use per-function target attributes so this file (and
+// the whole library) builds for a generic x86-64 baseline yet still
+// contains AVX2 code, selected at runtime. On non-x86 targets (or
+// compilers without the attribute) every level falls through to scalar.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define METALEAK_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define METALEAK_SIMD_X86 0
+#endif
+
+namespace metaleak {
+
+namespace {
+
+// --- Scalar reference kernels -------------------------------------------
+//
+// These are the semantics oracle: the vector paths below must match them
+// byte for byte on every input (tested by tests/simd_kernel_test.cc).
+
+size_t ScalarCountEqualU32(const uint32_t* a, const uint32_t* b, size_t n) {
+  size_t count = 0;
+  for (size_t r = 0; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
+size_t ScalarCountEqualF64(const double* a, const double* b, size_t n) {
+  size_t count = 0;
+  for (size_t r = 0; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
+EpsilonBallStats ScalarEpsilonBallMse(const double* real, const double* syn,
+                                      size_t n, double eps) {
+  EpsilonBallStats out;
+  for (size_t r = 0; r < n; ++r) {
+    const double rv = real[r];
+    if (std::isnan(rv)) continue;
+    const double d = rv - syn[r];
+    if (std::abs(d) <= eps) ++out.matches;
+    out.sum_squares += d * d;
+    ++out.compared;
+  }
+  return out;
+}
+
+EpsilonBallStats ScalarEpsilonBallMseCoded(const double* real,
+                                           const uint32_t* syn_codes,
+                                           const double* code_numeric,
+                                           size_t n, double eps) {
+  EpsilonBallStats out;
+  for (size_t r = 0; r < n; ++r) {
+    const double rv = real[r];
+    const double sv = code_numeric[syn_codes[r]];
+    if (std::isnan(rv) || std::isnan(sv)) continue;
+    const double d = rv - sv;
+    if (std::abs(d) <= eps) ++out.matches;
+    out.sum_squares += d * d;
+    ++out.compared;
+  }
+  return out;
+}
+
+void ScalarHistogramU32(const uint32_t* codes, size_t n, uint32_t* counts) {
+  for (size_t r = 0; r < n; ++r) ++counts[codes[r]];
+}
+
+void ScalarGatherI32(const int32_t* table, const uint32_t* idx, size_t n,
+                     int32_t* out) {
+  for (size_t k = 0; k < n; ++k) out[k] = table[idx[k]];
+}
+
+bool ScalarAllGatherEqualI32(const int32_t* table, const uint32_t* idx,
+                             size_t n, int32_t expect) {
+  for (size_t k = 0; k < n; ++k) {
+    if (table[idx[k]] != expect) return false;
+  }
+  return true;
+}
+
+bool ScalarOdViolationInRange(const uint64_t* pairs, size_t lo, size_t hi,
+                              bool strict) {
+  for (size_t i = lo; i < hi; ++i) {
+    const uint32_t px = static_cast<uint32_t>(pairs[i - 1] >> 32);
+    const uint32_t py = static_cast<uint32_t>(pairs[i - 1]);
+    const uint32_t cx = static_cast<uint32_t>(pairs[i] >> 32);
+    const uint32_t cy = static_cast<uint32_t>(pairs[i]);
+    if (cx == px) {
+      if (cy != py) return true;
+    } else if (strict) {
+      if (cy <= py) return true;
+    } else {
+      if (cy < py) return true;
+    }
+  }
+  return false;
+}
+
+void ScalarAccumulateEqualU32(const uint32_t* a, const uint32_t* b, size_t n,
+                              uint32_t* acc) {
+  for (size_t r = 0; r < n; ++r) acc[r] += a[r] == b[r];
+}
+
+void ScalarAccumulateEqualF64(const double* a, const double* b, size_t n,
+                              uint32_t* acc) {
+  for (size_t r = 0; r < n; ++r) acc[r] += a[r] == b[r];
+}
+
+void ScalarAccumulateEpsilonMatch(const double* real, const double* syn,
+                                  size_t n, double eps, uint32_t* acc) {
+  for (size_t r = 0; r < n; ++r) {
+    // NaN on either side fails the comparison, exactly like the skip
+    // predicate of the reference scan.
+    acc[r] += std::abs(real[r] - syn[r]) <= eps;
+  }
+}
+
+void ScalarAccumulateEpsilonMatchCoded(const double* real,
+                                       const uint32_t* syn_codes,
+                                       const double* code_numeric, size_t n,
+                                       double eps, uint32_t* acc) {
+  for (size_t r = 0; r < n; ++r) {
+    acc[r] += std::abs(real[r] - code_numeric[syn_codes[r]]) <= eps;
+  }
+}
+
+void ScalarAccumulateNonNull(const uint32_t* codes, size_t n,
+                             uint32_t* acc) {
+  for (size_t r = 0; r < n; ++r) acc[r] += codes[r] != 0;
+}
+
+#if METALEAK_SIMD_X86
+
+// --- SSE4.2 kernels (128-bit lanes) -------------------------------------
+
+__attribute__((target("sse4.2"))) size_t Sse42CountEqualU32(
+    const uint32_t* a, const uint32_t* b, size_t n) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + r));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + r));
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb)));
+    count += static_cast<size_t>(__builtin_popcount(mask));
+  }
+  for (; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
+__attribute__((target("sse4.2"))) size_t Sse42CountEqualF64(
+    const double* a, const double* b, size_t n) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 2 <= n; r += 2) {
+    const __m128d va = _mm_loadu_pd(a + r);
+    const __m128d vb = _mm_loadu_pd(b + r);
+    const int mask = _mm_movemask_pd(_mm_cmpeq_pd(va, vb));
+    count += static_cast<size_t>(__builtin_popcount(mask));
+  }
+  for (; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
+__attribute__((target("sse4.2"))) EpsilonBallStats Sse42EpsilonBallMse(
+    const double* real, const double* syn, size_t n, double eps) {
+  EpsilonBallStats out;
+  const __m128d veps = _mm_set1_pd(eps);
+  const __m128d sign_mask = _mm_set1_pd(-0.0);
+  size_t r = 0;
+  alignas(16) double sq[2];
+  for (; r + 2 <= n; r += 2) {
+    const __m128d vr = _mm_loadu_pd(real + r);
+    const __m128d vs = _mm_loadu_pd(syn + r);
+    // Ordered compare over the real side only: the reference scan skips
+    // NaN real cells but lets a NaN synthetic value flow into the sum.
+    const __m128d ord = _mm_cmpord_pd(vr, vr);
+    const __m128d d = _mm_sub_pd(vr, vs);
+    const __m128d ad = _mm_andnot_pd(sign_mask, d);
+    // NaN fails <=, so the match mask needs no explicit ordering test.
+    const __m128d mle = _mm_cmple_pd(ad, veps);
+    out.matches += static_cast<size_t>(
+        __builtin_popcount(_mm_movemask_pd(mle)));
+    out.compared += static_cast<size_t>(
+        __builtin_popcount(_mm_movemask_pd(ord)));
+    // Masked squares: +0.0 in the skipped lanes. Adding +0.0 leaves the
+    // accumulator bit-identical (it is never -0.0: it starts at +0.0 and
+    // only non-negative squares are added — until a NaN arrives, after
+    // which every add preserves the NaN exactly like the reference), so
+    // the lane-order adds below round exactly like the sequential sum.
+    _mm_store_pd(sq, _mm_and_pd(_mm_mul_pd(d, d), ord));
+    out.sum_squares += sq[0];
+    out.sum_squares += sq[1];
+  }
+  for (; r < n; ++r) {
+    const double rv = real[r];
+    if (std::isnan(rv)) continue;
+    const double d = rv - syn[r];
+    if (std::abs(d) <= eps) ++out.matches;
+    out.sum_squares += d * d;
+    ++out.compared;
+  }
+  return out;
+}
+
+__attribute__((target("sse4.2"))) bool Sse42OdViolationInRange(
+    const uint64_t* pairs, size_t lo, size_t hi, bool strict) {
+  const __m128i lo32 = _mm_set1_epi64x(0xFFFFFFFFll);
+  size_t i = lo;
+  for (; i + 2 <= hi; i += 2) {
+    const __m128i prev =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pairs + i - 1));
+    const __m128i cur =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pairs + i));
+    // Codes are < 2^32, so the unpacked halves are non-negative 64-bit
+    // values and the signed 64-bit compares below are exact.
+    const __m128i px = _mm_srli_epi64(prev, 32);
+    const __m128i py = _mm_and_si128(prev, lo32);
+    const __m128i cx = _mm_srli_epi64(cur, 32);
+    const __m128i cy = _mm_and_si128(cur, lo32);
+    const __m128i eqx = _mm_cmpeq_epi64(px, cx);
+    const __m128i eqy = _mm_cmpeq_epi64(py, cy);
+    const __m128i tie_viol = _mm_andnot_si128(eqy, eqx);
+    __m128i step_viol;
+    if (strict) {
+      // Violation on an lhs step: !(cy > py).
+      step_viol = _mm_andnot_si128(_mm_cmpgt_epi64(cy, py),
+                                   _mm_andnot_si128(eqx, _mm_set1_epi8(-1)));
+    } else {
+      // Violation on an lhs step: cy < py.
+      step_viol = _mm_andnot_si128(eqx, _mm_cmpgt_epi64(py, cy));
+    }
+    if (_mm_movemask_epi8(_mm_or_si128(tie_viol, step_viol)) != 0) {
+      return true;
+    }
+  }
+  return ScalarOdViolationInRange(pairs, i, hi, strict);
+}
+
+__attribute__((target("sse4.2"))) void Sse42AccumulateEqualU32(
+    const uint32_t* a, const uint32_t* b, size_t n, uint32_t* acc) {
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + r));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + r));
+    __m128i vacc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + r));
+    // The equality mask is -1 per matching lane; subtracting adds 1.
+    vacc = _mm_sub_epi32(vacc, _mm_cmpeq_epi32(va, vb));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += a[r] == b[r];
+}
+
+__attribute__((target("sse4.2"))) void Sse42AccumulateNonNull(
+    const uint32_t* codes, size_t n, uint32_t* acc) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i ones = _mm_set1_epi32(1);
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + r));
+    __m128i vacc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + r));
+    // 1 + (codes == 0 ? -1 : 0) = the non-NULL indicator.
+    vacc = _mm_add_epi32(vacc, _mm_add_epi32(ones, _mm_cmpeq_epi32(vc, zero)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += codes[r] != 0;
+}
+
+// --- AVX2 kernels (256-bit lanes, hardware gathers) ---------------------
+
+__attribute__((target("avx2"))) size_t Avx2CountEqualU32(const uint32_t* a,
+                                                         const uint32_t* b,
+                                                         size_t n) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + r));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + r));
+    const int mask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+    count += static_cast<size_t>(__builtin_popcount(mask));
+  }
+  for (; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t Avx2CountEqualF64(const double* a,
+                                                         const double* b,
+                                                         size_t n) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const __m256d va = _mm256_loadu_pd(a + r);
+    const __m256d vb = _mm256_loadu_pd(b + r);
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(va, vb, _CMP_EQ_OQ));
+    count += static_cast<size_t>(__builtin_popcount(mask));
+  }
+  for (; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
+__attribute__((target("avx2"))) EpsilonBallStats Avx2EpsilonBallMseBody(
+    const double* real, const double* syn, const uint32_t* syn_codes,
+    const double* code_numeric, size_t n, double eps) {
+  // Shared body for the plain and coded variants: `syn` supplies the
+  // synthetic lane values directly, or (when null) they are gathered
+  // through code_numeric[syn_codes[r]].
+  EpsilonBallStats out;
+  const __m256d veps = _mm256_set1_pd(eps);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  size_t r = 0;
+  alignas(32) double sq[4];
+  for (; r + 4 <= n; r += 4) {
+    const __m256d vr = _mm256_loadu_pd(real + r);
+    __m256d vs;
+    if (syn != nullptr) {
+      vs = _mm256_loadu_pd(syn + r);
+    } else {
+      const __m128i idx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(syn_codes + r));
+      // Masked gather with a zeroed source: identical to the plain
+      // gather but avoids the _mm256_undefined_pd() the plain intrinsic
+      // expands to (GCC flags it -Wmaybe-uninitialized).
+      vs = _mm256_mask_i32gather_pd(
+          _mm256_setzero_pd(), code_numeric, idx,
+          _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+    }
+    // Plain variant: skip on real-side NaN only. Coded variant: skip
+    // when either side is NaN (see the header contract).
+    const __m256d ord = syn != nullptr
+                            ? _mm256_cmp_pd(vr, vr, _CMP_ORD_Q)
+                            : _mm256_cmp_pd(vr, vs, _CMP_ORD_Q);
+    const __m256d d = _mm256_sub_pd(vr, vs);
+    const __m256d ad = _mm256_andnot_pd(sign_mask, d);
+    const __m256d mle = _mm256_cmp_pd(ad, veps, _CMP_LE_OQ);
+    out.matches +=
+        static_cast<size_t>(__builtin_popcount(_mm256_movemask_pd(mle)));
+    out.compared +=
+        static_cast<size_t>(__builtin_popcount(_mm256_movemask_pd(ord)));
+    // Masked squares added in lane order: bit-identical to the
+    // sequential reference (see the SSE4.2 variant for the argument).
+    _mm256_store_pd(sq, _mm256_and_pd(_mm256_mul_pd(d, d), ord));
+    out.sum_squares += sq[0];
+    out.sum_squares += sq[1];
+    out.sum_squares += sq[2];
+    out.sum_squares += sq[3];
+  }
+  for (; r < n; ++r) {
+    const double rv = real[r];
+    const double sv = syn != nullptr ? syn[r] : code_numeric[syn_codes[r]];
+    if (std::isnan(rv) || (syn == nullptr && std::isnan(sv))) continue;
+    const double d = rv - sv;
+    if (std::abs(d) <= eps) ++out.matches;
+    out.sum_squares += d * d;
+    ++out.compared;
+  }
+  return out;
+}
+
+__attribute__((target("avx2"))) void Avx2GatherI32(const int32_t* table,
+                                                   const uint32_t* idx,
+                                                   size_t n, int32_t* out) {
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
+    const __m256i vals = _mm256_mask_i32gather_epi32(
+        _mm256_setzero_si256(), table, vidx, _mm256_set1_epi32(-1), 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k), vals);
+  }
+  for (; k < n; ++k) out[k] = table[idx[k]];
+}
+
+__attribute__((target("avx2"))) bool Avx2AllGatherEqualI32(
+    const int32_t* table, const uint32_t* idx, size_t n, int32_t expect) {
+  const __m256i vexpect = _mm256_set1_epi32(expect);
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
+    const __m256i vals = _mm256_mask_i32gather_epi32(
+        _mm256_setzero_si256(), table, vidx, _mm256_set1_epi32(-1), 4);
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi32(vals, vexpect)) != -1) {
+      return false;
+    }
+  }
+  for (; k < n; ++k) {
+    if (table[idx[k]] != expect) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) bool Avx2OdViolationInRange(
+    const uint64_t* pairs, size_t lo, size_t hi, bool strict) {
+  const __m256i lo32 = _mm256_set1_epi64x(0xFFFFFFFFll);
+  const __m256i all_ones = _mm256_set1_epi8(-1);
+  size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const __m256i prev =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pairs + i - 1));
+    const __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pairs + i));
+    const __m256i px = _mm256_srli_epi64(prev, 32);
+    const __m256i py = _mm256_and_si256(prev, lo32);
+    const __m256i cx = _mm256_srli_epi64(cur, 32);
+    const __m256i cy = _mm256_and_si256(cur, lo32);
+    const __m256i eqx = _mm256_cmpeq_epi64(px, cx);
+    const __m256i eqy = _mm256_cmpeq_epi64(py, cy);
+    const __m256i tie_viol = _mm256_andnot_si256(eqy, eqx);
+    __m256i step_viol;
+    if (strict) {
+      step_viol = _mm256_andnot_si256(_mm256_cmpgt_epi64(cy, py),
+                                      _mm256_andnot_si256(eqx, all_ones));
+    } else {
+      step_viol = _mm256_andnot_si256(eqx, _mm256_cmpgt_epi64(py, cy));
+    }
+    if (_mm256_movemask_epi8(_mm256_or_si256(tie_viol, step_viol)) != 0) {
+      return true;
+    }
+  }
+  return ScalarOdViolationInRange(pairs, i, hi, strict);
+}
+
+__attribute__((target("avx2"))) void Avx2AccumulateEqualU32(
+    const uint32_t* a, const uint32_t* b, size_t n, uint32_t* acc) {
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + r));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + r));
+    __m256i vacc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + r));
+    vacc = _mm256_sub_epi32(vacc, _mm256_cmpeq_epi32(va, vb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += a[r] == b[r];
+}
+
+__attribute__((target("avx2"))) void Avx2AccumulateEpsilonBody(
+    const double* real, const double* syn, const uint32_t* syn_codes,
+    const double* code_numeric, size_t n, double eps, uint32_t* acc) {
+  const __m256d veps = _mm256_set1_pd(eps);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const __m256d vr = _mm256_loadu_pd(real + r);
+    __m256d vs;
+    if (syn != nullptr) {
+      vs = _mm256_loadu_pd(syn + r);
+    } else {
+      const __m128i idx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(syn_codes + r));
+      // Masked gather with a zeroed source: identical to the plain
+      // gather but avoids the _mm256_undefined_pd() the plain intrinsic
+      // expands to (GCC flags it -Wmaybe-uninitialized).
+      vs = _mm256_mask_i32gather_pd(
+          _mm256_setzero_pd(), code_numeric, idx,
+          _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+    }
+    const __m256d ad = _mm256_andnot_pd(sign_mask, _mm256_sub_pd(vr, vs));
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(ad, veps, _CMP_LE_OQ));
+    acc[r + 0] += (mask >> 0) & 1;
+    acc[r + 1] += (mask >> 1) & 1;
+    acc[r + 2] += (mask >> 2) & 1;
+    acc[r + 3] += (mask >> 3) & 1;
+  }
+  for (; r < n; ++r) {
+    const double sv = syn != nullptr ? syn[r] : code_numeric[syn_codes[r]];
+    acc[r] += std::abs(real[r] - sv) <= eps;
+  }
+}
+
+__attribute__((target("avx2"))) void Avx2AccumulateEqualF64(
+    const double* a, const double* b, size_t n, uint32_t* acc) {
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const __m256d va = _mm256_loadu_pd(a + r);
+    const __m256d vb = _mm256_loadu_pd(b + r);
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(va, vb, _CMP_EQ_OQ));
+    acc[r + 0] += (mask >> 0) & 1;
+    acc[r + 1] += (mask >> 1) & 1;
+    acc[r + 2] += (mask >> 2) & 1;
+    acc[r + 3] += (mask >> 3) & 1;
+  }
+  for (; r < n; ++r) acc[r] += a[r] == b[r];
+}
+
+__attribute__((target("avx2"))) void Avx2AccumulateNonNull(
+    const uint32_t* codes, size_t n, uint32_t* acc) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi32(1);
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + r));
+    __m256i vacc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + r));
+    vacc = _mm256_add_epi32(
+        vacc, _mm256_add_epi32(ones, _mm256_cmpeq_epi32(vc, zero)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += codes[r] != 0;
+}
+
+#endif  // METALEAK_SIMD_X86
+
+// --- Sliced histogram ----------------------------------------------------
+
+// Gather-free counting with four interleaved count arrays: consecutive
+// codes hit different slices, breaking the store-forwarding stall the
+// naive ++counts[code] loop suffers on skewed data. Exact integer sums,
+// so the result is identical to the naive loop. Only worth the extra
+// memory on small dictionaries.
+constexpr uint32_t kHistogramSliceMaxCodes = 4096;
+
+void SlicedHistogramU32(const uint32_t* codes, size_t n, uint32_t num_codes,
+                        uint32_t* counts) {
+  std::vector<uint32_t> sliced(size_t{4} * num_codes, 0);
+  uint32_t* s0 = sliced.data();
+  uint32_t* s1 = s0 + num_codes;
+  uint32_t* s2 = s1 + num_codes;
+  uint32_t* s3 = s2 + num_codes;
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    ++s0[codes[r + 0]];
+    ++s1[codes[r + 1]];
+    ++s2[codes[r + 2]];
+    ++s3[codes[r + 3]];
+  }
+  for (; r < n; ++r) ++s0[codes[r]];
+  for (uint32_t c = 0; c < num_codes; ++c) {
+    counts[c] += s0[c] + s1[c] + s2[c] + s3[c];
+  }
+}
+
+// --- Dispatch state ------------------------------------------------------
+
+SimdLevel DetectSupportedLevel() {
+#if METALEAK_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSse42;
+#endif
+  return SimdLevel::kScalar;
+}
+
+struct EnvResolution {
+  SimdLevel level = SimdLevel::kScalar;
+  std::string raw = "unset";
+};
+
+const EnvResolution& ResolveEnv() {
+  static const EnvResolution resolved = [] {
+    EnvResolution r;
+    const SimdLevel supported = SupportedSimdLevel();
+    r.level = supported;
+    const char* env = std::getenv("METALEAK_SIMD");
+    if (env != nullptr && env[0] != '\0') {
+      r.raw = env;
+      std::string v(env);
+      for (char& ch : v) ch = static_cast<char>(std::tolower(ch));
+      if (v == "off" || v == "scalar" || v == "0" || v == "none") {
+        r.level = SimdLevel::kScalar;
+      } else if (v == "sse4.2" || v == "sse42" || v == "sse4") {
+        r.level = std::min(supported, SimdLevel::kSse42);
+      } else if (v == "avx2") {
+        r.level = std::min(supported, SimdLevel::kAvx2);
+      } else if (v != "auto") {
+        METALEAK_LOG(kWarning)
+            << "unrecognized METALEAK_SIMD value \"" << env
+            << "\" (expected off|sse4.2|avx2|auto); using auto";
+      }
+    }
+    METALEAK_LOG(kInfo) << "SIMD dispatch: " << SimdLevelName(r.level)
+                        << " kernels (supported: "
+                        << SimdLevelName(supported)
+                        << ", METALEAK_SIMD=" << r.raw << ")";
+    return r;
+  }();
+  return resolved;
+}
+
+// Test/bench override: -1 = none. Relaxed atomics are enough — overrides
+// are installed between kernel phases, never mid-kernel.
+std::atomic<int> g_level_override{-1};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse4.2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel SupportedSimdLevel() {
+  static const SimdLevel level = DetectSupportedLevel();
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int override_level = g_level_override.load(std::memory_order_relaxed);
+  if (override_level >= 0) return static_cast<SimdLevel>(override_level);
+  return ResolveEnv().level;
+}
+
+const char* SimdEnvSetting() { return ResolveEnv().raw.c_str(); }
+
+void SetSimdLevelOverride(SimdLevel level) {
+  const SimdLevel clamped = std::min(level, SupportedSimdLevel());
+  g_level_override.store(static_cast<int>(clamped),
+                         std::memory_order_relaxed);
+}
+
+void ClearSimdLevelOverride() {
+  g_level_override.store(-1, std::memory_order_relaxed);
+}
+
+HostInfo QueryHostInfo() {
+  HostInfo info;
+  info.cpu_model = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) info.cpu_model = line.substr(start);
+      }
+      break;
+    }
+  }
+  std::ostringstream features;
+#if METALEAK_SIMD_X86
+  const char* sep = "";
+  if (__builtin_cpu_supports("sse4.2")) {
+    features << sep << "sse4.2";
+    sep = " ";
+  }
+  if (__builtin_cpu_supports("popcnt")) {
+    features << sep << "popcnt";
+    sep = " ";
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    features << sep << "avx2";
+    sep = " ";
+  }
+  if (__builtin_cpu_supports("avx512f")) {
+    features << sep << "avx512f";
+    sep = " ";
+  }
+#else
+  features << "non-x86";
+#endif
+  info.cpu_features = features.str();
+  info.hardware_threads = std::thread::hardware_concurrency();
+  return info;
+}
+
+std::string BenchMetadataJson() {
+  const HostInfo host = QueryHostInfo();
+  const char* threads_env = std::getenv("METALEAK_THREADS");
+  std::ostringstream os;
+  os << "\"meta\": {"
+     << "\"cpu_model\": \"" << JsonEscape(host.cpu_model) << "\", "
+     << "\"cpu_features\": \"" << JsonEscape(host.cpu_features) << "\", "
+     << "\"hardware_threads\": " << host.hardware_threads << ", "
+     << "\"simd_level\": \"" << SimdLevelName(ActiveSimdLevel()) << "\", "
+     << "\"simd_supported\": \"" << SimdLevelName(SupportedSimdLevel())
+     << "\", "
+     << "\"simd_env\": \"" << JsonEscape(SimdEnvSetting()) << "\", "
+     << "\"threads_env\": \""
+     << JsonEscape(threads_env != nullptr ? threads_env : "unset")
+     << "\"}";
+  return os.str();
+}
+
+// --- Kernel dispatch -----------------------------------------------------
+
+size_t CountEqualU32(SimdLevel level, const uint32_t* a, const uint32_t* b,
+                     size_t n) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return Avx2CountEqualU32(a, b, n);
+    case SimdLevel::kSse42:
+      return Sse42CountEqualU32(a, b, n);
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return ScalarCountEqualU32(a, b, n);
+}
+
+size_t CountEqualF64(SimdLevel level, const double* a, const double* b,
+                     size_t n) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return Avx2CountEqualF64(a, b, n);
+    case SimdLevel::kSse42:
+      return Sse42CountEqualF64(a, b, n);
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return ScalarCountEqualF64(a, b, n);
+}
+
+EpsilonBallStats EpsilonBallMse(SimdLevel level, const double* real,
+                                const double* syn, size_t n, double eps) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return Avx2EpsilonBallMseBody(real, syn, nullptr, nullptr, n, eps);
+    case SimdLevel::kSse42:
+      return Sse42EpsilonBallMse(real, syn, n, eps);
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return ScalarEpsilonBallMse(real, syn, n, eps);
+}
+
+EpsilonBallStats EpsilonBallMseCoded(SimdLevel level, const double* real,
+                                     const uint32_t* syn_codes,
+                                     const double* code_numeric, size_t n,
+                                     double eps) {
+#if METALEAK_SIMD_X86
+  if (level == SimdLevel::kAvx2) {
+    return Avx2EpsilonBallMseBody(real, nullptr, syn_codes, code_numeric, n,
+                                  eps);
+  }
+#else
+  (void)level;
+#endif
+  // No hardware gather below AVX2; the scalar loop is the best option.
+  return ScalarEpsilonBallMseCoded(real, syn_codes, code_numeric, n, eps);
+}
+
+void HistogramU32(SimdLevel level, const uint32_t* codes, size_t n,
+                  uint32_t num_codes, uint32_t* counts) {
+  // The slices only pay off when the 4x counts fit comfortably in cache
+  // and the scan is long enough to amortize the final merge.
+  if (level != SimdLevel::kScalar && num_codes > 0 &&
+      num_codes <= kHistogramSliceMaxCodes &&
+      n >= size_t{8} * num_codes) {
+    SlicedHistogramU32(codes, n, num_codes, counts);
+    return;
+  }
+  ScalarHistogramU32(codes, n, counts);
+}
+
+void GatherI32(SimdLevel level, const int32_t* table, const uint32_t* idx,
+               size_t n, int32_t* out) {
+#if METALEAK_SIMD_X86
+  if (level == SimdLevel::kAvx2) {
+    Avx2GatherI32(table, idx, n, out);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  ScalarGatherI32(table, idx, n, out);
+}
+
+bool AllGatherEqualI32(SimdLevel level, const int32_t* table,
+                       const uint32_t* idx, size_t n, int32_t expect) {
+#if METALEAK_SIMD_X86
+  if (level == SimdLevel::kAvx2) {
+    return Avx2AllGatherEqualI32(table, idx, n, expect);
+  }
+#else
+  (void)level;
+#endif
+  return ScalarAllGatherEqualI32(table, idx, n, expect);
+}
+
+bool OdViolationInRange(SimdLevel level, const uint64_t* pairs, size_t lo,
+                        size_t hi, bool strict) {
+  METALEAK_DCHECK(lo >= 1);
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return Avx2OdViolationInRange(pairs, lo, hi, strict);
+    case SimdLevel::kSse42:
+      return Sse42OdViolationInRange(pairs, lo, hi, strict);
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return ScalarOdViolationInRange(pairs, lo, hi, strict);
+}
+
+void AccumulateEqualU32(SimdLevel level, const uint32_t* a,
+                        const uint32_t* b, size_t n, uint32_t* acc) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      Avx2AccumulateEqualU32(a, b, n, acc);
+      return;
+    case SimdLevel::kSse42:
+      Sse42AccumulateEqualU32(a, b, n, acc);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  ScalarAccumulateEqualU32(a, b, n, acc);
+}
+
+void AccumulateEqualF64(SimdLevel level, const double* a, const double* b,
+                        size_t n, uint32_t* acc) {
+#if METALEAK_SIMD_X86
+  if (level == SimdLevel::kAvx2) {
+    Avx2AccumulateEqualF64(a, b, n, acc);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  ScalarAccumulateEqualF64(a, b, n, acc);
+}
+
+void AccumulateEpsilonMatch(SimdLevel level, const double* real,
+                            const double* syn, size_t n, double eps,
+                            uint32_t* acc) {
+#if METALEAK_SIMD_X86
+  if (level == SimdLevel::kAvx2) {
+    Avx2AccumulateEpsilonBody(real, syn, nullptr, nullptr, n, eps, acc);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  ScalarAccumulateEpsilonMatch(real, syn, n, eps, acc);
+}
+
+void AccumulateEpsilonMatchCoded(SimdLevel level, const double* real,
+                                 const uint32_t* syn_codes,
+                                 const double* code_numeric, size_t n,
+                                 double eps, uint32_t* acc) {
+#if METALEAK_SIMD_X86
+  if (level == SimdLevel::kAvx2) {
+    Avx2AccumulateEpsilonBody(real, nullptr, syn_codes, code_numeric, n, eps,
+                              acc);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  ScalarAccumulateEpsilonMatchCoded(real, syn_codes, code_numeric, n, eps,
+                                    acc);
+}
+
+void AccumulateNonNull(SimdLevel level, const uint32_t* codes, size_t n,
+                       uint32_t* acc) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      Avx2AccumulateNonNull(codes, n, acc);
+      return;
+    case SimdLevel::kSse42:
+      Sse42AccumulateNonNull(codes, n, acc);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  ScalarAccumulateNonNull(codes, n, acc);
+}
+
+// --- Bit-parallel row sets -----------------------------------------------
+
+void BitsetOrInto(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+void BitsetOrNotInto(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] |= ~src[w];
+}
+
+size_t BitsetAndCount(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                      size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    const uint64_t v = a[w] & b[w];
+    dst[w] = v;
+    count += static_cast<size_t>(__builtin_popcountll(v));
+  }
+  return count;
+}
+
+size_t BitsetAndPopcount(const uint64_t* a, const uint64_t* b,
+                         size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return count;
+}
+
+size_t BitsetCount(const uint64_t* words_ptr, size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(words_ptr[w]));
+  }
+  return count;
+}
+
+}  // namespace metaleak

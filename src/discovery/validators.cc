@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace metaleak {
 
@@ -128,25 +129,15 @@ bool ValidateOd(const EncodedRelation& relation, size_t lhs, size_t rhs) {
   if (pairs.size() < 2) return true;
   // Every adjacent pair (i-1, i) is checked by the chunk owning index i;
   // chunks partition [1, n), so each pair is seen exactly once and the
-  // AND-reduction over chunk verdicts equals the serial scan.
+  // AND-reduction over chunk verdicts equals the serial scan. The chunk
+  // body is the vectorized sorted-pair violation kernel (lhs tie with
+  // differing rhs, or lhs step with decreasing rhs).
+  const SimdLevel level = ActiveSimdLevel();
   return ParallelReduce<bool>(
       1, pairs.size(), kPairScanGrain, true,
       [&](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) {
-          const uint32_t px = static_cast<uint32_t>(pairs[i - 1] >> 32);
-          const uint32_t py = static_cast<uint32_t>(pairs[i - 1]);
-          const uint32_t cx = static_cast<uint32_t>(pairs[i] >> 32);
-          const uint32_t cy = static_cast<uint32_t>(pairs[i]);
-          if (cx == px) {
-            // lhs tie: both directions of the implication force rhs
-            // equality.
-            if (cy != py) return false;
-          } else {
-            // lhs strictly increased: rhs must not decrease.
-            if (cy < py) return false;
-          }
-        }
-        return true;
+        return !OdViolationInRange(level, pairs.data(), lo, hi,
+                                   /*strict=*/false);
       },
       [](bool a, bool b) { return a && b; });
 }
@@ -154,22 +145,14 @@ bool ValidateOd(const EncodedRelation& relation, size_t lhs, size_t rhs) {
 bool ValidateOfd(const EncodedRelation& relation, size_t lhs, size_t rhs) {
   std::vector<uint64_t> pairs = SortedCodePairs(relation, lhs, rhs);
   if (pairs.size() < 2) return true;
+  // As ValidateOd, with the strict rule: on an lhs step the rhs must
+  // strictly increase.
+  const SimdLevel level = ActiveSimdLevel();
   return ParallelReduce<bool>(
       1, pairs.size(), kPairScanGrain, true,
       [&](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) {
-          const uint32_t px = static_cast<uint32_t>(pairs[i - 1] >> 32);
-          const uint32_t py = static_cast<uint32_t>(pairs[i - 1]);
-          const uint32_t cx = static_cast<uint32_t>(pairs[i] >> 32);
-          const uint32_t cy = static_cast<uint32_t>(pairs[i]);
-          if (cx == px) {
-            if (cy != py) return false;  // FD part
-          } else {
-            // Strict order preservation.
-            if (cy <= py) return false;
-          }
-        }
-        return true;
+        return !OdViolationInRange(level, pairs.data(), lo, hi,
+                                   /*strict=*/true);
       },
       [](bool a, bool b) { return a && b; });
 }

@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace metaleak {
 
@@ -30,6 +31,14 @@ struct RowKeyHash {
 };
 
 constexpr uint32_t kNoSlot = UINT32_MAX;
+
+// Gather kernels use signed 32-bit row indices; every builder DCHECKs
+// num_rows < UINT32_MAX, but the gather paths additionally need rows to
+// fit in int32, so they drop to scalar beyond that.
+SimdLevel GatherLevel(size_t num_rows) {
+  return num_rows < static_cast<size_t>(INT32_MAX) ? ActiveSimdLevel()
+                                                   : SimdLevel::kScalar;
+}
 
 }  // namespace
 
@@ -102,12 +111,12 @@ PositionListIndex PositionListIndex::FromCodes(
     const std::vector<uint32_t>& codes, uint32_t num_codes) {
   const size_t n = codes.size();
   METALEAK_DCHECK(n < UINT32_MAX);
-  // Pass 1: occurrences per code.
+#ifndef NDEBUG
+  for (uint32_t code : codes) METALEAK_DCHECK(code < num_codes);
+#endif
+  // Pass 1: occurrences per code (sliced counting on small dictionaries).
   std::vector<uint32_t> counts(num_codes, 0);
-  for (uint32_t code : codes) {
-    METALEAK_DCHECK(code < num_codes);
-    ++counts[code];
-  }
+  HistogramU32(ActiveSimdLevel(), codes.data(), n, num_codes, counts.data());
   // Cluster slots for codes occurring >= 2 times (ascending code order);
   // singletons are stripped. The prefix sums become the CSR offsets.
   std::vector<uint32_t> slot(num_codes, kNoSlot);
@@ -252,6 +261,7 @@ PositionListIndex PositionListIndex::Intersect(
   const bool other_smaller = other.rows_.size() < rows_.size();
   const PositionListIndex& iter = other_smaller ? other : *this;
   const PositionListIndex& probe_side = other_smaller ? *this : other;
+
   const std::vector<int32_t>& probe = probe_side.probe_table();
 
   // Grow-only workspace; `counts` is all zero on entry and restored to all
@@ -273,10 +283,17 @@ PositionListIndex PositionListIndex::Intersect(
   // subclusters appear in first-occurrence order of the probe class
   // within the cluster — deterministic, and row order inside each
   // subcluster stays ascending because the cluster scan is ascending.
+  const SimdLevel gather_level = GatherLevel(num_rows_);
+  std::vector<int32_t>& ids = scratch->ids;
   for (const ClusterView cl : iter.clusters()) {
     touched.clear();
-    for (size_t row : cl) {
-      int32_t id = probe[row];
+    // Gather the probe ids of the whole cluster once; both passes below
+    // read the buffer instead of re-probing the table.
+    const size_t m = cl.size();
+    ids.resize(m);
+    GatherI32(gather_level, probe.data(), cl.begin(), m, ids.data());
+    for (size_t i = 0; i < m; ++i) {
+      int32_t id = ids[i];
       if (id == kUnique) continue;
       if (counts[id]++ == 0) touched.push_back(static_cast<uint32_t>(id));
     }
@@ -291,10 +308,10 @@ PositionListIndex PositionListIndex::Intersect(
       }
     }
     out_rows.resize(total);
-    for (size_t row : cl) {
-      int32_t id = probe[row];
+    for (size_t i = 0; i < m; ++i) {
+      int32_t id = ids[i];
       if (id == kUnique || cursor[id] == kNoSlot) continue;
-      out_rows[cursor[id]++] = static_cast<Row>(row);
+      out_rows[cursor[id]++] = cl.begin()[i];
     }
     for (uint32_t id : touched) counts[id] = 0;
   }
@@ -302,16 +319,81 @@ PositionListIndex PositionListIndex::Intersect(
                            num_rows_);
 }
 
+const std::vector<uint64_t>& PositionListIndex::cluster_bitmaps() const {
+  std::call_once(probe_->bitmaps_once, [this] {
+    METALEAK_DCHECK(num_clusters() <= kBitsetMaxClusters);
+    const size_t words = BitsetWords(num_rows_);
+    std::vector<uint64_t>& bits = probe_->bitmaps;
+    bits.assign(num_clusters() * words, 0);
+    for (size_t c = 0; c < num_clusters(); ++c) {
+      uint64_t* w = bits.data() + c * words;
+      for (size_t row : cluster(c)) {
+        w[row >> 6] |= uint64_t{1} << (row & 63);
+      }
+    }
+  });
+  return probe_->bitmaps;
+}
+
+bool PositionListIndex::BitsetCountingApplies(
+    const PositionListIndex& other, SimdLevel level) const {
+  // The counting queries (Refines / G3Error / MaxFanout) AND each
+  // cluster bitmap of this against every bitmap of `other` and popcount:
+  // ca * cb * words word operations, 64 rows per word, no per-row
+  // gathers. The gathered probe scan they replace touches every stripped
+  // row of this. The gate depends only on sizes and the dispatch level,
+  // and both paths produce identical integers, so either route yields
+  // the same answer.
+  if (level == SimdLevel::kScalar) return false;
+  const size_t ca = num_clusters();
+  const size_t cb = other.num_clusters();
+  if (ca == 0 || cb == 0 || ca > kBitsetMaxClusters ||
+      cb > kBitsetMaxClusters) {
+    return false;
+  }
+  const size_t words = BitsetWords(num_rows_);
+  return (ca + cb + ca * cb) * words < rows_.size();
+}
+
 bool PositionListIndex::Refines(const PositionListIndex& other) const {
   METALEAK_DCHECK(num_rows_ == other.num_rows_);
+  if (BitsetCountingApplies(other, ActiveSimdLevel())) {
+    // A cluster lies inside one class of `other` iff some other-cluster
+    // bitmap covers it entirely (an overlap equal to the cluster size).
+    // Any partial overlap means the cluster straddles two classes, and a
+    // cluster overlapping no bitmap consists of other-unique rows; both
+    // are violations (clusters are stripped, so size >= 2).
+    const size_t words = BitsetWords(num_rows_);
+    const std::vector<uint64_t>& abits = cluster_bitmaps();
+    const std::vector<uint64_t>& bbits = other.cluster_bitmaps();
+    const size_t cb = other.num_clusters();
+    for (size_t a = 0; a < num_clusters(); ++a) {
+      const uint64_t* aw = abits.data() + a * words;
+      const size_t size = cluster(a).size();
+      bool covered = false;
+      for (size_t b = 0; b < cb; ++b) {
+        const size_t overlap =
+            BitsetAndPopcount(aw, bbits.data() + b * words, words);
+        if (overlap == size) {
+          covered = true;
+          break;
+        }
+        if (overlap > 0) break;  // straddles classes: violation
+      }
+      if (!covered) return false;
+    }
+    return true;
+  }
   const std::vector<int32_t>& probe = other.probe_table();
+  const SimdLevel gather_level = GatherLevel(num_rows_);
   for (const ClusterView cl : clusters()) {
     int32_t first = probe[cl[0]];
     // A stripped (size >= 2) cluster containing a row that is unique in
     // `other` has two rows disagreeing on the RHS: violation.
     if (first == kUnique) return false;
-    for (size_t i = 1; i < cl.size(); ++i) {
-      if (probe[cl[i]] != first) return false;
+    if (!AllGatherEqualI32(gather_level, probe.data(), cl.begin() + 1,
+                           cl.size() - 1, first)) {
+      return false;
     }
   }
   return true;
@@ -320,6 +402,34 @@ bool PositionListIndex::Refines(const PositionListIndex& other) const {
 double PositionListIndex::G3Error(const PositionListIndex& other) const {
   METALEAK_DCHECK(num_rows_ == other.num_rows_);
   if (num_rows_ == 0) return 0.0;
+  if (BitsetCountingApplies(other, ActiveSimdLevel())) {
+    // Keep the majority other-class of each cluster; every other row is
+    // a violation. Overlap counts come from AND+popcount over the packed
+    // bitmaps, and rows in no other-cluster are other-unique (their own
+    // class of size 1). Integer-exact, so the result is bit-identical to
+    // the gathered scan below.
+    const size_t words = BitsetWords(num_rows_);
+    const std::vector<uint64_t>& abits = cluster_bitmaps();
+    const std::vector<uint64_t>& bbits = other.cluster_bitmaps();
+    const size_t cb = other.num_clusters();
+    size_t violations = 0;
+    for (size_t a = 0; a < num_clusters(); ++a) {
+      const uint64_t* aw = abits.data() + a * words;
+      const size_t size = cluster(a).size();
+      size_t max_count = 0;
+      size_t in_clusters = 0;
+      for (size_t b = 0; b < cb; ++b) {
+        const size_t overlap =
+            BitsetAndPopcount(aw, bbits.data() + b * words, words);
+        in_clusters += overlap;
+        if (overlap > max_count) max_count = overlap;
+      }
+      if (max_count == 0 && in_clusters < size) max_count = 1;
+      violations += size - max_count;
+    }
+    return static_cast<double>(violations) /
+           static_cast<double>(num_rows_);
+  }
   const std::vector<int32_t>& probe = other.probe_table();
   const size_t probe_clusters = other.num_clusters();
   // Per-cluster violation counts are independent; chunk the cluster list
@@ -333,13 +443,18 @@ double PositionListIndex::G3Error(const PositionListIndex& other) const {
         size_t chunk_violations = 0;
         std::vector<uint32_t> counts(probe_clusters, 0);
         std::vector<uint32_t> touched;
+        std::vector<int32_t> ids;
+        const SimdLevel gather_level = GatherLevel(num_rows_);
         for (size_t k = lo; k < hi; ++k) {
           const ClusterView cl = cluster(k);
           touched.clear();
+          const size_t m = cl.size();
+          ids.resize(m);
+          GatherI32(gather_level, probe.data(), cl.begin(), m, ids.data());
           size_t unique_rows = 0;
           size_t max_count = 0;
-          for (size_t row : cl) {
-            int32_t id = probe[row];
+          for (size_t i = 0; i < m; ++i) {
+            int32_t id = ids[i];
             if (id == kUnique) {
               // Singleton in `other`: its own class of size 1.
               ++unique_rows;
@@ -360,15 +475,44 @@ double PositionListIndex::G3Error(const PositionListIndex& other) const {
 
 size_t PositionListIndex::MaxFanout(const PositionListIndex& other) const {
   METALEAK_DCHECK(num_rows_ == other.num_rows_);
+  if (BitsetCountingApplies(other, ActiveSimdLevel())) {
+    // Distinct other-classes in a cluster = other-clusters with a
+    // non-empty overlap, plus one class per row that is other-unique.
+    const size_t words = BitsetWords(num_rows_);
+    const std::vector<uint64_t>& abits = cluster_bitmaps();
+    const std::vector<uint64_t>& bbits = other.cluster_bitmaps();
+    const size_t cb = other.num_clusters();
+    size_t max_fanout = num_rows_ > 0 ? 1 : 0;
+    for (size_t a = 0; a < num_clusters(); ++a) {
+      const uint64_t* aw = abits.data() + a * words;
+      const size_t size = cluster(a).size();
+      size_t distinct = 0;
+      size_t in_clusters = 0;
+      for (size_t b = 0; b < cb; ++b) {
+        const size_t overlap =
+            BitsetAndPopcount(aw, bbits.data() + b * words, words);
+        in_clusters += overlap;
+        if (overlap > 0) ++distinct;
+      }
+      distinct += size - in_clusters;  // other-unique rows
+      if (distinct > max_fanout) max_fanout = distinct;
+    }
+    return max_fanout;
+  }
   const std::vector<int32_t>& probe = other.probe_table();
+  const SimdLevel gather_level = GatherLevel(num_rows_);
   size_t max_fanout = num_rows_ > 0 ? 1 : 0;
   std::vector<uint32_t> seen(other.num_clusters(), 0);
   std::vector<uint32_t> touched;
+  std::vector<int32_t> ids;
   for (const ClusterView cl : clusters()) {
     touched.clear();
+    const size_t m = cl.size();
+    ids.resize(m);
+    GatherI32(gather_level, probe.data(), cl.begin(), m, ids.data());
     size_t distinct = 0;
-    for (size_t row : cl) {
-      int32_t id = probe[row];
+    for (size_t i = 0; i < m; ++i) {
+      int32_t id = ids[i];
       if (id == kUnique) {
         ++distinct;  // each RHS-singleton is its own value
       } else if (seen[id]++ == 0) {

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/simd.h"
 #include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "data/value.h"
@@ -56,6 +57,7 @@ struct IntersectionScratch {
   std::vector<uint32_t> counts;   // per probe-side cluster: rows seen
   std::vector<uint32_t> cursor;   // per probe-side cluster: write cursor
   std::vector<uint32_t> touched;  // probe ids hit, first-occurrence order
+  std::vector<int32_t> ids;       // gathered probe ids of the iterated cluster
 };
 
 class PositionListIndex {
@@ -215,6 +217,19 @@ class PositionListIndex {
   static constexpr int32_t kUnique = -1;
   const std::vector<int32_t>& probe_table() const;
 
+  /// Largest cluster count for which the bit-parallel counting queries
+  /// apply (one bitmap per cluster; beyond this the AND sweep over all
+  /// cluster pairs stops paying for itself).
+  static constexpr size_t kBitsetMaxClusters = 64;
+
+  /// Per-cluster membership bitmaps, packed 64 rows to a word: bitmap c
+  /// occupies words [c * BitsetWords(num_rows), (c+1) * ...). Only built
+  /// for partitions with num_clusters() <= kBitsetMaxClusters (DCHECKed).
+  /// Lazily built and cached like the probe table; the bit-parallel
+  /// G3Error / MaxFanout / Refines paths AND these against the other
+  /// side's bitmaps and popcount, never touching row ids.
+  const std::vector<uint64_t>& cluster_bitmaps() const;
+
   /// True iff this partition refines `other`: every cluster of this lies
   /// inside one class of `other`. FD X->A holds iff pli(X).Refines(pli(A)).
   bool Refines(const PositionListIndex& other) const;
@@ -236,7 +251,16 @@ class PositionListIndex {
   struct ProbeState {
     std::once_flag once;
     std::vector<int32_t> table;
+    std::once_flag bitmaps_once;
+    std::vector<uint64_t> bitmaps;
   };
+
+  /// True when the bit-parallel counting path applies to a query of this
+  /// against `other` at the given dispatch level: both sides small enough
+  /// for per-cluster bitmaps and the AND sweep cheaper than the gathered
+  /// row scan.
+  bool BitsetCountingApplies(const PositionListIndex& other,
+                             SimdLevel level) const;
 
   PositionListIndex(std::vector<Row> rows, std::vector<uint32_t> offsets,
                     size_t num_rows);

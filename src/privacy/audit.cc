@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "data/domain.h"
@@ -147,6 +148,12 @@ std::string AuditResult::ToMarkdown() const {
     }
     os << stats_table.ToMarkdown() << '\n';
   }
+
+  os << "## Kernel dispatch\n\n";
+  os << "Inner scans ran with `" << SimdLevelName(ActiveSimdLevel())
+     << "` kernels (host supports `" << SimdLevelName(SupportedSimdLevel())
+     << "`, `METALEAK_SIMD=" << SimdEnvSetting()
+     << "`). All levels produce byte-identical results.\n\n";
 
   if (cache_stats.has_value()) {
     os << "## Cache observability\n\n";

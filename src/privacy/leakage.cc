@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/simd.h"
 #include "data/domain.h"
 
 namespace metaleak {
@@ -302,57 +303,45 @@ Status EncodedLeakageContext::Evaluate(const EncodedBatch& batch,
                            fallback_reason_);
   }
   const size_t n = num_rows_;
+  // All four scans dispatch through the SIMD kernel layer; every kernel
+  // is byte-identical to the scalar loop it replaced (including NaN
+  // handling and the row-order MSE accumulation), so the code-vs-value
+  // golden parity is preserved at any dispatch level.
+  const SimdLevel level = ActiveSimdLevel();
   for (size_t c = 0; c < attrs_.size(); ++c) {
     const AttrPlan& plan = attrs_[c];
     AttributeRoundStats& out = stats[c];
     out = AttributeRoundStats{};
     if (plan.semantic == SemanticType::kCategorical) {
-      size_t matches = 0;
       if (plan.kind == EncodedBatch::ColumnKind::kCodes) {
-        const std::vector<uint32_t>& syn = batch.codes(c);
-        const std::vector<uint32_t>& rc = plan.real_codes;
         // A synthetic NULL (code 0) never matches: real cells translate
         // to domain codes >= 1 or the sentinel.
-        for (size_t r = 0; r < n; ++r) matches += rc[r] == syn[r];
+        out.matches =
+            CountEqualU32(level, plan.real_codes.data(),
+                          batch.codes(c).data(), n);
       } else {
-        const std::vector<double>& syn = batch.reals(c);
-        const std::vector<double>& rn = plan.real_numeric;
         // NaN real entries (NULL / non-numeric) fail every comparison.
-        for (size_t r = 0; r < n; ++r) matches += rn[r] == syn[r];
+        out.matches =
+            CountEqualF64(level, plan.real_numeric.data(),
+                          batch.reals(c).data(), n);
       }
-      out.matches = matches;
       continue;
     }
     // Continuous: epsilon-ball matches + MSE accumulated in row order
     // with the value path's exact skip predicate.
-    size_t matches = 0;
-    double acc = 0.0;
-    size_t compared = 0;
-    const std::vector<double>& rn = plan.real_numeric;
+    EpsilonBallStats ball;
     if (plan.kind == EncodedBatch::ColumnKind::kCodes) {
-      const std::vector<uint32_t>& syn = batch.codes(c);
-      for (size_t r = 0; r < n; ++r) {
-        double rv = rn[r];
-        double sv = plan.code_numeric[syn[r]];
-        if (std::isnan(rv) || std::isnan(sv)) continue;
-        double d = rv - sv;
-        if (std::abs(d) <= plan.epsilon) ++matches;
-        acc += d * d;
-        ++compared;
-      }
+      ball = EpsilonBallMseCoded(level, plan.real_numeric.data(),
+                                 batch.codes(c).data(),
+                                 plan.code_numeric.data(), n, plan.epsilon);
     } else {
-      const std::vector<double>& syn = batch.reals(c);
-      for (size_t r = 0; r < n; ++r) {
-        double rv = rn[r];
-        if (std::isnan(rv)) continue;
-        double d = rv - syn[r];
-        if (std::abs(d) <= plan.epsilon) ++matches;
-        acc += d * d;
-        ++compared;
-      }
+      ball = EpsilonBallMse(level, plan.real_numeric.data(),
+                            batch.reals(c).data(), n, plan.epsilon);
     }
-    out.matches = matches;
-    out.mse = compared == 0 ? 0.0 : acc / static_cast<double>(compared);
+    out.matches = ball.matches;
+    out.mse = ball.compared == 0
+                  ? 0.0
+                  : ball.sum_squares / static_cast<double>(ball.compared);
     out.has_mse = true;
   }
   return Status::OK();

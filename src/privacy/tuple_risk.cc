@@ -8,6 +8,7 @@
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "data/domain.h"
@@ -95,12 +96,12 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
   // Non-null attribute counts per row (the "half reconstructed" base),
   // read column-major off the dense code vectors: code 0 is the reserved
   // NULL slot, so no Value is materialized.
-  std::vector<size_t> non_null(n, 0);
+  static_assert(ColumnDictionary::kNullCode == 0,
+                "AccumulateNonNull counts codes != 0");
+  std::vector<uint32_t> non_null(n, 0);
   for (size_t c = 0; c < m; ++c) {
-    const std::vector<uint32_t>& codes = encoded.codes(c);
-    for (size_t r = 0; r < n; ++r) {
-      if (codes[r] != ColumnDictionary::kNullCode) ++non_null[r];
-    }
+    AccumulateNonNull(ActiveSimdLevel(), encoded.codes(c).data(), n,
+                      non_null.data());
   }
 
   std::vector<double> total_matched(n, 0.0);
@@ -157,20 +158,48 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
     if (gen_ctx.has_value()) {
       METALEAK_RETURN_NOT_OK(
           GenerateEncoded(*gen_ctx, n, &round_rng, &batch));
-      score_round([&](size_t r, size_t c) {
-        const EncodedLeakageContext::AttributeView& v = views[c];
-        if (v.semantic == SemanticType::kCategorical) {
-          if (v.kind == EncodedBatch::ColumnKind::kCodes) {
-            return v.real_codes[r] == batch.codes(c)[r];
+      // Column-major scoring through the SIMD accumulation kernels: each
+      // chunk counts matched attributes per row one column at a time
+      // (exact integer counts, so the result is identical to the
+      // row-major cell loop), then finalizes its rows' accumulators.
+      const SimdLevel level = ActiveSimdLevel();
+      ParallelForChunks(0, n, 1024, [&](size_t lo, size_t hi) {
+        const size_t len = hi - lo;
+        std::vector<uint32_t> matched(len, 0);
+        for (size_t c = 0; c < m; ++c) {
+          const EncodedLeakageContext::AttributeView& v = views[c];
+          if (v.semantic == SemanticType::kCategorical) {
+            if (v.kind == EncodedBatch::ColumnKind::kCodes) {
+              AccumulateEqualU32(level, v.real_codes + lo,
+                                 batch.codes(c).data() + lo, len,
+                                 matched.data());
+            } else {
+              // NaN real entries (NULL / non-numeric) never compare
+              // equal, exactly like the per-cell predicate.
+              AccumulateEqualF64(level, v.real_numeric + lo,
+                                 batch.reals(c).data() + lo, len,
+                                 matched.data());
+            }
+          } else if (v.kind == EncodedBatch::ColumnKind::kCodes) {
+            AccumulateEpsilonMatchCoded(level, v.real_numeric + lo,
+                                        batch.codes(c).data() + lo,
+                                        v.code_numeric, len, v.epsilon,
+                                        matched.data());
+          } else {
+            AccumulateEpsilonMatch(level, v.real_numeric + lo,
+                                   batch.reals(c).data() + lo, len,
+                                   v.epsilon, matched.data());
           }
-          return v.real_numeric[r] == batch.reals(c)[r];
         }
-        double rv = v.real_numeric[r];
-        double sv = v.kind == EncodedBatch::ColumnKind::kCodes
-                        ? v.code_numeric[batch.codes(c)[r]]
-                        : batch.reals(c)[r];
-        return !std::isnan(rv) && !std::isnan(sv) &&
-               std::abs(rv - sv) <= v.epsilon;
+        for (size_t i = 0; i < len; ++i) {
+          const size_t r = lo + i;
+          const size_t row_matched = matched[i];
+          total_matched[r] += static_cast<double>(row_matched);
+          max_matched[r] = std::max(max_matched[r], row_matched);
+          if (non_null[r] > 0 && 2 * row_matched >= non_null[r]) {
+            ++half_rounds[r];
+          }
+        }
       });
       continue;
     }
