@@ -2,6 +2,10 @@
 // company run vertical federated learning on a shared customer
 // population — PSI alignment, metadata exchange, joint training — and we
 // measure what the metadata alone lets the bank reconstruct.
+//
+// The second half generalizes to an N-party federation: bank + telco +
+// insurer, with a colluding bank+telco pair and a defended insurer edge,
+// swept over candidate policies into a utility-vs-leakage Pareto table.
 #include <cstdio>
 
 #include "common/string_util.h"
@@ -10,6 +14,7 @@
 #include "privacy/experiment.h"
 #include "vfl/psi.h"
 #include "vfl/scenario.h"
+#include "vfl/topology.h"
 
 using namespace metaleak;  // Example code; library code never does this.
 
@@ -114,6 +119,105 @@ int main() {
   std::printf(
       "\nTakeaway: domains enable reconstruction; FDs/RFDs on top do not\n"
       "increase it — so share names and dependencies, withhold domains\n"
-      "when possible (paper Section VI).\n");
+      "when possible (paper Section VI).\n\n");
+
+  // === N-party federation: bank + telco + insurer =======================
+  //
+  // The bank holds the label. Telco discloses to the bank at full level;
+  // the insurer defends its edge with domain generalization. Bank and
+  // telco collude: they pool the packages the insurer sent them.
+  datasets::FintechFederationOptions fed_options;
+  fed_options.population = 800;
+  datasets::FintechFederationScenario fed =
+      datasets::FintechFederation(fed_options);
+
+  FederationTopology topo;
+  size_t bank_idx = topo.AddParty(Party("bank", fed.bank, "customer_id"));
+  size_t telco_idx = topo.AddParty(Party("telco", fed.telco, "customer_id"));
+  size_t insurer_idx =
+      topo.AddParty(Party("insurer", fed.insurer, "customer_id"));
+
+  MetadataPolicy defended = MetadataPolicy::AtLevel(
+      DisclosureLevel::kNamesAndDomains, "generalized");
+  defended.transforms = {MetadataTransform::GeneralizeDomains(
+      /*widen_fraction=*/1.0, /*pad_values=*/16, /*quantize_buckets=*/6)};
+
+  if (!topo.AddEdge(telco_idx, bank_idx, MetadataPolicy::FullDisclosure())
+           .ok() ||
+      !topo.AddEdge(insurer_idx, bank_idx, defended).ok() ||
+      !topo.AddEdge(insurer_idx, telco_idx, defended).ok()) {
+    std::fprintf(stderr, "topology construction failed\n");
+    return 1;
+  }
+
+  TopologyOptions topo_options;
+  topo_options.label_party = bank_idx;
+  topo_options.train.epochs = 120;
+  topo_options.attack_rounds = 50;
+
+  Result<TopologyAlignment> alignment = topo.Align(topo_options);
+  if (!alignment.ok()) {
+    std::fprintf(stderr, "alignment failed: %s\n",
+                 alignment.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== 3-party federation (bank + telco + insurer) ==\n");
+  std::printf("PSI aligned %zu customers across all three parties.\n",
+              alignment->intersection_size());
+
+  // The colluding pair merges both defended packages it received from the
+  // insurer and attacks the insurer's slice.
+  CoalitionSpec coalition;
+  coalition.attackers = {bank_idx, telco_idx};
+  Result<CoalitionOutcome> attack =
+      topo.EvaluateCoalition(*alignment, coalition, topo_options);
+  if (!attack.ok()) {
+    std::fprintf(stderr, "coalition failed: %s\n",
+                 attack.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("bank+telco coalition vs insurer (defended edges): ");
+  if (attack->monte_carlo.has_value()) {
+    std::printf("match rate %s over %zu rounds\n\n",
+                FormatDouble(attack->monte_carlo->overall_match_rate, 4)
+                    .c_str(),
+                attack->monte_carlo->rounds);
+  } else {
+    std::printf("reconstructed=%s\n\n",
+                attack->reconstructed ? "yes" : "no");
+  }
+
+  // Sweep candidate policies for the insurer's edges: how much utility
+  // does each defense cost, and how much leakage does it remove?
+  std::vector<MetadataPolicy> policies;
+  policies.push_back(MetadataPolicy::FullDisclosure());
+  policies.push_back(MetadataPolicy::AtLevel(
+      DisclosureLevel::kNamesAndDomains, "domains-only"));
+  policies.push_back(defended);
+  policies.push_back(
+      MetadataPolicy::AtLevel(DisclosureLevel::kNames, "names-only"));
+
+  Result<std::vector<ParetoPoint>> pareto =
+      SweepPolicyPareto(topo, topo_options, coalition, policies);
+  if (!pareto.ok()) {
+    std::fprintf(stderr, "pareto sweep failed: %s\n",
+                 pareto.status().ToString().c_str());
+    return 1;
+  }
+  TablePrinter pareto_table(
+      "Insurer's policy trade-off vs the bank+telco coalition");
+  pareto_table.SetHeader(
+      {"Policy", "Joint accuracy", "Leakage rate", "Frontier"});
+  for (const ParetoPoint& p : *pareto) {
+    pareto_table.AddRow({p.policy_name, FormatDouble(p.joint_accuracy, 4),
+                         p.reconstructed ? FormatDouble(p.leakage_rate, 4)
+                                         : "0 (no recon)",
+                         p.on_frontier ? "*" : ""});
+  }
+  pareto_table.Print();
+  std::printf(
+      "\nTakeaway: defenses trace a frontier — domain generalization cuts\n"
+      "coalition leakage at a small accuracy cost; names-only removes the\n"
+      "leakage entirely but forfeits the insurer's training signal.\n");
   return 0;
 }

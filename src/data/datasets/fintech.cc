@@ -30,6 +30,19 @@ const char* FavoriteCategory(Rng* rng) {
   return kCategories[rng->UniformIndex(5)];
 }
 
+const char* DataPlan(double minutes) {
+  if (minutes < 30) return "prepaid";
+  if (minutes < 120) return "basic";
+  if (minutes < 300) return "plus";
+  return "unlimited";
+}
+
+const char* PremiumBand(double premium) {
+  if (premium < 250) return "low";
+  if (premium < 500) return "mid";
+  return "high";
+}
+
 }  // namespace
 
 FintechScenario Fintech(const FintechOptions& options) {
@@ -90,6 +103,107 @@ FintechScenario Fintech(const FintechOptions& options) {
   METALEAK_DCHECK(bank.ok() && ecom.ok());
   return FintechScenario{std::move(bank).ValueUnsafe(),
                          std::move(ecom).ValueUnsafe()};
+}
+
+FintechFederationScenario FintechFederation(
+    const FintechFederationOptions& options) {
+  Rng rng(options.seed);
+
+  Schema bank_schema({
+      {"customer_id", DataType::kInt64, SemanticType::kCategorical},
+      {"income", DataType::kDouble, SemanticType::kContinuous},
+      {"account_balance", DataType::kDouble, SemanticType::kContinuous},
+      {"credit_band", DataType::kString, SemanticType::kCategorical},
+      {"years_as_customer", DataType::kInt64, SemanticType::kContinuous},
+      {"loan_default", DataType::kInt64, SemanticType::kCategorical},
+  });
+  Schema ecom_schema({
+      {"customer_id", DataType::kInt64, SemanticType::kCategorical},
+      {"orders_per_year", DataType::kInt64, SemanticType::kContinuous},
+      {"total_spend", DataType::kDouble, SemanticType::kContinuous},
+      {"favorite_category", DataType::kString, SemanticType::kCategorical},
+      {"returns_rate", DataType::kDouble, SemanticType::kContinuous},
+  });
+  Schema telco_schema({
+      {"customer_id", DataType::kInt64, SemanticType::kCategorical},
+      {"avg_daily_minutes", DataType::kDouble, SemanticType::kContinuous},
+      {"data_plan", DataType::kString, SemanticType::kCategorical},
+      {"roaming_spend", DataType::kDouble, SemanticType::kContinuous},
+  });
+  Schema insurer_schema({
+      {"customer_id", DataType::kInt64, SemanticType::kCategorical},
+      {"num_policies", DataType::kInt64, SemanticType::kContinuous},
+      {"annual_premium", DataType::kDouble, SemanticType::kContinuous},
+      {"premium_band", DataType::kString, SemanticType::kCategorical},
+      {"claims_rate", DataType::kDouble, SemanticType::kContinuous},
+  });
+
+  RelationBuilder bank_builder(bank_schema);
+  RelationBuilder ecom_builder(ecom_schema);
+  RelationBuilder telco_builder(telco_schema);
+  RelationBuilder insurer_builder(insurer_schema);
+
+  for (size_t id = 0; id < options.population; ++id) {
+    // Latent per-customer state shared by all four views.
+    double income = RoundTo(rng.UniformDouble(12000, 150000), 0);
+    double balance = RoundTo(rng.UniformDouble(-2000, 90000), 0);
+    int64_t years = rng.UniformInt(0, 30);
+    int64_t orders = rng.UniformInt(0, 80);
+    // total_spend is a deterministic monotone function of orders: FD + OD.
+    double spend = RoundTo(35.0 * static_cast<double>(orders) + 12.0, 0);
+    double returns_rate = RoundTo(rng.UniformDouble(0.0, 0.4), 2);
+    double minutes = RoundTo(rng.UniformDouble(0.0, 420.0), 1);
+    double roaming = RoundTo(rng.UniformDouble(0.0, 60.0), 2);
+    int64_t policies = rng.UniformInt(1, 6);
+    // annual_premium is linear in num_policies: FD + OD, and premium_band
+    // bands it: a second FD + OD in a chain.
+    double premium = RoundTo(120.0 * static_cast<double>(policies) + 80.0, 0);
+    double claims_rate = RoundTo(rng.UniformDouble(0.0, 0.5), 2);
+
+    // Every vertical contributes to default risk so each slice carries
+    // signal the joint model can pick up.
+    double risk = 0.9 - income / 200000.0 - balance / 300000.0 +
+                  spend / 12000.0 + minutes / 4000.0 -
+                  static_cast<double>(policies) / 40.0;
+    int64_t label = rng.Bernoulli(std::clamp(risk, 0.02, 0.95)) ? 1 : 0;
+
+    bool bank_sees = rng.Bernoulli(options.bank_coverage);
+    bool ecom_sees = rng.Bernoulli(options.ecommerce_coverage);
+    bool telco_sees = rng.Bernoulli(options.telco_coverage);
+    bool insurer_sees = rng.Bernoulli(options.insurer_coverage);
+    if (bank_sees) {
+      bank_builder.AddRow({Value::Int(static_cast<int64_t>(id)),
+                           Value::Real(income), Value::Real(balance),
+                           Value::Str(CreditBand(income)), Value::Int(years),
+                           Value::Int(label)});
+    }
+    if (ecom_sees) {
+      ecom_builder.AddRow({Value::Int(static_cast<int64_t>(id)),
+                           Value::Int(orders), Value::Real(spend),
+                           Value::Str(FavoriteCategory(&rng)),
+                           Value::Real(returns_rate)});
+    }
+    if (telco_sees) {
+      telco_builder.AddRow({Value::Int(static_cast<int64_t>(id)),
+                            Value::Real(minutes), Value::Str(DataPlan(minutes)),
+                            Value::Real(roaming)});
+    }
+    if (insurer_sees) {
+      insurer_builder.AddRow({Value::Int(static_cast<int64_t>(id)),
+                              Value::Int(policies), Value::Real(premium),
+                              Value::Str(PremiumBand(premium)),
+                              Value::Real(claims_rate)});
+    }
+  }
+
+  Result<Relation> bank = bank_builder.Finish();
+  Result<Relation> ecom = ecom_builder.Finish();
+  Result<Relation> telco = telco_builder.Finish();
+  Result<Relation> insurer = insurer_builder.Finish();
+  METALEAK_DCHECK(bank.ok() && ecom.ok() && telco.ok() && insurer.ok());
+  return FintechFederationScenario{
+      std::move(bank).ValueUnsafe(), std::move(ecom).ValueUnsafe(),
+      std::move(telco).ValueUnsafe(), std::move(insurer).ValueUnsafe()};
 }
 
 }  // namespace datasets

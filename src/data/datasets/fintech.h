@@ -40,6 +40,39 @@ struct FintechOptions {
 /// model has signal to learn.
 FintechScenario Fintech(const FintechOptions& options = {});
 
+/// The N-party extension of the Figure 1 scenario: the same customer
+/// population observed by four verticals, so coalition sizes 1-3 always
+/// have a victim slice to attack.
+struct FintechFederationScenario {
+  /// Bank (label holder): same schema as FintechScenario::bank.
+  Relation bank;
+  /// E-commerce: same schema as FintechScenario::ecommerce.
+  Relation ecommerce;
+  /// Telco: customer_id, avg_daily_minutes, data_plan, roaming_spend.
+  /// data_plan is a banded function of avg_daily_minutes (FD + OD).
+  Relation telco;
+  /// Insurer: customer_id, num_policies, annual_premium, premium_band,
+  /// claims_rate. annual_premium is linear in num_policies (FD + OD) and
+  /// premium_band is banded from annual_premium (FD + OD chain).
+  Relation insurer;
+};
+
+struct FintechFederationOptions {
+  size_t population = 600;
+  double bank_coverage = 0.85;
+  double ecommerce_coverage = 0.80;
+  double telco_coverage = 0.80;
+  double insurer_coverage = 0.75;
+  uint64_t seed = 7;
+};
+
+/// Generates the four-party scenario. Deterministic per options and
+/// population-scalable (the benchmark drives it at 10k-50k rows). The
+/// label depends on latents from every vertical, so each party's slice
+/// carries real signal for the joint model.
+FintechFederationScenario FintechFederation(
+    const FintechFederationOptions& options = {});
+
 }  // namespace datasets
 }  // namespace metaleak
 

@@ -1,0 +1,466 @@
+#include "metadata/metadata_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+
+#include "common/random.h"
+
+namespace metaleak {
+
+namespace {
+
+// Standard inverse-CDF Laplace draw with scale b; the argument of the
+// log is clamped so the tail stays finite.
+double LaplaceDraw(Rng* rng, double b) {
+  double u = rng->UniformDouble(-0.5, 0.5);
+  double a = 1.0 - 2.0 * std::abs(u);
+  if (a < 1e-12) a = 1e-12;
+  return (u >= 0.0 ? -b : b) * std::log(a);
+}
+
+// Decoy values for categorical generalization, typed to the attribute so
+// the padded domain stays homogeneous. Integer/double decoys extend past
+// the observed maximum; string decoys use a prefix real data is unlikely
+// to carry (the factory deduplicates if it does).
+Value DecoyValue(DataType type, const std::vector<Value>& existing,
+                 size_t k) {
+  switch (type) {
+    case DataType::kInt64: {
+      int64_t max = 0;
+      bool any = false;
+      for (const Value& v : existing) {
+        if (v.is_int() && (!any || v.AsInt() > max)) {
+          max = v.AsInt();
+          any = true;
+        }
+      }
+      return Value::Int((any ? max : 0) + static_cast<int64_t>(k) + 1);
+    }
+    case DataType::kDouble: {
+      double max = 0.0;
+      bool any = false;
+      for (const Value& v : existing) {
+        if (v.is_numeric() && (!any || v.AsNumeric() > max)) {
+          max = v.AsNumeric();
+          any = true;
+        }
+      }
+      return Value::Real((any ? max : 0.0) + static_cast<double>(k) + 1.0);
+    }
+    case DataType::kString:
+      return Value::Str("~decoy" + std::to_string(k));
+  }
+  return Value::Str("~decoy" + std::to_string(k));
+}
+
+bool SameSchema(const Schema& a, const Schema& b) {
+  if (a.num_attributes() != b.num_attributes()) return false;
+  for (size_t i = 0; i < a.num_attributes(); ++i) {
+    const Attribute& x = a.attribute(i);
+    const Attribute& y = b.attribute(i);
+    if (x.name != y.name || x.type != y.type || x.semantic != y.semantic) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AttributeSet ShiftAttributeSet(const AttributeSet& set, size_t offset) {
+  AttributeSet out;
+  for (size_t i : set.ToIndices()) out = out.With(i + offset);
+  return out;
+}
+
+}  // namespace
+
+MetadataTransform MetadataTransform::GeneralizeDomains(
+    double widen_fraction, size_t pad_values, size_t quantize_buckets) {
+  MetadataTransform t;
+  t.kind = Kind::kGeneralizeDomains;
+  t.widen_fraction = widen_fraction;
+  t.pad_values = pad_values;
+  t.quantize_buckets = quantize_buckets;
+  return t;
+}
+
+MetadataTransform MetadataTransform::DpNoiseDistributions(
+    double dp_epsilon, uint64_t noise_seed, double data_noise_fraction) {
+  MetadataTransform t;
+  t.kind = Kind::kDpNoiseDistributions;
+  t.dp_epsilon = dp_epsilon;
+  t.noise_seed = noise_seed;
+  t.data_noise_fraction = data_noise_fraction;
+  return t;
+}
+
+MetadataTransform MetadataTransform::SuppressDependencies(
+    std::vector<DependencyKind> kinds, size_t keep_first) {
+  MetadataTransform t;
+  t.kind = Kind::kSuppressDependencies;
+  t.suppress_kinds = std::move(kinds);
+  t.keep_first = keep_first;
+  return t;
+}
+
+Result<MetadataPackage> MetadataTransform::Apply(
+    const MetadataPackage& package) const {
+  MetadataPackage out = package;
+  switch (kind) {
+    case Kind::kGeneralizeDomains: {
+      if (widen_fraction < 0.0) {
+        return Status::Invalid("widen_fraction must be non-negative");
+      }
+      for (size_t i = 0; i < out.domains.size(); ++i) {
+        if (!out.domains[i].has_value()) continue;
+        const Domain& d = *out.domains[i];
+        if (d.is_continuous()) {
+          double width = d.range();
+          double pad = widen_fraction * (width > 0.0 ? width : 1.0);
+          out.domains[i] = Domain::Continuous(d.lo() - pad, d.hi() + pad);
+        } else {
+          std::vector<Value> values = d.values();
+          const DataType type = i < out.schema.num_attributes()
+                                    ? out.schema.attribute(i).type
+                                    : DataType::kString;
+          for (size_t k = 0; k < pad_values; ++k) {
+            values.push_back(DecoyValue(type, d.values(), k));
+          }
+          out.domains[i] = Domain::Categorical(std::move(values));
+        }
+      }
+      break;
+    }
+    case Kind::kDpNoiseDistributions: {
+      if (dp_epsilon <= 0.0) {
+        return Status::Invalid("dp_epsilon must be positive");
+      }
+      const double b = 1.0 / dp_epsilon;
+      Rng rng(noise_seed);
+      for (size_t i = 0; i < out.distributions.size(); ++i) {
+        // One derived stream per attribute index, so an attribute's noise
+        // does not depend on which other attributes disclosed a
+        // distribution.
+        Rng attr_rng = rng.Fork();
+        if (!out.distributions[i].has_value()) continue;
+        const ValueDistribution& dist = *out.distributions[i];
+        if (dist.is_categorical()) {
+          FrequencyTable table = dist.frequency_table();
+          size_t total = 0;
+          for (size_t& count : table.counts) {
+            double noised = static_cast<double>(count) +
+                            LaplaceDraw(&attr_rng, b);
+            count = noised <= 0.0
+                        ? 0
+                        : static_cast<size_t>(std::llround(noised));
+            total += count;
+          }
+          // An all-zero table would neither parse nor sample; fall back
+          // to the uninformative uniform table.
+          if (total == 0) {
+            for (size_t& count : table.counts) count = 1;
+          }
+          METALEAK_ASSIGN_OR_RETURN(
+              out.distributions[i],
+              ValueDistribution::Categorical(std::move(table)));
+        } else {
+          Histogram h = dist.histogram();
+          size_t total = 0;
+          for (size_t& count : h.counts) {
+            double noised = static_cast<double>(count) +
+                            LaplaceDraw(&attr_rng, b);
+            count = noised <= 0.0
+                        ? 0
+                        : static_cast<size_t>(std::llround(noised));
+            total += count;
+          }
+          if (total == 0) {
+            for (size_t& count : h.counts) count = 1;
+          }
+          METALEAK_ASSIGN_OR_RETURN(
+              out.distributions[i],
+              ValueDistribution::Continuous(std::move(h)));
+        }
+      }
+      break;
+    }
+    case Kind::kSuppressDependencies: {
+      DependencySet kept;
+      size_t matched = 0;
+      for (const Dependency& d : out.dependencies) {
+        const bool match =
+            suppress_kinds.empty() ||
+            std::find(suppress_kinds.begin(), suppress_kinds.end(),
+                      d.kind) != suppress_kinds.end();
+        if (!match || matched++ < keep_first) kept.Add(d);
+      }
+      out.dependencies = std::move(kept);
+      if (suppress_cfds) out.conditional_fds.clear();
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Relation> MetadataTransform::ApplyToSlice(
+    const Relation& slice) const {
+  switch (kind) {
+    case Kind::kGeneralizeDomains: {
+      if (quantize_buckets == 0) return slice;
+      std::vector<std::vector<Value>> columns;
+      columns.reserve(slice.num_columns());
+      for (size_t c = 0; c < slice.num_columns(); ++c) {
+        columns.push_back(slice.column(c));
+      }
+      for (size_t c = 0; c < slice.num_columns(); ++c) {
+        const Attribute& attr = slice.schema().attribute(c);
+        if (attr.semantic != SemanticType::kContinuous) continue;
+        double lo = 0.0, hi = 0.0;
+        bool any = false;
+        for (const Value& v : columns[c]) {
+          if (v.is_null() || !v.is_numeric()) continue;
+          double x = v.AsNumeric();
+          if (!any) {
+            lo = hi = x;
+          } else {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+          }
+          any = true;
+        }
+        if (!any || hi <= lo) continue;
+        const double width =
+            (hi - lo) / static_cast<double>(quantize_buckets);
+        for (Value& v : columns[c]) {
+          if (v.is_null() || !v.is_numeric()) continue;
+          double x = v.AsNumeric();
+          auto bucket = static_cast<size_t>(std::min(
+              static_cast<double>(quantize_buckets - 1),
+              std::max(0.0, std::floor((x - lo) / width))));
+          double q = lo + (static_cast<double>(bucket) + 0.5) * width;
+          v = attr.type == DataType::kInt64 ? Value::Int(std::llround(q))
+                                            : Value::Real(q);
+        }
+      }
+      return Relation::Make(slice.schema(), std::move(columns));
+    }
+    case Kind::kDpNoiseDistributions: {
+      if (data_noise_fraction <= 0.0) return slice;
+      if (dp_epsilon <= 0.0) {
+        return Status::Invalid("dp_epsilon must be positive");
+      }
+      std::vector<std::vector<Value>> columns;
+      columns.reserve(slice.num_columns());
+      for (size_t c = 0; c < slice.num_columns(); ++c) {
+        columns.push_back(slice.column(c));
+      }
+      Rng rng(noise_seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+      for (size_t c = 0; c < slice.num_columns(); ++c) {
+        Rng col_rng = rng.Fork();
+        const Attribute& attr = slice.schema().attribute(c);
+        if (attr.semantic != SemanticType::kContinuous) continue;
+        double lo = 0.0, hi = 0.0;
+        bool any = false;
+        for (const Value& v : columns[c]) {
+          if (v.is_null() || !v.is_numeric()) continue;
+          double x = v.AsNumeric();
+          if (!any) {
+            lo = hi = x;
+          } else {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+          }
+          any = true;
+        }
+        if (!any || hi <= lo) continue;
+        const double b = (hi - lo) * data_noise_fraction / dp_epsilon;
+        for (Value& v : columns[c]) {
+          if (v.is_null() || !v.is_numeric()) continue;
+          double x = v.AsNumeric() + LaplaceDraw(&col_rng, b);
+          v = attr.type == DataType::kInt64 ? Value::Int(std::llround(x))
+                                            : Value::Real(x);
+        }
+      }
+      return Relation::Make(slice.schema(), std::move(columns));
+    }
+    case Kind::kSuppressDependencies:
+      return slice;
+  }
+  return slice;
+}
+
+std::string MetadataTransform::ToString() const {
+  switch (kind) {
+    case Kind::kGeneralizeDomains:
+      return "generalize(widen=" + std::to_string(widen_fraction) +
+             ",pad=" + std::to_string(pad_values) +
+             ",buckets=" + std::to_string(quantize_buckets) + ")";
+    case Kind::kDpNoiseDistributions:
+      return "dp-noise(eps=" + std::to_string(dp_epsilon) + ")";
+    case Kind::kSuppressDependencies:
+      return "suppress(kinds=" +
+             std::to_string(suppress_kinds.size()) +
+             ",keep=" + std::to_string(keep_first) + ")";
+  }
+  return "transform";
+}
+
+MetadataPolicy MetadataPolicy::FullDisclosure() {
+  MetadataPolicy p;
+  p.name = "full";
+  p.level = DisclosureLevel::kWithRfds;
+  return p;
+}
+
+MetadataPolicy MetadataPolicy::AtLevel(DisclosureLevel level,
+                                       std::string name) {
+  MetadataPolicy p;
+  p.level = level;
+  p.name = name.empty() ? DisclosureLevelToString(level) : std::move(name);
+  return p;
+}
+
+Result<MetadataPackage> MetadataPolicy::Apply(
+    const MetadataPackage& full) const {
+  MetadataPackage out = full.Restrict(level);
+  if (!allowed_kinds.empty()) {
+    DependencySet kept;
+    for (const Dependency& d : out.dependencies) {
+      if (std::find(allowed_kinds.begin(), allowed_kinds.end(), d.kind) !=
+          allowed_kinds.end()) {
+        kept.Add(d);
+      }
+    }
+    out.dependencies = std::move(kept);
+    if (std::find(allowed_kinds.begin(), allowed_kinds.end(),
+                  DependencyKind::kFunctional) == allowed_kinds.end()) {
+      out.conditional_fds.clear();
+    }
+  }
+  for (const MetadataTransform& t : transforms) {
+    METALEAK_ASSIGN_OR_RETURN(out, t.Apply(out));
+  }
+  return out;
+}
+
+Result<Relation> MetadataPolicy::ApplyToSlice(const Relation& slice) const {
+  Relation out = slice;
+  for (const MetadataTransform& t : transforms) {
+    METALEAK_ASSIGN_OR_RETURN(out, t.ApplyToSlice(out));
+  }
+  return out;
+}
+
+std::string MetadataPolicy::ToString() const {
+  std::string out = name + "[" + DisclosureLevelToString(level);
+  for (const MetadataTransform& t : transforms) {
+    out += "," + t.ToString();
+  }
+  return out + "]";
+}
+
+Result<MetadataPackage> UnionPackageViews(
+    const std::vector<const MetadataPackage*>& views) {
+  if (views.empty()) {
+    return Status::Invalid("cannot union zero package views");
+  }
+  // A single view unions to itself; returning the copy directly keeps the
+  // common coalition case (one edge per victim) bit-identical to the
+  // received package.
+  if (views.size() == 1) return *views[0];
+  for (const MetadataPackage* view : views) {
+    if (!SameSchema(view->schema, views[0]->schema)) {
+      return Status::Invalid(
+          "package views of one victim must share a schema");
+    }
+  }
+  MetadataPackage out;
+  out.schema = views[0]->schema;
+  const size_t m = out.schema.num_attributes();
+  out.domains.assign(m, std::nullopt);
+  out.distributions.assign(m, std::nullopt);
+  for (const MetadataPackage* view : views) {
+    out.num_rows = std::max(out.num_rows, view->num_rows);
+    for (size_t i = 0; i < m && i < view->domains.size(); ++i) {
+      if (!out.domains[i].has_value() && view->domains[i].has_value()) {
+        out.domains[i] = view->domains[i];
+      }
+    }
+    for (size_t i = 0; i < m && i < view->distributions.size(); ++i) {
+      if (!out.distributions[i].has_value() &&
+          view->distributions[i].has_value()) {
+        out.distributions[i] = view->distributions[i];
+      }
+    }
+    for (const Dependency& d : view->dependencies) out.dependencies.Add(d);
+    for (const ConditionalFd& cfd : view->conditional_fds) {
+      if (std::find(out.conditional_fds.begin(), out.conditional_fds.end(),
+                    cfd) == out.conditional_fds.end()) {
+        out.conditional_fds.push_back(cfd);
+      }
+    }
+  }
+  return out;
+}
+
+Result<MetadataPackage> ConcatDisjointPackages(
+    const std::vector<const MetadataPackage*>& parts) {
+  if (parts.empty()) {
+    return Status::Invalid("cannot concatenate zero packages");
+  }
+  size_t total = 0;
+  for (const MetadataPackage* part : parts) {
+    total += part->schema.num_attributes();
+  }
+  if (total > 64) {
+    return Status::Invalid(
+        "combined package exceeds the 64-attribute AttributeSet capacity");
+  }
+  std::unordered_set<std::string> names;
+  std::vector<Attribute> attrs;
+  attrs.reserve(total);
+  for (const MetadataPackage* part : parts) {
+    for (const Attribute& a : part->schema.attributes()) {
+      if (!names.insert(a.name).second) {
+        return Status::Invalid("duplicate attribute name across packages: " +
+                               a.name);
+      }
+      attrs.push_back(a);
+    }
+  }
+  MetadataPackage out;
+  out.schema = Schema(std::move(attrs));
+  out.domains.reserve(total);
+  out.distributions.reserve(total);
+  size_t offset = 0;
+  for (const MetadataPackage* part : parts) {
+    const size_t m = part->schema.num_attributes();
+    out.num_rows = std::max(out.num_rows, part->num_rows);
+    for (size_t i = 0; i < m; ++i) {
+      out.domains.push_back(i < part->domains.size() ? part->domains[i]
+                                                     : std::nullopt);
+      out.distributions.push_back(i < part->distributions.size()
+                                      ? part->distributions[i]
+                                      : std::nullopt);
+    }
+    for (const Dependency& d : part->dependencies) {
+      Dependency shifted = d;
+      shifted.lhs = ShiftAttributeSet(d.lhs, offset);
+      shifted.rhs = d.rhs + offset;
+      out.dependencies.Add(shifted);
+    }
+    for (const ConditionalFd& cfd : part->conditional_fds) {
+      ConditionalFd shifted = cfd;
+      shifted.condition_attr = cfd.condition_attr + offset;
+      shifted.lhs = ShiftAttributeSet(cfd.lhs, offset);
+      shifted.rhs = cfd.rhs + offset;
+      out.conditional_fds.push_back(std::move(shifted));
+    }
+    offset += m;
+  }
+  return out;
+}
+
+}  // namespace metaleak

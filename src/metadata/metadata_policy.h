@@ -1,0 +1,134 @@
+// MetadataPolicy: what one party discloses along one federation edge.
+//
+// A policy is a disclosure level, an optional dependency-kind filter, and
+// an ordered list of defense transforms applied to the restricted
+// package. Transforms model the defenses the paper's conclusions suggest
+// (keep domains coarse, keep distributions private, share fewer
+// dependencies) as composable operations on MetadataPackage:
+//
+//   * kGeneralizeDomains — widen continuous ranges and pad categorical
+//     value sets with decoys, growing |D_A| so the adversary's uniform
+//     sampler hits the true value less often (the paper's theta = 1/|D_A|
+//     drops). Optionally quantizes the discloser's own training features
+//     to the generalized grid, which is the utility cost of the defense.
+//   * kDpNoiseDistributions — Laplace-noise the disclosed value
+//     distributions (frequency tables / histograms), the standard DP
+//     treatment of released marginals. Counts are clamped at zero and
+//     never all-zero so the noised package still parses and samples.
+//   * kSuppressDependencies — drop (a subset of) the disclosed
+//     dependencies and conditional FDs.
+//
+// Every transform is deterministic given its parameters (noise is drawn
+// from an explicitly seeded stream), so policy sweeps replay exactly.
+#ifndef METALEAK_METADATA_METADATA_POLICY_H_
+#define METALEAK_METADATA_METADATA_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "metadata/dependency.h"
+#include "metadata/metadata_package.h"
+
+namespace metaleak {
+
+struct MetadataTransform {
+  enum class Kind {
+    kGeneralizeDomains,
+    kDpNoiseDistributions,
+    kSuppressDependencies,
+  };
+  Kind kind = Kind::kGeneralizeDomains;
+
+  /// kGeneralizeDomains: continuous ranges grow by `widen_fraction` of
+  /// their width on each side; categorical domains gain `pad_values`
+  /// synthetic decoys. `quantize_buckets` > 0 additionally coarsens the
+  /// discloser's own continuous features to that many grid points in
+  /// ApplyToSlice (the data-side utility cost; 0 = metadata-only).
+  double widen_fraction = 0.5;
+  size_t pad_values = 4;
+  size_t quantize_buckets = 0;
+
+  /// kDpNoiseDistributions: Laplace scale is 1/dp_epsilon counts. The
+  /// seed makes the released noise reproducible. `data_noise_fraction`
+  /// > 0 additionally perturbs the discloser's own continuous features
+  /// by Laplace(range * fraction / dp_epsilon) in ApplyToSlice.
+  double dp_epsilon = 1.0;
+  uint64_t noise_seed = 0xD15C105EULL;
+  double data_noise_fraction = 0.0;
+
+  /// kSuppressDependencies: kinds to drop (empty = every kind). The
+  /// first `keep_first` matching dependencies survive, in package order.
+  std::vector<DependencyKind> suppress_kinds;
+  size_t keep_first = 0;
+  bool suppress_cfds = true;
+
+  static MetadataTransform GeneralizeDomains(double widen_fraction,
+                                             size_t pad_values,
+                                             size_t quantize_buckets = 0);
+  static MetadataTransform DpNoiseDistributions(
+      double dp_epsilon, uint64_t noise_seed = 0xD15C105EULL,
+      double data_noise_fraction = 0.0);
+  static MetadataTransform SuppressDependencies(
+      std::vector<DependencyKind> kinds = {}, size_t keep_first = 0);
+
+  /// The metadata-side effect: a transformed copy of `package`.
+  Result<MetadataPackage> Apply(const MetadataPackage& package) const;
+
+  /// The data-side effect on the discloser's own training slice (schema
+  /// preserved; identity for transforms without a data-side cost).
+  Result<Relation> ApplyToSlice(const Relation& slice) const;
+
+  std::string ToString() const;
+};
+
+struct MetadataPolicy {
+  std::string name = "full";
+  DisclosureLevel level = DisclosureLevel::kWithRfds;
+  /// Dependency kinds allowed through after Restrict(level); empty = all.
+  /// Conditional FDs ride with kFunctional.
+  std::vector<DependencyKind> allowed_kinds;
+  std::vector<MetadataTransform> transforms;
+
+  static MetadataPolicy FullDisclosure();
+  static MetadataPolicy AtLevel(DisclosureLevel level,
+                                std::string name = std::string());
+
+  /// Whether the discloser participates in joint training under this
+  /// policy: below names+domains the receiving side cannot even encode
+  /// the slice's schema, so the party trains out.
+  bool AllowsTraining() const {
+    return level >= DisclosureLevel::kNamesAndDomains;
+  }
+
+  /// Restrict(level), then the kind filter, then each transform in order.
+  Result<MetadataPackage> Apply(const MetadataPackage& full) const;
+
+  /// Chains the transforms' data-side effects over the slice.
+  Result<Relation> ApplyToSlice(const Relation& slice) const;
+
+  std::string ToString() const;
+};
+
+/// Field-wise union of several views of the SAME schema — e.g. the
+/// packages two coalition members received from one victim along
+/// different edges. Takes the most informative value per field: max row
+/// count, first disclosed domain/distribution per attribute, the union
+/// of dependencies and conditional FDs (deduplicated, first-view order).
+Result<MetadataPackage> UnionPackageViews(
+    const std::vector<const MetadataPackage*>& views);
+
+/// Concatenation of packages over disjoint attribute sets — the
+/// coalition's joint view of several victim slices. Schemas are appended
+/// in order and dependency / conditional-FD attribute indices re-based
+/// onto the combined schema. Fails on duplicate attribute names (callers
+/// disambiguate first) or when the combined width exceeds the 64-attribute
+/// AttributeSet capacity.
+Result<MetadataPackage> ConcatDisjointPackages(
+    const std::vector<const MetadataPackage*>& parts);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_METADATA_METADATA_POLICY_H_

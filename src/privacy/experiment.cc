@@ -31,6 +31,8 @@ std::string GenerationMethodToString(GenerationMethod method) {
       return "Ordered FD";
     case GenerationMethod::kCfd:
       return "Conditional FD";
+    case GenerationMethod::kFull:
+      return "Full Package";
   }
   return "unknown";
 }
@@ -64,6 +66,10 @@ GenerationOptions OptionsForMethod(GenerationMethod method) {
     case GenerationMethod::kCfd:
       // Roots only; the CFD repair pass runs after generation.
       out.ignore_dependencies = true;
+      break;
+    case GenerationMethod::kFull:
+      // Defaults: every disclosed dependency class drives generation —
+      // the exact options SimulateReconstruction uses.
       break;
   }
   return out;
@@ -124,12 +130,14 @@ Result<ExperimentEngine::MethodPlan> ExperimentEngine::PlanFor(
   plan.ctx.emplace(std::move(ctx));
 
   const size_t m = real_->num_columns();
-  plan.covered.assign(m, method == GenerationMethod::kRandom);
+  plan.covered.assign(m, method == GenerationMethod::kRandom ||
+                             method == GenerationMethod::kFull);
   if (method == GenerationMethod::kCfd) {
     for (const ConditionalFd& cfd : metadata_->conditional_fds) {
       if (cfd.rhs < m) plan.covered[cfd.rhs] = true;
     }
-  } else if (method != GenerationMethod::kRandom) {
+  } else if (method != GenerationMethod::kRandom &&
+             method != GenerationMethod::kFull) {
     for (const GenerationStep& step : plan.ctx->plan().steps()) {
       plan.covered[step.attribute] = step.via.has_value();
     }
@@ -250,6 +258,8 @@ Result<MethodResult> ExperimentEngine::Run(
     entry.name = real_->schema().attribute(c).name;
     entry.semantic = real_->schema().attribute(c).semantic;
     entry.covered = plan.covered[c];
+    entry.rows_compared =
+        real_->num_rows() - encoded_real_->dictionary(c).null_count();
     WelfordAccumulator match_acc;
     WelfordAccumulator mse_acc;
     for (size_t round = 0; round < config.rounds; ++round) {

@@ -41,6 +41,11 @@ enum class GenerationMethod {
   kOfd,
   /// Conditional FDs: random roots repaired to satisfy disclosed CFDs.
   kCfd,
+  /// Everything the package discloses at once (all dependency classes +
+  /// distributions when present) — the adversary of the attack simulator,
+  /// as opposed to the single-class ablation columns above. Every
+  /// attribute counts as covered.
+  kFull,
 };
 
 std::string GenerationMethodToString(GenerationMethod method);
@@ -68,6 +73,9 @@ struct MethodAttributeResult {
   /// False when no dependency of the method's class drives this attribute
   /// (the paper's NA cells). Always true for the random baseline.
   bool covered = true;
+  /// Rows each round compares for this attribute (non-null real cells);
+  /// the denominator of a mean match *rate*.
+  size_t rows_compared = 0;
   double mean_matches = 0.0;
   double stddev_matches = 0.0;
   /// Continuous only.

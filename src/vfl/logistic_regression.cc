@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
 #include "common/random.h"
 
@@ -125,12 +126,20 @@ void LocalGradient(const FeatureMatrix& x,
 
 }  // namespace
 
-Result<VflModel> TrainVerticalLogisticRegression(
-    const Relation& features_a, const Relation& features_b,
+Result<VflModelN> TrainVerticalLogisticRegressionN(
+    const std::vector<const Relation*>& slices,
     const std::vector<int>& labels, const VflTrainOptions& options) {
-  if (features_a.num_rows() != features_b.num_rows() ||
-      features_a.num_rows() != labels.size()) {
-    return Status::Invalid("feature slices and labels must be row-aligned");
+  if (slices.empty()) {
+    return Status::Invalid("training needs at least one feature slice");
+  }
+  for (const Relation* slice : slices) {
+    if (slice == nullptr) {
+      return Status::Invalid("feature slice is null");
+    }
+    if (slice->num_rows() != labels.size()) {
+      return Status::Invalid(
+          "feature slices and labels must be row-aligned");
+    }
   }
   if (labels.empty()) {
     return Status::Invalid("cannot train on an empty dataset");
@@ -141,23 +150,28 @@ Result<VflModel> TrainVerticalLogisticRegression(
     }
   }
 
-  VflModel model;
-  METALEAK_ASSIGN_OR_RETURN(model.encoder_a, FeatureEncoder::Fit(features_a));
-  METALEAK_ASSIGN_OR_RETURN(model.encoder_b, FeatureEncoder::Fit(features_b));
-  METALEAK_ASSIGN_OR_RETURN(FeatureMatrix xa,
-                            model.encoder_a.Transform(features_a));
-  METALEAK_ASSIGN_OR_RETURN(FeatureMatrix xb,
-                            model.encoder_b.Transform(features_b));
+  const size_t parties = slices.size();
+  VflModelN model;
+  model.encoders.reserve(parties);
+  std::vector<FeatureMatrix> x(parties);
+  for (size_t s = 0; s < parties; ++s) {
+    METALEAK_ASSIGN_OR_RETURN(FeatureEncoder encoder,
+                              FeatureEncoder::Fit(*slices[s]));
+    METALEAK_ASSIGN_OR_RETURN(x[s], encoder.Transform(*slices[s]));
+    model.encoders.push_back(std::move(encoder));
+  }
 
+  // Weights drawn slice-by-slice in party order from one stream: for two
+  // slices this is the exact draw sequence of the two-party trainer.
   Rng rng(options.seed);
-  model.weights_a.resize(xa.num_features);
-  model.weights_b.resize(xb.num_features);
-  for (double& w : model.weights_a) w = rng.Normal(0.0, 0.01);
-  for (double& w : model.weights_b) w = rng.Normal(0.0, 0.01);
+  model.weights.resize(parties);
+  for (size_t s = 0; s < parties; ++s) {
+    model.weights[s].resize(x[s].num_features);
+    for (double& w : model.weights[s]) w = rng.Normal(0.0, 0.01);
+  }
 
   const size_t n = labels.size();
-  std::vector<double> score_a;
-  std::vector<double> score_b;
+  std::vector<std::vector<double>> scores(parties);
   std::vector<double> residuals(n);
   std::vector<double> grad;
 
@@ -165,13 +179,19 @@ Result<VflModel> TrainVerticalLogisticRegression(
     // Each party computes partial scores locally; the label holder
     // combines them, forms residuals, and sends residuals back — the
     // only per-row quantities crossing the boundary.
-    PartialScores(xa, model.weights_a, &score_a);
-    PartialScores(xb, model.weights_b, &score_b);
+    for (size_t s = 0; s < parties; ++s) {
+      PartialScores(x[s], model.weights[s], &scores[s]);
+    }
 
     double loss = 0.0;
     double bias_grad = 0.0;
     for (size_t r = 0; r < n; ++r) {
-      double z = score_a[r] + score_b[r] + model.bias;
+      // Summed in ascending party order, bias last: the two-slice case
+      // evaluates ((score_a + score_b) + bias), bit-identical to the
+      // original two-party loop.
+      double z = scores[0][r];
+      for (size_t s = 1; s < parties; ++s) z += scores[s][r];
+      z += model.bias;
       double p = Sigmoid(z);
       double y = static_cast<double>(labels[r]);
       residuals[r] = p - y;
@@ -181,17 +201,82 @@ Result<VflModel> TrainVerticalLogisticRegression(
     }
     model.loss_history.push_back(loss / static_cast<double>(n));
 
-    LocalGradient(xa, residuals, options.l2, model.weights_a, &grad);
-    for (size_t f = 0; f < xa.num_features; ++f) {
-      model.weights_a[f] -= options.learning_rate * grad[f];
-    }
-    LocalGradient(xb, residuals, options.l2, model.weights_b, &grad);
-    for (size_t f = 0; f < xb.num_features; ++f) {
-      model.weights_b[f] -= options.learning_rate * grad[f];
+    for (size_t s = 0; s < parties; ++s) {
+      LocalGradient(x[s], residuals, options.l2, model.weights[s], &grad);
+      for (size_t f = 0; f < x[s].num_features; ++f) {
+        model.weights[s][f] -= options.learning_rate * grad[f];
+      }
     }
     model.bias -=
         options.learning_rate * bias_grad / static_cast<double>(n);
   }
+  return model;
+}
+
+Result<std::vector<double>> PredictProbabilitiesN(
+    const VflModelN& model, const std::vector<const Relation*>& slices) {
+  if (slices.size() != model.encoders.size() ||
+      slices.size() != model.weights.size() || slices.empty()) {
+    return Status::Invalid("slice count does not match the model");
+  }
+  for (const Relation* slice : slices) {
+    if (slice == nullptr) {
+      return Status::Invalid("feature slice is null");
+    }
+    if (slice->num_rows() != slices[0]->num_rows()) {
+      return Status::Invalid("feature slices must be row-aligned");
+    }
+  }
+  const size_t parties = slices.size();
+  std::vector<std::vector<double>> scores(parties);
+  for (size_t s = 0; s < parties; ++s) {
+    METALEAK_ASSIGN_OR_RETURN(FeatureMatrix xs,
+                              model.encoders[s].Transform(*slices[s]));
+    PartialScores(xs, model.weights[s], &scores[s]);
+  }
+  const size_t n = slices[0]->num_rows();
+  std::vector<double> out(n);
+  for (size_t r = 0; r < n; ++r) {
+    double z = scores[0][r];
+    for (size_t s = 1; s < parties; ++s) z += scores[s][r];
+    out[r] = Sigmoid(z + model.bias);
+  }
+  return out;
+}
+
+Result<double> AccuracyN(const VflModelN& model,
+                         const std::vector<const Relation*>& slices,
+                         const std::vector<int>& labels) {
+  METALEAK_ASSIGN_OR_RETURN(std::vector<double> probs,
+                            PredictProbabilitiesN(model, slices));
+  if (probs.size() != labels.size()) {
+    return Status::Invalid("labels not aligned with features");
+  }
+  if (labels.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t r = 0; r < labels.size(); ++r) {
+    int pred = probs[r] >= 0.5 ? 1 : 0;
+    if (pred == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+Result<VflModel> TrainVerticalLogisticRegression(
+    const Relation& features_a, const Relation& features_b,
+    const std::vector<int>& labels, const VflTrainOptions& options) {
+  if (features_a.num_rows() != features_b.num_rows()) {
+    return Status::Invalid("feature slices and labels must be row-aligned");
+  }
+  METALEAK_ASSIGN_OR_RETURN(
+      VflModelN n, TrainVerticalLogisticRegressionN(
+                       {&features_a, &features_b}, labels, options));
+  VflModel model;
+  model.encoder_a = std::move(n.encoders[0]);
+  model.encoder_b = std::move(n.encoders[1]);
+  model.weights_a = std::move(n.weights[0]);
+  model.weights_b = std::move(n.weights[1]);
+  model.bias = n.bias;
+  model.loss_history = std::move(n.loss_history);
   return model;
 }
 

@@ -73,9 +73,38 @@ struct VflModel {
   std::vector<double> loss_history;
 };
 
+/// N-party model: one encoder + weight vector per vertical slice, in the
+/// federation's party order.
+struct VflModelN {
+  std::vector<FeatureEncoder> encoders;
+  std::vector<std::vector<double>> weights;
+  double bias = 0.0;
+  std::vector<double> loss_history;
+};
+
+/// Trains vertical logistic regression over N aligned slices. Same
+/// dataflow as the two-party trainer — each party computes partial scores
+/// locally, the label holder combines them and broadcasts residuals —
+/// with weights initialized and updated slice-by-slice in party order, so
+/// for two slices the arithmetic (and hence the model) is bit-identical
+/// to TrainVerticalLogisticRegression.
+Result<VflModelN> TrainVerticalLogisticRegressionN(
+    const std::vector<const Relation*>& slices,
+    const std::vector<int>& labels, const VflTrainOptions& options = {});
+
+/// Per-row P(y=1) under an N-party model.
+Result<std::vector<double>> PredictProbabilitiesN(
+    const VflModelN& model, const std::vector<const Relation*>& slices);
+
+/// Classification accuracy of an N-party model at threshold 0.5.
+Result<double> AccuracyN(const VflModelN& model,
+                         const std::vector<const Relation*>& slices,
+                         const std::vector<int>& labels);
+
 /// Trains vertical logistic regression with full-batch gradient descent.
 /// `labels` (0/1) are index-aligned with the rows of both feature
-/// relations; party A is the label holder.
+/// relations; party A is the label holder. Thin wrapper over the N-party
+/// trainer with slices {A, B}.
 Result<VflModel> TrainVerticalLogisticRegression(
     const Relation& features_a, const Relation& features_b,
     const std::vector<int>& labels, const VflTrainOptions& options = {});

@@ -2,7 +2,9 @@
 #ifndef METALEAK_VFL_PARTY_H_
 #define METALEAK_VFL_PARTY_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "data/relation.h"

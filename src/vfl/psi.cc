@@ -29,42 +29,61 @@ std::vector<PsiToken> DerivePsiTokens(const std::vector<Value>& ids,
   return tokens;
 }
 
+Result<MultiPsiResult> IntersectAllTokens(
+    const std::vector<std::vector<PsiToken>>& streams) {
+  if (streams.empty()) {
+    return Status::Invalid("PSI needs at least one token stream");
+  }
+  const size_t parties = streams.size();
+
+  // First occurrence of each token per party (standard PSI
+  // post-processing for duplicate identifiers).
+  std::vector<std::unordered_map<PsiToken, size_t>> first(parties);
+  for (size_t p = 0; p < parties; ++p) {
+    first[p].reserve(streams[p].size());
+    for (size_t i = 0; i < streams[p].size(); ++i) {
+      first[p].emplace(streams[p][i], i);
+    }
+  }
+
+  // Candidate tokens come from the smallest map; a token survives only if
+  // every party holds it.
+  size_t smallest = 0;
+  for (size_t p = 1; p < parties; ++p) {
+    if (first[p].size() < first[smallest].size()) smallest = p;
+  }
+  std::vector<PsiToken> common;
+  common.reserve(first[smallest].size());
+  for (const auto& [token, row] : first[smallest]) {
+    bool everywhere = true;
+    for (size_t p = 0; p < parties && everywhere; ++p) {
+      if (p == smallest) continue;
+      everywhere = first[p].find(token) != first[p].end();
+    }
+    if (everywhere) common.push_back(token);
+  }
+
+  // Canonical order every party can derive: ascending token.
+  std::sort(common.begin(), common.end());
+
+  MultiPsiResult out;
+  out.rows.assign(parties, {});
+  for (size_t p = 0; p < parties; ++p) {
+    out.rows[p].reserve(common.size());
+    for (PsiToken token : common) {
+      out.rows[p].push_back(first[p].at(token));
+    }
+  }
+  return out;
+}
+
 Result<PsiResult> IntersectTokens(const std::vector<PsiToken>& tokens_a,
                                   const std::vector<PsiToken>& tokens_b) {
-  std::unordered_map<PsiToken, size_t> first_a;
-  first_a.reserve(tokens_a.size());
-  for (size_t i = 0; i < tokens_a.size(); ++i) {
-    first_a.emplace(tokens_a[i], i);  // keeps the first occurrence
-  }
-
-  struct MatchedPair {
-    PsiToken token;
-    size_t row_a;
-    size_t row_b;
-  };
-  std::vector<MatchedPair> matched;
-  std::unordered_map<PsiToken, bool> used_b;
-  for (size_t j = 0; j < tokens_b.size(); ++j) {
-    auto it = first_a.find(tokens_b[j]);
-    if (it == first_a.end()) continue;
-    if (used_b[tokens_b[j]]) continue;  // first occurrence on B's side too
-    used_b[tokens_b[j]] = true;
-    matched.push_back(MatchedPair{tokens_b[j], it->second, j});
-  }
-
-  // Canonical order both parties can derive: ascending token.
-  std::sort(matched.begin(), matched.end(),
-            [](const MatchedPair& x, const MatchedPair& y) {
-              return x.token < y.token;
-            });
-
+  METALEAK_ASSIGN_OR_RETURN(MultiPsiResult multi,
+                            IntersectAllTokens({tokens_a, tokens_b}));
   PsiResult out;
-  out.rows_a.reserve(matched.size());
-  out.rows_b.reserve(matched.size());
-  for (const MatchedPair& m : matched) {
-    out.rows_a.push_back(m.row_a);
-    out.rows_b.push_back(m.row_b);
-  }
+  out.rows_a = std::move(multi.rows[0]);
+  out.rows_b = std::move(multi.rows[1]);
   return out;
 }
 

@@ -38,6 +38,22 @@ struct PsiResult {
   size_t size() const { return rows_a.size(); }
 };
 
+/// N-party alignment: rows[p][i] is the row of party p matching entity i.
+/// Entities are the tokens present in every party's stream, in ascending
+/// token order (the same canonical order as PsiResult).
+struct MultiPsiResult {
+  std::vector<std::vector<size_t>> rows;
+
+  size_t num_parties() const { return rows.size(); }
+  size_t size() const { return rows.empty() ? 0 : rows[0].size(); }
+};
+
+/// Intersects N token streams. Duplicate identifiers within one party
+/// keep their first occurrence (standard PSI post-processing); for two
+/// streams this reduces exactly to IntersectTokens.
+Result<MultiPsiResult> IntersectAllTokens(
+    const std::vector<std::vector<PsiToken>>& streams);
+
 /// Intersects two token streams. Duplicate identifiers within one party
 /// keep their first occurrence (standard PSI post-processing).
 Result<PsiResult> IntersectTokens(const std::vector<PsiToken>& tokens_a,

@@ -1,83 +1,65 @@
 #include "vfl/scenario.h"
 
+#include <utility>
+
+#include "vfl/topology.h"
+
 namespace metaleak {
 
+// The original hardcoded two-party pipeline, re-expressed as a 2-node
+// FederationTopology: party B disclosing to party A at full level over a
+// single edge, with A as the label holder and the per-level sweep driven
+// through coalition policy overrides. tests/topology_test.cc pins this
+// delegation to the pre-refactor orchestration byte-for-byte.
 Result<ScenarioOutcome> RunScenario(const Party& party_a,
                                     const Party& party_b,
                                     const ScenarioOptions& options) {
+  FederationTopology topology;
+  const size_t a = topology.AddParty(party_a);
+  const size_t b = topology.AddParty(party_b);
+  METALEAK_RETURN_NOT_OK(topology.AddEdge(
+      b, a, MetadataPolicy::AtLevel(DisclosureLevel::kWithRfds)));
+
+  TopologyOptions topo_options;
+  topo_options.label_party = a;
+  topo_options.label_attribute = options.label_attribute;
+  topo_options.psi_salt = options.psi_salt;
+  topo_options.attack_seed = options.attack_seed;
+  topo_options.train = options.train;
+
+  METALEAK_ASSIGN_OR_RETURN(TopologyAlignment alignment,
+                            topology.Align(topo_options));
+
   ScenarioOutcome outcome;
+  outcome.intersection_size = alignment.intersection_size();
 
-  // 1) PSI alignment on hashed identifier tokens.
-  METALEAK_ASSIGN_OR_RETURN(std::vector<PsiToken> tokens_a,
-                            party_a.PsiTokens(options.psi_salt));
-  METALEAK_ASSIGN_OR_RETURN(std::vector<PsiToken> tokens_b,
-                            party_b.PsiTokens(options.psi_salt));
-  METALEAK_ASSIGN_OR_RETURN(PsiResult psi,
-                            IntersectTokens(tokens_a, tokens_b));
-  outcome.intersection_size = psi.size();
-  if (psi.size() == 0) {
-    return Status::Invalid("PSI intersection is empty");
+  METALEAK_ASSIGN_OR_RETURN(
+      UtilityOutcome utility,
+      topology.EvaluateUtility(alignment, topo_options));
+  outcome.joint_accuracy = utility.joint_accuracy;
+  outcome.party_a_only_accuracy = utility.label_party_only_accuracy;
+
+  // Party A as a coalition of one, attacking B at every disclosure level.
+  const DisclosureLevel levels[] = {
+      DisclosureLevel::kNames,
+      DisclosureLevel::kNamesAndDomains,
+      DisclosureLevel::kWithFds,
+      DisclosureLevel::kWithRfds,
+  };
+  outcome.leakage_by_level.reserve(4);
+  for (DisclosureLevel level : levels) {
+    CoalitionSpec spec;
+    spec.attackers = {a};
+    spec.policy_override = MetadataPolicy::AtLevel(level);
+    METALEAK_ASSIGN_OR_RETURN(
+        CoalitionOutcome coalition,
+        topology.EvaluateCoalition(alignment, spec, topo_options));
+    AttackResult result;
+    result.level = level;
+    result.reconstructed = coalition.reconstructed;
+    result.leakage = std::move(coalition.leakage);
+    outcome.leakage_by_level.push_back(std::move(result));
   }
-
-  // 2) Aligned vertical slices.
-  METALEAK_ASSIGN_OR_RETURN(Relation slice_a,
-                            party_a.AlignedFeatures(psi.rows_a));
-  METALEAK_ASSIGN_OR_RETURN(Relation slice_b,
-                            party_b.AlignedFeatures(psi.rows_b));
-
-  // 3) Extract labels from party A's slice and drop the label column
-  //    from its training features.
-  METALEAK_ASSIGN_OR_RETURN(
-      size_t label_col, slice_a.schema().RequireIndex(
-                            options.label_attribute));
-  std::vector<int> labels;
-  labels.reserve(slice_a.num_rows());
-  for (size_t r = 0; r < slice_a.num_rows(); ++r) {
-    const Value& v = slice_a.at(r, label_col);
-    labels.push_back(!v.is_null() && v.is_numeric() && v.AsNumeric() >= 0.5
-                         ? 1
-                         : 0);
-  }
-  std::vector<size_t> a_feature_cols;
-  for (size_t c = 0; c < slice_a.num_columns(); ++c) {
-    if (c != label_col) a_feature_cols.push_back(c);
-  }
-  Relation features_a = slice_a.Project(a_feature_cols);
-
-  // 4) Utility: joint model vs. party A alone.
-  METALEAK_ASSIGN_OR_RETURN(
-      VflModel joint, TrainVerticalLogisticRegression(
-                          features_a, slice_b, labels, options.train));
-  METALEAK_ASSIGN_OR_RETURN(
-      outcome.joint_accuracy,
-      Accuracy(joint, features_a, slice_b, labels));
-
-  // The "no federation" baseline trains party A alone. The trainer wants
-  // two row-aligned slices, so B contributes a single constant column
-  // that encodes to nothing informative.
-  Schema const_schema({{"__const", DataType::kInt64,
-                        SemanticType::kCategorical}});
-  std::vector<std::vector<Value>> const_col(1);
-  const_col[0].assign(features_a.num_rows(), Value::Int(0));
-  METALEAK_ASSIGN_OR_RETURN(
-      Relation const_b,
-      Relation::Make(const_schema, std::move(const_col)));
-  METALEAK_ASSIGN_OR_RETURN(
-      VflModel solo, TrainVerticalLogisticRegression(
-                         features_a, const_b, labels, options.train));
-  METALEAK_ASSIGN_OR_RETURN(
-      outcome.party_a_only_accuracy,
-      Accuracy(solo, features_a, const_b, labels));
-
-  // 5) Privacy: party B shares metadata; party A (the adversary here)
-  //    reconstructs B's aligned slice from it.
-  METALEAK_ASSIGN_OR_RETURN(
-      MetadataPackage shared_b,
-      party_b.ShareMetadata(DisclosureLevel::kWithRfds));
-  METALEAK_ASSIGN_OR_RETURN(
-      outcome.leakage_by_level,
-      SweepDisclosureLevels(shared_b, slice_b, options.attack_seed));
-
   return outcome;
 }
 

@@ -1,0 +1,203 @@
+// FederationTopology: the paper's two-party exchange generalized to an
+// N-party scenario graph.
+//
+// Nodes are Party objects; directed edges are metadata disclosures, each
+// governed by a MetadataPolicy (disclosure level + dependency filter +
+// defense transforms). On top of the graph:
+//
+//   * Align()              — multi-party PSI over all N key columns, the
+//                            aligned vertical slices, label extraction,
+//                            and one full-level metadata profile per
+//                            disclosing party (per-edge policies restrict
+//                            that one profile, so a party is profiled
+//                            once no matter how many edges it has).
+//   * EvaluateUtility()    — N-party vertical LR accuracy of the
+//                            federation vs the label holder alone. A
+//                            party participates when its edge to the
+//                            label holder discloses at least
+//                            names+domains; its slice enters training
+//                            through the edge policy's data-side
+//                            transforms (the utility cost of a defense).
+//   * EvaluateCoalition()  — a set of curious parties pools every
+//                            package it received about the victims into
+//                            one joint MetadataPackage (union per victim
+//                            across edges, disjoint concat across
+//                            victims) and reconstructs the union of the
+//                            victim slices: single-shot leakage plus an
+//                            optional streamed Monte-Carlo summary.
+//   * SweepPolicyPareto()  — re-runs utility + coalition leakage under a
+//                            list of candidate policies and marks the
+//                            non-dominated (accuracy up, leakage down)
+//                            frontier.
+//
+// A 2-node topology with a full-disclosure edge reproduces the original
+// RunScenario pipeline bit-identically (scenario.cc now delegates here;
+// the golden parity test in tests/topology_test.cc holds both paths to
+// byte equality).
+#ifndef METALEAK_VFL_TOPOLOGY_H_
+#define METALEAK_VFL_TOPOLOGY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "discovery/discovery_engine.h"
+#include "metadata/metadata_package.h"
+#include "metadata/metadata_policy.h"
+#include "privacy/coalition.h"
+#include "privacy/leakage.h"
+#include "vfl/logistic_regression.h"
+#include "vfl/party.h"
+#include "vfl/psi.h"
+
+namespace metaleak {
+
+struct TopologyEdge {
+  size_t from = 0;  // discloser
+  size_t to = 0;    // receiver
+  MetadataPolicy policy;
+};
+
+struct TopologyOptions {
+  /// Which party holds the 0/1 training label, and in which attribute.
+  size_t label_party = 0;
+  std::string label_attribute = "loan_default";
+  uint64_t psi_salt = 0xA11CE;
+  uint64_t attack_seed = 99;
+  VflTrainOptions train;
+  /// Profiling options for each discloser's full-level package.
+  DiscoveryOptions discovery;
+  /// Monte-Carlo rounds per coalition evaluation; <= 1 keeps only the
+  /// single-shot reconstruction at attack_seed.
+  size_t attack_rounds = 1;
+  /// Threads + seed for the Monte-Carlo rounds (ExperimentEngine).
+  size_t threads = 1;
+  uint64_t experiment_seed = 20240001;
+  LeakageOptions leakage;
+};
+
+/// An attacker set plus the victims it targets.
+struct CoalitionSpec {
+  std::vector<size_t> attackers;
+  /// Empty = every non-attacker that disclosed to a coalition member.
+  std::vector<size_t> victims;
+  /// When set, replaces the per-edge policies on every package the
+  /// coalition received (the disclosure-level sweep and the Pareto sweep
+  /// drive this).
+  std::optional<MetadataPolicy> policy_override;
+};
+
+/// Everything Align() resolves once per topology run.
+struct TopologyAlignment {
+  MultiPsiResult psi;
+  /// Per party: the key-free slice restricted to the aligned rows.
+  std::vector<Relation> aligned;
+  std::vector<int> labels;
+  /// The label party's aligned slice minus the label column.
+  Relation label_features;
+  /// Per party: full-level metadata profile (kWithDistributions), present
+  /// for parties with at least one outgoing edge.
+  std::vector<std::optional<MetadataPackage>> profiles;
+
+  size_t intersection_size() const { return psi.size(); }
+};
+
+struct UtilityOutcome {
+  double joint_accuracy = 0.0;
+  double label_party_only_accuracy = 0.0;
+  /// Parties whose slices entered joint training (includes label party).
+  std::vector<size_t> participants;
+};
+
+struct CoalitionOutcome {
+  std::vector<size_t> attackers;
+  std::vector<size_t> victims;
+  /// The coalition's merged view of all victim slices.
+  MetadataPackage joint;
+  /// Column-concatenation of the victim slices (names disambiguated with
+  /// a "party." prefix only when they collide across victims).
+  Relation victim_union;
+  bool reconstructed = false;
+  /// Single-shot reconstruction at TopologyOptions::attack_seed.
+  LeakageReport leakage;
+  /// Streamed Monte-Carlo summary; present when attack_rounds > 1.
+  std::optional<CoalitionLeakageSummary> monte_carlo;
+};
+
+class FederationTopology {
+ public:
+  /// Returns the party's index in the topology.
+  size_t AddParty(Party party);
+
+  Status AddEdge(size_t from, size_t to, MetadataPolicy policy);
+
+  size_t num_parties() const { return parties_.size(); }
+  const Party& party(size_t i) const { return parties_[i]; }
+  const std::vector<TopologyEdge>& edges() const { return edges_; }
+
+  /// PSI + slices + labels + profiles. Fails when the intersection is
+  /// empty or the label attribute is missing.
+  Result<TopologyAlignment> Align(const TopologyOptions& options) const;
+
+  /// Joint N-party accuracy vs the label party alone.
+  Result<UtilityOutcome> EvaluateUtility(const TopologyAlignment& alignment,
+                                         const TopologyOptions& options) const;
+
+  /// Same, but with `override_policy` governing the training
+  /// participation of every party in `override_parties` instead of its
+  /// edge to the label holder (the Pareto sweep couples the attacked
+  /// policy to its utility cost this way).
+  Result<UtilityOutcome> EvaluateUtility(
+      const TopologyAlignment& alignment, const TopologyOptions& options,
+      const std::vector<size_t>& override_parties,
+      const MetadataPolicy& override_policy) const;
+
+  /// Coalition reconstruction of the victims' slices from the pooled
+  /// received metadata.
+  Result<CoalitionOutcome> EvaluateCoalition(
+      const TopologyAlignment& alignment, const CoalitionSpec& spec,
+      const TopologyOptions& options) const;
+
+ private:
+  Result<UtilityOutcome> EvaluateUtilityImpl(
+      const TopologyAlignment& alignment, const TopologyOptions& options,
+      const std::vector<size_t>& override_parties,
+      const MetadataPolicy* override_policy) const;
+
+  std::vector<Party> parties_;
+  std::vector<TopologyEdge> edges_;
+};
+
+/// One policy point of the utility-vs-leakage trade-off.
+struct ParetoPoint {
+  std::string policy_name;
+  double joint_accuracy = 0.0;
+  bool reconstructed = false;
+  /// Mean Def 2.2/2.3 match rate over all victim attributes (Monte-Carlo
+  /// mean when attack_rounds > 1, single-shot otherwise); 0 when the
+  /// policy prevents reconstruction entirely.
+  double leakage_rate = 0.0;
+  std::optional<double> mean_mse;
+  /// True when no other point has >= accuracy and <= leakage with one
+  /// strict.
+  bool on_frontier = false;
+};
+
+/// Evaluates every policy as the override for `coalition`'s received
+/// packages (and as the victims' training policy on the utility side),
+/// then marks the Pareto frontier.
+Result<std::vector<ParetoPoint>> SweepPolicyPareto(
+    const FederationTopology& topology, const TopologyOptions& options,
+    const CoalitionSpec& coalition,
+    const std::vector<MetadataPolicy>& policies);
+
+/// Marks `on_frontier` on the non-dominated points (accuracy maximized,
+/// leakage minimized). Ties survive: only strict domination removes a
+/// point.
+void MarkParetoFrontier(std::vector<ParetoPoint>* points);
+
+}  // namespace metaleak
+
+#endif  // METALEAK_VFL_TOPOLOGY_H_

@@ -1,0 +1,341 @@
+// Tests for src/metadata/metadata_policy.h: per-edge policies, defense
+// transforms, their serialization round-trips, and the coalition package
+// merge operations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "metadata/metadata_policy.h"
+#include "partition/attribute_set.h"
+
+namespace metaleak {
+namespace {
+
+// A hand-built full-level package over three attributes with planted
+// dependencies, one CFD and disclosed marginals.
+MetadataPackage FullPackage() {
+  MetadataPackage pkg;
+  pkg.schema = Schema({
+      {"band", DataType::kString, SemanticType::kCategorical},
+      {"score", DataType::kDouble, SemanticType::kContinuous},
+      {"grade", DataType::kInt64, SemanticType::kCategorical},
+  });
+  pkg.num_rows = 10;
+  pkg.domains = {
+      Domain::Categorical({Value::Str("A"), Value::Str("B")}),
+      Domain::Continuous(0.0, 100.0),
+      Domain::Categorical({Value::Int(1), Value::Int(2), Value::Int(3)}),
+  };
+  pkg.dependencies.Add(Dependency::Fd(AttributeSet::Of({0}), 2));
+  pkg.dependencies.Add(Dependency::Od(1, 2));
+  pkg.dependencies.Add(Dependency::Afd(AttributeSet::Of({1}), 0, 0.1));
+  pkg.conditional_fds.push_back(ConditionalFd::Constant(
+      0, Value::Str("A"), 2, Value::Int(1), 6));
+
+  FrequencyTable band_freq;
+  band_freq.values = {Value::Str("A"), Value::Str("B")};
+  band_freq.counts = {6, 4};
+  Histogram score_hist;
+  score_hist.lo = 0.0;
+  score_hist.hi = 100.0;
+  score_hist.counts = {2, 3, 4, 1};
+  FrequencyTable grade_freq;
+  grade_freq.values = {Value::Int(1), Value::Int(2), Value::Int(3)};
+  grade_freq.counts = {5, 3, 2};
+  auto band_dist = ValueDistribution::Categorical(band_freq);
+  auto score_dist = ValueDistribution::Continuous(score_hist);
+  auto grade_dist = ValueDistribution::Categorical(grade_freq);
+  EXPECT_TRUE(band_dist.ok() && score_dist.ok() && grade_dist.ok());
+  pkg.distributions = {*band_dist, *score_dist, *grade_dist};
+  return pkg;
+}
+
+const DisclosureLevel kAllLevels[] = {
+    DisclosureLevel::kNames,        DisclosureLevel::kNamesAndDomains,
+    DisclosureLevel::kWithFds,      DisclosureLevel::kWithRfds,
+    DisclosureLevel::kWithDistributions,
+};
+
+// --- Restrict / serialize round-trips ----------------------------------------
+
+TEST(PolicyRoundTripTest, RestrictSerializeDeserializeIdempotent) {
+  MetadataPackage full = FullPackage();
+  for (DisclosureLevel level : kAllLevels) {
+    MetadataPackage restricted = full.Restrict(level);
+    std::string wire = restricted.Serialize();
+    auto parsed = MetadataPackage::Deserialize(wire);
+    ASSERT_TRUE(parsed.ok()) << wire;
+    // Re-restricting the deserialized package at the same level must be a
+    // no-op, byte for byte.
+    EXPECT_EQ(parsed->Restrict(level).Serialize(), wire)
+        << DisclosureLevelToString(level);
+    // And Restrict itself is idempotent.
+    EXPECT_EQ(restricted.Restrict(level).Serialize(), wire);
+  }
+}
+
+TEST(PolicyRoundTripTest, TransformedPackagesRoundTripAtEveryLevel) {
+  MetadataPackage full = FullPackage();
+  for (DisclosureLevel level : kAllLevels) {
+    MetadataPolicy policy = MetadataPolicy::AtLevel(level, "defended");
+    policy.transforms = {
+        MetadataTransform::GeneralizeDomains(0.5, 3),
+        MetadataTransform::DpNoiseDistributions(1.0, 0xFEEDULL),
+        MetadataTransform::SuppressDependencies({DependencyKind::kOrder}),
+    };
+    auto defended = policy.Apply(full);
+    ASSERT_TRUE(defended.ok());
+    std::string wire = defended->Serialize();
+    auto parsed = MetadataPackage::Deserialize(wire);
+    ASSERT_TRUE(parsed.ok()) << wire;
+    EXPECT_EQ(parsed->Serialize(), wire);
+    // The defended package still honors its level: re-restricting at the
+    // policy level changes nothing.
+    EXPECT_EQ(parsed->Restrict(level).Serialize(), wire);
+  }
+}
+
+TEST(PolicyRoundTripTest, NoFieldLeaksAboveItsLevel) {
+  MetadataPackage full = FullPackage();
+  for (DisclosureLevel level : kAllLevels) {
+    MetadataPolicy policy = MetadataPolicy::AtLevel(level);
+    policy.transforms = {
+        MetadataTransform::GeneralizeDomains(0.25, 2),
+        MetadataTransform::DpNoiseDistributions(2.0),
+    };
+    auto pkg = policy.Apply(full);
+    ASSERT_TRUE(pkg.ok());
+    if (level < DisclosureLevel::kNamesAndDomains) {
+      EXPECT_FALSE(pkg->HasAllDomains());
+      EXPECT_EQ(pkg->num_rows, 0u);
+    }
+    if (level < DisclosureLevel::kWithFds) {
+      EXPECT_TRUE(pkg->dependencies.empty());
+    }
+    if (level < DisclosureLevel::kWithRfds) {
+      EXPECT_TRUE(
+          pkg->dependencies.OfKind(DependencyKind::kOrder).empty());
+      EXPECT_TRUE(pkg->conditional_fds.empty());
+    }
+    if (level < DisclosureLevel::kWithDistributions) {
+      for (const auto& dist : pkg->distributions) {
+        EXPECT_FALSE(dist.has_value());
+      }
+    }
+    // Schema is always visible — that is what kNames means.
+    EXPECT_EQ(pkg->schema.num_attributes(), full.schema.num_attributes());
+  }
+}
+
+// --- Defense transforms -------------------------------------------------------
+
+TEST(TransformTest, GeneralizeDomainsWidensAndPads) {
+  MetadataPackage full = FullPackage();
+  MetadataTransform t = MetadataTransform::GeneralizeDomains(0.5, 4);
+  auto out = t.Apply(full);
+  ASSERT_TRUE(out.ok());
+  // Continuous range [0, 100] widens by 50 on each side.
+  const Domain& score = *out->domains[1];
+  EXPECT_DOUBLE_EQ(score.lo(), -50.0);
+  EXPECT_DOUBLE_EQ(score.hi(), 150.0);
+  // Categorical domains gain decoys but keep every true value.
+  const Domain& band = *out->domains[0];
+  EXPECT_EQ(band.values().size(), 2u + 4u);
+  EXPECT_TRUE(band.Contains(Value::Str("A")));
+  EXPECT_TRUE(band.Contains(Value::Str("B")));
+  const Domain& grade = *out->domains[2];
+  EXPECT_EQ(grade.values().size(), 3u + 4u);
+  for (int64_t v : {1, 2, 3}) {
+    EXPECT_TRUE(grade.Contains(Value::Int(v)));
+  }
+}
+
+TEST(TransformTest, DpNoiseIsDeterministicPerSeedAndNeverNegative) {
+  MetadataPackage full = FullPackage();
+  MetadataTransform t1 = MetadataTransform::DpNoiseDistributions(0.5, 11);
+  MetadataTransform t2 = MetadataTransform::DpNoiseDistributions(0.5, 11);
+  MetadataTransform t3 = MetadataTransform::DpNoiseDistributions(0.5, 12);
+  auto a = t1.Apply(full);
+  auto b = t2.Apply(full);
+  auto c = t3.Apply(full);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->Serialize(), b->Serialize());
+  EXPECT_NE(a->Serialize(), c->Serialize());
+  for (const auto& dist : a->distributions) {
+    ASSERT_TRUE(dist.has_value());
+    size_t total = dist->is_categorical() ? dist->frequency_table().total()
+                                          : dist->histogram().total();
+    EXPECT_GT(total, 0u);
+  }
+}
+
+TEST(TransformTest, SuppressDependenciesFiltersKindsAndCfds) {
+  MetadataPackage full = FullPackage();
+  // Drop only order dependencies; FDs, AFDs and CFDs survive.
+  MetadataTransform keep_fds =
+      MetadataTransform::SuppressDependencies({DependencyKind::kOrder});
+  keep_fds.suppress_cfds = false;
+  auto out = keep_fds.Apply(full);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->dependencies.OfKind(DependencyKind::kOrder).empty());
+  EXPECT_EQ(out->dependencies.OfKind(DependencyKind::kFunctional).size(), 1u);
+  EXPECT_EQ(out->conditional_fds.size(), 1u);
+
+  // Default: drop everything, CFDs included.
+  MetadataTransform all = MetadataTransform::SuppressDependencies();
+  auto bare = all.Apply(full);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->dependencies.empty());
+  EXPECT_TRUE(bare->conditional_fds.empty());
+
+  // keep_first retains the leading matches in package order.
+  MetadataTransform first = MetadataTransform::SuppressDependencies({}, 1);
+  auto one = first.Apply(full);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->dependencies.size(), 1u);
+  EXPECT_EQ(one->dependencies.all()[0].kind, DependencyKind::kFunctional);
+}
+
+TEST(TransformTest, QuantizeSliceCoarsensContinuousColumns) {
+  Schema schema({
+      {"x", DataType::kDouble, SemanticType::kContinuous},
+      {"tag", DataType::kString, SemanticType::kCategorical},
+  });
+  RelationBuilder builder(schema);
+  for (int i = 0; i < 40; ++i) {
+    builder.AddRow({Value::Real(static_cast<double>(i) * 2.5),
+                    Value::Str(i % 2 == 0 ? "e" : "o")});
+  }
+  auto slice = builder.Finish();
+  ASSERT_TRUE(slice.ok());
+
+  MetadataTransform t = MetadataTransform::GeneralizeDomains(0.5, 2, 4);
+  auto out = t.ApplyToSlice(*slice);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema(), slice->schema());
+  std::set<double> distinct;
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    distinct.insert(out->at(r, 0).AsNumeric());
+  }
+  EXPECT_LE(distinct.size(), 4u);
+  // Categorical column untouched.
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    EXPECT_EQ(out->at(r, 1), slice->at(r, 1));
+  }
+  // Deterministic.
+  auto again = t.ApplyToSlice(*slice);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(*again == *out);
+}
+
+TEST(TransformTest, DataNoiseIsSeededAndSchemaPreserving) {
+  Schema schema({{"x", DataType::kDouble, SemanticType::kContinuous}});
+  RelationBuilder builder(schema);
+  for (int i = 0; i < 20; ++i) {
+    builder.AddRow({Value::Real(static_cast<double>(i))});
+  }
+  auto slice = builder.Finish();
+  ASSERT_TRUE(slice.ok());
+
+  MetadataTransform t = MetadataTransform::DpNoiseDistributions(1.0, 5, 0.1);
+  auto a = t.ApplyToSlice(*slice);
+  auto b = t.ApplyToSlice(*slice);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *slice);
+  EXPECT_EQ(a->schema(), slice->schema());
+}
+
+// --- Policy composition -------------------------------------------------------
+
+TEST(PolicyTest, KindFilterKeepsOnlyAllowedDependencies) {
+  MetadataPackage full = FullPackage();
+  MetadataPolicy policy = MetadataPolicy::AtLevel(DisclosureLevel::kWithRfds);
+  policy.allowed_kinds = {DependencyKind::kOrder};
+  auto pkg = policy.Apply(full);
+  ASSERT_TRUE(pkg.ok());
+  // Only the order dependency remains; CFDs ride with kFunctional, which
+  // is not allowed here.
+  EXPECT_EQ(pkg->dependencies.size(), 1u);
+  for (const Dependency& d : pkg->dependencies) {
+    EXPECT_EQ(d.kind, DependencyKind::kOrder);
+  }
+  EXPECT_TRUE(pkg->conditional_fds.empty());
+}
+
+TEST(PolicyTest, FullDisclosureIsIdentityOnRfdsPackage) {
+  MetadataPackage full = FullPackage();
+  MetadataPackage rfds = full.Restrict(DisclosureLevel::kWithRfds);
+  auto out = MetadataPolicy::FullDisclosure().Apply(full);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->Serialize(), rfds.Serialize());
+}
+
+// --- Coalition merge operations ----------------------------------------------
+
+TEST(MergeTest, UnionOfSingleViewIsExactCopy) {
+  MetadataPackage full = FullPackage();
+  auto out = UnionPackageViews({&full});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->Serialize(), full.Serialize());
+}
+
+TEST(MergeTest, UnionTakesMostInformativeField) {
+  MetadataPackage full = FullPackage();
+  MetadataPackage names = full.Restrict(DisclosureLevel::kNames);
+  MetadataPackage fds = full.Restrict(DisclosureLevel::kWithFds);
+  auto out = UnionPackageViews({&names, &fds});
+  ASSERT_TRUE(out.ok());
+  // Domains and FDs come from the richer view.
+  EXPECT_TRUE(out->HasAllDomains());
+  EXPECT_EQ(out->num_rows, full.num_rows);
+  EXPECT_EQ(out->dependencies.OfKind(DependencyKind::kFunctional).size(), 1u);
+  // Merging a view with itself does not duplicate dependencies.
+  auto twice = UnionPackageViews({&fds, &fds});
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice->dependencies.size(), fds.dependencies.size());
+}
+
+TEST(MergeTest, UnionRejectsDifferentSchemas) {
+  MetadataPackage full = FullPackage();
+  MetadataPackage other = full;
+  std::vector<Attribute> attrs = other.schema.attributes();
+  attrs[0].name = "renamed";
+  other.schema = Schema(attrs);
+  EXPECT_FALSE(UnionPackageViews({&full, &other}).ok());
+}
+
+TEST(MergeTest, ConcatRebasesDependencyIndices) {
+  MetadataPackage full = FullPackage();
+  MetadataPackage other = full;
+  std::vector<Attribute> attrs = other.schema.attributes();
+  for (Attribute& a : attrs) a.name = "p2." + a.name;
+  other.schema = Schema(attrs);
+
+  auto joint = ConcatDisjointPackages({&full, &other});
+  ASSERT_TRUE(joint.ok());
+  ASSERT_EQ(joint->schema.num_attributes(), 6u);
+  EXPECT_TRUE(joint->HasAllDomains());
+  // The second copy's FD {band} -> grade becomes {3} -> 5.
+  auto fds = joint->dependencies.OfKind(DependencyKind::kFunctional);
+  ASSERT_EQ(fds.size(), 2u);
+  EXPECT_EQ(fds[0].rhs, 2u);
+  EXPECT_EQ(fds[1].rhs, 5u);
+  EXPECT_EQ(fds[1].lhs.ToIndices(), std::vector<size_t>{3});
+  ASSERT_EQ(joint->conditional_fds.size(), 2u);
+  EXPECT_EQ(joint->conditional_fds[1].condition_attr, 3u);
+  EXPECT_EQ(joint->conditional_fds[1].rhs, 5u);
+  // Round-trips like any other package.
+  auto parsed = MetadataPackage::Deserialize(joint->Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Serialize(), joint->Serialize());
+}
+
+TEST(MergeTest, ConcatRejectsDuplicateNames) {
+  MetadataPackage full = FullPackage();
+  EXPECT_FALSE(ConcatDisjointPackages({&full, &full}).ok());
+}
+
+}  // namespace
+}  // namespace metaleak

@@ -1,0 +1,509 @@
+// Tests for src/vfl/topology.h: multi-party PSI, the N-party trainer, the
+// federation topology, coalition adversaries and the policy Pareto sweep.
+//
+// The parity tests here are the contract that lets scenario.cc delegate
+// to the topology: a 2-node full-disclosure topology must reproduce the
+// pre-refactor two-party pipeline bit-identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/datasets/fintech.h"
+#include "privacy/coalition.h"
+#include "vfl/attack.h"
+#include "vfl/logistic_regression.h"
+#include "vfl/party.h"
+#include "vfl/psi.h"
+#include "vfl/scenario.h"
+#include "vfl/topology.h"
+
+namespace metaleak {
+namespace {
+
+std::vector<Value> Ids(std::initializer_list<int64_t> xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.push_back(Value::Int(x));
+  return out;
+}
+
+// Verbatim re-implementation of the pre-refactor RunScenario pipeline on
+// the still-public two-party primitives. The golden parity test holds the
+// topology-backed RunScenario to byte equality with this.
+Result<ScenarioOutcome> ReferenceRunScenario(const Party& party_a,
+                                             const Party& party_b,
+                                             const ScenarioOptions& options) {
+  ScenarioOutcome outcome;
+  METALEAK_ASSIGN_OR_RETURN(std::vector<PsiToken> tokens_a,
+                            party_a.PsiTokens(options.psi_salt));
+  METALEAK_ASSIGN_OR_RETURN(std::vector<PsiToken> tokens_b,
+                            party_b.PsiTokens(options.psi_salt));
+  METALEAK_ASSIGN_OR_RETURN(PsiResult psi,
+                            IntersectTokens(tokens_a, tokens_b));
+  outcome.intersection_size = psi.size();
+  if (psi.size() == 0) return Status::Invalid("PSI intersection is empty");
+
+  METALEAK_ASSIGN_OR_RETURN(Relation slice_a,
+                            party_a.AlignedFeatures(psi.rows_a));
+  METALEAK_ASSIGN_OR_RETURN(Relation slice_b,
+                            party_b.AlignedFeatures(psi.rows_b));
+
+  METALEAK_ASSIGN_OR_RETURN(
+      size_t label_col,
+      slice_a.schema().RequireIndex(options.label_attribute));
+  std::vector<int> labels;
+  for (size_t r = 0; r < slice_a.num_rows(); ++r) {
+    const Value& v = slice_a.at(r, label_col);
+    labels.push_back(
+        !v.is_null() && v.is_numeric() && v.AsNumeric() >= 0.5 ? 1 : 0);
+  }
+  std::vector<size_t> a_feature_cols;
+  for (size_t c = 0; c < slice_a.num_columns(); ++c) {
+    if (c != label_col) a_feature_cols.push_back(c);
+  }
+  Relation features_a = slice_a.Project(a_feature_cols);
+
+  METALEAK_ASSIGN_OR_RETURN(
+      VflModel joint, TrainVerticalLogisticRegression(features_a, slice_b,
+                                                      labels, options.train));
+  METALEAK_ASSIGN_OR_RETURN(outcome.joint_accuracy,
+                            Accuracy(joint, features_a, slice_b, labels));
+
+  Schema const_schema(
+      {{"__const", DataType::kInt64, SemanticType::kCategorical}});
+  std::vector<std::vector<Value>> const_col(1);
+  const_col[0].assign(features_a.num_rows(), Value::Int(0));
+  METALEAK_ASSIGN_OR_RETURN(
+      Relation const_b, Relation::Make(const_schema, std::move(const_col)));
+  METALEAK_ASSIGN_OR_RETURN(
+      VflModel solo, TrainVerticalLogisticRegression(features_a, const_b,
+                                                     labels, options.train));
+  METALEAK_ASSIGN_OR_RETURN(outcome.party_a_only_accuracy,
+                            Accuracy(solo, features_a, const_b, labels));
+
+  METALEAK_ASSIGN_OR_RETURN(
+      MetadataPackage shared_b,
+      party_b.ShareMetadata(DisclosureLevel::kWithRfds));
+  METALEAK_ASSIGN_OR_RETURN(
+      outcome.leakage_by_level,
+      SweepDisclosureLevels(shared_b, slice_b, options.attack_seed));
+  return outcome;
+}
+
+void ExpectReportsBitIdentical(const LeakageReport& a,
+                               const LeakageReport& b) {
+  ASSERT_EQ(a.attributes.size(), b.attributes.size());
+  for (size_t i = 0; i < a.attributes.size(); ++i) {
+    const AttributeLeakage& x = a.attributes[i];
+    const AttributeLeakage& y = b.attributes[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.rows_compared, y.rows_compared);
+    EXPECT_EQ(x.matches, y.matches);
+    EXPECT_EQ(x.match_rate, y.match_rate);  // exact double equality
+    EXPECT_EQ(x.mse.has_value(), y.mse.has_value());
+    if (x.mse.has_value() && y.mse.has_value()) {
+      EXPECT_EQ(*x.mse, *y.mse);
+    }
+  }
+}
+
+// --- Multi-party PSI ----------------------------------------------------------
+
+TEST(MultiPsiTest, ThreePartyIntersection) {
+  auto a = DerivePsiTokens(Ids({1, 2, 3, 4, 5}), 42);
+  auto b = DerivePsiTokens(Ids({9, 3, 5, 1}), 42);
+  auto c = DerivePsiTokens(Ids({5, 1, 7}), 42);
+  auto psi = IntersectAllTokens({a, b, c});
+  ASSERT_TRUE(psi.ok());
+  EXPECT_EQ(psi->num_parties(), 3u);
+  ASSERT_EQ(psi->size(), 2u);  // {1, 5}
+  std::vector<Value> ids_a = Ids({1, 2, 3, 4, 5});
+  std::vector<Value> ids_b = Ids({9, 3, 5, 1});
+  std::vector<Value> ids_c = Ids({5, 1, 7});
+  for (size_t i = 0; i < psi->size(); ++i) {
+    EXPECT_EQ(ids_a[psi->rows[0][i]], ids_b[psi->rows[1][i]]);
+    EXPECT_EQ(ids_b[psi->rows[1][i]], ids_c[psi->rows[2][i]]);
+  }
+}
+
+TEST(MultiPsiTest, TwoPartyMatchesPairwisePsi) {
+  auto a = DerivePsiTokens(Ids({4, 8, 15, 16, 23, 42}), 7);
+  auto b = DerivePsiTokens(Ids({42, 15, 99, 4}), 7);
+  auto multi = IntersectAllTokens({a, b});
+  auto pair = IntersectTokens(a, b);
+  ASSERT_TRUE(multi.ok() && pair.ok());
+  ASSERT_EQ(multi->size(), pair->size());
+  EXPECT_EQ(multi->rows[0], pair->rows_a);
+  EXPECT_EQ(multi->rows[1], pair->rows_b);
+}
+
+TEST(MultiPsiTest, CanonicalOrderAcrossPartyPermutation) {
+  auto a = DerivePsiTokens(Ids({3, 1, 2}), 5);
+  auto b = DerivePsiTokens(Ids({2, 3, 1}), 5);
+  auto c = DerivePsiTokens(Ids({1, 2, 3}), 5);
+  auto abc = IntersectAllTokens({a, b, c});
+  auto cba = IntersectAllTokens({c, b, a});
+  ASSERT_TRUE(abc.ok() && cba.ok());
+  ASSERT_EQ(abc->size(), 3u);
+  // Same canonical (token-ascending) entity order regardless of which
+  // party comes first.
+  EXPECT_EQ(abc->rows[0], cba->rows[2]);
+  EXPECT_EQ(abc->rows[2], cba->rows[0]);
+}
+
+TEST(MultiPsiTest, DuplicatesKeepFirstOccurrence) {
+  auto a = DerivePsiTokens(Ids({7, 7, 8}), 42);
+  auto b = DerivePsiTokens(Ids({7, 9, 7}), 42);
+  auto c = DerivePsiTokens(Ids({6, 7}), 42);
+  auto psi = IntersectAllTokens({a, b, c});
+  ASSERT_TRUE(psi.ok());
+  ASSERT_EQ(psi->size(), 1u);
+  EXPECT_EQ(psi->rows[0][0], 0u);
+  EXPECT_EQ(psi->rows[1][0], 0u);
+  EXPECT_EQ(psi->rows[2][0], 1u);
+}
+
+// --- N-party trainer ----------------------------------------------------------
+
+TEST(TopologyTrainerTest, TwoSliceTrainingMatchesTwoPartyTrainer) {
+  datasets::FintechScenario s = datasets::Fintech();
+  Party bank("bank", s.bank, "customer_id");
+  Party ecom("ecom", s.ecommerce, "customer_id");
+  auto ta = bank.PsiTokens(1);
+  auto tb = ecom.PsiTokens(1);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  auto psi = IntersectTokens(*ta, *tb);
+  ASSERT_TRUE(psi.ok());
+  auto slice_a = bank.AlignedFeatures(psi->rows_a);
+  auto slice_b = ecom.AlignedFeatures(psi->rows_b);
+  ASSERT_TRUE(slice_a.ok() && slice_b.ok());
+  std::vector<int> labels(slice_a->num_rows());
+  for (size_t r = 0; r < slice_a->num_rows(); ++r) {
+    labels[r] = r % 3 == 0 ? 1 : 0;
+  }
+  VflTrainOptions train;
+  train.epochs = 25;
+  auto pair_model =
+      TrainVerticalLogisticRegression(*slice_a, *slice_b, labels, train);
+  auto n_model = TrainVerticalLogisticRegressionN({&*slice_a, &*slice_b},
+                                                  labels, train);
+  ASSERT_TRUE(pair_model.ok() && n_model.ok());
+  // Bitwise identical weights, bias and loss trajectory.
+  EXPECT_EQ(pair_model->weights_a, n_model->weights[0]);
+  EXPECT_EQ(pair_model->weights_b, n_model->weights[1]);
+  EXPECT_EQ(pair_model->bias, n_model->bias);
+  EXPECT_EQ(pair_model->loss_history, n_model->loss_history);
+  auto pair_acc = Accuracy(*pair_model, *slice_a, *slice_b, labels);
+  auto n_acc = AccuracyN(*n_model, {&*slice_a, &*slice_b}, labels);
+  ASSERT_TRUE(pair_acc.ok() && n_acc.ok());
+  EXPECT_EQ(*pair_acc, *n_acc);
+}
+
+// --- Golden two-party parity --------------------------------------------------
+
+TEST(TopologyParityTest, TwoNodeTopologyReproducesRunScenarioBitwise) {
+  datasets::FintechScenario s = datasets::Fintech();
+  Party bank("bank", s.bank, "customer_id");
+  Party ecom("ecom", s.ecommerce, "customer_id");
+  ScenarioOptions options;
+  options.train.epochs = 60;
+
+  auto reference = ReferenceRunScenario(bank, ecom, options);
+  auto topology = RunScenario(bank, ecom, options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_TRUE(topology.ok()) << topology.status().ToString();
+
+  EXPECT_EQ(reference->intersection_size, topology->intersection_size);
+  EXPECT_EQ(reference->joint_accuracy, topology->joint_accuracy);
+  EXPECT_EQ(reference->party_a_only_accuracy,
+            topology->party_a_only_accuracy);
+  ASSERT_EQ(reference->leakage_by_level.size(),
+            topology->leakage_by_level.size());
+  for (size_t i = 0; i < reference->leakage_by_level.size(); ++i) {
+    const AttackResult& r = reference->leakage_by_level[i];
+    const AttackResult& t = topology->leakage_by_level[i];
+    EXPECT_EQ(r.level, t.level);
+    EXPECT_EQ(r.reconstructed, t.reconstructed);
+    ExpectReportsBitIdentical(r.leakage, t.leakage);
+  }
+}
+
+// --- Topology semantics -------------------------------------------------------
+
+datasets::FintechFederationScenario SmallFederation() {
+  datasets::FintechFederationOptions options;
+  options.population = 300;
+  return datasets::FintechFederation(options);
+}
+
+TEST(TopologyTest, EdgeValidation) {
+  datasets::FintechFederationScenario s = SmallFederation();
+  FederationTopology topo;
+  size_t bank = topo.AddParty(Party("bank", s.bank, "customer_id"));
+  topo.AddParty(Party("ecom", s.ecommerce, "customer_id"));
+  EXPECT_FALSE(topo.AddEdge(bank, bank, MetadataPolicy()).ok());
+  EXPECT_FALSE(topo.AddEdge(0, 5, MetadataPolicy()).ok());
+  EXPECT_TRUE(topo.AddEdge(1, 0, MetadataPolicy()).ok());
+}
+
+TEST(TopologyTest, ParticipationFollowsEdgePolicies) {
+  datasets::FintechFederationScenario s = SmallFederation();
+  FederationTopology topo;
+  size_t bank = topo.AddParty(Party("bank", s.bank, "customer_id"));
+  size_t ecom = topo.AddParty(Party("ecom", s.ecommerce, "customer_id"));
+  size_t telco = topo.AddParty(Party("telco", s.telco, "customer_id"));
+  size_t insurer = topo.AddParty(Party("insurer", s.insurer, "customer_id"));
+  ASSERT_TRUE(topo.AddEdge(ecom, bank, MetadataPolicy::FullDisclosure()).ok());
+  // Telco discloses names only: out of training.
+  ASSERT_TRUE(
+      topo.AddEdge(telco, bank,
+                   MetadataPolicy::AtLevel(DisclosureLevel::kNames))
+          .ok());
+  // Insurer has no edge to the label holder at all.
+  ASSERT_TRUE(
+      topo.AddEdge(insurer, telco, MetadataPolicy::FullDisclosure()).ok());
+
+  TopologyOptions options;
+  options.label_party = bank;
+  options.train.epochs = 30;
+  auto alignment = topo.Align(options);
+  ASSERT_TRUE(alignment.ok()) << alignment.status().ToString();
+  auto utility = topo.EvaluateUtility(*alignment, options);
+  ASSERT_TRUE(utility.ok()) << utility.status().ToString();
+  EXPECT_EQ(utility->participants, (std::vector<size_t>{bank, ecom}));
+  EXPECT_GT(utility->joint_accuracy, 0.5);
+}
+
+TEST(TopologyTest, FourPartyFederationTrainsAndAligns) {
+  datasets::FintechFederationScenario s = SmallFederation();
+  FederationTopology topo;
+  size_t bank = topo.AddParty(Party("bank", s.bank, "customer_id"));
+  size_t ecom = topo.AddParty(Party("ecom", s.ecommerce, "customer_id"));
+  size_t telco = topo.AddParty(Party("telco", s.telco, "customer_id"));
+  size_t insurer = topo.AddParty(Party("insurer", s.insurer, "customer_id"));
+  for (size_t p : {ecom, telco, insurer}) {
+    ASSERT_TRUE(topo.AddEdge(p, bank, MetadataPolicy::FullDisclosure()).ok());
+  }
+  TopologyOptions options;
+  options.label_party = bank;
+  options.train.epochs = 40;
+  auto alignment = topo.Align(options);
+  ASSERT_TRUE(alignment.ok()) << alignment.status().ToString();
+  EXPECT_GT(alignment->intersection_size(), 50u);
+  ASSERT_EQ(alignment->aligned.size(), 4u);
+  for (const Relation& slice : alignment->aligned) {
+    EXPECT_EQ(slice.num_rows(), alignment->intersection_size());
+  }
+  // Every discloser has a profile; the label holder (no outgoing edge)
+  // does not.
+  EXPECT_FALSE(alignment->profiles[bank].has_value());
+  for (size_t p : {ecom, telco, insurer}) {
+    EXPECT_TRUE(alignment->profiles[p].has_value());
+  }
+  auto utility = topo.EvaluateUtility(*alignment, options);
+  ASSERT_TRUE(utility.ok());
+  EXPECT_EQ(utility->participants.size(), 4u);
+  EXPECT_GT(utility->joint_accuracy, 0.5);
+}
+
+// --- Coalition adversaries ----------------------------------------------------
+
+struct CoalitionFixture {
+  FederationTopology topo;
+  size_t bank = 0, ecom = 0, telco = 0;
+  TopologyOptions options;
+};
+
+// Bank and telco collude against e-commerce: ecom disclosed along two
+// edges (different levels) to the two coalition members.
+CoalitionFixture MakeCoalitionFixture() {
+  datasets::FintechFederationScenario s = SmallFederation();
+  CoalitionFixture f;
+  f.bank = f.topo.AddParty(Party("bank", s.bank, "customer_id"));
+  f.ecom = f.topo.AddParty(Party("ecom", s.ecommerce, "customer_id"));
+  f.telco = f.topo.AddParty(Party("telco", s.telco, "customer_id"));
+  EXPECT_TRUE(
+      f.topo.AddEdge(f.ecom, f.bank, MetadataPolicy::FullDisclosure()).ok());
+  EXPECT_TRUE(
+      f.topo
+          .AddEdge(f.ecom, f.telco,
+                   MetadataPolicy::AtLevel(DisclosureLevel::kNamesAndDomains))
+          .ok());
+  EXPECT_TRUE(
+      f.topo.AddEdge(f.telco, f.bank, MetadataPolicy::FullDisclosure()).ok());
+  f.options.label_party = f.bank;
+  f.options.train.epochs = 30;
+  return f;
+}
+
+TEST(CoalitionTest, DefaultVictimsAreDisclosersToMembers) {
+  CoalitionFixture f = MakeCoalitionFixture();
+  auto alignment = f.topo.Align(f.options);
+  ASSERT_TRUE(alignment.ok());
+  CoalitionSpec spec;
+  spec.attackers = {f.bank, f.telco};
+  auto outcome = f.topo.EvaluateCoalition(*alignment, spec, f.options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->victims, (std::vector<size_t>{f.ecom}));
+  EXPECT_TRUE(outcome->reconstructed);
+  // The merged view is at least as informative as either edge alone: the
+  // full-disclosure edge supplies domains and dependencies.
+  EXPECT_TRUE(outcome->joint.HasAllDomains());
+  EXPECT_FALSE(outcome->joint.dependencies.empty());
+  EXPECT_EQ(outcome->victim_union.num_rows(),
+            alignment->intersection_size());
+}
+
+TEST(CoalitionTest, SingleVictimMatchesDisclosureSweepBitwise) {
+  // A coalition of one attacker with a per-level policy override is
+  // exactly the old SweepDisclosureLevels, level by level.
+  CoalitionFixture f = MakeCoalitionFixture();
+  auto alignment = f.topo.Align(f.options);
+  ASSERT_TRUE(alignment.ok());
+
+  auto shared = f.topo.party(f.ecom).ShareMetadata(DisclosureLevel::kWithRfds);
+  ASSERT_TRUE(shared.ok());
+  auto sweep = SweepDisclosureLevels(*shared, alignment->aligned[f.ecom],
+                                     f.options.attack_seed);
+  ASSERT_TRUE(sweep.ok());
+
+  const DisclosureLevel levels[] = {
+      DisclosureLevel::kNames,
+      DisclosureLevel::kNamesAndDomains,
+      DisclosureLevel::kWithFds,
+      DisclosureLevel::kWithRfds,
+  };
+  for (size_t i = 0; i < 4; ++i) {
+    CoalitionSpec spec;
+    spec.attackers = {f.bank};
+    spec.victims = {f.ecom};
+    spec.policy_override = MetadataPolicy::AtLevel(levels[i]);
+    auto outcome = f.topo.EvaluateCoalition(*alignment, spec, f.options);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome->reconstructed, (*sweep)[i].reconstructed);
+    ExpectReportsBitIdentical(outcome->leakage, (*sweep)[i].leakage);
+  }
+}
+
+TEST(CoalitionTest, MultiVictimJointViewConcatenatesSlices) {
+  CoalitionFixture f = MakeCoalitionFixture();
+  // Make ecom AND telco victims of a bank-only coalition.
+  auto alignment = f.topo.Align(f.options);
+  ASSERT_TRUE(alignment.ok());
+  CoalitionSpec spec;
+  spec.attackers = {f.bank};
+  auto outcome = f.topo.EvaluateCoalition(*alignment, spec, f.options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->victims, (std::vector<size_t>{f.ecom, f.telco}));
+  EXPECT_TRUE(outcome->reconstructed);
+  // Joint view spans both slices (ecom 4 features + telco 3).
+  EXPECT_EQ(outcome->joint.schema.num_attributes(),
+            alignment->aligned[f.ecom].num_columns() +
+                alignment->aligned[f.telco].num_columns());
+  EXPECT_EQ(outcome->victim_union.num_columns(),
+            outcome->joint.schema.num_attributes());
+  // Leakage report covers every attribute of the union.
+  EXPECT_EQ(outcome->leakage.attributes.size(),
+            outcome->joint.schema.num_attributes());
+}
+
+TEST(CoalitionTest, MonteCarloIsThreadCountInvariantAndReplays) {
+  CoalitionFixture f = MakeCoalitionFixture();
+  f.options.attack_rounds = 6;
+  auto alignment = f.topo.Align(f.options);
+  ASSERT_TRUE(alignment.ok());
+  CoalitionSpec spec;
+  spec.attackers = {f.bank, f.telco};
+
+  f.options.threads = 1;
+  auto serial = f.topo.EvaluateCoalition(*alignment, spec, f.options);
+  f.options.threads = 8;
+  auto parallel = f.topo.EvaluateCoalition(*alignment, spec, f.options);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ASSERT_TRUE(serial->monte_carlo.has_value());
+  ASSERT_TRUE(parallel->monte_carlo.has_value());
+
+  const CoalitionLeakageSummary& a = *serial->monte_carlo;
+  const CoalitionLeakageSummary& b = *parallel->monte_carlo;
+  EXPECT_EQ(a.rounds, 6u);
+  EXPECT_EQ(a.overall_match_rate, b.overall_match_rate);
+  EXPECT_EQ(a.categorical_match_rate, b.categorical_match_rate);
+  EXPECT_EQ(a.continuous_match_rate, b.continuous_match_rate);
+  EXPECT_EQ(a.result.round_seeds, b.result.round_seeds);
+  ASSERT_EQ(a.result.attributes.size(), b.result.attributes.size());
+  for (size_t i = 0; i < a.result.attributes.size(); ++i) {
+    EXPECT_EQ(a.result.attributes[i].mean_matches,
+              b.result.attributes[i].mean_matches);
+    EXPECT_EQ(a.result.attributes[i].stddev_matches,
+              b.result.attributes[i].stddev_matches);
+  }
+
+  // Any recorded round replays in isolation, deterministically.
+  ExperimentConfig config;
+  config.leakage = f.options.leakage;
+  ASSERT_FALSE(a.result.round_seeds.empty());
+  uint64_t seed = a.result.round_seeds.front();
+  auto replay1 = ReplayCoalitionRound(serial->joint, serial->victim_union,
+                                      seed, config);
+  auto replay2 = ReplayCoalitionRound(parallel->joint,
+                                      parallel->victim_union, seed, config);
+  ASSERT_TRUE(replay1.ok() && replay2.ok());
+  ExpectReportsBitIdentical(*replay1, *replay2);
+}
+
+// --- Pareto sweep -------------------------------------------------------------
+
+TEST(TopologyParetoTest, SweepProducesDistinctTradeoffPoints) {
+  CoalitionFixture f = MakeCoalitionFixture();
+  f.options.train.epochs = 40;
+  CoalitionSpec spec;
+  spec.attackers = {f.bank};
+  spec.victims = {f.ecom, f.telco};
+
+  std::vector<MetadataPolicy> policies;
+  policies.push_back(MetadataPolicy::FullDisclosure());
+  policies.push_back(MetadataPolicy::AtLevel(
+      DisclosureLevel::kNamesAndDomains, "domains-only"));
+  MetadataPolicy defended =
+      MetadataPolicy::AtLevel(DisclosureLevel::kNamesAndDomains, "defended");
+  defended.transforms = {MetadataTransform::GeneralizeDomains(2.0, 16, 3)};
+  policies.push_back(defended);
+  policies.push_back(
+      MetadataPolicy::AtLevel(DisclosureLevel::kNames, "names-only"));
+
+  auto points = SweepPolicyPareto(f.topo, f.options, spec, policies);
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  ASSERT_EQ(points->size(), policies.size());
+
+  const ParetoPoint& full = (*points)[0];
+  const ParetoPoint& defended_pt = (*points)[2];
+  const ParetoPoint& names = (*points)[3];
+
+  // Names-only prevents reconstruction entirely and drops the victims out
+  // of training: the zero-leakage endpoint.
+  EXPECT_FALSE(names.reconstructed);
+  EXPECT_EQ(names.leakage_rate, 0.0);
+  // Full disclosure leaks the most.
+  EXPECT_TRUE(full.reconstructed);
+  EXPECT_GT(full.leakage_rate, 0.0);
+  EXPECT_GE(full.leakage_rate, defended_pt.leakage_rate);
+  // Domain generalization strictly cuts leakage below full disclosure.
+  EXPECT_LT(defended_pt.leakage_rate, full.leakage_rate);
+  // The frontier is non-empty and marked consistently: no point on it is
+  // strictly dominated.
+  size_t on_frontier = 0;
+  for (const ParetoPoint& p : *points) {
+    if (p.on_frontier) ++on_frontier;
+    for (const ParetoPoint& q : *points) {
+      if (&p == &q || !p.on_frontier) continue;
+      bool dominates = q.joint_accuracy >= p.joint_accuracy &&
+                       q.leakage_rate <= p.leakage_rate &&
+                       (q.joint_accuracy > p.joint_accuracy ||
+                        q.leakage_rate < p.leakage_rate);
+      EXPECT_FALSE(dominates);
+    }
+  }
+  EXPECT_GE(on_frontier, 1u);
+}
+
+}  // namespace
+}  // namespace metaleak
