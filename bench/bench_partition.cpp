@@ -10,6 +10,16 @@
 // verdicts); any disagreement exits non-zero. Results go to
 // BENCH_partition.json, including the width-2 sweep speedup at each row
 // count (the acceptance number is the 50k-row entry).
+//
+// Two further axes ride along. The SIMD axis forces the kernels to
+// scalar versus the best host level and checks the outputs are
+// bit-identical; only the bit-parallel low-cardinality counting path is
+// timed (the gather-bound intersect/sweep timings it used to report sat
+// at ~1.0x and were retired). The streaming axis A/Bs the cache
+// refinements — software prefetch in the probe gathers and the
+// radix-partitioned scatter in FromCodes — on a high-cardinality
+// fixture, plus the tiled counting sweep against the cached-PLI
+// extension sweep.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -20,6 +30,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/random.h"
 #include "common/simd.h"
 #include "data/datasets/synthetic.h"
 #include "data/encoded_relation.h"
@@ -276,8 +287,9 @@ int Main() {
   const std::vector<size_t> kRowCounts = {10000, 50000, 200000};
   std::vector<BenchRecord> records;
   double speedup_50k = 0.0;
-  double simd_intersect_50k = 0.0;
-  double simd_sweep_50k = 0.0;
+  double tiled_sweep_50k = 0.0;
+  double prefetch_intersect_200k = 0.0;
+  double radix_build_4m = 0.0;
   double simd_lowcard_50k = 0.0;
   bool simd_parity_ok = true;
 
@@ -374,15 +386,37 @@ int Main() {
       if (!result.ok()) std::abort();
     });
 
+    // The tiled counting sweep behind IdentifiableRows(cache, 2): per-pair
+    // count tables walked in L2-sized row tiles instead of materialized
+    // pair partitions. Must agree with the extension sweep bit-for-bit.
+    {
+      PliCache cache(&enc);
+      auto extend = IdentifiableRowsForSubsets(cache, subsets);
+      auto tiled = IdentifiableRows(cache, 2);
+      if (!extend.ok() || !tiled.ok() || *extend != *tiled) {
+        std::fprintf(stderr, "parity FAILED: tiled sweep verdicts\n");
+        return 1;
+      }
+    }
+    double sweep_tiled = TimeMs([&] {
+      PliCache cache(&enc);
+      if (!IdentifiableRows(cache, 2).ok()) std::abort();
+    });
+
     const double speedup = sweep_rebuild / sweep_extend;
-    if (rows == 50000) speedup_50k = speedup;
+    const double tiled_speedup = sweep_extend / sweep_tiled;
+    if (rows == 50000) {
+      speedup_50k = speedup;
+      tiled_sweep_50k = tiled_speedup;
+    }
     std::printf("  build     nested %8.2f ms | csr %8.2f ms\n",
                 nested_build, csr_build);
     std::printf("  intersect nested %8.2f ms | csr %8.2f ms\n",
                 nested_intersect, csr_intersect);
     std::printf(
-        "  sweep w2  rebuild %7.2f ms | extend %6.2f ms  (%.2fx)\n\n",
-        sweep_rebuild, sweep_extend, speedup);
+        "  sweep w2  rebuild %7.2f ms | extend %6.2f ms  (%.2fx) | tiled "
+        "%6.2f ms  (%.2fx)\n\n",
+        sweep_rebuild, sweep_extend, speedup, sweep_tiled, tiled_speedup);
 
     records.push_back({"build_singles", "nested", rows, nested_build});
     records.push_back({"build_singles", "csr", rows, csr_build});
@@ -390,6 +424,7 @@ int Main() {
     records.push_back({"intersect_pairs", "csr", rows, csr_intersect});
     records.push_back({"sweep_width2", "rebuild", rows, sweep_rebuild});
     records.push_back({"sweep_width2", "extend", rows, sweep_extend});
+    records.push_back({"sweep_width2", "tiled", rows, sweep_tiled});
 
     // --- SIMD axis: the same CSR engine with the kernels forced to
     // scalar versus the best level the host supports. Outputs must be
@@ -415,12 +450,7 @@ int Main() {
     std::vector<PositionListIndex> lowcard_singles = WarmSingles(lowcard);
     const std::vector<double> scalar_lowcard_digest =
         CountingDigest(lowcard_singles);
-    const double scalar_intersect_ms = TimePairIntersects(csr_singles);
     const double scalar_lowcard_ms = TimeCountingQueries(lowcard_singles);
-    const double scalar_sweep_ms = TimeMs([&] {
-      PliCache cache(&enc);
-      if (!IdentifiableRowsForSubsets(cache, subsets).ok()) std::abort();
-    });
 
     SetSimdLevelOverride(best);
     if (PairDigest(csr_singles) != scalar_digest ||
@@ -437,41 +467,93 @@ int Main() {
         simd_parity_ok = false;
       }
     }
-    const double simd_intersect_ms = TimePairIntersects(csr_singles);
     const double simd_lowcard_ms = TimeCountingQueries(lowcard_singles);
-    const double simd_sweep_ms = TimeMs([&] {
-      PliCache cache(&enc);
-      if (!IdentifiableRowsForSubsets(cache, subsets).ok()) std::abort();
-    });
     ClearSimdLevelOverride();
 
-    const double si = scalar_intersect_ms / simd_intersect_ms;
-    const double ss = scalar_sweep_ms / simd_sweep_ms;
     const double sl = scalar_lowcard_ms / simd_lowcard_ms;
-    if (rows == 50000) {
-      simd_intersect_50k = si;
-      simd_sweep_50k = ss;
-      simd_lowcard_50k = sl;
-    }
-    std::printf(
-        "  simd (%s) intersect %7.2f -> %6.2f ms (%.2fx) | lowcard g3 "
-        "%6.2f -> %6.2f ms (%.2fx) | sweep %6.2f -> %6.2f ms (%.2fx)\n\n",
-        SimdLevelName(best), scalar_intersect_ms, simd_intersect_ms, si,
-        scalar_lowcard_ms, simd_lowcard_ms, sl, scalar_sweep_ms,
-        simd_sweep_ms, ss);
+    if (rows == 50000) simd_lowcard_50k = sl;
+    std::printf("  simd (%s) lowcard g3 %6.2f -> %6.2f ms (%.2fx)\n",
+                SimdLevelName(best), scalar_lowcard_ms, simd_lowcard_ms, sl);
 
-    records.push_back(
-        {"intersect_pairs", "scalar_kernels", rows, scalar_intersect_ms});
-    records.push_back(
-        {"intersect_pairs", "simd_kernels", rows, simd_intersect_ms});
     records.push_back(
         {"counting_lowcard", "scalar_kernels", rows, scalar_lowcard_ms});
     records.push_back(
         {"counting_lowcard", "simd_kernels", rows, simd_lowcard_ms});
+
+    // --- streaming axis: probe-gather prefetch A/B --------------------
+    // A high-cardinality fixture (domain ~rows/2) makes the probe-table
+    // gathers cache-miss bound, which is where the software prefetch
+    // earns its keep — the effect only shows once the probe tables
+    // outgrow L2, so the acceptance key is the 200k-row entry. The
+    // prefetch may not change any output.
+    EncodedRelation highcard = EncodedRelation::Encode(
+        std::move(datasets::SyntheticUniform(
+                      rows, /*num_categorical=*/4, /*num_continuous=*/0,
+                      /*domain_size=*/rows / 2, /*seed=*/17))
+            .ValueOrDie());
+    SetStreamingOptsEnabled(false);
+    std::vector<PositionListIndex> plain_singles = WarmSingles(highcard);
+    const std::vector<uint32_t> plain_digest = PairDigest(plain_singles);
+    const double plain_intersect_ms = TimePairIntersects(plain_singles);
+
+    SetStreamingOptsEnabled(true);
+    std::vector<PositionListIndex> stream_singles = WarmSingles(highcard);
+    if (PairDigest(stream_singles) != plain_digest) {
+      std::fprintf(stderr, "streaming parity FAILED: highcard digests\n");
+      simd_parity_ok = false;
+    }
+    const double stream_intersect_ms = TimePairIntersects(stream_singles);
+
+    const double pf = plain_intersect_ms / stream_intersect_ms;
+    if (rows == 200000) prefetch_intersect_200k = pf;
+    std::printf(
+        "  streaming highcard intersect %6.2f -> %6.2f ms (%.2fx)\n\n",
+        plain_intersect_ms, stream_intersect_ms, pf);
+
     records.push_back(
-        {"sweep_width2", "scalar_kernels", rows, scalar_sweep_ms});
+        {"intersect_highcard", "no_prefetch", rows, plain_intersect_ms});
     records.push_back(
-        {"sweep_width2", "simd_kernels", rows, simd_sweep_ms});
+        {"intersect_highcard", "prefetch", rows, stream_intersect_ms});
+  }
+
+  // --- radix scatter A/B: FromCodes at the scale where it engages -----
+  // The radix-partitioned scatter only switches on past ~1M distinct
+  // codes with n >= 2x codes (below that the direct scatter's cursor
+  // tables still fit in cache), so it gets its own fixture: 4M rows over
+  // a 2M-code domain, raw codes with no Relation behind them. The two
+  // paths must produce bit-identical CSR arenas.
+  {
+    const size_t n = 4000000;
+    const uint32_t num_codes = 2000000;
+    std::vector<uint32_t> codes(n);
+    Rng rng(19);
+    for (size_t i = 0; i < n; ++i) {
+      codes[i] = static_cast<uint32_t>(rng.UniformIndex(num_codes));
+    }
+    SetStreamingOptsEnabled(false);
+    PositionListIndex direct = PositionListIndex::FromCodes(codes, num_codes);
+    const double direct_ms = TimeMs([&] {
+      if (PositionListIndex::FromCodes(codes, num_codes).num_rows() != n) {
+        std::abort();
+      }
+    });
+    SetStreamingOptsEnabled(true);
+    PositionListIndex radix = PositionListIndex::FromCodes(codes, num_codes);
+    if (radix.rows() != direct.rows() ||
+        radix.cluster_offsets() != direct.cluster_offsets()) {
+      std::fprintf(stderr, "streaming parity FAILED: radix scatter arena\n");
+      simd_parity_ok = false;
+    }
+    const double radix_ms = TimeMs([&] {
+      if (PositionListIndex::FromCodes(codes, num_codes).num_rows() != n) {
+        std::abort();
+      }
+    });
+    radix_build_4m = direct_ms / radix_ms;
+    std::printf("radix scatter 4M rows / 2M codes: %.2f -> %.2f ms (%.2fx)\n",
+                direct_ms, radix_ms, radix_build_4m);
+    records.push_back({"build_highcard", "direct_scatter", n, direct_ms});
+    records.push_back({"build_highcard", "radix_scatter", n, radix_ms});
   }
 
   std::ofstream json("BENCH_partition.json");
@@ -479,8 +561,10 @@ int Main() {
        << ",\n  \"sweep_width2_speedup_50k\": " << speedup_50k
        << ",\n  \"simd_parity\": \""
        << (simd_parity_ok ? "ok" : "MISMATCH")
-       << "\",\n  \"simd_intersect_speedup_50k\": " << simd_intersect_50k
-       << ",\n  \"simd_sweep_speedup_50k\": " << simd_sweep_50k
+       << "\",\n  \"tiled_sweep_speedup_50k\": " << tiled_sweep_50k
+       << ",\n  \"prefetch_intersect_speedup_200k\": "
+       << prefetch_intersect_200k
+       << ",\n  \"radix_build_speedup_4m\": " << radix_build_4m
        << ",\n  \"simd_lowcard_speedup_50k\": " << simd_lowcard_50k
        << ",\n  \"benchmarks\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {

@@ -1,0 +1,342 @@
+// Million-row scale bench: bandwidth proportional to real cardinality.
+//
+// Runs the full encode -> PLI build -> width-2 identifiability sweep ->
+// fused leakage scan -> attack round pipeline over the Zipf-skewed wide
+// schema (datasets::SyntheticZipfScale) at 200k / 500k / 1M rows, twice
+// per scale: once with the adaptive u8/u16/u32 code widths the
+// dictionaries naturally select, and once with the storage floor forced
+// to u32 (the pre-adaptive layout). Before reporting any speedup the two
+// runs are checked byte-identical — encoding fingerprints, sweep
+// verdicts, and the bitwise accumulated leakage stats — and a thread
+// axis re-runs the parallel stages at 1 and 8 threads expecting the same
+// digests. Any mismatch exits non-zero.
+//
+// Results go to BENCH_scale.json: per-op rows/sec at each scale on both
+// width axes, the narrow-over-u32 leakage-scan speedups, and the
+// "width_parity" / "thread_parity" gates CI greps for. Setting
+// METALEAK_SCALE_SMOKE=1 cuts the round counts for CI smoke runs without
+// changing the row counts or the gates.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/simd.h"
+#include "data/code_column.h"
+#include "data/datasets/synthetic.h"
+#include "data/encoded_batch.h"
+#include "data/encoded_relation.h"
+#include "data/relation.h"
+#include "generation/generation_engine.h"
+#include "metadata/metadata_package.h"
+#include "partition/position_list_index.h"
+#include "privacy/identifiability.h"
+#include "privacy/leakage.h"
+
+namespace metaleak {
+namespace {
+
+struct BenchRecord {
+  std::string op;
+  std::string width;  // "narrow" or "u32"
+  size_t rows = 0;
+  double ms = 0.0;
+  double rows_per_sec = 0.0;
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Everything one width axis needs, built under the active width floor.
+struct Pipeline {
+  EncodedRelation encoded;
+  GenerationContext gen;
+  EncodedLeakageContext leakage;
+  std::vector<EncodedBatch> pool;
+  double encode_ms = 0.0;
+};
+
+Pipeline BuildPipeline(const Relation& real, const MetadataPackage& metadata,
+                       size_t pool_size) {
+  auto start = std::chrono::steady_clock::now();
+  EncodedRelation encoded = EncodedRelation::Encode(real);
+  const double encode_ms = MsSince(start);
+
+  GenerationContext gen =
+      std::move(GenerationContext::Build(metadata)).ValueOrDie();
+  if (!gen.encodable()) {
+    std::fprintf(stderr, "scale fixture is not encodable\n");
+    std::exit(1);
+  }
+  EncodedLeakageContext leakage =
+      std::move(EncodedLeakageContext::Build(encoded, gen.schema(),
+                                             gen.domains(), {}))
+          .ValueOrDie();
+  if (!leakage.supported()) {
+    std::fprintf(stderr, "leakage code path not live: %s\n",
+                 leakage.fallback_reason().c_str());
+    std::exit(1);
+  }
+  // Deterministic batch pool: both width axes fork the same seeds, so
+  // the generated codes are value-identical and only the storage width
+  // differs — exactly the comparison the parity gate needs.
+  std::vector<EncodedBatch> pool(pool_size);
+  Rng rng(11);
+  for (EncodedBatch& batch : pool) {
+    Rng round_rng = rng.Fork();
+    if (!GenerateEncoded(gen, real.num_rows(), &round_rng, &batch).ok()) {
+      std::abort();
+    }
+  }
+  Pipeline p{std::move(encoded), std::move(gen), std::move(leakage),
+             std::move(pool), encode_ms};
+  return p;
+}
+
+// Accumulated leakage stats over `rounds` scans cycling the pool.
+// Returns the total; *ms gets the wall time of the scan loop.
+std::vector<AttributeRoundStats> RunScan(const Pipeline& p, size_t rounds,
+                                         double* ms) {
+  const size_t m = p.leakage.num_attributes();
+  std::vector<AttributeRoundStats> stats(m);
+  std::vector<AttributeRoundStats> total(m);
+  auto start = std::chrono::steady_clock::now();
+  for (size_t round = 0; round < rounds; ++round) {
+    if (!p.leakage.Evaluate(p.pool[round % p.pool.size()], stats.data())
+             .ok()) {
+      std::abort();
+    }
+    for (size_t c = 0; c < m; ++c) {
+      total[c].matches += stats[c].matches;
+      total[c].mse += stats[c].mse;
+      total[c].has_mse = stats[c].has_mse;
+    }
+  }
+  *ms = MsSince(start);
+  return total;
+}
+
+bool StatsBitIdentical(const std::vector<AttributeRoundStats>& a,
+                       const std::vector<AttributeRoundStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t c = 0; c < a.size(); ++c) {
+    uint64_t x, y;
+    std::memcpy(&x, &a[c].mse, sizeof(x));
+    std::memcpy(&y, &b[c].mse, sizeof(y));
+    if (a[c].matches != b[c].matches || x != y ||
+        a[c].has_mse != b[c].has_mse) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Column-width census of an encoding, e.g. "u8:4 u16:5 u32:5".
+std::string WidthCensus(const EncodedRelation& enc) {
+  size_t by_width[3] = {0, 0, 0};
+  for (size_t c = 0; c < enc.num_columns(); ++c) {
+    switch (enc.column_width(c)) {
+      case CodeWidth::kU8: ++by_width[0]; break;
+      case CodeWidth::kU16: ++by_width[1]; break;
+      case CodeWidth::kU32: ++by_width[2]; break;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "u8:%zu u16:%zu u32:%zu", by_width[0],
+                by_width[1], by_width[2]);
+  return buf;
+}
+
+int Main() {
+  const bool smoke = std::getenv("METALEAK_SCALE_SMOKE") != nullptr;
+  struct Scale {
+    size_t rows;
+    size_t scan_rounds;
+    size_t attack_rounds;
+  };
+  const std::vector<Scale> kScales = {
+      {200000, smoke ? 4u : 20u, smoke ? 1u : 4u},
+      {500000, smoke ? 3u : 12u, smoke ? 1u : 3u},
+      {1000000, smoke ? 2u : 8u, smoke ? 1u : 2u},
+  };
+  const size_t pool_size = smoke ? 1 : 2;
+
+  std::vector<BenchRecord> records;
+  bool width_parity_ok = true;
+  bool thread_parity_ok = true;
+  double scan_speedup_200k = 0.0;
+  double scan_speedup_500k = 0.0;
+  double scan_speedup_1m = 0.0;
+
+  for (const Scale& scale : kScales) {
+    const size_t rows = scale.rows;
+    Relation real =
+        std::move(datasets::SyntheticZipfScale(rows, /*seed=*/21))
+            .ValueOrDie();
+    const size_t m = real.num_columns();
+
+    // Metadata: schema + per-attribute domains, no dependency classes —
+    // the attack round measured here is the Def 2.2/2.3 baseline
+    // (generate from domains, score the fused leakage scan).
+    EncodedRelation for_domains = EncodedRelation::Encode(real);
+    MetadataPackage metadata;
+    metadata.schema = real.schema();
+    metadata.num_rows = rows;
+    for (size_t c = 0; c < m; ++c) {
+      metadata.domains.push_back(
+          std::move(for_domains.DomainOf(c)).ValueOrDie());
+    }
+
+    auto run_axis = [&](const char* width_name) {
+      Pipeline p = BuildPipeline(real, metadata, pool_size);
+      auto record = [&](const char* op, double ms) {
+        records.push_back({op, width_name, rows,  ms,
+                           static_cast<double>(rows) / (ms / 1000.0)});
+      };
+      record("encode", p.encode_ms);
+
+      auto start = std::chrono::steady_clock::now();
+      size_t clusters = 0;
+      for (size_t c = 0; c < m; ++c) {
+        clusters +=
+            PositionListIndex::FromEncoded(p.encoded, {c}).num_clusters();
+      }
+      if (clusters == SIZE_MAX) std::abort();
+      record("pli_build", MsSince(start));
+
+      start = std::chrono::steady_clock::now();
+      std::vector<bool> verdicts =
+          std::move(IdentifiableRows(p.encoded, 2)).ValueOrDie();
+      record("sweep_width2", MsSince(start));
+
+      double scan_ms = 0.0;
+      std::vector<AttributeRoundStats> totals =
+          RunScan(p, scale.scan_rounds, &scan_ms);
+      records.push_back(
+          {"leakage_scan", width_name, rows, scan_ms,
+           static_cast<double>(rows * scale.scan_rounds) /
+               (scan_ms / 1000.0)});
+
+      start = std::chrono::steady_clock::now();
+      {
+        EncodedBatch batch;
+        std::vector<AttributeRoundStats> stats(p.leakage.num_attributes());
+        Rng rng(23);
+        for (size_t round = 0; round < scale.attack_rounds; ++round) {
+          Rng round_rng = rng.Fork();
+          if (!GenerateEncoded(p.gen, rows, &round_rng, &batch).ok()) {
+            std::abort();
+          }
+          if (!p.leakage.Evaluate(batch, stats.data()).ok()) std::abort();
+        }
+      }
+      const double attack_ms = MsSince(start);
+      records.push_back(
+          {"attack_round", width_name, rows, attack_ms,
+           static_cast<double>(rows * scale.attack_rounds) /
+               (attack_ms / 1000.0)});
+
+      struct AxisOut {
+        uint64_t fingerprint;
+        std::string census;
+        std::vector<bool> verdicts;
+        std::vector<AttributeRoundStats> totals;
+        double scan_ms;
+        Pipeline pipeline;
+      };
+      return AxisOut{p.encoded.Fingerprint(), WidthCensus(p.encoded),
+                     std::move(verdicts),     std::move(totals),
+                     scan_ms,                 std::move(p)};
+    };
+
+    std::printf("scale: %zu rows x %zu attrs\n", rows, m);
+    auto narrow = run_axis("narrow");
+    SetCodeWidthFloorOverride(CodeWidth::kU32);
+    auto wide = run_axis("u32");
+    ClearCodeWidthFloorOverride();
+    std::printf("  widths narrow [%s] | forced [%s]\n",
+                narrow.census.c_str(), wide.census.c_str());
+
+    // --- Width parity: byte-identical results on both axes ------------
+    if (narrow.fingerprint != wide.fingerprint) {
+      std::fprintf(stderr, "width parity FAILED: fingerprints\n");
+      width_parity_ok = false;
+    }
+    if (narrow.verdicts != wide.verdicts) {
+      std::fprintf(stderr, "width parity FAILED: sweep verdicts\n");
+      width_parity_ok = false;
+    }
+    if (!StatsBitIdentical(narrow.totals, wide.totals)) {
+      std::fprintf(stderr, "width parity FAILED: leakage stats\n");
+      width_parity_ok = false;
+    }
+
+    const double scan_speedup = wide.scan_ms / narrow.scan_ms;
+    if (rows == 200000) scan_speedup_200k = scan_speedup;
+    if (rows == 500000) scan_speedup_500k = scan_speedup;
+    if (rows == 1000000) scan_speedup_1m = scan_speedup;
+    std::printf(
+        "  leakage scan x%zu  u32 %8.1f ms | narrow %8.1f ms  (%.2fx)\n",
+        scale.scan_rounds, wide.scan_ms, narrow.scan_ms, scan_speedup);
+
+    // --- Thread axis: 1 vs 8 threads, identical digests ---------------
+    {
+      const Pipeline& p = narrow.pipeline;
+      std::vector<AttributeRoundStats> stats1(p.leakage.num_attributes());
+      std::vector<AttributeRoundStats> stats8(p.leakage.num_attributes());
+      SetGlobalThreadCount(1);
+      std::vector<bool> verdicts1 =
+          std::move(IdentifiableRows(p.encoded, 2)).ValueOrDie();
+      if (!p.leakage.Evaluate(p.pool[0], stats1.data()).ok()) std::abort();
+      SetGlobalThreadCount(8);
+      std::vector<bool> verdicts8 =
+          std::move(IdentifiableRows(p.encoded, 2)).ValueOrDie();
+      if (!p.leakage.Evaluate(p.pool[0], stats8.data()).ok()) std::abort();
+      SetGlobalThreadCount(0);
+      if (verdicts1 != verdicts8 || !StatsBitIdentical(stats1, stats8)) {
+        std::fprintf(stderr,
+                     "thread parity FAILED at %zu rows: 1 vs 8 threads\n",
+                     rows);
+        thread_parity_ok = false;
+      }
+    }
+  }
+
+  std::ofstream json("BENCH_scale.json");
+  json << "{\n  " << BenchMetadataJson()
+       << ",\n  \"width_parity\": \""
+       << (width_parity_ok ? "ok" : "MISMATCH")
+       << "\",\n  \"thread_parity\": \""
+       << (thread_parity_ok ? "ok" : "MISMATCH")
+       << "\",\n  \"narrow_leakage_scan_speedup_200k\": " << scan_speedup_200k
+       << ",\n  \"narrow_leakage_scan_speedup_500k\": " << scan_speedup_500k
+       << ",\n  \"narrow_leakage_scan_speedup_1m\": " << scan_speedup_1m
+       << ",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    json << "    {\"op\": \"" << r.op << "\", \"width\": \"" << r.width
+         << "\", \"rows\": " << r.rows << ", \"ms\": " << r.ms
+         << ", \"rows_per_sec\": " << r.rows_per_sec << "}"
+         << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf(
+      "wrote BENCH_scale.json (%zu records, narrow scan speedup 500k "
+      "%.2fx, 1M %.2fx)\n",
+      records.size(), scan_speedup_500k, scan_speedup_1m);
+  return (width_parity_ok && thread_parity_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace metaleak
+
+int main() { return metaleak::Main(); }

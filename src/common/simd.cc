@@ -15,6 +15,10 @@
 #include "common/logging.h"
 #include "common/macros.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 // The vector paths use per-function target attributes so this file (and
 // the whole library) builds for a generic x86-64 baseline yet still
 // contains AVX2 code, selected at runtime. On non-x86 targets (or
@@ -36,7 +40,11 @@ namespace {
 // These are the semantics oracle: the vector paths below must match them
 // byte for byte on every input (tested by tests/simd_kernel_test.cc).
 
-size_t ScalarCountEqualU32(const uint32_t* a, const uint32_t* b, size_t n) {
+// Templated over the code storage width (uint8_t / uint16_t / uint32_t):
+// codes compare as widened values, so every width is semantically the
+// u32 kernel reading fewer bytes.
+template <typename Code>
+size_t ScalarCountEqualT(const Code* a, const Code* b, size_t n) {
   size_t count = 0;
   for (size_t r = 0; r < n; ++r) count += a[r] == b[r];
   return count;
@@ -48,49 +56,65 @@ size_t ScalarCountEqualF64(const double* a, const double* b, size_t n) {
   return count;
 }
 
-EpsilonBallStats ScalarEpsilonBallMse(const double* real, const double* syn,
-                                      size_t n, double eps) {
-  EpsilonBallStats out;
+void ScalarEpsilonBallMseInto(const double* real, const double* syn,
+                              size_t n, double eps, EpsilonBallStats* out) {
   for (size_t r = 0; r < n; ++r) {
     const double rv = real[r];
     if (std::isnan(rv)) continue;
     const double d = rv - syn[r];
-    if (std::abs(d) <= eps) ++out.matches;
-    out.sum_squares += d * d;
-    ++out.compared;
+    if (std::abs(d) <= eps) ++out->matches;
+    out->sum_squares += d * d;
+    ++out->compared;
   }
-  return out;
 }
 
-EpsilonBallStats ScalarEpsilonBallMseCoded(const double* real,
-                                           const uint32_t* syn_codes,
-                                           const double* code_numeric,
-                                           size_t n, double eps) {
-  EpsilonBallStats out;
+template <typename Code>
+void ScalarEpsilonBallMseCodedInto(const double* real,
+                                   const Code* syn_codes,
+                                   const double* code_numeric, size_t n,
+                                   double eps, EpsilonBallStats* out) {
   for (size_t r = 0; r < n; ++r) {
     const double rv = real[r];
     const double sv = code_numeric[syn_codes[r]];
     if (std::isnan(rv) || std::isnan(sv)) continue;
     const double d = rv - sv;
-    if (std::abs(d) <= eps) ++out.matches;
-    out.sum_squares += d * d;
-    ++out.compared;
+    if (std::abs(d) <= eps) ++out->matches;
+    out->sum_squares += d * d;
+    ++out->compared;
   }
-  return out;
 }
 
-void ScalarHistogramU32(const uint32_t* codes, size_t n, uint32_t* counts) {
+template <typename Code>
+void ScalarHistogramT(const Code* codes, size_t n, uint32_t* counts) {
   for (size_t r = 0; r < n; ++r) ++counts[codes[r]];
 }
 
+// Software-prefetch distance (in gathered elements) for the probe-table
+// gathers. The index stream is sequential but the table accesses are
+// random; issuing the loads this far ahead hides most of the miss
+// latency on large tables and is harmless on small ones. Prefetching
+// never changes the gathered values, so both paths stay bit-identical
+// with and without it.
+constexpr size_t kGatherPrefetchAhead = 16;
+
 void ScalarGatherI32(const int32_t* table, const uint32_t* idx, size_t n,
                      int32_t* out) {
-  for (size_t k = 0; k < n; ++k) out[k] = table[idx[k]];
+  const bool prefetch = StreamingOptsEnabled();
+  for (size_t k = 0; k < n; ++k) {
+    if (prefetch && k + kGatherPrefetchAhead < n) {
+      __builtin_prefetch(table + idx[k + kGatherPrefetchAhead]);
+    }
+    out[k] = table[idx[k]];
+  }
 }
 
 bool ScalarAllGatherEqualI32(const int32_t* table, const uint32_t* idx,
                              size_t n, int32_t expect) {
+  const bool prefetch = StreamingOptsEnabled();
   for (size_t k = 0; k < n; ++k) {
+    if (prefetch && k + kGatherPrefetchAhead < n) {
+      __builtin_prefetch(table + idx[k + kGatherPrefetchAhead]);
+    }
     if (table[idx[k]] != expect) return false;
   }
   return true;
@@ -114,8 +138,9 @@ bool ScalarOdViolationInRange(const uint64_t* pairs, size_t lo, size_t hi,
   return false;
 }
 
-void ScalarAccumulateEqualU32(const uint32_t* a, const uint32_t* b, size_t n,
-                              uint32_t* acc) {
+template <typename Code>
+void ScalarAccumulateEqualT(const Code* a, const Code* b, size_t n,
+                            uint32_t* acc) {
   for (size_t r = 0; r < n; ++r) acc[r] += a[r] == b[r];
 }
 
@@ -133,21 +158,36 @@ void ScalarAccumulateEpsilonMatch(const double* real, const double* syn,
   }
 }
 
-void ScalarAccumulateEpsilonMatchCoded(const double* real,
-                                       const uint32_t* syn_codes,
-                                       const double* code_numeric, size_t n,
-                                       double eps, uint32_t* acc) {
+template <typename Code>
+void ScalarAccumulateEpsilonMatchCodedT(const double* real,
+                                        const Code* syn_codes,
+                                        const double* code_numeric, size_t n,
+                                        double eps, uint32_t* acc) {
   for (size_t r = 0; r < n; ++r) {
     acc[r] += std::abs(real[r] - code_numeric[syn_codes[r]]) <= eps;
   }
 }
 
-void ScalarAccumulateNonNull(const uint32_t* codes, size_t n,
-                             uint32_t* acc) {
+template <typename Code>
+void ScalarAccumulateNonNullT(const Code* codes, size_t n, uint32_t* acc) {
   for (size_t r = 0; r < n; ++r) acc[r] += codes[r] != 0;
 }
 
 #if METALEAK_SIMD_X86
+
+// Widened scalar code load for the width-generic AVX2 bodies below
+// (tail rows and gather-index setup). `width` is the storage size in
+// bytes: 1, 2 or 4.
+inline uint32_t CodeAtWidth(const void* codes, int width, size_t r) {
+  switch (width) {
+    case 1:
+      return static_cast<const uint8_t*>(codes)[r];
+    case 2:
+      return static_cast<const uint16_t*>(codes)[r];
+    default:
+      return static_cast<const uint32_t*>(codes)[r];
+  }
+}
 
 // --- SSE4.2 kernels (128-bit lanes) -------------------------------------
 
@@ -181,9 +221,43 @@ __attribute__((target("sse4.2"))) size_t Sse42CountEqualF64(
   return count;
 }
 
-__attribute__((target("sse4.2"))) EpsilonBallStats Sse42EpsilonBallMse(
-    const double* real, const double* syn, size_t n, double eps) {
-  EpsilonBallStats out;
+__attribute__((target("sse4.2"))) size_t Sse42CountEqualU16(
+    const uint16_t* a, const uint16_t* b, size_t n) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + r));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + r));
+    // movemask_epi8 yields 2 identical bits per 16-bit lane.
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi16(va, vb));
+    count += static_cast<size_t>(__builtin_popcount(mask)) / 2;
+  }
+  for (; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
+__attribute__((target("sse4.2"))) size_t Sse42CountEqualU8(
+    const uint8_t* a, const uint8_t* b, size_t n) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 16 <= n; r += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + r));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + r));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb));
+    count += static_cast<size_t>(__builtin_popcount(mask));
+  }
+  for (; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
+__attribute__((target("sse4.2"))) void Sse42EpsilonBallMseInto(
+    const double* real, const double* syn, size_t n, double eps,
+    EpsilonBallStats* outp) {
+  EpsilonBallStats& out = *outp;
   const __m128d veps = _mm_set1_pd(eps);
   const __m128d sign_mask = _mm_set1_pd(-0.0);
   size_t r = 0;
@@ -219,7 +293,6 @@ __attribute__((target("sse4.2"))) EpsilonBallStats Sse42EpsilonBallMse(
     out.sum_squares += d * d;
     ++out.compared;
   }
-  return out;
 }
 
 __attribute__((target("sse4.2"))) bool Sse42OdViolationInRange(
@@ -272,6 +345,40 @@ __attribute__((target("sse4.2"))) void Sse42AccumulateEqualU32(
   for (; r < n; ++r) acc[r] += a[r] == b[r];
 }
 
+__attribute__((target("sse4.2"))) void Sse42AccumulateEqualU16(
+    const uint16_t* a, const uint16_t* b, size_t n, uint32_t* acc) {
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    // Widen 4 codes per side in-register; the compare/accumulate is then
+    // exactly the u32 kernel reading half the bytes.
+    const __m128i va = _mm_cvtepu16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + r)));
+    const __m128i vb = _mm_cvtepu16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + r)));
+    __m128i vacc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + r));
+    vacc = _mm_sub_epi32(vacc, _mm_cmpeq_epi32(va, vb));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += a[r] == b[r];
+}
+
+__attribute__((target("sse4.2"))) void Sse42AccumulateEqualU8(
+    const uint8_t* a, const uint8_t* b, size_t n, uint32_t* acc) {
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    int ia;
+    int ib;
+    std::memcpy(&ia, a + r, 4);
+    std::memcpy(&ib, b + r, 4);
+    const __m128i va = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(ia));
+    const __m128i vb = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(ib));
+    __m128i vacc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + r));
+    vacc = _mm_sub_epi32(vacc, _mm_cmpeq_epi32(va, vb));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += a[r] == b[r];
+}
+
 __attribute__((target("sse4.2"))) void Sse42AccumulateNonNull(
     const uint32_t* codes, size_t n, uint32_t* acc) {
   const __m128i zero = _mm_setzero_si128();
@@ -282,6 +389,37 @@ __attribute__((target("sse4.2"))) void Sse42AccumulateNonNull(
         _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + r));
     __m128i vacc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + r));
     // 1 + (codes == 0 ? -1 : 0) = the non-NULL indicator.
+    vacc = _mm_add_epi32(vacc, _mm_add_epi32(ones, _mm_cmpeq_epi32(vc, zero)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += codes[r] != 0;
+}
+
+__attribute__((target("sse4.2"))) void Sse42AccumulateNonNullU16(
+    const uint16_t* codes, size_t n, uint32_t* acc) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i ones = _mm_set1_epi32(1);
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const __m128i vc = _mm_cvtepu16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + r)));
+    __m128i vacc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + r));
+    vacc = _mm_add_epi32(vacc, _mm_add_epi32(ones, _mm_cmpeq_epi32(vc, zero)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += codes[r] != 0;
+}
+
+__attribute__((target("sse4.2"))) void Sse42AccumulateNonNullU8(
+    const uint8_t* codes, size_t n, uint32_t* acc) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i ones = _mm_set1_epi32(1);
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    int ic;
+    std::memcpy(&ic, codes + r, 4);
+    const __m128i vc = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(ic));
+    __m128i vacc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + r));
     vacc = _mm_add_epi32(vacc, _mm_add_epi32(ones, _mm_cmpeq_epi32(vc, zero)));
     _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + r), vacc);
   }
@@ -308,6 +446,44 @@ __attribute__((target("avx2"))) size_t Avx2CountEqualU32(const uint32_t* a,
   return count;
 }
 
+__attribute__((target("avx2"))) size_t Avx2CountEqualU16(const uint16_t* a,
+                                                         const uint16_t* b,
+                                                         size_t n) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 16 <= n; r += 16) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + r));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + r));
+    // movemask_epi8 yields 2 identical bits per 16-bit lane.
+    const int mask = _mm256_movemask_epi8(_mm256_cmpeq_epi16(va, vb));
+    count += static_cast<size_t>(
+                 __builtin_popcount(static_cast<unsigned>(mask))) /
+             2;
+  }
+  for (; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t Avx2CountEqualU8(const uint8_t* a,
+                                                        const uint8_t* b,
+                                                        size_t n) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 32 <= n; r += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + r));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + r));
+    const int mask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb));
+    count += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(mask)));
+  }
+  for (; r < n; ++r) count += a[r] == b[r];
+  return count;
+}
+
 __attribute__((target("avx2"))) size_t Avx2CountEqualF64(const double* a,
                                                          const double* b,
                                                          size_t n) {
@@ -324,13 +500,17 @@ __attribute__((target("avx2"))) size_t Avx2CountEqualF64(const double* a,
   return count;
 }
 
-__attribute__((target("avx2"))) EpsilonBallStats Avx2EpsilonBallMseBody(
-    const double* real, const double* syn, const uint32_t* syn_codes,
-    const double* code_numeric, size_t n, double eps) {
+__attribute__((target("avx2"))) void Avx2EpsilonBallMseBody(
+    const double* real, const double* syn, const void* syn_codes,
+    int code_width, const double* code_numeric, size_t n, double eps,
+    EpsilonBallStats* outp) {
   // Shared body for the plain and coded variants: `syn` supplies the
   // synthetic lane values directly, or (when null) they are gathered
-  // through code_numeric[syn_codes[r]].
-  EpsilonBallStats out;
+  // through code_numeric[syn_codes[r]] with `code_width`-byte indices
+  // widened in-register. Accumulates into *outp so cache-tiled callers
+  // can carry the stats across tiles (bit-identical on multiple-of-4
+  // tile boundaries: the 4-row lane grouping is preserved).
+  EpsilonBallStats& out = *outp;
   const __m256d veps = _mm256_set1_pd(eps);
   const __m256d sign_mask = _mm256_set1_pd(-0.0);
   size_t r = 0;
@@ -341,8 +521,19 @@ __attribute__((target("avx2"))) EpsilonBallStats Avx2EpsilonBallMseBody(
     if (syn != nullptr) {
       vs = _mm256_loadu_pd(syn + r);
     } else {
-      const __m128i idx = _mm_loadu_si128(
-          reinterpret_cast<const __m128i*>(syn_codes + r));
+      __m128i idx;
+      if (code_width == 4) {
+        idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            static_cast<const uint32_t*>(syn_codes) + r));
+      } else if (code_width == 2) {
+        idx = _mm_cvtepu16_epi32(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(
+                static_cast<const uint16_t*>(syn_codes) + r)));
+      } else {
+        int packed;
+        std::memcpy(&packed, static_cast<const uint8_t*>(syn_codes) + r, 4);
+        idx = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(packed));
+      }
       // Masked gather with a zeroed source: identical to the plain
       // gather but avoids the _mm256_undefined_pd() the plain intrinsic
       // expands to (GCC flags it -Wmaybe-uninitialized).
@@ -372,21 +563,28 @@ __attribute__((target("avx2"))) EpsilonBallStats Avx2EpsilonBallMseBody(
   }
   for (; r < n; ++r) {
     const double rv = real[r];
-    const double sv = syn != nullptr ? syn[r] : code_numeric[syn_codes[r]];
+    const double sv = syn != nullptr
+                          ? syn[r]
+                          : code_numeric[CodeAtWidth(syn_codes, code_width, r)];
     if (std::isnan(rv) || (syn == nullptr && std::isnan(sv))) continue;
     const double d = rv - sv;
     if (std::abs(d) <= eps) ++out.matches;
     out.sum_squares += d * d;
     ++out.compared;
   }
-  return out;
 }
 
 __attribute__((target("avx2"))) void Avx2GatherI32(const int32_t* table,
                                                    const uint32_t* idx,
                                                    size_t n, int32_t* out) {
+  const bool prefetch = StreamingOptsEnabled();
   size_t k = 0;
   for (; k + 8 <= n; k += 8) {
+    if (prefetch && k + kGatherPrefetchAhead + 8 <= n) {
+      for (size_t j = 0; j < 8; ++j) {
+        __builtin_prefetch(table + idx[k + kGatherPrefetchAhead + j]);
+      }
+    }
     const __m256i vidx =
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
     const __m256i vals = _mm256_mask_i32gather_epi32(
@@ -462,9 +660,44 @@ __attribute__((target("avx2"))) void Avx2AccumulateEqualU32(
   for (; r < n; ++r) acc[r] += a[r] == b[r];
 }
 
+__attribute__((target("avx2"))) void Avx2AccumulateEqualU16(
+    const uint16_t* a, const uint16_t* b, size_t n, uint32_t* acc) {
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    // Widen 8 codes per side in-register; the compare/accumulate is then
+    // exactly the u32 kernel reading half the bytes.
+    const __m256i va = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + r)));
+    const __m256i vb = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + r)));
+    __m256i vacc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + r));
+    vacc = _mm256_sub_epi32(vacc, _mm256_cmpeq_epi32(va, vb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += a[r] == b[r];
+}
+
+__attribute__((target("avx2"))) void Avx2AccumulateEqualU8(
+    const uint8_t* a, const uint8_t* b, size_t n, uint32_t* acc) {
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    const __m256i va = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + r)));
+    const __m256i vb = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + r)));
+    __m256i vacc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + r));
+    vacc = _mm256_sub_epi32(vacc, _mm256_cmpeq_epi32(va, vb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += a[r] == b[r];
+}
+
 __attribute__((target("avx2"))) void Avx2AccumulateEpsilonBody(
-    const double* real, const double* syn, const uint32_t* syn_codes,
-    const double* code_numeric, size_t n, double eps, uint32_t* acc) {
+    const double* real, const double* syn, const void* syn_codes,
+    int code_width, const double* code_numeric, size_t n, double eps,
+    uint32_t* acc) {
   const __m256d veps = _mm256_set1_pd(eps);
   const __m256d sign_mask = _mm256_set1_pd(-0.0);
   size_t r = 0;
@@ -474,8 +707,19 @@ __attribute__((target("avx2"))) void Avx2AccumulateEpsilonBody(
     if (syn != nullptr) {
       vs = _mm256_loadu_pd(syn + r);
     } else {
-      const __m128i idx = _mm_loadu_si128(
-          reinterpret_cast<const __m128i*>(syn_codes + r));
+      __m128i idx;
+      if (code_width == 4) {
+        idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            static_cast<const uint32_t*>(syn_codes) + r));
+      } else if (code_width == 2) {
+        idx = _mm_cvtepu16_epi32(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(
+                static_cast<const uint16_t*>(syn_codes) + r)));
+      } else {
+        int packed;
+        std::memcpy(&packed, static_cast<const uint8_t*>(syn_codes) + r, 4);
+        idx = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(packed));
+      }
       // Masked gather with a zeroed source: identical to the plain
       // gather but avoids the _mm256_undefined_pd() the plain intrinsic
       // expands to (GCC flags it -Wmaybe-uninitialized).
@@ -491,7 +735,9 @@ __attribute__((target("avx2"))) void Avx2AccumulateEpsilonBody(
     acc[r + 3] += (mask >> 3) & 1;
   }
   for (; r < n; ++r) {
-    const double sv = syn != nullptr ? syn[r] : code_numeric[syn_codes[r]];
+    const double sv = syn != nullptr
+                          ? syn[r]
+                          : code_numeric[CodeAtWidth(syn_codes, code_width, r)];
     acc[r] += std::abs(real[r] - sv) <= eps;
   }
 }
@@ -529,6 +775,40 @@ __attribute__((target("avx2"))) void Avx2AccumulateNonNull(
   for (; r < n; ++r) acc[r] += codes[r] != 0;
 }
 
+__attribute__((target("avx2"))) void Avx2AccumulateNonNullU16(
+    const uint16_t* codes, size_t n, uint32_t* acc) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi32(1);
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    const __m256i vc = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + r)));
+    __m256i vacc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + r));
+    vacc = _mm256_add_epi32(
+        vacc, _mm256_add_epi32(ones, _mm256_cmpeq_epi32(vc, zero)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += codes[r] != 0;
+}
+
+__attribute__((target("avx2"))) void Avx2AccumulateNonNullU8(
+    const uint8_t* codes, size_t n, uint32_t* acc) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi32(1);
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    const __m256i vc = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + r)));
+    __m256i vacc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + r));
+    vacc = _mm256_add_epi32(
+        vacc, _mm256_add_epi32(ones, _mm256_cmpeq_epi32(vc, zero)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r), vacc);
+  }
+  for (; r < n; ++r) acc[r] += codes[r] != 0;
+}
+
 #endif  // METALEAK_SIMD_X86
 
 // --- Sliced histogram ----------------------------------------------------
@@ -540,8 +820,9 @@ __attribute__((target("avx2"))) void Avx2AccumulateNonNull(
 // memory on small dictionaries.
 constexpr uint32_t kHistogramSliceMaxCodes = 4096;
 
-void SlicedHistogramU32(const uint32_t* codes, size_t n, uint32_t num_codes,
-                        uint32_t* counts) {
+template <typename Code>
+void SlicedHistogramT(const Code* codes, size_t n, uint32_t num_codes,
+                      uint32_t* counts) {
   std::vector<uint32_t> sliced(size_t{4} * num_codes, 0);
   uint32_t* s0 = sliced.data();
   uint32_t* s1 = s0 + num_codes;
@@ -558,6 +839,21 @@ void SlicedHistogramU32(const uint32_t* codes, size_t n, uint32_t num_codes,
   for (uint32_t c = 0; c < num_codes; ++c) {
     counts[c] += s0[c] + s1[c] + s2[c] + s3[c];
   }
+}
+
+// Shared gate + dispatch for all three histogram widths.
+template <typename Code>
+void HistogramDispatchT(SimdLevel level, const Code* codes, size_t n,
+                        uint32_t num_codes, uint32_t* counts) {
+  // The slices only pay off when the 4x counts fit comfortably in cache
+  // and the scan is long enough to amortize the final merge.
+  if (level != SimdLevel::kScalar && num_codes > 0 &&
+      num_codes <= kHistogramSliceMaxCodes &&
+      n >= size_t{8} * num_codes) {
+    SlicedHistogramT(codes, n, num_codes, counts);
+    return;
+  }
+  ScalarHistogramT(codes, n, counts);
 }
 
 // --- Dispatch state ------------------------------------------------------
@@ -659,6 +955,18 @@ void ClearSimdLevelOverride() {
   g_level_override.store(-1, std::memory_order_relaxed);
 }
 
+namespace {
+std::atomic<bool> g_streaming_opts{true};
+}  // namespace
+
+void SetStreamingOptsEnabled(bool enabled) {
+  g_streaming_opts.store(enabled, std::memory_order_relaxed);
+}
+
+bool StreamingOptsEnabled() {
+  return g_streaming_opts.load(std::memory_order_relaxed);
+}
+
 HostInfo QueryHostInfo() {
   HostInfo info;
   info.cpu_model = "unknown";
@@ -701,6 +1009,22 @@ HostInfo QueryHostInfo() {
   return info;
 }
 
+size_t PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes.
+    return static_cast<size_t>(usage.ru_maxrss) / (1024 * 1024);
+#else
+    // Linux reports ru_maxrss in KiB.
+    return static_cast<size_t>(usage.ru_maxrss) / 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
 std::string BenchMetadataJson() {
   const HostInfo host = QueryHostInfo();
   const char* threads_env = std::getenv("METALEAK_THREADS");
@@ -715,7 +1039,8 @@ std::string BenchMetadataJson() {
      << "\"simd_env\": \"" << JsonEscape(SimdEnvSetting()) << "\", "
      << "\"threads_env\": \""
      << JsonEscape(threads_env != nullptr ? threads_env : "unset")
-     << "\"}";
+     << "\", "
+     << "\"max_rss_mb\": " << PeakRssMb() << "}";
   return os.str();
 }
 
@@ -735,7 +1060,41 @@ size_t CountEqualU32(SimdLevel level, const uint32_t* a, const uint32_t* b,
 #else
   (void)level;
 #endif
-  return ScalarCountEqualU32(a, b, n);
+  return ScalarCountEqualT(a, b, n);
+}
+
+size_t CountEqualU16(SimdLevel level, const uint16_t* a, const uint16_t* b,
+                     size_t n) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return Avx2CountEqualU16(a, b, n);
+    case SimdLevel::kSse42:
+      return Sse42CountEqualU16(a, b, n);
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return ScalarCountEqualT(a, b, n);
+}
+
+size_t CountEqualU8(SimdLevel level, const uint8_t* a, const uint8_t* b,
+                    size_t n) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return Avx2CountEqualU8(a, b, n);
+    case SimdLevel::kSse42:
+      return Sse42CountEqualU8(a, b, n);
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return ScalarCountEqualT(a, b, n);
 }
 
 size_t CountEqualF64(SimdLevel level, const double* a, const double* b,
@@ -755,50 +1114,104 @@ size_t CountEqualF64(SimdLevel level, const double* a, const double* b,
   return ScalarCountEqualF64(a, b, n);
 }
 
-EpsilonBallStats EpsilonBallMse(SimdLevel level, const double* real,
-                                const double* syn, size_t n, double eps) {
+void EpsilonBallMseInto(SimdLevel level, const double* real,
+                        const double* syn, size_t n, double eps,
+                        EpsilonBallStats* stats) {
 #if METALEAK_SIMD_X86
   switch (level) {
     case SimdLevel::kAvx2:
-      return Avx2EpsilonBallMseBody(real, syn, nullptr, nullptr, n, eps);
+      Avx2EpsilonBallMseBody(real, syn, nullptr, 4, nullptr, n, eps, stats);
+      return;
     case SimdLevel::kSse42:
-      return Sse42EpsilonBallMse(real, syn, n, eps);
+      Sse42EpsilonBallMseInto(real, syn, n, eps, stats);
+      return;
     case SimdLevel::kScalar:
       break;
   }
 #else
   (void)level;
 #endif
-  return ScalarEpsilonBallMse(real, syn, n, eps);
+  ScalarEpsilonBallMseInto(real, syn, n, eps, stats);
+}
+
+EpsilonBallStats EpsilonBallMse(SimdLevel level, const double* real,
+                                const double* syn, size_t n, double eps) {
+  EpsilonBallStats out;
+  EpsilonBallMseInto(level, real, syn, n, eps, &out);
+  return out;
+}
+
+namespace {
+
+template <typename Code>
+void EpsilonBallMseCodedIntoDispatch(SimdLevel level, const double* real,
+                                     const Code* syn_codes,
+                                     const double* code_numeric, size_t n,
+                                     double eps, EpsilonBallStats* stats) {
+#if METALEAK_SIMD_X86
+  if (level == SimdLevel::kAvx2) {
+    Avx2EpsilonBallMseBody(real, nullptr, syn_codes,
+                           static_cast<int>(sizeof(Code)), code_numeric, n,
+                           eps, stats);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  // No hardware gather below AVX2; the scalar loop is the best option.
+  ScalarEpsilonBallMseCodedInto(real, syn_codes, code_numeric, n, eps,
+                                stats);
+}
+
+}  // namespace
+
+void EpsilonBallMseCodedInto(SimdLevel level, const double* real,
+                             const uint32_t* syn_codes,
+                             const double* code_numeric, size_t n,
+                             double eps, EpsilonBallStats* stats) {
+  EpsilonBallMseCodedIntoDispatch(level, real, syn_codes, code_numeric, n,
+                                  eps, stats);
+}
+
+void EpsilonBallMseCodedInto(SimdLevel level, const double* real,
+                             const uint16_t* syn_codes,
+                             const double* code_numeric, size_t n,
+                             double eps, EpsilonBallStats* stats) {
+  EpsilonBallMseCodedIntoDispatch(level, real, syn_codes, code_numeric, n,
+                                  eps, stats);
+}
+
+void EpsilonBallMseCodedInto(SimdLevel level, const double* real,
+                             const uint8_t* syn_codes,
+                             const double* code_numeric, size_t n,
+                             double eps, EpsilonBallStats* stats) {
+  EpsilonBallMseCodedIntoDispatch(level, real, syn_codes, code_numeric, n,
+                                  eps, stats);
 }
 
 EpsilonBallStats EpsilonBallMseCoded(SimdLevel level, const double* real,
                                      const uint32_t* syn_codes,
                                      const double* code_numeric, size_t n,
                                      double eps) {
-#if METALEAK_SIMD_X86
-  if (level == SimdLevel::kAvx2) {
-    return Avx2EpsilonBallMseBody(real, nullptr, syn_codes, code_numeric, n,
-                                  eps);
-  }
-#else
-  (void)level;
-#endif
-  // No hardware gather below AVX2; the scalar loop is the best option.
-  return ScalarEpsilonBallMseCoded(real, syn_codes, code_numeric, n, eps);
+  EpsilonBallStats out;
+  EpsilonBallMseCodedInto(level, real, syn_codes, code_numeric, n, eps,
+                          &out);
+  return out;
 }
 
 void HistogramU32(SimdLevel level, const uint32_t* codes, size_t n,
                   uint32_t num_codes, uint32_t* counts) {
-  // The slices only pay off when the 4x counts fit comfortably in cache
-  // and the scan is long enough to amortize the final merge.
-  if (level != SimdLevel::kScalar && num_codes > 0 &&
-      num_codes <= kHistogramSliceMaxCodes &&
-      n >= size_t{8} * num_codes) {
-    SlicedHistogramU32(codes, n, num_codes, counts);
-    return;
-  }
-  ScalarHistogramU32(codes, n, counts);
+  HistogramDispatchT(level, codes, n, num_codes, counts);
+}
+
+void HistogramU16(SimdLevel level, const uint16_t* codes, size_t n,
+                  uint32_t num_codes, uint32_t* counts) {
+  HistogramDispatchT(level, codes, n, num_codes, counts);
+}
+
+void HistogramU8(SimdLevel level, const uint8_t* codes, size_t n,
+                 uint32_t num_codes, uint32_t* counts) {
+  HistogramDispatchT(level, codes, n, num_codes, counts);
 }
 
 void GatherI32(SimdLevel level, const int32_t* table, const uint32_t* idx,
@@ -860,7 +1273,45 @@ void AccumulateEqualU32(SimdLevel level, const uint32_t* a,
 #else
   (void)level;
 #endif
-  ScalarAccumulateEqualU32(a, b, n, acc);
+  ScalarAccumulateEqualT(a, b, n, acc);
+}
+
+void AccumulateEqualU16(SimdLevel level, const uint16_t* a,
+                        const uint16_t* b, size_t n, uint32_t* acc) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      Avx2AccumulateEqualU16(a, b, n, acc);
+      return;
+    case SimdLevel::kSse42:
+      Sse42AccumulateEqualU16(a, b, n, acc);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  ScalarAccumulateEqualT(a, b, n, acc);
+}
+
+void AccumulateEqualU8(SimdLevel level, const uint8_t* a, const uint8_t* b,
+                       size_t n, uint32_t* acc) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      Avx2AccumulateEqualU8(a, b, n, acc);
+      return;
+    case SimdLevel::kSse42:
+      Sse42AccumulateEqualU8(a, b, n, acc);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  ScalarAccumulateEqualT(a, b, n, acc);
 }
 
 void AccumulateEqualF64(SimdLevel level, const double* a, const double* b,
@@ -881,7 +1332,7 @@ void AccumulateEpsilonMatch(SimdLevel level, const double* real,
                             uint32_t* acc) {
 #if METALEAK_SIMD_X86
   if (level == SimdLevel::kAvx2) {
-    Avx2AccumulateEpsilonBody(real, syn, nullptr, nullptr, n, eps, acc);
+    Avx2AccumulateEpsilonBody(real, syn, nullptr, 4, nullptr, n, eps, acc);
     return;
   }
 #else
@@ -890,21 +1341,52 @@ void AccumulateEpsilonMatch(SimdLevel level, const double* real,
   ScalarAccumulateEpsilonMatch(real, syn, n, eps, acc);
 }
 
-void AccumulateEpsilonMatchCoded(SimdLevel level, const double* real,
-                                 const uint32_t* syn_codes,
-                                 const double* code_numeric, size_t n,
-                                 double eps, uint32_t* acc) {
+namespace {
+
+template <typename Code>
+void AccumulateEpsilonMatchCodedDispatch(SimdLevel level, const double* real,
+                                         const Code* syn_codes,
+                                         const double* code_numeric,
+                                         size_t n, double eps,
+                                         uint32_t* acc) {
 #if METALEAK_SIMD_X86
   if (level == SimdLevel::kAvx2) {
-    Avx2AccumulateEpsilonBody(real, nullptr, syn_codes, code_numeric, n, eps,
-                              acc);
+    Avx2AccumulateEpsilonBody(real, nullptr, syn_codes,
+                              static_cast<int>(sizeof(Code)), code_numeric,
+                              n, eps, acc);
     return;
   }
 #else
   (void)level;
 #endif
-  ScalarAccumulateEpsilonMatchCoded(real, syn_codes, code_numeric, n, eps,
-                                    acc);
+  ScalarAccumulateEpsilonMatchCodedT(real, syn_codes, code_numeric, n, eps,
+                                     acc);
+}
+
+}  // namespace
+
+void AccumulateEpsilonMatchCoded(SimdLevel level, const double* real,
+                                 const uint32_t* syn_codes,
+                                 const double* code_numeric, size_t n,
+                                 double eps, uint32_t* acc) {
+  AccumulateEpsilonMatchCodedDispatch(level, real, syn_codes, code_numeric,
+                                      n, eps, acc);
+}
+
+void AccumulateEpsilonMatchCoded(SimdLevel level, const double* real,
+                                 const uint16_t* syn_codes,
+                                 const double* code_numeric, size_t n,
+                                 double eps, uint32_t* acc) {
+  AccumulateEpsilonMatchCodedDispatch(level, real, syn_codes, code_numeric,
+                                      n, eps, acc);
+}
+
+void AccumulateEpsilonMatchCoded(SimdLevel level, const double* real,
+                                 const uint8_t* syn_codes,
+                                 const double* code_numeric, size_t n,
+                                 double eps, uint32_t* acc) {
+  AccumulateEpsilonMatchCodedDispatch(level, real, syn_codes, code_numeric,
+                                      n, eps, acc);
 }
 
 void AccumulateNonNull(SimdLevel level, const uint32_t* codes, size_t n,
@@ -923,7 +1405,45 @@ void AccumulateNonNull(SimdLevel level, const uint32_t* codes, size_t n,
 #else
   (void)level;
 #endif
-  ScalarAccumulateNonNull(codes, n, acc);
+  ScalarAccumulateNonNullT(codes, n, acc);
+}
+
+void AccumulateNonNull(SimdLevel level, const uint16_t* codes, size_t n,
+                       uint32_t* acc) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      Avx2AccumulateNonNullU16(codes, n, acc);
+      return;
+    case SimdLevel::kSse42:
+      Sse42AccumulateNonNullU16(codes, n, acc);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  ScalarAccumulateNonNullT(codes, n, acc);
+}
+
+void AccumulateNonNull(SimdLevel level, const uint8_t* codes, size_t n,
+                       uint32_t* acc) {
+#if METALEAK_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      Avx2AccumulateNonNullU8(codes, n, acc);
+      return;
+    case SimdLevel::kSse42:
+      Sse42AccumulateNonNullU8(codes, n, acc);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  ScalarAccumulateNonNullT(codes, n, acc);
 }
 
 // --- Bit-parallel row sets -----------------------------------------------

@@ -77,6 +77,15 @@ void SetSimdLevelOverride(SimdLevel level);
 /// Removes the override installed by SetSimdLevelOverride.
 void ClearSimdLevelOverride();
 
+/// Bench hook: enables/disables the cache-streaming refinements — the
+/// software prefetch in the probe-table gather kernels and the
+/// radix-partitioned scatter in PositionListIndex::FromCodes — so the
+/// partition bench can A/B them in one process. Neither refinement
+/// changes any output, only timing. Enabled by default; must not be
+/// flipped while kernels are running on other threads.
+void SetStreamingOptsEnabled(bool enabled);
+bool StreamingOptsEnabled();
+
 // --- Host observability --------------------------------------------------
 
 /// Host CPU description for bench metadata: model string from
@@ -91,15 +100,32 @@ struct HostInfo {
 HostInfo QueryHostInfo();
 
 /// JSON fragment `"meta": {...}` describing the host and the SIMD
-/// dispatch state, embedded at the top of every BENCH_*.json so results
-/// are comparable across machines.
+/// dispatch state — including the peak resident set (`max_rss_mb`) so
+/// the narrow-width memory savings are visible — embedded at the top of
+/// every BENCH_*.json so results are comparable across machines.
 std::string BenchMetadataJson();
 
+/// Peak resident-set size of this process in MiB (getrusage; 0 when the
+/// platform does not report it).
+size_t PeakRssMb();
+
 // --- Counting kernels ----------------------------------------------------
+//
+// The code-equality and coded epsilon-ball kernels come in one variant
+// per storage width (u8 / u16 / u32): narrow columns stream 2-4x fewer
+// bytes and pack 32/16/8 lanes per AVX2 vector. Every width variant
+// matches the u32 semantics exactly (codes are compared as widened
+// values), so parity is checked per width against the scalar reference.
 
 /// Number of positions r in [0, n) with a[r] == b[r] (dense code
 /// equality; the Def 2.2 categorical match count).
 size_t CountEqualU32(SimdLevel level, const uint32_t* a, const uint32_t* b,
+                     size_t n);
+
+/// Narrow-width variants: 32 (u8) / 16 (u16) lanes per AVX2 vector.
+size_t CountEqualU8(SimdLevel level, const uint8_t* a, const uint8_t* b,
+                    size_t n);
+size_t CountEqualU16(SimdLevel level, const uint16_t* a, const uint16_t* b,
                      size_t n);
 
 /// Number of positions r with a[r] == b[r] under IEEE semantics: NaN
@@ -122,6 +148,16 @@ struct EpsilonBallStats {
 EpsilonBallStats EpsilonBallMse(SimdLevel level, const double* real,
                                 const double* syn, size_t n, double eps);
 
+/// Carried-accumulator form for cache-tiled scans: continues counting and
+/// summing into *stats. Splitting a scan into tiles whose lengths are
+/// multiples of 4 and chaining the calls is bit-identical to one full
+/// scan (the vector body processes rows in groups of 4 with lane-order
+/// adds, so tile boundaries on multiples of 4 preserve the grouping; only
+/// the final tile may have a scalar tail).
+void EpsilonBallMseInto(SimdLevel level, const double* real,
+                        const double* syn, size_t n, double eps,
+                        EpsilonBallStats* stats);
+
 /// Same scan with the synthetic side given as generation-domain codes:
 /// syn value of row r is code_numeric[syn_codes[r]] (NaN = NULL or
 /// non-numeric). Here a NaN on *either* side skips the row (the coded
@@ -132,11 +168,34 @@ EpsilonBallStats EpsilonBallMseCoded(SimdLevel level, const double* real,
                                      const double* code_numeric, size_t n,
                                      double eps);
 
+/// Carried-accumulator forms of the coded scan, one per code width (the
+/// narrow variants widen 4 indices per vector in-register before the
+/// gather). Same tiling contract as EpsilonBallMseInto.
+void EpsilonBallMseCodedInto(SimdLevel level, const double* real,
+                             const uint32_t* syn_codes,
+                             const double* code_numeric, size_t n,
+                             double eps, EpsilonBallStats* stats);
+void EpsilonBallMseCodedInto(SimdLevel level, const double* real,
+                             const uint16_t* syn_codes,
+                             const double* code_numeric, size_t n,
+                             double eps, EpsilonBallStats* stats);
+void EpsilonBallMseCodedInto(SimdLevel level, const double* real,
+                             const uint8_t* syn_codes,
+                             const double* code_numeric, size_t n,
+                             double eps, EpsilonBallStats* stats);
+
 /// counts[codes[r]] += 1 for every r. counts has num_codes entries and is
 /// not cleared first. Codes must lie in [0, num_codes). Vector levels use
 /// a gather-free sliced accumulation that breaks the store-forwarding
 /// dependency chain of the naive loop on small dictionaries.
 void HistogramU32(SimdLevel level, const uint32_t* codes, size_t n,
+                  uint32_t num_codes, uint32_t* counts);
+
+/// Narrow-width histogram variants (same sliced accumulation, 1/4 or 1/2
+/// the bytes streamed).
+void HistogramU8(SimdLevel level, const uint8_t* codes, size_t n,
+                 uint32_t num_codes, uint32_t* counts);
+void HistogramU16(SimdLevel level, const uint16_t* codes, size_t n,
                   uint32_t num_codes, uint32_t* counts);
 
 // --- Gather kernels ------------------------------------------------------
@@ -168,6 +227,13 @@ bool OdViolationInRange(SimdLevel level, const uint64_t* pairs, size_t lo,
 void AccumulateEqualU32(SimdLevel level, const uint32_t* a,
                         const uint32_t* b, size_t n, uint32_t* acc);
 
+/// Narrow-width variants (codes widened in-register; 8 rows per AVX2
+/// iteration at 1/4 or 1/2 the bytes streamed).
+void AccumulateEqualU8(SimdLevel level, const uint8_t* a, const uint8_t* b,
+                       size_t n, uint32_t* acc);
+void AccumulateEqualU16(SimdLevel level, const uint16_t* a,
+                        const uint16_t* b, size_t n, uint32_t* acc);
+
 /// acc[r] += (a[r] == b[r]) under IEEE semantics (NaN never equal).
 void AccumulateEqualF64(SimdLevel level, const double* a, const double* b,
                         size_t n, uint32_t* acc);
@@ -179,15 +245,27 @@ void AccumulateEpsilonMatch(SimdLevel level, const double* real,
                             uint32_t* acc);
 
 /// Coded-synthetic variant: syn value of row r is
-/// code_numeric[syn_codes[r]].
+/// code_numeric[syn_codes[r]]. Overloads per code width.
 void AccumulateEpsilonMatchCoded(SimdLevel level, const double* real,
                                  const uint32_t* syn_codes,
                                  const double* code_numeric, size_t n,
                                  double eps, uint32_t* acc);
+void AccumulateEpsilonMatchCoded(SimdLevel level, const double* real,
+                                 const uint16_t* syn_codes,
+                                 const double* code_numeric, size_t n,
+                                 double eps, uint32_t* acc);
+void AccumulateEpsilonMatchCoded(SimdLevel level, const double* real,
+                                 const uint8_t* syn_codes,
+                                 const double* code_numeric, size_t n,
+                                 double eps, uint32_t* acc);
 
 /// acc[r] += (codes[r] != 0): the non-NULL cell count (code 0 is the
-/// reserved NULL slot).
+/// reserved NULL slot). Overloads per code width.
 void AccumulateNonNull(SimdLevel level, const uint32_t* codes, size_t n,
+                       uint32_t* acc);
+void AccumulateNonNull(SimdLevel level, const uint16_t* codes, size_t n,
+                       uint32_t* acc);
+void AccumulateNonNull(SimdLevel level, const uint8_t* codes, size_t n,
                        uint32_t* acc);
 
 // --- Bit-parallel row sets -----------------------------------------------

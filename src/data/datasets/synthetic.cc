@@ -1,5 +1,6 @@
 #include "data/datasets/synthetic.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -148,6 +149,86 @@ Result<Relation> Synthetic(const SyntheticConfig& config) {
     }
   }
 
+  return Relation::Make(Schema(std::move(schema_attrs)), std::move(columns));
+}
+
+namespace {
+
+// Zipf(s) sampler over {0..K-1}: cumulative 1/(k+1)^s weights computed
+// once, then each draw binary-searches a uniform deviate. O(log K) per
+// sample, deterministic given the Rng stream.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t domain, double skew) : cum_(domain) {
+    METALEAK_DCHECK(domain > 0);
+    double total = 0.0;
+    for (size_t k = 0; k < domain; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+      cum_[k] = total;
+    }
+  }
+
+  size_t Sample(Rng* rng) const {
+    const double u = rng->UniformDouble(0.0, cum_.back());
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(cum_.begin(), cum_.end(), u) - cum_.begin());
+    return std::min(idx, cum_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cum_;
+};
+
+}  // namespace
+
+Result<Relation> SyntheticZipfScale(size_t num_rows, uint64_t seed) {
+  // Domains and skews chosen so the observed dictionaries spread across
+  // the three code-width bands: heavy skew keeps the small domains
+  // saturated, light skew lets the large domains accumulate distinct
+  // values roughly in proportion to the row count. The mix leans on the
+  // u8/u16 bands (5+5 columns) with two u32 columns: a u32 column moves
+  // the same bytes on both axes of the narrow-vs-forced comparison, so
+  // it can only dilute the measurable bandwidth effect, while real
+  // wide-schema tables skew exactly this way (most columns are
+  // low-cardinality enums and bounded counters, a couple are IDs).
+  struct CatSpec {
+    const char* name;
+    size_t domain;
+    double skew;
+  };
+  static constexpr CatSpec kCats[] = {
+      {"c8_a", 12, 1.1},      {"c8_b", 64, 1.0},
+      {"c8_c", 120, 0.9},     {"c8_d", 160, 0.8},
+      {"c8_e", 250, 0.6},
+      {"c16_a", 1000, 0.9},   {"c16_b", 4000, 0.7},
+      {"c16_c", 9000, 0.6},   {"c16_d", 20000, 0.5},
+      {"c16_e", 60000, 0.4},
+      {"c32_a", 200000, 0.2}, {"c32_b", 1000000, 0.1},
+  };
+  Rng rng(seed);
+  std::vector<Attribute> schema_attrs;
+  std::vector<std::vector<Value>> columns;
+  for (const CatSpec& spec : kCats) {
+    schema_attrs.push_back(
+        {spec.name, DataType::kInt64, SemanticType::kCategorical});
+    ZipfSampler sampler(spec.domain, spec.skew);
+    std::vector<Value> col;
+    col.reserve(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      col.push_back(Value::Int(static_cast<int64_t>(sampler.Sample(&rng))));
+    }
+    columns.push_back(std::move(col));
+  }
+  for (const char* name : {"num_a", "num_b"}) {
+    schema_attrs.push_back({name, DataType::kDouble,
+                            SemanticType::kContinuous});
+    std::vector<Value> col;
+    col.reserve(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      col.push_back(Value::Real(rng.UniformDouble(0.0, 1000.0)));
+    }
+    columns.push_back(std::move(col));
+  }
   return Relation::Make(Schema(std::move(schema_attrs)), std::move(columns));
 }
 

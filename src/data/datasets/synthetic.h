@@ -70,6 +70,17 @@ Result<Relation> SyntheticUniform(size_t num_rows, size_t num_categorical,
                                   size_t num_continuous, size_t domain_size,
                                   uint64_t seed);
 
+/// Scale-bench generator: a wide schema whose categorical dictionaries
+/// deliberately span the u8/u16/u32 code-width bands. Twelve categorical
+/// columns draw Zipf-skewed integer labels (cumulative 1/k^s weights +
+/// binary search on a uniform draw) over domains from a dozen values up
+/// to a million, plus two uniform continuous columns. Labels are Int
+/// values, so million-row generation never materializes strings. The
+/// observed dictionary sizes — and therefore the stored code widths —
+/// scale with `num_rows`: at a few hundred thousand rows the large
+/// domains land in u16, by a million rows the largest cross into u32.
+Result<Relation> SyntheticZipfScale(size_t num_rows, uint64_t seed);
+
 /// The paper's dataset-selection control: a relation where only trivial
 /// dependencies and "oversimplified mappings" are discoverable — an id
 /// column (a key, so it trivially determines everything) plus independent

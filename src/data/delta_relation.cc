@@ -14,7 +14,7 @@ DeltaRelation::DeltaRelation(const EncodedRelation& snapshot)
   codes_.reserve(m);
   columns_.reserve(m);
   for (size_t c = 0; c < m; ++c) {
-    codes_.push_back(snapshot.codes(c));
+    codes_.push_back(snapshot.column(c));
     const ColumnDictionary& dict = snapshot.dictionary(c);
     ColumnState state;
     state.values.reserve(dict.num_codes());
@@ -122,7 +122,7 @@ Result<BatchEffects> DeltaRelation::ApplyBatch(const RowBatch& batch) {
     ColumnState& state = columns_[c];
     effects.deleted_codes[c].reserve(effects.sorted_deletes.size());
     for (size_t r : effects.sorted_deletes) {
-      const uint32_t code = codes_[c][r];
+      const uint32_t code = codes_[c].at(r);
       effects.deleted_codes[c].push_back(code);
       // A row leaving a multiplicity->=2 bucket changes that cluster; a
       // deleted singleton was never in a stripped partition.
@@ -139,13 +139,15 @@ Result<BatchEffects> DeltaRelation::ApplyBatch(const RowBatch& batch) {
   // Compact the surviving rows in order (shared remap across columns).
   if (!effects.sorted_deletes.empty()) {
     for (size_t c = 0; c < m; ++c) {
-      std::vector<uint32_t>& codes = codes_[c];
-      size_t next = 0;
-      for (size_t r = 0; r < rows_before; ++r) {
-        if (effects.remap.old_to_new[r] == RowRemap::kDeleted) continue;
-        codes[next++] = codes[r];
-      }
-      codes.resize(rows_surviving);
+      codes_[c].WithMutable([&](auto* codes) {
+        size_t next = 0;
+        for (size_t r = 0; r < rows_before; ++r) {
+          if (effects.remap.old_to_new[r] == RowRemap::kDeleted) continue;
+          codes[next++] = codes[r];
+        }
+        METALEAK_DCHECK(next == rows_surviving);
+      });
+      codes_[c].resize(rows_surviving);
     }
   }
 
@@ -180,7 +182,7 @@ PublishResult DeltaRelation::PublishCanonical() {
   const size_t m = num_columns();
   PublishResult out;
   out.code_remap.resize(m);
-  std::vector<std::vector<uint32_t>> canonical_codes(m);
+  std::vector<CodeColumn> canonical_codes(m);
   std::vector<ColumnDictionary> dicts;
   dicts.reserve(m);
 
@@ -207,10 +209,15 @@ PublishResult DeltaRelation::PublishCanonical() {
     dicts.push_back(ColumnDictionary::FromSortedParts(
         std::move(canon_values), std::move(canon_counts)));
 
-    std::vector<uint32_t>& codes = canonical_codes[c];
-    codes.resize(codes_[c].size());
-    for (size_t r = 0; r < codes_[c].size(); ++r) {
-      codes[r] = remap[codes_[c][r]];
+    // Publishing re-picks the canonical width from the live dictionary,
+    // so a delta that widened mid-batch narrows back when possible.
+    const size_t num_canon_codes = dicts.back().num_codes();
+    CodeColumn& codes = canonical_codes[c];
+    codes.Reset(CodeWidthForNumCodes(num_canon_codes));
+    codes.reserve(codes_[c].size());
+    const CodeColumnView delta_view = codes_[c].view();
+    for (size_t r = 0; r < delta_view.size; ++r) {
+      codes.push_back(remap[delta_view.at(r)]);
     }
   }
 

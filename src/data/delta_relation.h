@@ -120,8 +120,9 @@ class DeltaRelation {
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return codes_.size(); }
 
-  /// Current (delta-space) code vector of column `c`.
-  const std::vector<uint32_t>& codes(size_t c) const { return codes_[c]; }
+  /// Current (delta-space) code column of column `c`. Stored narrow;
+  /// appends widen in place when a fresh value overflows the width.
+  const CodeColumn& codes(size_t c) const { return codes_[c]; }
 
   /// Occurrences of `code` in column `c` (0 for tombstones).
   size_t code_count(size_t c, uint32_t code) const {
@@ -158,7 +159,7 @@ class DeltaRelation {
 
   Schema schema_;
   size_t num_rows_ = 0;
-  std::vector<std::vector<uint32_t>> codes_;  // [column][row]
+  std::vector<CodeColumn> codes_;  // [column], narrow delta-space codes
   std::vector<ColumnState> columns_;
 };
 

@@ -6,11 +6,15 @@
 
 namespace metaleak {
 
-void EncodedBatch::Configure(const std::vector<ColumnKind>& kinds) {
+void EncodedBatch::Configure(const std::vector<ColumnKind>& kinds,
+                             const std::vector<CodeWidth>& widths) {
+  METALEAK_DCHECK(kinds.size() == widths.size());
   if (columns_.size() == kinds.size()) {
     bool same = true;
     for (size_t c = 0; c < kinds.size(); ++c) {
-      if (columns_[c].kind != kinds[c]) {
+      if (columns_[c].kind != kinds[c] ||
+          (kinds[c] == ColumnKind::kCodes &&
+           columns_[c].codes.width() != widths[c])) {
         same = false;
         break;
       }
@@ -18,8 +22,15 @@ void EncodedBatch::Configure(const std::vector<ColumnKind>& kinds) {
     if (same) return;  // keep the existing arenas
   }
   columns_.assign(kinds.size(), Column{});
-  for (size_t c = 0; c < kinds.size(); ++c) columns_[c].kind = kinds[c];
+  for (size_t c = 0; c < kinds.size(); ++c) {
+    columns_[c].kind = kinds[c];
+    columns_[c].codes.Reset(widths[c]);
+  }
   num_rows_ = 0;
+}
+
+void EncodedBatch::Configure(const std::vector<ColumnKind>& kinds) {
+  Configure(kinds, std::vector<CodeWidth>(kinds.size(), CodeWidth::kU32));
 }
 
 void EncodedBatch::ResetRows(size_t num_rows) {
@@ -31,6 +42,18 @@ void EncodedBatch::ResetRows(size_t num_rows) {
       col.reals.resize(num_rows);
     }
   }
+}
+
+std::vector<CodeWidth> CodeWidthsForDomains(
+    const std::vector<Domain>& domains) {
+  std::vector<CodeWidth> widths;
+  widths.reserve(domains.size());
+  for (const Domain& d : domains) {
+    widths.push_back(d.is_categorical()
+                         ? CodeWidthForNumCodes(d.values().size() + 1)
+                         : CodeWidth::kU32);
+  }
+  return widths;
 }
 
 std::vector<EncodedBatch::ColumnKind> ColumnKindsForDomains(
@@ -60,13 +83,16 @@ Result<Relation> MaterializeRelation(const Schema& schema,
     out.reserve(n);
     if (batch.kind(c) == EncodedBatch::ColumnKind::kCodes) {
       const std::vector<Value>& values = domains[c].values();
-      for (uint32_t code : batch.codes(c)) {
-        if (code == 0 || code > values.size()) {
-          out.push_back(Value::Null());
-        } else {
-          out.push_back(values[code - 1]);
+      batch.WithCodes(c, [&](const auto* codes) {
+        for (size_t r = 0; r < n; ++r) {
+          const uint32_t code = codes[r];
+          if (code == 0 || code > values.size()) {
+            out.push_back(Value::Null());
+          } else {
+            out.push_back(values[code - 1]);
+          }
         }
-      }
+      });
     } else {
       for (double x : batch.reals(c)) out.push_back(Value::Real(x));
     }

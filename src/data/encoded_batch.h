@@ -3,20 +3,24 @@
 // The attack pipeline's Monte-Carlo loop (generate R_syn, score leakage,
 // repeat) used to materialize a boxed `Value` Relation per round. An
 // EncodedBatch is the columnar arena the encoded generators write into
-// instead: categorical columns hold dense uint32 codes into the
-// *generation domain* (code 0 is reserved for NULL, matching
+// instead: categorical columns hold dense codes into the *generation
+// domain* (code 0 is reserved for NULL, matching
 // ColumnDictionary::kNullCode; code i+1 means domain.values()[i]), and
-// continuous columns hold raw doubles. Configure() fixes the per-column
-// storage kind; ResetRows() re-arms the arena for the next round while
-// keeping each column's capacity, so a thread that owns a batch
-// allocates only on its first round.
+// continuous columns hold raw doubles. Code columns are stored at the
+// narrowest width that fits their domain (data/code_column.h), so the
+// leakage scans stream 1-4 bytes per cell. Configure() fixes the
+// per-column storage kind and width; ResetRows() re-arms the arena for
+// the next round while keeping each column's capacity, so a thread that
+// owns a batch allocates only on its first round.
 #ifndef METALEAK_DATA_ENCODED_BATCH_H_
 #define METALEAK_DATA_ENCODED_BATCH_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "data/code_column.h"
 #include "data/domain.h"
 #include "data/relation.h"
 #include "data/schema.h"
@@ -29,8 +33,14 @@ class EncodedBatch {
   /// domains) or raw doubles (continuous domains).
   enum class ColumnKind : uint8_t { kCodes, kReals };
 
-  /// Sets the column layout. Existing storage is kept when the kinds
-  /// are unchanged (the reuse fast path) and rebuilt otherwise.
+  /// Sets the column layout; `widths` is parallel to `kinds` and gives
+  /// each code column's storage width (ignored for kReals columns).
+  /// Existing storage is kept when the layout is unchanged (the reuse
+  /// fast path) and rebuilt otherwise.
+  void Configure(const std::vector<ColumnKind>& kinds,
+                 const std::vector<CodeWidth>& widths);
+
+  /// Layout with every code column at full u32 width.
   void Configure(const std::vector<ColumnKind>& kinds);
 
   /// Resizes every column to `num_rows`, keeping capacity.
@@ -41,12 +51,33 @@ class EncodedBatch {
 
   ColumnKind kind(size_t c) const { return columns_[c].kind; }
 
-  /// Code / real storage of column `c`; only the vector matching the
-  /// column's kind is meaningful.
-  std::vector<uint32_t>& codes(size_t c) { return columns_[c].codes; }
-  const std::vector<uint32_t>& codes(size_t c) const {
-    return columns_[c].codes;
+  /// Narrow code storage of column `c` (meaningful for kCodes columns).
+  const CodeColumn& code_column(size_t c) const { return columns_[c].codes; }
+  CodeColumn& code_column(size_t c) { return columns_[c].codes; }
+
+  /// Width-tagged read view of column `c`'s codes.
+  CodeColumnView code_view(size_t c) const { return columns_[c].codes.view(); }
+
+  /// Single-cell code access; set_code widens the column if needed.
+  uint32_t code_at(size_t c, size_t r) const { return columns_[c].codes.at(r); }
+  void set_code(size_t c, size_t r, uint32_t code) {
+    columns_[c].codes.set(r, code);
   }
+
+  /// Invokes fn with the typed mutable code pointer of column `c` —
+  /// the bulk-write path for the encoded generators. The column's size
+  /// and width must not change inside fn.
+  template <typename Fn>
+  decltype(auto) WithMutableCodes(size_t c, Fn&& fn) {
+    return columns_[c].codes.WithMutable(std::forward<Fn>(fn));
+  }
+
+  /// Invokes fn with the typed const code pointer of column `c`.
+  template <typename Fn>
+  decltype(auto) WithCodes(size_t c, Fn&& fn) const {
+    return columns_[c].codes.With(std::forward<Fn>(fn));
+  }
+
   std::vector<double>& reals(size_t c) { return columns_[c].reals; }
   const std::vector<double>& reals(size_t c) const {
     return columns_[c].reals;
@@ -55,13 +86,18 @@ class EncodedBatch {
  private:
   struct Column {
     ColumnKind kind = ColumnKind::kCodes;
-    std::vector<uint32_t> codes;
+    CodeColumn codes;
     std::vector<double> reals;
   };
 
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
 };
+
+/// The storage width each generation domain implies for its code
+/// column: narrowest width fitting codes 0..|domain| (NULL plus one
+/// code per domain value). kReals columns get u32 as a don't-care.
+std::vector<CodeWidth> CodeWidthsForDomains(const std::vector<Domain>& domains);
 
 /// The storage kind each generation domain implies: codes for
 /// categorical domains, raw doubles for continuous ones. Every consumer

@@ -17,17 +17,66 @@ inline uint64_t MixInto(uint64_t h, uint64_t x) {
 
 }  // namespace
 
+EncodedRelation::EncodedRelation(const EncodedRelation& other)
+    : schema_(other.schema_),
+      num_rows_(other.num_rows_),
+      columns_(other.columns_),
+      dicts_(other.dicts_),
+      fingerprint_(other.fingerprint_),
+      source_(other.source_) {
+  InitU32Cache();
+}
+
+EncodedRelation& EncodedRelation::operator=(const EncodedRelation& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  num_rows_ = other.num_rows_;
+  columns_ = other.columns_;
+  dicts_ = other.dicts_;
+  fingerprint_ = other.fingerprint_;
+  source_ = other.source_;
+  InitU32Cache();
+  return *this;
+}
+
+void EncodedRelation::InitU32Cache() {
+  u32_cache_.clear();
+  u32_cache_.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    u32_cache_.push_back(std::make_unique<LazyU32>());
+  }
+}
+
+const std::vector<uint32_t>& EncodedRelation::codes(size_t c) const {
+  const CodeColumn& col = columns_[c];
+  if (col.width() == CodeWidth::kU32) return col.u32_vector();
+  LazyU32* cache = u32_cache_[c].get();
+  std::call_once(cache->once, [&] { cache->codes = col.ToU32(); });
+  return cache->codes;
+}
+
+uint64_t EncodedRelation::ComputeFingerprint() const {
+  uint64_t fp = MixInto(0x6D657461ull, num_rows_);
+  fp = MixInto(fp, columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ColumnDictionary& dict = dicts_[c];
+    fp = MixInto(fp, dict.values_.size());
+    for (const Value& v : dict.values_) fp = MixInto(fp, v.Hash());
+    columns_[c].With([&fp, n = columns_[c].size()](const auto* p) {
+      for (size_t r = 0; r < n; ++r) fp = MixInto(fp, p[r]);
+    });
+  }
+  return fp;
+}
+
 EncodedRelation EncodedRelation::Encode(const Relation& relation) {
   EncodedRelation out;
   out.schema_ = relation.schema();
   out.num_rows_ = relation.num_rows();
   out.source_ = &relation;
   const size_t m = relation.num_columns();
-  out.codes_.resize(m);
+  out.columns_.resize(m);
   out.dicts_.resize(m);
-
-  uint64_t fp = MixInto(0x6D657461ull, relation.num_rows());
-  fp = MixInto(fp, m);
 
   for (size_t c = 0; c < m; ++c) {
     const std::vector<Value>& column = relation.column(c);
@@ -49,7 +98,8 @@ EncodedRelation EncodedRelation::Encode(const Relation& relation) {
     for (Value& v : distinct) dict.values_.push_back(std::move(v));
     dict.counts_.assign(dict.values_.size(), 0);
 
-    std::vector<uint32_t>& codes = out.codes_[c];
+    CodeColumn& codes = out.columns_[c];
+    codes.Reset(CodeWidthForNumCodes(dict.values_.size()));
     codes.reserve(column.size());
     const auto begin = dict.values_.begin() + 1;
     const auto end = dict.values_.end();
@@ -64,12 +114,9 @@ EncodedRelation EncodedRelation::Encode(const Relation& relation) {
       ++dict.counts_[code];
     }
     dict.null_count_ = dict.counts_[ColumnDictionary::kNullCode];
-
-    fp = MixInto(fp, dict.values_.size());
-    for (const Value& v : dict.values_) fp = MixInto(fp, v.Hash());
-    for (uint32_t code : codes) fp = MixInto(fp, code);
   }
-  out.fingerprint_ = fp;
+  out.fingerprint_ = out.ComputeFingerprint();
+  out.InitU32Cache();
   return out;
 }
 
@@ -88,24 +135,32 @@ EncodedRelation EncodedRelation::FromParts(
     Schema schema, std::vector<std::vector<uint32_t>> codes,
     std::vector<ColumnDictionary> dicts, const Relation* source) {
   METALEAK_DCHECK(codes.size() == dicts.size());
+  std::vector<CodeColumn> columns;
+  columns.reserve(codes.size());
+  for (size_t c = 0; c < codes.size(); ++c) {
+    columns.push_back(CodeColumn::FromU32(
+        codes[c], CodeWidthForNumCodes(dicts[c].num_codes())));
+  }
+  return FromParts(std::move(schema), std::move(columns), std::move(dicts),
+                   source);
+}
+
+EncodedRelation EncodedRelation::FromParts(Schema schema,
+                                           std::vector<CodeColumn> columns,
+                                           std::vector<ColumnDictionary> dicts,
+                                           const Relation* source) {
+  METALEAK_DCHECK(columns.size() == dicts.size());
   EncodedRelation out;
   out.schema_ = std::move(schema);
-  out.num_rows_ = codes.empty() ? 0 : codes[0].size();
+  out.num_rows_ = columns.empty() ? 0 : columns[0].size();
   out.source_ = source;
-  out.codes_ = std::move(codes);
+  out.columns_ = std::move(columns);
   out.dicts_ = std::move(dicts);
 
   // Same mixing sequence as Encode, so FromParts of canonical parts is
   // fingerprint-identical to encoding the decoded relation from scratch.
-  uint64_t fp = MixInto(0x6D657461ull, out.num_rows_);
-  fp = MixInto(fp, out.codes_.size());
-  for (size_t c = 0; c < out.codes_.size(); ++c) {
-    const ColumnDictionary& dict = out.dicts_[c];
-    fp = MixInto(fp, dict.values_.size());
-    for (const Value& v : dict.values_) fp = MixInto(fp, v.Hash());
-    for (uint32_t code : out.codes_[c]) fp = MixInto(fp, code);
-  }
-  out.fingerprint_ = fp;
+  out.fingerprint_ = out.ComputeFingerprint();
+  out.InitU32Cache();
   return out;
 }
 
@@ -113,8 +168,9 @@ Result<Relation> EncodedRelation::Decode() const {
   std::vector<std::vector<Value>> columns(num_columns());
   for (size_t c = 0; c < num_columns(); ++c) {
     columns[c].reserve(num_rows_);
-    for (uint32_t code : codes_[c]) {
-      columns[c].push_back(dicts_[c].decode(code));
+    const size_t n = columns_[c].size();
+    for (size_t r = 0; r < n; ++r) {
+      columns[c].push_back(dicts_[c].decode(columns_[c].at(r)));
     }
   }
   return Relation::Make(schema_, std::move(columns));

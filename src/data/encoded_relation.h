@@ -6,7 +6,11 @@
 // std::variant) costs a hash + variant dispatch per cell. TANE-style
 // systems instead operate on *integer-coded* columns; this layer computes
 // that coding once per relation and lets every consumer run on dense
-// `uint32_t` codes.
+// integer codes. Columns are stored at the narrowest code width that
+// fits their dictionary (see data/code_column.h), so scans stream 1-4
+// bytes per cell instead of a fixed 4; consumers that still need a
+// `uint32_t` vector get one through a per-column lazily materialized
+// cache.
 //
 // Coding scheme, per column:
 //   * code 0 is reserved for NULL (whether or not the column contains
@@ -29,9 +33,12 @@
 #define METALEAK_DATA_ENCODED_RELATION_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
+#include "data/code_column.h"
 #include "data/domain.h"
 #include "data/relation.h"
 #include "data/schema.h"
@@ -101,6 +108,13 @@ class EncodedRelation {
  public:
   EncodedRelation() = default;
 
+  // Copies deep-copy the narrow columns but start with a fresh (empty)
+  // u32 compatibility cache; moves carry the cache along.
+  EncodedRelation(const EncodedRelation& other);
+  EncodedRelation& operator=(const EncodedRelation& other);
+  EncodedRelation(EncodedRelation&&) = default;
+  EncodedRelation& operator=(EncodedRelation&&) = default;
+
   /// Encodes `relation`. Never fails: every Value is encodable.
   static EncodedRelation Encode(const Relation& relation);
 
@@ -110,8 +124,17 @@ class EncodedRelation {
   /// fingerprint is recomputed with Encode's mixing sequence, so equal
   /// content yields an equal fingerprint regardless of which path built
   /// it. `source` may be null when no backing Relation exists yet.
+  /// Columns are re-narrowed to their dictionary's natural width.
   static EncodedRelation FromParts(Schema schema,
                                    std::vector<std::vector<uint32_t>> codes,
+                                   std::vector<ColumnDictionary> dicts,
+                                   const Relation* source);
+
+  /// FromParts for callers that already hold narrow columns (the delta
+  /// layer's publish path). Column widths are kept as-is; they must fit
+  /// the dictionaries.
+  static EncodedRelation FromParts(Schema schema,
+                                   std::vector<CodeColumn> columns,
                                    std::vector<ColumnDictionary> dicts,
                                    const Relation* source);
 
@@ -121,24 +144,38 @@ class EncodedRelation {
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
-  size_t num_columns() const { return codes_.size(); }
+  size_t num_columns() const { return columns_.size(); }
 
   /// The source relation this encoding was built from (non-owning).
   const Relation* source() const { return source_; }
 
-  /// Dense code vector of column `c` (one code per row).
-  const std::vector<uint32_t>& codes(size_t c) const { return codes_[c]; }
+  /// Dense code vector of column `c` widened to u32 (one code per row).
+  /// For u32-width columns this is the native storage; narrower columns
+  /// materialize a widened copy on first use and cache it for the
+  /// encoding's lifetime. Hot paths should prefer column_view(c), which
+  /// streams the narrow bytes directly. Thread-safe.
+  const std::vector<uint32_t>& codes(size_t c) const;
+
+  /// Width-tagged view of column `c`'s native narrow storage — the
+  /// bandwidth-proportional access path.
+  CodeColumnView column_view(size_t c) const { return columns_[c].view(); }
+
+  /// Column `c`'s narrow storage.
+  const CodeColumn& column(size_t c) const { return columns_[c]; }
+
+  /// Storage width of column `c`.
+  CodeWidth column_width(size_t c) const { return columns_[c].width(); }
 
   /// Code of cell (row, col).
   uint32_t code_at(size_t row, size_t col) const {
-    return codes_[col][row];
+    return columns_[col].at(row);
   }
 
   const ColumnDictionary& dictionary(size_t c) const { return dicts_[c]; }
 
   /// True iff cell (row, col) is NULL.
   bool is_null(size_t row, size_t col) const {
-    return codes_[col][row] == ColumnDictionary::kNullCode;
+    return columns_[col].at(row) == ColumnDictionary::kNullCode;
   }
 
   /// Rebuilds the original relation from codes + dictionaries. Round-trip
@@ -159,12 +196,29 @@ class EncodedRelation {
   Result<std::vector<Domain>> Domains() const;
 
  private:
+  // Lazily materialized u32 widening of one narrow column, for the
+  // codes(c) compatibility accessor. Heap-allocated so the containing
+  // vector stays movable despite std::once_flag being immovable.
+  struct LazyU32 {
+    std::once_flag once;
+    std::vector<uint32_t> codes;
+  };
+
+  // (Re)creates one empty cache slot per column.
+  void InitU32Cache();
+
+  // Mixes schema shape, dictionaries, and code vectors with Encode's
+  // sequence. Codes are mixed as widened u64 values, so the fingerprint
+  // is independent of storage width.
+  uint64_t ComputeFingerprint() const;
+
   Schema schema_;
   size_t num_rows_ = 0;
-  std::vector<std::vector<uint32_t>> codes_;  // [column][row]
+  std::vector<CodeColumn> columns_;  // [column], narrow storage
   std::vector<ColumnDictionary> dicts_;
   uint64_t fingerprint_ = 0;
   const Relation* source_ = nullptr;
+  mutable std::vector<std::unique_ptr<LazyU32>> u32_cache_;
 };
 
 }  // namespace metaleak

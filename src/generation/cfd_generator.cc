@@ -307,7 +307,7 @@ Status ApplyCfdsEncoded(const EncodedCfdPlan& plan, EncodedBatch* batch,
     for (size_t i : rule.lhs) {
       size_t h;
       if (plan.kinds_[i] == EncodedBatch::ColumnKind::kCodes) {
-        h = plan.hash_by_code_[i][batch->codes(i)[r]];
+        h = plan.hash_by_code_[i][batch->code_at(i, r)];
       } else {
         h = Value::Real(batch->reals(i)[r]).Hash();
       }
@@ -329,7 +329,7 @@ Status ApplyCfdsEncoded(const EncodedCfdPlan& plan, EncodedBatch* batch,
         bool condition_holds;
         if (rule.condition_is_code) {
           condition_holds =
-              batch->codes(rule.condition_attr)[r] == rule.condition_code;
+              batch->code_at(rule.condition_attr, r) == rule.condition_code;
         } else {
           condition_holds =
               batch->reals(rule.condition_attr)[r] == rule.condition_real;
@@ -353,9 +353,8 @@ Status ApplyCfdsEncoded(const EncodedCfdPlan& plan, EncodedBatch* batch,
             desired = it->second;
           }
           written[r * m + rule.rhs] = true;
-          uint32_t& cell = batch->codes(rule.rhs)[r];
-          if (cell != desired) {
-            cell = desired;
+          if (batch->code_at(rule.rhs, r) != desired) {
+            batch->set_code(rule.rhs, r, desired);
             changed = true;
           }
         } else {

@@ -323,23 +323,24 @@ uint32_t RankEncodedColumn(const EncodedBatch& batch, size_t col,
                            size_t num_rows, EncodedScratch& s) {
   s.ranks.resize(num_rows);
   if (batch.kind(col) == EncodedBatch::ColumnKind::kCodes) {
-    const std::vector<uint32_t>& codes = batch.codes(col);
-    uint32_t max_code = 0;
-    for (size_t r = 0; r < num_rows; ++r) {
-      max_code = std::max(max_code, codes[r]);
-    }
-    s.code_rank.assign(static_cast<size_t>(max_code) + 1, 0);
-    for (size_t r = 0; r < num_rows; ++r) s.code_rank[codes[r]] = 1;
-    uint32_t running = 0;
-    for (uint32_t c = 0; c <= max_code; ++c) {
-      uint32_t present = s.code_rank[c];
-      s.code_rank[c] = running;
-      running += present;
-    }
-    for (size_t r = 0; r < num_rows; ++r) {
-      s.ranks[r] = s.code_rank[codes[r]];
-    }
-    return running;
+    return batch.WithCodes(col, [&](const auto* codes) -> uint32_t {
+      uint32_t max_code = 0;
+      for (size_t r = 0; r < num_rows; ++r) {
+        max_code = std::max<uint32_t>(max_code, codes[r]);
+      }
+      s.code_rank.assign(static_cast<size_t>(max_code) + 1, 0);
+      for (size_t r = 0; r < num_rows; ++r) s.code_rank[codes[r]] = 1;
+      uint32_t running = 0;
+      for (uint32_t c = 0; c <= max_code; ++c) {
+        uint32_t present = s.code_rank[c];
+        s.code_rank[c] = running;
+        running += present;
+      }
+      for (size_t r = 0; r < num_rows; ++r) {
+        s.ranks[r] = s.code_rank[codes[r]];
+      }
+      return running;
+    });
   }
   const std::vector<double>& reals = batch.reals(col);
   s.sorted_reals.assign(reals.begin(), reals.begin() + num_rows);
@@ -434,10 +435,11 @@ void GenerateOrderedColumnEncoded(size_t lhs_column, const Domain& domain,
     SortedSamplesEncoded(domain, distinct, rng, s);
   }
   if (batch->kind(target) == EncodedBatch::ColumnKind::kCodes) {
-    std::vector<uint32_t>& out = batch->codes(target);
-    for (size_t r = 0; r < num_rows; ++r) {
-      out[r] = s.target_codes[s.ranks[r]];
-    }
+    batch->WithMutableCodes(target, [&](auto* out) {
+      for (size_t r = 0; r < num_rows; ++r) {
+        out[r] = s.target_codes[s.ranks[r]];
+      }
+    });
   } else {
     std::vector<double>& out = batch->reals(target);
     for (size_t r = 0; r < num_rows; ++r) {
@@ -455,10 +457,11 @@ void GenerateRootColumnEncoded(const Domain& domain, size_t num_rows,
   if (batch->kind(target) == EncodedBatch::ColumnKind::kCodes) {
     METALEAK_DCHECK(domain.is_categorical());
     const size_t k = domain.values().size();
-    std::vector<uint32_t>& out = batch->codes(target);
-    for (size_t r = 0; r < num_rows; ++r) {
-      out[r] = static_cast<uint32_t>(rng->UniformIndex(k)) + 1;
-    }
+    batch->WithMutableCodes(target, [&](auto* out) {
+      for (size_t r = 0; r < num_rows; ++r) {
+        out[r] = static_cast<uint32_t>(rng->UniformIndex(k)) + 1;
+      }
+    });
   } else {
     std::vector<double>& out = batch->reals(target);
     for (size_t r = 0; r < num_rows; ++r) {
@@ -479,15 +482,16 @@ void GenerateFdColumnEncoded(const std::vector<size_t>& lhs_columns,
   if (batch->kind(target) == EncodedBatch::ColumnKind::kCodes) {
     const size_t k = domain.values().size();
     s.code_map.resize(num_groups);
-    std::vector<uint32_t>& out = batch->codes(target);
-    for (size_t r = 0; r < num_rows; ++r) {
-      uint32_t id = s.ids[r];
-      if (!s.flags[id]) {
-        s.flags[id] = 1;
-        s.code_map[id] = static_cast<uint32_t>(rng->UniformIndex(k)) + 1;
+    batch->WithMutableCodes(target, [&](auto* out) {
+      for (size_t r = 0; r < num_rows; ++r) {
+        uint32_t id = s.ids[r];
+        if (!s.flags[id]) {
+          s.flags[id] = 1;
+          s.code_map[id] = static_cast<uint32_t>(rng->UniformIndex(k)) + 1;
+        }
+        out[r] = s.code_map[id];
       }
-      out[r] = s.code_map[id];
-    }
+    });
   } else {
     s.real_map.resize(num_groups);
     std::vector<double>& out = batch->reals(target);
@@ -511,12 +515,13 @@ void GenerateAfdColumnEncoded(const std::vector<size_t>& lhs_columns,
   const double p = std::clamp(g3_error, 0.0, 1.0);
   if (batch->kind(target) == EncodedBatch::ColumnKind::kCodes) {
     const size_t k = domain.values().size();
-    std::vector<uint32_t>& out = batch->codes(target);
-    for (size_t r = 0; r < num_rows; ++r) {
-      if (rng->Bernoulli(p)) {
-        out[r] = static_cast<uint32_t>(rng->UniformIndex(k)) + 1;
+    batch->WithMutableCodes(target, [&](auto* out) {
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (rng->Bernoulli(p)) {
+          out[r] = static_cast<uint32_t>(rng->UniformIndex(k)) + 1;
+        }
       }
-    }
+    });
   } else {
     std::vector<double>& out = batch->reals(target);
     for (size_t r = 0; r < num_rows; ++r) {
@@ -541,19 +546,21 @@ void GenerateNdColumnEncoded(size_t lhs_column, const Domain& domain,
   if (categorical) {
     const size_t domain_size = domain.values().size();
     s.code_pool.assign(static_cast<size_t>(distinct) * take, 0);
-    std::vector<uint32_t>& out = batch->codes(target);
-    for (size_t r = 0; r < num_rows; ++r) {
-      const uint32_t rank = s.ranks[r];
-      uint32_t* pool = s.code_pool.data() + static_cast<size_t>(rank) * take;
-      if (!s.flags[rank]) {
-        s.flags[rank] = 1;
-        size_t j = 0;
-        for (size_t i : rng->SampleWithoutReplacement(domain_size, take)) {
-          pool[j++] = static_cast<uint32_t>(i) + 1;
+    batch->WithMutableCodes(target, [&](auto* out) {
+      for (size_t r = 0; r < num_rows; ++r) {
+        const uint32_t rank = s.ranks[r];
+        uint32_t* pool =
+            s.code_pool.data() + static_cast<size_t>(rank) * take;
+        if (!s.flags[rank]) {
+          s.flags[rank] = 1;
+          size_t j = 0;
+          for (size_t i : rng->SampleWithoutReplacement(domain_size, take)) {
+            pool[j++] = static_cast<uint32_t>(i) + 1;
+          }
         }
+        out[r] = pool[rng->UniformIndex(take)];
       }
-      out[r] = pool[rng->UniformIndex(take)];
-    }
+    });
   } else {
     s.real_pool.assign(static_cast<size_t>(distinct) * take, 0.0);
     std::vector<double>& out = batch->reals(target);
@@ -604,15 +611,18 @@ Status GenerateDdColumnEncoded(size_t lhs_column, const Domain& domain,
   // by raw double) makes every comparator decision identical to sorting
   // the decoded Values — same permutation, same Markov chain.
   if (lhs_codes) {
-    const std::vector<uint32_t>& codes = batch->codes(lhs_column);
-    std::sort(s.order.begin(), s.order.end(),
-              [&](size_t a, size_t b) { return codes[a] < codes[b]; });
+    batch->WithCodes(lhs_column, [&](const auto* codes) {
+      std::sort(s.order.begin(), s.order.end(),
+                [&](size_t a, size_t b) { return codes[a] < codes[b]; });
+    });
   } else {
     const std::vector<double>& xs = batch->reals(lhs_column);
     std::sort(s.order.begin(), s.order.end(),
               [&](size_t a, size_t b) { return xs[a] < xs[b]; });
   }
 
+  const CodeColumnView lhs_view =
+      lhs_codes ? batch->code_view(lhs_column) : CodeColumnView{};
   std::vector<double>& out = batch->reals(target);
   double prev_x = 0.0;
   double prev_y = 0.0;
@@ -621,7 +631,7 @@ Status GenerateDdColumnEncoded(size_t lhs_column, const Domain& domain,
     size_t row = s.order[pos];
     double x;
     if (lhs_codes) {
-      x = lhs_code_numeric[batch->codes(lhs_column)[row]];
+      x = lhs_code_numeric[lhs_view.at(row)];
     } else {
       x = batch->reals(lhs_column)[row];
     }

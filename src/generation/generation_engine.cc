@@ -69,6 +69,7 @@ Result<GenerationContext> GenerationContext::Build(
   }
   ctx.plan_ = DependencyGraph::Build(m, usable, options.allowed_kinds);
   ctx.kinds_ = ColumnKindsForDomains(ctx.domains_);
+  ctx.widths_ = CodeWidthsForDomains(ctx.domains_);
 
   ctx.code_numeric_.resize(m);
   for (size_t c = 0; c < m; ++c) {
@@ -152,7 +153,7 @@ Status GenerateEncoded(const GenerationContext& ctx, size_t num_rows,
     return Status::Invalid("package is not encodable: " +
                            ctx.fallback_reason());
   }
-  batch->Configure(ctx.kinds_);
+  batch->Configure(ctx.kinds_, ctx.widths_);
   batch->ResetRows(num_rows);
 
   const std::vector<GenerationStep>& steps = ctx.plan_->steps();
@@ -164,10 +165,11 @@ Status GenerateEncoded(const GenerationContext& ctx, size_t num_rows,
       if (ctx.dist_[target].has_value()) {
         const GenerationContext::DistSampler& sampler = *ctx.dist_[target];
         if (sampler.categorical) {
-          std::vector<uint32_t>& out = batch->codes(target);
-          for (size_t r = 0; r < num_rows; ++r) {
-            out[r] = sampler.SampleCode(rng);
-          }
+          batch->WithMutableCodes(target, [&](auto* out) {
+            for (size_t r = 0; r < num_rows; ++r) {
+              out[r] = sampler.SampleCode(rng);
+            }
+          });
         } else {
           std::vector<double>& out = batch->reals(target);
           for (size_t r = 0; r < num_rows; ++r) {

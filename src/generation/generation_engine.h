@@ -78,6 +78,7 @@ class GenerationContext {
   const std::vector<EncodedBatch::ColumnKind>& kinds() const {
     return kinds_;
   }
+  const std::vector<CodeWidth>& widths() const { return widths_; }
   size_t num_attributes() const { return domains_.size(); }
 
   /// Per-code numeric view of a code-stored column's domain: entry 0
@@ -117,6 +118,7 @@ class GenerationContext {
   std::vector<Domain> domains_;
   std::optional<DependencyGraph> plan_;
   std::vector<EncodedBatch::ColumnKind> kinds_;
+  std::vector<CodeWidth> widths_;  // batch code-column widths, per attr
   std::vector<std::vector<size_t>> step_lhs_;  // aligned with plan steps
   std::vector<std::optional<DistSampler>> dist_;     // per attribute
   std::vector<std::vector<double>> code_numeric_;    // per attribute

@@ -65,7 +65,7 @@ std::unique_ptr<PositionListIndex> PliCache::BuildPli(AttributeSet attrs) {
   if (attrs.size() == 1) {
     size_t c = attrs.ToIndices()[0];
     return std::make_unique<PositionListIndex>(PositionListIndex::FromCodes(
-        encoded_->codes(c), encoded_->dictionary(c).num_codes()));
+        encoded_->column_view(c), encoded_->dictionary(c).num_codes()));
   }
   // Build by intersecting the (recursively obtained) PLI without the
   // highest attribute with that attribute's single PLI. Depth is |attrs|.

@@ -109,14 +109,40 @@ PositionListIndex PositionListIndex::FromColumns(
 
 PositionListIndex PositionListIndex::FromCodes(
     const std::vector<uint32_t>& codes, uint32_t num_codes) {
-  const size_t n = codes.size();
+  return FromCodes(CodeColumnView{codes.data(), codes.size(), CodeWidth::kU32},
+                   num_codes);
+}
+
+namespace {
+
+// Above this dictionary size the slot/cursor tables of the scatter pass
+// (4 bytes each per code) outgrow the last-level cache slice and the
+// random-access writes start missing; FromCodes switches to the
+// radix-partitioned scatter. Measured on this substrate the crossover
+// is late: the radix pass's extra packed copy only pays for itself once
+// the cursor tables reach ~4 MB AND the row count amortizes the second
+// pass (n >= 2x codes) — below that, the direct scatter's working set
+// still mostly lives in cache and radix is a net loss. Narrow (u8/u16)
+// columns are always far below the threshold by construction.
+constexpr uint32_t kRadixScatterMinCodes = 1u << 20;
+
+// Bucket-count cap for the radix scatter: >= num_codes / 1024 codes per
+// bucket keeps each per-bucket table slice within a few KiB.
+constexpr uint32_t kRadixMaxBuckets = 1024;
+
+}  // namespace
+
+PositionListIndex PositionListIndex::FromCodes(const CodeColumnView& codes,
+                                               uint32_t num_codes) {
+  const size_t n = codes.size;
   METALEAK_DCHECK(n < UINT32_MAX);
 #ifndef NDEBUG
-  for (uint32_t code : codes) METALEAK_DCHECK(code < num_codes);
+  for (size_t r = 0; r < n; ++r) METALEAK_DCHECK(codes.at(r) < num_codes);
 #endif
-  // Pass 1: occurrences per code (sliced counting on small dictionaries).
+  // Pass 1: occurrences per code (sliced counting on small dictionaries),
+  // streamed at the column's stored width.
   std::vector<uint32_t> counts(num_codes, 0);
-  HistogramU32(ActiveSimdLevel(), codes.data(), n, num_codes, counts.data());
+  HistogramCodes(ActiveSimdLevel(), codes, num_codes, counts.data());
   // Cluster slots for codes occurring >= 2 times (ascending code order);
   // singletons are stripped. The prefix sums become the CSR offsets.
   std::vector<uint32_t> slot(num_codes, kNoSlot);
@@ -135,9 +161,55 @@ PositionListIndex PositionListIndex::FromCodes(
   // cluster's members in ascending order.
   std::vector<Row> rows(total);
   std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (size_t r = 0; r < n; ++r) {
-    uint32_t s = slot[codes[r]];
-    if (s != kNoSlot) rows[cursor[s]++] = static_cast<Row>(r);
+  if (num_codes >= kRadixScatterMinCodes && n >= 2 * size_t{num_codes} &&
+      StreamingOptsEnabled()) {
+    // Radix-partitioned scatter. Stable-bucket the (code, row) pairs by
+    // code high bits, then scatter bucket by bucket: each bucket's codes
+    // span a contiguous [b << shift, (b + 1) << shift) slice of the
+    // slot/cursor tables, so the random writes stay cache-resident. A
+    // code maps to exactly one bucket and the bucketing preserves row
+    // order, so every cluster is filled in the same ascending-row order
+    // as the direct scatter — the arena is bit-identical.
+    int shift = 0;
+    while ((static_cast<uint64_t>(num_codes - 1) >> shift) >=
+           kRadixMaxBuckets) {
+      ++shift;
+    }
+    const uint32_t buckets =
+        static_cast<uint32_t>(((num_codes - 1) >> shift) + 1);
+    std::vector<uint32_t> bucket_start(buckets + 1, 0);
+    codes.With([&](const auto* p) {
+      for (size_t r = 0; r < n; ++r) {
+        ++bucket_start[(static_cast<uint32_t>(p[r]) >> shift) + 1];
+      }
+    });
+    for (uint32_t b = 0; b < buckets; ++b) {
+      bucket_start[b + 1] += bucket_start[b];
+    }
+    std::vector<uint64_t> packed(n);  // code << 32 | row, bucket-major
+    std::vector<uint32_t> bucket_cursor(bucket_start.begin(),
+                                        bucket_start.end() - 1);
+    codes.With([&](const auto* p) {
+      for (size_t r = 0; r < n; ++r) {
+        const uint32_t code = static_cast<uint32_t>(p[r]);
+        packed[bucket_cursor[code >> shift]++] =
+            (static_cast<uint64_t>(code) << 32) | static_cast<uint32_t>(r);
+      }
+    });
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t code = static_cast<uint32_t>(packed[i] >> 32);
+      const uint32_t s = slot[code];
+      if (s != kNoSlot) {
+        rows[cursor[s]++] = static_cast<Row>(packed[i]);
+      }
+    }
+  } else {
+    codes.With([&](const auto* p) {
+      for (size_t r = 0; r < n; ++r) {
+        const uint32_t s = slot[p[r]];
+        if (s != kNoSlot) rows[cursor[s]++] = static_cast<Row>(r);
+      }
+    });
   }
   return PositionListIndex(std::move(rows), std::move(offsets), n);
 }
@@ -160,7 +232,7 @@ PositionListIndex PositionListIndex::FromCsrArrays(
 PositionListIndex PositionListIndex::FromEncoded(
     const EncodedRelation& relation, const std::vector<size_t>& columns) {
   if (columns.size() == 1) {
-    return FromCodes(relation.codes(columns[0]),
+    return FromCodes(relation.column_view(columns[0]),
                      relation.dictionary(columns[0]).num_codes());
   }
   const size_t n = relation.num_rows();
@@ -171,20 +243,24 @@ PositionListIndex PositionListIndex::FromEncoded(
   // Fold columns into running group ids. After each renumbering pass the
   // ids are dense in [0, num_groups) with num_groups <= n, so the
   // combined key id * num_codes + code stays well below 2^64.
-  std::vector<uint64_t> ids(relation.codes(columns[0]).begin(),
-                            relation.codes(columns[0]).end());
+  std::vector<uint64_t> ids(n);
+  relation.column_view(columns[0]).With([&](const auto* p) {
+    for (size_t r = 0; r < n; ++r) ids[r] = p[r];
+  });
   uint64_t num_groups = relation.dictionary(columns[0]).num_codes();
   std::unordered_map<uint64_t, uint64_t> remap;
   for (size_t i = 1; i < columns.size(); ++i) {
-    const std::vector<uint32_t>& codes = relation.codes(columns[i]);
+    const CodeColumnView codes = relation.column_view(columns[i]);
     const uint64_t nc = relation.dictionary(columns[i]).num_codes();
     remap.clear();
     remap.reserve(n);
-    for (size_t r = 0; r < n; ++r) {
-      uint64_t key = ids[r] * nc + codes[r];
-      auto it = remap.emplace(key, remap.size()).first;
-      ids[r] = it->second;
-    }
+    codes.With([&](const auto* p) {
+      for (size_t r = 0; r < n; ++r) {
+        uint64_t key = ids[r] * nc + p[r];
+        auto it = remap.emplace(key, remap.size()).first;
+        ids[r] = it->second;
+      }
+    });
     num_groups = remap.size();
   }
   // Final grouping over the dense ids, mirroring FromCodes.

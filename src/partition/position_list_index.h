@@ -42,6 +42,7 @@
 
 #include "common/macros.h"
 #include "common/simd.h"
+#include "data/code_column.h"
 #include "data/encoded_relation.h"
 #include "data/relation.h"
 #include "data/value.h"
@@ -145,6 +146,17 @@ class PositionListIndex {
   /// in [0, num_codes). Clusters come out in ascending code order with
   /// ascending row indices — fully deterministic.
   static PositionListIndex FromCodes(const std::vector<uint32_t>& codes,
+                                     uint32_t num_codes);
+
+  /// Width-tagged variant of FromCodes streaming the codes at their
+  /// stored width (u8/u16/u32). High-cardinality columns (dictionaries
+  /// too large for the slot/cursor tables to stay cache-resident) take a
+  /// radix-partitioned scatter: rows are bucketed by code high bits, so
+  /// each per-bucket pass touches only a cache-sized slice of the
+  /// tables. The bucketing is stable and each code lives in exactly one
+  /// bucket, so the resulting arena is bit-identical to the direct
+  /// scatter. The u32-vector overload above forwards here.
+  static PositionListIndex FromCodes(const CodeColumnView& codes,
                                      uint32_t num_codes);
 
   /// Builds the PLI of a set of columns of an encoded relation. Single

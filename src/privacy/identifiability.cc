@@ -48,6 +48,153 @@ std::vector<AttributeSet> SubsetsOfSize(size_t m, size_t k) {
   return out;
 }
 
+// ---------------------------------------------------------------------
+// Width-2 counting sweep.
+//
+// A row is unique under pair (a, b) iff its (code_a, code_b) combination
+// occurs exactly once, so a Ka x Kb u32 count table answers a pair
+// directly: one counting pass, one marking pass, no PLI intersection and
+// no probe-table gathers. Pairs whose table would outgrow the budget
+// below (high-cardinality dictionaries) fall back to the cached-PLI
+// subset path; both paths compute the same exact per-row predicate, so
+// the OR-merge is bit-identical to running everything through either.
+
+// Per-pair count-table budget: 2^18 u32 entries = 1 MiB, small enough
+// that the counting pass's random increments stay cache-resident.
+constexpr size_t kPairTableMaxEntries = size_t{1} << 18;
+
+// Row-tile length for the counting sweep. Pairs sharing a left column
+// are processed group-wise with the row loop tiled, so one tile of the
+// shared left column (and each right column) is streamed through L2 once
+// per group rather than once per pair.
+constexpr size_t kSweepRowTile = size_t{1} << 15;
+
+// Marks rows unique under some pair of `pairs` (each (a, b), a < b,
+// table size within budget) into a packed bitmap. Exact integer
+// counting + OR accumulation: thread-count independent.
+std::vector<uint64_t> CountingPairSweep(
+    const EncodedRelation& relation,
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  const size_t n = relation.num_rows();
+  const size_t words = BitsetWords(n);
+
+  // Group pairs by left attribute so each group's tile walk shares the
+  // left column's slice across every right column.
+  struct PairGroup {
+    size_t left = 0;
+    std::vector<size_t> rights;
+  };
+  std::vector<PairGroup> groups;
+  for (const auto& [a, b] : pairs) {
+    if (groups.empty() || groups.back().left != a) {
+      groups.push_back(PairGroup{a, {}});
+    }
+    groups.back().rights.push_back(b);
+  }
+
+  std::vector<uint64_t> merged = ParallelReduce<std::vector<uint64_t>>(
+      0, groups.size(), 1, std::vector<uint64_t>{},
+      [&](size_t lo, size_t hi) {
+        std::vector<uint64_t> bits(words, 0);
+        std::vector<std::vector<uint32_t>> tables;
+        for (size_t g = lo; g < hi; ++g) {
+          const PairGroup& group = groups[g];
+          const CodeColumnView left = relation.column_view(group.left);
+          const size_t num_rights = group.rights.size();
+          std::vector<size_t> kb(num_rights);
+          tables.resize(num_rights);
+          for (size_t j = 0; j < num_rights; ++j) {
+            kb[j] = relation.dictionary(group.rights[j]).num_codes();
+            const size_t ka = relation.dictionary(group.left).num_codes();
+            tables[j].assign(ka * kb[j], 0);
+          }
+          // Counting pass, tiled: each row tile of the left column is
+          // reused across every pair in the group while hot.
+          for (size_t row0 = 0; row0 < n; row0 += kSweepRowTile) {
+            const size_t len = std::min(kSweepRowTile, n - row0);
+            const CodeColumnView lslice = left.Slice(row0, len);
+            for (size_t j = 0; j < num_rights; ++j) {
+              const CodeColumnView rslice =
+                  relation.column_view(group.rights[j]).Slice(row0, len);
+              uint32_t* table = tables[j].data();
+              const size_t stride = kb[j];
+              lslice.With([&](const auto* lp) {
+                rslice.With([&](const auto* rp) {
+                  for (size_t r = 0; r < len; ++r) {
+                    ++table[static_cast<size_t>(lp[r]) * stride + rp[r]];
+                  }
+                });
+              });
+            }
+          }
+          // Marking pass, same tile walk: count == 1 means the row's
+          // pair projection is unique.
+          for (size_t row0 = 0; row0 < n; row0 += kSweepRowTile) {
+            const size_t len = std::min(kSweepRowTile, n - row0);
+            const CodeColumnView lslice = left.Slice(row0, len);
+            for (size_t j = 0; j < num_rights; ++j) {
+              const CodeColumnView rslice =
+                  relation.column_view(group.rights[j]).Slice(row0, len);
+              const uint32_t* table = tables[j].data();
+              const size_t stride = kb[j];
+              lslice.With([&](const auto* lp) {
+                rslice.With([&](const auto* rp) {
+                  for (size_t r = 0; r < len; ++r) {
+                    if (table[static_cast<size_t>(lp[r]) * stride + rp[r]] ==
+                        1) {
+                      const size_t row = row0 + r;
+                      bits[row >> 6] |= uint64_t{1} << (row & 63);
+                    }
+                  }
+                });
+              });
+            }
+          }
+        }
+        return bits;
+      },
+      [words](std::vector<uint64_t> acc, std::vector<uint64_t> chunk) {
+        if (acc.size() < words) acc.resize(words, 0);
+        if (chunk.size() < words) chunk.resize(words, 0);
+        BitsetOrInto(acc.data(), chunk.data(), words);
+        return acc;
+      });
+  if (merged.size() < words) merged.resize(words, 0);
+  return merged;
+}
+
+// Width-2 sweep: counting tables for in-budget pairs, cached-PLI subset
+// sweep for the rest, OR-merged.
+Result<std::vector<bool>> IdentifiableRowsWidth2(PliCache& cache) {
+  const EncodedRelation& relation = cache.encoded();
+  const size_t m = relation.num_columns();
+  const size_t n = relation.num_rows();
+  std::vector<std::pair<size_t, size_t>> counted;
+  std::vector<AttributeSet> fallback;
+  for (size_t a = 0; a + 1 < m; ++a) {
+    const size_t ka = relation.dictionary(a).num_codes();
+    for (size_t b = a + 1; b < m; ++b) {
+      const size_t kbc = relation.dictionary(b).num_codes();
+      if (ka * kbc <= kPairTableMaxEntries) {
+        counted.emplace_back(a, b);
+      } else {
+        fallback.push_back(AttributeSet::Of(std::vector<size_t>{a, b}));
+      }
+    }
+  }
+  std::vector<bool> identifiable(n, false);
+  if (!fallback.empty()) {
+    METALEAK_ASSIGN_OR_RETURN(identifiable,
+                              IdentifiableRowsForSubsets(cache, fallback));
+  }
+  if (!counted.empty() && n > 0) {
+    const std::vector<uint64_t> bits = CountingPairSweep(relation, counted);
+    BitsetForEach(bits.data(), bits.size(),
+                  [&](size_t row) { identifiable[row] = true; });
+  }
+  return identifiable;
+}
+
 }  // namespace
 
 Result<std::vector<bool>> UniqueRows(const Relation& relation,
@@ -181,8 +328,13 @@ Result<std::vector<bool>> IdentifiableRows(PliCache& cache, size_t width) {
   // Adding attributes refines the partition, so uniqueness under A is
   // preserved under every superset of A. Checking only the subsets of
   // size exactly min(width, m) therefore covers all smaller subsets too.
-  return IdentifiableRowsForSubsets(cache,
-                                    SubsetsOfSize(m, std::min(width, m)));
+  const size_t k = std::min(width, m);
+  if (k == 2) {
+    // The dominant sweep width takes the direct counting path (see
+    // CountingPairSweep); pairs over budget still go through the cache.
+    return IdentifiableRowsWidth2(cache);
+  }
+  return IdentifiableRowsForSubsets(cache, SubsetsOfSize(m, k));
 }
 
 Result<std::vector<bool>> IdentifiableRows(const EncodedRelation& relation,

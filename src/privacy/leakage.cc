@@ -1,8 +1,11 @@
 #include "privacy/leakage.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string>
+#include <unordered_map>
 
 #include "common/simd.h"
 #include "data/domain.h"
@@ -204,7 +207,7 @@ Result<EncodedLeakageContext> EncodedLeakageContext::Build(
   ctx.attrs_.resize(m);
   for (size_t c = 0; c < m; ++c) {
     const ColumnDictionary& dict = real.dictionary(c);
-    const std::vector<uint32_t>& real_column = real.codes(c);
+    const CodeColumnView real_column = real.column_view(c);
     AttrPlan& plan = ctx.attrs_[c];
     const Attribute& attr = real.schema().attribute(c);
     plan.name = attr.name;
@@ -217,19 +220,54 @@ Result<EncodedLeakageContext> EncodedLeakageContext::Build(
         plan.kind == EncodedBatch::ColumnKind::kCodes) {
       // Translate each distinct real value into the generation domain
       // once (Def 2.2's match predicate, including the cross-type
-      // numeric equality), then gather per row.
+      // numeric equality), then gather per row. The translation is
+      // stored at the batch column's width, with that width's all-ones
+      // value as the no-match sentinel, so the per-round compare is a
+      // symmetric narrow scan.
       const std::vector<Value>& domain_values = domains[c].values();
-      std::vector<uint32_t> translate(dict.num_codes(), kNoMatchCode);
+      const CodeWidth width =
+          CodeWidthForNumCodes(domain_values.size() + 1);
+      const uint32_t sentinel = CodeWidthSentinel(width);
+      std::vector<uint32_t> translate(dict.num_codes(), sentinel);
+      // Bucket the domain by match key so each real code resolves in
+      // O(1) instead of scanning the domain (quadratic at scale). The
+      // keys mirror ValuesMatchCategorical exactly: a numeric entry is
+      // matched by any numeric with the same AsNumeric() (Int 3 and
+      // Real 3.0 collide — the cross-type case), a string entry only by
+      // the identical string, a NULL entry by nothing. NaN keys can
+      // never be looked up (NaN != NaN), same as the predicate.
+      struct DomainHit {
+        uint32_t last_index = 0;  // 1-based, last in domain order
+        uint32_t count = 0;
+      };
+      std::unordered_map<double, DomainHit> numeric_hits;
+      std::unordered_map<std::string, DomainHit> string_hits;
+      numeric_hits.reserve(domain_values.size());
+      for (size_t i = 0; i < domain_values.size(); ++i) {
+        DomainHit* hit = nullptr;
+        if (domain_values[i].is_numeric()) {
+          hit = &numeric_hits[domain_values[i].AsNumeric()];
+        } else if (domain_values[i].is_string()) {
+          hit = &string_hits[domain_values[i].AsString()];
+        } else {
+          continue;
+        }
+        hit->last_index = static_cast<uint32_t>(i) + 1;
+        ++hit->count;
+      }
       for (uint32_t code = 1; code < dict.num_codes(); ++code) {
         const Value& rv = dict.decode(code);
-        size_t hits = 0;
-        for (size_t i = 0; i < domain_values.size(); ++i) {
-          if (ValuesMatchCategorical(rv, domain_values[i])) {
-            ++hits;
-            translate[code] = static_cast<uint32_t>(i) + 1;
-          }
+        const DomainHit* hit = nullptr;
+        if (rv.is_numeric()) {
+          auto it = numeric_hits.find(rv.AsNumeric());
+          if (it != numeric_hits.end()) hit = &it->second;
+        } else if (rv.is_string()) {
+          auto it = string_hits.find(rv.AsString());
+          if (it != string_hits.end()) hit = &it->second;
         }
-        if (hits > 1) {
+        if (hit == nullptr) continue;
+        translate[code] = hit->last_index;
+        if (hit->count > 1) {
           // E.g. Int(3) and Real(3.0) both disclosed: one real cell
           // matches two distinct synthetic codes, which a single
           // translated code cannot express.
@@ -237,9 +275,10 @@ Result<EncodedLeakageContext> EncodedLeakageContext::Build(
               "real value matches several domain entries cross-type");
         }
       }
-      plan.real_codes.resize(real.num_rows());
+      plan.real_codes.Reset(width);
+      plan.real_codes.reserve(real.num_rows());
       for (size_t r = 0; r < real.num_rows(); ++r) {
-        plan.real_codes[r] = translate[real_column[r]];
+        plan.real_codes.push_back(translate[real_column.at(r)]);
       }
       continue;
     }
@@ -249,7 +288,7 @@ Result<EncodedLeakageContext> EncodedLeakageContext::Build(
     std::vector<double> by_code = dict.NumericByCode();
     plan.real_numeric.resize(real.num_rows());
     for (size_t r = 0; r < real.num_rows(); ++r) {
-      plan.real_numeric[r] = by_code[real_column[r]];
+      plan.real_numeric[r] = by_code[real_column.at(r)];
     }
 
     if (!categorical) {
@@ -303,46 +342,65 @@ Status EncodedLeakageContext::Evaluate(const EncodedBatch& batch,
                            fallback_reason_);
   }
   const size_t n = num_rows_;
+  const size_t m = attrs_.size();
   // All four scans dispatch through the SIMD kernel layer; every kernel
   // is byte-identical to the scalar loop it replaced (including NaN
   // handling and the row-order MSE accumulation), so the code-vs-value
   // golden parity is preserved at any dispatch level.
+  //
+  // Rows are walked in L2-sized tiles with the per-attribute stats
+  // carried across tiles. Tile lengths are multiples of the kernels'
+  // 4-row lane grouping, so the carried scans are bit-identical to one
+  // full-length pass at every dispatch level.
   const SimdLevel level = ActiveSimdLevel();
-  for (size_t c = 0; c < attrs_.size(); ++c) {
-    const AttrPlan& plan = attrs_[c];
-    AttributeRoundStats& out = stats[c];
-    out = AttributeRoundStats{};
-    if (plan.semantic == SemanticType::kCategorical) {
-      if (plan.kind == EncodedBatch::ColumnKind::kCodes) {
-        // A synthetic NULL (code 0) never matches: real cells translate
-        // to domain codes >= 1 or the sentinel.
-        out.matches =
-            CountEqualU32(level, plan.real_codes.data(),
-                          batch.codes(c).data(), n);
-      } else {
-        // NaN real entries (NULL / non-numeric) fail every comparison.
-        out.matches =
-            CountEqualF64(level, plan.real_numeric.data(),
-                          batch.reals(c).data(), n);
+  constexpr size_t kTileRows = 16384;  // multiple of 4
+  thread_local std::vector<EpsilonBallStats> balls;
+  balls.assign(m, EpsilonBallStats{});
+  for (size_t c = 0; c < m; ++c) stats[c] = AttributeRoundStats{};
+
+  for (size_t lo = 0; lo < n; lo += kTileRows) {
+    const size_t len = std::min(kTileRows, n - lo);
+    for (size_t c = 0; c < m; ++c) {
+      const AttrPlan& plan = attrs_[c];
+      if (plan.semantic == SemanticType::kCategorical) {
+        if (plan.kind == EncodedBatch::ColumnKind::kCodes) {
+          // A synthetic NULL (code 0) never matches: real cells
+          // translate to domain codes >= 1 or the sentinel.
+          stats[c].matches +=
+              CountEqualCodes(level, plan.real_codes.view().Slice(lo, len),
+                              batch.code_view(c).Slice(lo, len));
+        } else {
+          // NaN real entries (NULL / non-numeric) fail every comparison.
+          stats[c].matches +=
+              CountEqualF64(level, plan.real_numeric.data() + lo,
+                            batch.reals(c).data() + lo, len);
+        }
+        continue;
       }
-      continue;
+      // Continuous: epsilon-ball matches + MSE accumulated in row order
+      // with the value path's exact skip predicate.
+      if (plan.kind == EncodedBatch::ColumnKind::kCodes) {
+        EpsilonBallMseCodedInto(level, plan.real_numeric.data() + lo,
+                                batch.code_view(c).Slice(lo, len),
+                                plan.code_numeric.data(), plan.epsilon,
+                                &balls[c]);
+      } else {
+        EpsilonBallMseInto(level, plan.real_numeric.data() + lo,
+                           batch.reals(c).data() + lo, len, plan.epsilon,
+                           &balls[c]);
+      }
     }
-    // Continuous: epsilon-ball matches + MSE accumulated in row order
-    // with the value path's exact skip predicate.
-    EpsilonBallStats ball;
-    if (plan.kind == EncodedBatch::ColumnKind::kCodes) {
-      ball = EpsilonBallMseCoded(level, plan.real_numeric.data(),
-                                 batch.codes(c).data(),
-                                 plan.code_numeric.data(), n, plan.epsilon);
-    } else {
-      ball = EpsilonBallMse(level, plan.real_numeric.data(),
-                            batch.reals(c).data(), n, plan.epsilon);
-    }
-    out.matches = ball.matches;
-    out.mse = ball.compared == 0
-                  ? 0.0
-                  : ball.sum_squares / static_cast<double>(ball.compared);
-    out.has_mse = true;
+  }
+
+  for (size_t c = 0; c < m; ++c) {
+    const AttrPlan& plan = attrs_[c];
+    if (plan.semantic == SemanticType::kCategorical) continue;
+    const EpsilonBallStats& ball = balls[c];
+    stats[c].matches = ball.matches;
+    stats[c].mse = ball.compared == 0
+                       ? 0.0
+                       : ball.sum_squares / static_cast<double>(ball.compared);
+    stats[c].has_mse = true;
   }
   return Status::OK();
 }
@@ -354,7 +412,7 @@ EncodedLeakageContext::AttributeView EncodedLeakageContext::ViewAttribute(
   view.semantic = plan.semantic;
   view.kind = plan.kind;
   view.epsilon = plan.epsilon;
-  if (!plan.real_codes.empty()) view.real_codes = plan.real_codes.data();
+  if (!plan.real_codes.empty()) view.real_codes = plan.real_codes.view();
   if (!plan.real_numeric.empty()) {
     view.real_numeric = plan.real_numeric.data();
   }

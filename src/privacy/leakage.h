@@ -99,10 +99,18 @@ struct AttributeRoundStats {
 ///     synthetic code against a per-row translation of the real cell into
 ///     generation-domain codes (real cells matching no domain value get a
 ///     sentinel that never equals a synthetic code — including the NULL
-///     code 0, so a synthetic NULL is never a match).
+///     code 0, so a synthetic NULL is never a match). The translation is
+///     stored at the same narrow width the batch column uses (the
+///     width-selection rule keeps the all-ones sentinel free at every
+///     width), so the compare kernel streams narrow on both sides.
 ///   * Continuous attributes compare raw doubles under the epsilon ball
 ///     and accumulate the MSE in row order, skipping exactly the rows the
 ///     value path skips (real/synthetic NULL or non-numeric).
+///
+/// Evaluate() walks the rows in L2-sized tiles, carrying the per-
+/// attribute statistics across tiles; tile boundaries are multiples of
+/// the kernels' 4-row lane grouping, so the tiled scan is bit-identical
+/// to one full-length pass.
 ///
 /// Build() fails with the Status EvaluateLeakage would produce for a
 /// structural mismatch (arity, attribute names). Value patterns the code
@@ -112,7 +120,9 @@ struct AttributeRoundStats {
 class EncodedLeakageContext {
  public:
   /// Sentinel for real cells with no generation-domain code (NULLs and
-  /// out-of-domain values); never equals any synthetic code.
+  /// out-of-domain values); never equals any synthetic code. Stored
+  /// per-width as the all-ones value (CodeWidthSentinel), which the
+  /// width-selection rule keeps out of every code domain.
   static constexpr uint32_t kNoMatchCode = 0xFFFFFFFFu;
 
   /// `real` is the encoded real relation, `syn_schema` the schema the
@@ -145,7 +155,7 @@ class EncodedLeakageContext {
     SemanticType semantic = SemanticType::kCategorical;
     EncodedBatch::ColumnKind kind = EncodedBatch::ColumnKind::kCodes;
     double epsilon = 0.0;
-    const uint32_t* real_codes = nullptr;  // categorical x codes, per row
+    CodeColumnView real_codes;             // categorical x codes, per row
     const double* real_numeric = nullptr;  // per row, NaN = skip
     const double* code_numeric = nullptr;  // synthetic code -> numeric
   };
@@ -158,7 +168,7 @@ class EncodedLeakageContext {
     EncodedBatch::ColumnKind kind = EncodedBatch::ColumnKind::kCodes;
     double epsilon = 0.0;
     size_t rows_compared = 0;
-    std::vector<uint32_t> real_codes;   // categorical x codes, per row
+    CodeColumn real_codes;  // categorical x codes, per row, batch width
     std::vector<double> real_numeric;   // per row, NaN = skip
     std::vector<double> code_numeric;   // synthetic code -> numeric, NaN
   };

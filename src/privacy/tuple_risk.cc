@@ -100,8 +100,8 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
                 "AccumulateNonNull counts codes != 0");
   std::vector<uint32_t> non_null(n, 0);
   for (size_t c = 0; c < m; ++c) {
-    AccumulateNonNull(ActiveSimdLevel(), encoded.codes(c).data(), n,
-                      non_null.data());
+    AccumulateNonNullCodes(ActiveSimdLevel(), encoded.column_view(c),
+                           non_null.data());
   }
 
   std::vector<double> total_matched(n, 0.0);
@@ -170,9 +170,9 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
           const EncodedLeakageContext::AttributeView& v = views[c];
           if (v.semantic == SemanticType::kCategorical) {
             if (v.kind == EncodedBatch::ColumnKind::kCodes) {
-              AccumulateEqualU32(level, v.real_codes + lo,
-                                 batch.codes(c).data() + lo, len,
-                                 matched.data());
+              AccumulateEqualCodes(level, v.real_codes.Slice(lo, len),
+                                   batch.code_view(c).Slice(lo, len),
+                                   matched.data());
             } else {
               // NaN real entries (NULL / non-numeric) never compare
               // equal, exactly like the per-cell predicate.
@@ -181,9 +181,9 @@ Result<TupleRiskReport> AnalyzeTupleRisk(const Relation& real,
                                  matched.data());
             }
           } else if (v.kind == EncodedBatch::ColumnKind::kCodes) {
-            AccumulateEpsilonMatchCoded(level, v.real_numeric + lo,
-                                        batch.codes(c).data() + lo,
-                                        v.code_numeric, len, v.epsilon,
+            AccumulateEpsilonMatchCodes(level, v.real_numeric + lo,
+                                        batch.code_view(c).Slice(lo, len),
+                                        v.code_numeric, v.epsilon,
                                         matched.data());
           } else {
             AccumulateEpsilonMatch(level, v.real_numeric + lo,

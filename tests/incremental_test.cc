@@ -22,6 +22,7 @@
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "data/code_column.h"
 #include "data/delta_relation.h"
 #include "data/datasets/echocardiogram.h"
 #include "data/datasets/employee.h"
@@ -269,6 +270,51 @@ TEST_P(IncrementalGoldenTest, Synthetic) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, IncrementalGoldenTest,
                          ::testing::Values(1, 8));
+
+// A delta batch whose inserts blow past a u8 column's 255-code budget
+// must widen the delta storage mid-batch and still publish
+// bit-identically to a from-scratch encode. The mirror direction is
+// checked too: deleting the fresh rows again must narrow the published
+// width back, because PublishCanonical re-picks the width from the
+// post-publish dictionary rather than keeping the widened one.
+TEST(DeltaWidenTest, BatchOverflowingU8DictionaryPublishesExactly) {
+  Result<Relation> base =
+      datasets::SyntheticUniform(400, /*num_categorical=*/1,
+                                 /*num_continuous=*/1, /*domain_size=*/120,
+                                 /*seed=*/99);
+  ASSERT_TRUE(base.ok());
+  Relation relation = std::move(*base);
+
+  EncodedRelation initial = EncodedRelation::Encode(relation);
+  ASSERT_EQ(initial.column_width(0), CodeWidth::kU8);
+
+  DeltaRelation delta(initial);
+  RowBatch batch;
+  for (int i = 0; i < 300; ++i) {
+    batch.insert_rows.push_back({Value::Str("fresh_" + std::to_string(i)),
+                                 Value::Real(static_cast<double>(i))});
+  }
+  Result<BatchEffects> effects = delta.ApplyBatch(batch);
+  ASSERT_TRUE(effects.ok()) << effects.status().ToString();
+  PublishResult widened = delta.PublishCanonical();
+
+  relation = ApplyBatchReference(relation, batch);
+  EncodedRelation scratch = EncodedRelation::Encode(relation);
+  ExpectEncodingsIdentical(widened.encoded, scratch);
+  EXPECT_EQ(scratch.column_width(0), CodeWidth::kU16);
+  EXPECT_EQ(widened.encoded.column_width(0), CodeWidth::kU16);
+
+  DeltaRelation shrink(widened.encoded);
+  RowBatch undo;
+  for (size_t r = 400; r < 700; ++r) undo.delete_rows.push_back(r);
+  ASSERT_TRUE(shrink.ApplyBatch(undo).ok());
+  PublishResult narrowed = shrink.PublishCanonical();
+
+  relation = ApplyBatchReference(relation, undo);
+  EncodedRelation rescratch = EncodedRelation::Encode(relation);
+  ExpectEncodingsIdentical(narrowed.encoded, rescratch);
+  EXPECT_EQ(narrowed.encoded.column_width(0), CodeWidth::kU8);
+}
 
 // Verdict reuse must actually happen (not just stay correct): a batch
 // touching one column leaves most candidate verdicts reusable.

@@ -22,6 +22,7 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/simd.h"
+#include "data/code_column.h"
 #include "data/datasets/synthetic.h"
 #include "data/domain.h"
 #include "data/encoded_batch.h"
@@ -616,8 +617,8 @@ TEST_P(SimdConsumerParityTest, FusedLeakageScanMatchesScalar) {
     if (kinds[c] == EncodedBatch::ColumnKind::kCodes) {
       const size_t num_codes = (*domains)[c].values().size() + 1;
       for (size_t r = 0; r < n; ++r) {
-        batch.codes(c)[r] =
-            static_cast<uint32_t>(rng.UniformIndex(num_codes));
+        batch.set_code(c, r,
+                       static_cast<uint32_t>(rng.UniformIndex(num_codes)));
       }
     } else {
       for (size_t r = 0; r < n; ++r) {
@@ -644,6 +645,147 @@ TEST_P(SimdConsumerParityTest, FusedLeakageScanMatchesScalar) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, SimdConsumerParityTest,
                          ::testing::Values(1, 8));
+
+// --- Width-dispatched code kernels ------------------------------------
+//
+// The same logical code sequence stored at u8/u16/u32 must drive every
+// code kernel to byte-identical answers, at every dispatch level. The
+// fixtures keep all codes below 200 so one sequence is representable at
+// all three widths.
+
+struct WidthViews {
+  std::vector<uint8_t> v8;
+  std::vector<uint16_t> v16;
+  std::vector<uint32_t> v32;
+
+  explicit WidthViews(const std::vector<uint32_t>& codes)
+      : v8(codes.begin(), codes.end()),
+        v16(codes.begin(), codes.end()),
+        v32(codes) {}
+
+  std::vector<CodeColumnView> views() const {
+    return {{v8.data(), v8.size(), CodeWidth::kU8},
+            {v16.data(), v16.size(), CodeWidth::kU16},
+            {v32.data(), v32.size(), CodeWidth::kU32}};
+  }
+};
+
+TEST(SimdKernelTest, WidthVariantsAgreeOnCodeKernels) {
+  Rng rng(404);
+  constexpr uint32_t kNumCodes = 200;
+  for (size_t n : EdgeSizes()) {
+    std::vector<uint32_t> a_codes(n), b_codes(n);
+    std::vector<double> real(n);
+    std::vector<double> numeric(kNumCodes);
+    for (size_t r = 0; r < n; ++r) {
+      a_codes[r] = static_cast<uint32_t>(rng.UniformIndex(kNumCodes));
+      b_codes[r] = rng.Bernoulli(0.5)
+                       ? a_codes[r]
+                       : static_cast<uint32_t>(rng.UniformIndex(kNumCodes));
+      real[r] = rng.Bernoulli(0.1) ? kNaN : rng.UniformDouble(0.0, 200.0);
+    }
+    for (uint32_t c = 0; c < kNumCodes; ++c) {
+      numeric[c] = rng.UniformDouble(0.0, 200.0);
+    }
+    const WidthViews a(a_codes), b(b_codes);
+
+    for (SimdLevel level : SupportedLevels()) {
+      // Reference: everything evaluated through the u32 views.
+      const size_t ref_count =
+          CountEqualCodes(level, a.views()[2], b.views()[2]);
+      std::vector<uint32_t> ref_hist(kNumCodes, 0);
+      HistogramCodes(level, a.views()[2], kNumCodes, ref_hist.data());
+      std::vector<uint32_t> ref_acc(n, 0);
+      AccumulateEqualCodes(level, a.views()[2], b.views()[2],
+                           ref_acc.data());
+      AccumulateNonNullCodes(level, a.views()[2], ref_acc.data());
+      AccumulateEpsilonMatchCodes(level, real.data(), a.views()[2],
+                                  numeric.data(), 1.5, ref_acc.data());
+      EpsilonBallStats ref_ball;
+      EpsilonBallMseCodedInto(level, real.data(), a.views()[2],
+                              numeric.data(), 1.5, &ref_ball);
+
+      for (const CodeColumnView& av : a.views()) {
+        for (const CodeColumnView& bv : b.views()) {
+          EXPECT_EQ(CountEqualCodes(level, av, bv), ref_count)
+              << "n=" << n << " widths " << static_cast<int>(av.width)
+              << "x" << static_cast<int>(bv.width);
+          std::vector<uint32_t> acc(n, 0);
+          AccumulateEqualCodes(level, av, bv, acc.data());
+          AccumulateNonNullCodes(level, av, acc.data());
+          AccumulateEpsilonMatchCodes(level, real.data(), av,
+                                      numeric.data(), 1.5, acc.data());
+          EXPECT_EQ(acc, ref_acc) << "n=" << n;
+        }
+        std::vector<uint32_t> hist(kNumCodes, 0);
+        HistogramCodes(level, av, kNumCodes, hist.data());
+        EXPECT_EQ(hist, ref_hist) << "n=" << n;
+        EpsilonBallStats ball;
+        EpsilonBallMseCodedInto(level, real.data(), av, numeric.data(),
+                                1.5, &ball);
+        EXPECT_EQ(ball.matches, ref_ball.matches) << "n=" << n;
+        EXPECT_EQ(ball.compared, ref_ball.compared) << "n=" << n;
+        EXPECT_TRUE(BitEqual(ball.sum_squares, ref_ball.sum_squares))
+            << "n=" << n;
+      }
+    }
+  }
+}
+
+// The tiling contract behind the streaming scans: a kernel invoked over
+// chained row tiles (lengths a multiple of 4, except the last) must
+// reproduce the one-shot full scan byte for byte, at every width and
+// dispatch level.
+TEST(SimdKernelTest, WidthKernelsTileExactly) {
+  Rng rng(405);
+  constexpr uint32_t kNumCodes = 180;
+  const size_t n = 257;
+  const std::vector<size_t> tile_sizes = {64, 100, 4, 88, 1};
+  std::vector<uint32_t> codes(n);
+  std::vector<double> real(n);
+  std::vector<double> numeric(kNumCodes);
+  for (size_t r = 0; r < n; ++r) {
+    codes[r] = static_cast<uint32_t>(rng.UniformIndex(kNumCodes));
+    real[r] = rng.Bernoulli(0.1) ? kNaN : rng.UniformDouble(0.0, 200.0);
+  }
+  for (uint32_t c = 0; c < kNumCodes; ++c) {
+    numeric[c] = rng.UniformDouble(0.0, 200.0);
+  }
+  const WidthViews w(codes);
+  for (SimdLevel level : SupportedLevels()) {
+    for (const CodeColumnView& view : w.views()) {
+      EpsilonBallStats full;
+      EpsilonBallMseCodedInto(level, real.data(), view, numeric.data(),
+                              2.0, &full);
+      std::vector<uint32_t> full_acc(n, 0);
+      AccumulateEpsilonMatchCodes(level, real.data(), view, numeric.data(),
+                                  2.0, full_acc.data());
+      std::vector<uint32_t> full_hist(kNumCodes, 0);
+      HistogramCodes(level, view, kNumCodes, full_hist.data());
+
+      EpsilonBallStats tiled;
+      std::vector<uint32_t> tiled_acc(n, 0);
+      std::vector<uint32_t> tiled_hist(kNumCodes, 0);
+      size_t row = 0;
+      for (size_t len : tile_sizes) {
+        const CodeColumnView slice = view.Slice(row, len);
+        EpsilonBallMseCodedInto(level, real.data() + row, slice,
+                                numeric.data(), 2.0, &tiled);
+        AccumulateEpsilonMatchCodes(level, real.data() + row, slice,
+                                    numeric.data(), 2.0,
+                                    tiled_acc.data() + row);
+        HistogramCodes(level, slice, kNumCodes, tiled_hist.data());
+        row += len;
+      }
+      ASSERT_EQ(row, n);
+      EXPECT_EQ(tiled.matches, full.matches);
+      EXPECT_EQ(tiled.compared, full.compared);
+      EXPECT_TRUE(BitEqual(tiled.sum_squares, full.sum_squares));
+      EXPECT_EQ(tiled_acc, full_acc);
+      EXPECT_EQ(tiled_hist, full_hist);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace metaleak
