@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   ExperimentConfig config;
   config.rounds = 64;
   config.threads = 0;  // use all cores
+  config.estimators = &RiskEstimatorRegistry::All();
   const GenerationMethod method = GenerationMethod::kFd;
   Result<MethodResult> run = engine.Run(method, config);
   if (!run.ok()) {
@@ -105,6 +106,23 @@ int main(int argc, char** argv) {
                 a.matches, a.rows_compared,
                 mean.ok() ? FormatDouble(mean->mean_matches, 2).c_str()
                           : "-");
+  }
+
+  // Every beyond-match-rate measure column the engine streamed for the
+  // drill-down method (match rate itself is in the tables above).
+  std::printf("\n## Registered risk measures under %s\n\n",
+              GenerationMethodToString(method).c_str());
+  const Schema& schema = audit->metadata.schema;
+  for (const RiskMeasureStats& ms : run->measures) {
+    if (!ms.active || ms.estimator == MatchRateEstimator::Instance().name()) {
+      continue;
+    }
+    for (size_t c = 0; c < ms.mean.size(); ++c) {
+      if (ms.rounds[c] == 0) continue;
+      std::printf("- `%s` %s/%s: %s\n", schema.attribute(c).name.c_str(),
+                  ms.estimator.c_str(), ms.measure.c_str(),
+                  FormatDouble(ms.mean[c], 3).c_str());
+    }
   }
   return 0;
 }

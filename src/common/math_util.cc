@@ -69,6 +69,35 @@ double IntervalOverlap(double a_lo, double a_hi, double b_lo, double b_hi) {
   return std::max(0.0, hi - lo);
 }
 
+namespace {
+
+// Shared accumulation for both count-buffer types. The iteration order is
+// index order and the arithmetic is the exact expression ColumnEntropy
+// used before it was re-expressed through this helper, so the
+// re-expression is bit-identical.
+template <typename Count>
+double ShannonEntropyBitsImpl(const Count* counts, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += static_cast<double>(counts[i]);
+  if (total == 0.0) return 0.0;
+  double entropy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double p = static_cast<double>(counts[i]) / total;
+    if (p > 0.0) entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace
+
+double ShannonEntropyBits(const std::vector<size_t>& counts) {
+  return ShannonEntropyBitsImpl(counts.data(), counts.size());
+}
+
+double ShannonEntropyBits(const uint32_t* counts, size_t n) {
+  return ShannonEntropyBitsImpl(counts, n);
+}
+
 double Mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double sum = 0.0;

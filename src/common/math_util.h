@@ -50,6 +50,18 @@ double HypergeometricPmf(int64_t population, int64_t successes,
 /// zero when disjoint or inverted.
 double IntervalOverlap(double a_lo, double a_hi, double b_lo, double b_hi);
 
+/// Shannon entropy in bits of the empirical distribution given by a
+/// histogram of counts: -sum p_i log2 p_i with p_i = counts[i] / total.
+/// Zero counts contribute nothing; 0 for an empty histogram. This is THE
+/// entropy definition of the library — the analytical models
+/// (ColumnEntropy, ValueDistribution::EntropyBits) and the empirical
+/// InfoTheoreticEstimator all route through it, so their log-sums can
+/// never drift apart.
+double ShannonEntropyBits(const std::vector<size_t>& counts);
+
+/// Same, over the uint32 count buffers the SIMD histogram kernels fill.
+double ShannonEntropyBits(const uint32_t* counts, size_t n);
+
 /// --- Descriptive statistics over samples -------------------------------
 
 /// Arithmetic mean; 0 for an empty input.

@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_set>
 
+#include "common/math_util.h"
+
 namespace metaleak {
 
 namespace {
@@ -141,14 +143,7 @@ Result<FrequencyTable> BuildFrequencyTable(const Relation& relation,
 Result<double> ColumnEntropy(const Relation& relation, size_t attribute) {
   METALEAK_ASSIGN_OR_RETURN(FrequencyTable table,
                             BuildFrequencyTable(relation, attribute));
-  size_t total = table.total();
-  if (total == 0) return 0.0;
-  double entropy = 0.0;
-  for (size_t c : table.counts) {
-    double p = static_cast<double>(c) / static_cast<double>(total);
-    if (p > 0.0) entropy -= p * std::log2(p);
-  }
-  return entropy;
+  return ShannonEntropyBits(table.counts);
 }
 
 }  // namespace metaleak

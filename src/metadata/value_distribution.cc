@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace metaleak {
 
@@ -140,6 +141,11 @@ double ValueDistribution::MassOf(const Value& v) const {
   }
   if (!v.is_numeric()) return 0.0;
   return hist_.Mass(hist_.BucketOf(v.AsNumeric()));
+}
+
+double ValueDistribution::EntropyBits() const {
+  return categorical_ ? ShannonEntropyBits(freq_.counts)
+                      : ShannonEntropyBits(hist_.counts);
 }
 
 bool operator==(const ValueDistribution& a, const ValueDistribution& b) {

@@ -58,6 +58,13 @@ class ValueDistribution {
   /// bucket containing `v` (continuous).
   double MassOf(const Value& v) const;
 
+  /// Exact Shannon entropy in bits of the disclosed marginal, straight
+  /// off the stored frequency table (categorical) or histogram bucket
+  /// counts (continuous). Routed through ShannonEntropyBits so the
+  /// analytical models and the empirical InfoTheoreticEstimator share
+  /// one log-sum definition instead of each recomputing their own.
+  double EntropyBits() const;
+
   friend bool operator==(const ValueDistribution& a,
                          const ValueDistribution& b);
 

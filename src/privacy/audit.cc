@@ -10,6 +10,7 @@
 #include "data/domain.h"
 #include "privacy/analytical.h"
 #include "privacy/identifiability.h"
+#include "privacy/risk_estimator.h"
 
 namespace metaleak {
 
@@ -56,9 +57,16 @@ Result<AuditResult> RunAuditProfiled(PliCache& cache,
   }
   // One engine across all methods, borrowing the snapshot's encoding:
   // each method's rounds stream through the code path (see experiment.h).
+  // The audit runs every shipped risk estimator unless the caller pinned
+  // a registry; estimators draw no randomness, so the match/MSE columns
+  // (and every verdict below) are unchanged by the wider registry.
+  ExperimentConfig experiment = options.experiment;
+  if (experiment.estimators == nullptr) {
+    experiment.estimators = &RiskEstimatorRegistry::All();
+  }
   ExperimentEngine engine(encoded, result.metadata);
   METALEAK_ASSIGN_OR_RETURN(result.method_results,
-                            engine.RunAll(methods, options.experiment));
+                            engine.RunAll(methods, experiment));
 
   METALEAK_ASSIGN_OR_RETURN(std::vector<Domain> domains,
                             result.metadata.RequireDomains());
@@ -172,6 +180,66 @@ std::string AuditResult::ToMarkdown() const {
     cache_table.AddRow({"Snapshot cache evictions",
                         std::to_string(cache_stats->snapshot_evictions)});
     os << cache_table.ToMarkdown() << '\n';
+  }
+
+  // Beyond-match-rate measures from the estimator registry, present when
+  // some method ran on the encoded path with the info-theoretic
+  // estimator registered. Entropy columns are batch-independent; the MI
+  // and NN-linkage columns take the worst (largest) mean across methods.
+  const std::string info_name = InfoTheoreticEstimator::Instance().name();
+  const std::string nn_name = NnLinkageEstimator::Instance().name();
+  const MethodResult* info_src = nullptr;
+  for (const MethodResult& m : method_results) {
+    Result<RiskMeasureStats> e = m.ForMeasure(info_name, "entropy_bits");
+    if (e.ok() && e->active) {
+      info_src = &m;
+      break;
+    }
+  }
+  if (info_src != nullptr) {
+    std::vector<std::optional<double>> max_mi(attributes.size());
+    std::vector<std::optional<double>> nn_eps(attributes.size());
+    std::vector<std::optional<double>> nn_top1(attributes.size());
+    auto fold_max = [&](const Result<RiskMeasureStats>& stats,
+                       std::vector<std::optional<double>>* into) {
+      if (!stats.ok() || !stats->active) return;
+      for (size_t c = 0; c < into->size() && c < stats->mean.size(); ++c) {
+        if (stats->rounds[c] == 0) continue;
+        std::optional<double>& cell = (*into)[c];
+        if (!cell.has_value() || stats->mean[c] > *cell) {
+          cell = stats->mean[c];
+        }
+      }
+    };
+    for (const MethodResult& m : method_results) {
+      fold_max(m.ForMeasure(info_name, "mi_bits"), &max_mi);
+      fold_max(m.ForMeasure(nn_name, "nn_eps_matches"), &nn_eps);
+      fold_max(m.ForMeasure(nn_name, "nn_top1_hits"), &nn_top1);
+    }
+    Result<RiskMeasureStats> entropy =
+        info_src->ForMeasure(info_name, "entropy_bits");
+    Result<RiskMeasureStats> cond =
+        info_src->ForMeasure(info_name, "cond_entropy_bits");
+    auto fmt = [](const std::optional<double>& v) {
+      return v.has_value() ? FormatDouble(*v, 3) : std::string("-");
+    };
+    os << "## Risk estimators\n\n";
+    TablePrinter risk_table;
+    risk_table.SetHeader({"Attribute", "H (bits)", "min H given dep (bits)",
+                          "Max MI (bits)", "NN eps links", "NN top-1"});
+    for (size_t c = 0; c < attributes.size(); ++c) {
+      std::optional<double> h, h_cond;
+      if (entropy.ok() && c < entropy->mean.size() &&
+          entropy->rounds[c] > 0) {
+        h = entropy->mean[c];
+      }
+      if (cond.ok() && c < cond->mean.size() && cond->rounds[c] > 0) {
+        h_cond = cond->mean[c];
+      }
+      risk_table.AddRow({attributes[c].name, fmt(h), fmt(h_cond),
+                         fmt(max_mi[c]), fmt(nn_eps[c]), fmt(nn_top1[c])});
+    }
+    os << risk_table.ToMarkdown() << '\n';
   }
 
   os << "## Per-attribute verdicts\n\n";

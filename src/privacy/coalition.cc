@@ -12,8 +12,16 @@ Result<CoalitionLeakageSummary> EvaluateCoalitionLeakage(
         "coalition view lacks domains; reconstruction is impossible");
   }
   ExperimentEngine engine(victim_union, joint);
+  // Coalition scoring runs every shipped estimator unless the caller
+  // pinned a registry. Estimators draw no randomness, so the match/MSE
+  // statistics (and the topology parity gates built on them) are
+  // unchanged by the wider registry.
+  ExperimentConfig run_config = config;
+  if (run_config.estimators == nullptr) {
+    run_config.estimators = &RiskEstimatorRegistry::All();
+  }
   METALEAK_ASSIGN_OR_RETURN(MethodResult result,
-                            engine.Run(GenerationMethod::kFull, config));
+                            engine.Run(GenerationMethod::kFull, run_config));
 
   CoalitionLeakageSummary summary;
   summary.rounds = config.rounds;
@@ -44,6 +52,21 @@ Result<CoalitionLeakageSummary> EvaluateCoalitionLeakage(
       all_rows > 0.0 ? (cat_matches + cont_matches) / all_rows : 0.0;
   if (mse_count > 0) {
     summary.mean_mse = mse_sum / static_cast<double>(mse_count);
+  }
+  Result<RiskMeasureStats> mi = result.ForMeasure(
+      InfoTheoreticEstimator::Instance().name(), "mi_bits");
+  if (mi.ok() && mi->active) {
+    double mi_sum = 0.0;
+    size_t mi_count = 0;
+    for (size_t c = 0; c < mi->mean.size(); ++c) {
+      if (mi->rounds[c] > 0) {
+        mi_sum += mi->mean[c];
+        ++mi_count;
+      }
+    }
+    if (mi_count > 0) {
+      summary.mean_mi_bits = mi_sum / static_cast<double>(mi_count);
+    }
   }
   summary.result = std::move(result);
   return summary;

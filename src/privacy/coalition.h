@@ -34,6 +34,11 @@ struct CoalitionLeakageSummary {
   double continuous_match_rate = 0.0;
   /// Mean of the per-attribute mean MSEs (continuous attributes only).
   std::optional<double> mean_mse;
+  /// Mean over attributes of the info-theoretic estimator's mean
+  /// real-vs-generated mutual information (bits). Unset when the run
+  /// fell back to the value path (the estimator needs encoded batches)
+  /// or the registry omitted the estimator.
+  std::optional<double> mean_mi_bits;
 };
 
 /// Runs `config.rounds` full-package reconstruction rounds of `joint`

@@ -77,6 +77,23 @@ GenerationOptions OptionsForMethod(GenerationMethod method) {
 
 }  // namespace
 
+Result<double> RiskMeasureStats::MeanFor(size_t attribute) const {
+  if (attribute >= mean.size()) {
+    return Status::OutOfRange("no measure cell for attribute " +
+                              std::to_string(attribute));
+  }
+  return mean[attribute];
+}
+
+Result<RiskMeasureStats> MethodResult::ForMeasure(
+    const std::string& estimator, const std::string& measure) const {
+  for (const RiskMeasureStats& ms : measures) {
+    if (ms.estimator == estimator && ms.measure == measure) return ms;
+  }
+  return Status::OutOfRange("no measure column " + estimator + "/" +
+                            measure);
+}
+
 Result<MethodAttributeResult> MethodResult::ForAttribute(
     size_t attribute) const {
   // Results hold attribute i at index i; answer from the index and keep
@@ -93,16 +110,30 @@ Result<MethodAttributeResult> MethodResult::ForAttribute(
 }
 
 // Everything one method's rounds share, resolved before any RNG draw:
-// the generation context, the CFD chase plan, the leakage evaluator, and
+// the generation context, the CFD chase plan, the bound risk estimators
+// (the match-rate estimator owns the fused Def 2.2/2.3 evaluator), and
 // the decision which path runs. The plan is RNG-independent, so `covered`
 // comes from it up front and every round — including round 0 — fans out.
 struct ExperimentEngine::MethodPlan {
   GenerationOptions gen_options;
   std::optional<GenerationContext> ctx;
   std::optional<EncodedCfdPlan> cfd_plan;
-  std::optional<EncodedLeakageContext> leakage_ctx;
+  /// The config's registry (or the default), plus one bound instance
+  /// per estimator in registry order — match-rate first.
+  const RiskEstimatorRegistry* registry = nullptr;
+  std::vector<std::unique_ptr<BoundRiskEstimator>> bound;
+  /// Measure-axis offset of each estimator's cell block, and the total
+  /// measure count across the registry.
+  std::vector<size_t> measure_offset;
+  size_t total_measures = 0;
   bool use_code = false;
   std::vector<bool> covered;
+
+  /// The fused Def 2.2/2.3 context, owned by the bound match-rate
+  /// estimator.
+  const EncodedLeakageContext* leakage_ctx() const {
+    return bound.empty() ? nullptr : bound.front()->leakage_context();
+  }
 };
 
 ExperimentEngine::ExperimentEngine(const Relation& real,
@@ -155,14 +186,31 @@ Result<ExperimentEngine::MethodPlan> ExperimentEngine::PlanFor(
       plan.use_code = false;
     }
   }
+  plan.registry = config.estimators != nullptr
+                      ? config.estimators
+                      : &RiskEstimatorRegistry::Default();
+  if (plan.registry->estimators().empty() ||
+      plan.registry->estimators().front()->name() !=
+          MatchRateEstimator::Instance().name()) {
+    return Status::Invalid(
+        "risk estimator registry must lead with match_rate");
+  }
+  RiskContext rctx;
+  rctx.real = encoded_real_;
+  rctx.syn_schema = &plan.ctx->schema();
+  rctx.domains = &plan.ctx->domains();
+  rctx.metadata = metadata_;
+  rctx.leakage = config.leakage;
+  for (const RiskEstimator* est : plan.registry->estimators()) {
+    METALEAK_ASSIGN_OR_RETURN(std::unique_ptr<BoundRiskEstimator> bound,
+                              est->Bind(rctx));
+    plan.measure_offset.push_back(plan.total_measures);
+    plan.total_measures += est->measures().size();
+    plan.bound.push_back(std::move(bound));
+  }
   if (plan.use_code) {
-    METALEAK_ASSIGN_OR_RETURN(
-        EncodedLeakageContext leakage_ctx,
-        EncodedLeakageContext::Build(*encoded_real_, plan.ctx->schema(),
-                                     plan.ctx->domains(), config.leakage));
-    if (leakage_ctx.supported()) {
-      plan.leakage_ctx.emplace(std::move(leakage_ctx));
-    } else {
+    const EncodedLeakageContext* leakage_ctx = plan.leakage_ctx();
+    if (leakage_ctx == nullptr || !leakage_ctx->supported()) {
       plan.use_code = false;
     }
   }
@@ -186,10 +234,13 @@ Result<MethodResult> ExperimentEngine::Run(
     round_seeds.push_back(rng.ForkSeed());
   }
 
-  // rounds x m raw stats; both paths fill the same array, and the
-  // Welford fold below walks it in ascending round order, so the
-  // aggregate is bit-identical across paths and thread counts.
-  std::vector<AttributeRoundStats> stats(config.rounds * m);
+  // rounds x total_measures x m measure cells; both paths fill the same
+  // array, and the Welford fold below walks it in ascending round
+  // order, so the aggregate is bit-identical across paths and thread
+  // counts. The match-rate estimator's cells carry exactly the values
+  // the fused scan's AttributeRoundStats did.
+  const size_t total = plan.total_measures;
+  std::vector<RiskMeasureCell> cells(config.rounds * total * m);
   auto run_round_code = [&](size_t round) -> Status {
     Rng round_rng(round_seeds[round]);
     thread_local EncodedBatch batch;
@@ -199,7 +250,12 @@ Result<MethodResult> ExperimentEngine::Run(
       METALEAK_RETURN_NOT_OK(
           ApplyCfdsEncoded(*plan.cfd_plan, &batch, &round_rng));
     }
-    return plan.leakage_ctx->Evaluate(batch, stats.data() + round * m);
+    RiskMeasureCell* round_cells = cells.data() + round * total * m;
+    for (size_t e = 0; e < plan.bound.size(); ++e) {
+      METALEAK_RETURN_NOT_OK(plan.bound[e]->Evaluate(
+          batch, round_cells + plan.measure_offset[e] * m));
+    }
+    return Status::OK();
   };
   auto run_round_value = [&](size_t round) -> Status {
     Rng round_rng(round_seeds[round]);
@@ -216,12 +272,16 @@ Result<MethodResult> ExperimentEngine::Run(
     METALEAK_ASSIGN_OR_RETURN(
         LeakageReport report,
         EvaluateLeakage(*real_, outcome.relation, config.leakage));
+    // The value path fills only the match-rate columns (other
+    // estimators consume encoded batches); their cells stay absent and
+    // the fold marks them inactive.
+    RiskMeasureCell* round_cells = cells.data() + round * total * m;
     for (const AttributeLeakage& a : report.attributes) {
-      AttributeRoundStats& slot = stats[round * m + a.attribute];
-      slot.matches = a.matches;
+      round_cells[MatchRateEstimator::kMatchesIndex * m + a.attribute] =
+          RiskMeasureCell{static_cast<double>(a.matches), true};
       if (a.mse.has_value()) {
-        slot.mse = *a.mse;
-        slot.has_mse = true;
+        round_cells[MatchRateEstimator::kMseIndex * m + a.attribute] =
+            RiskMeasureCell{*a.mse, true};
       }
     }
     return Status::OK();
@@ -251,6 +311,47 @@ Result<MethodResult> ExperimentEngine::Run(
   MethodResult result;
   result.method = method;
   result.round_seeds = std::move(round_seeds);
+
+  // Fold every measure column through Welford in ascending round order —
+  // the exact fold the fused scan used for matches/MSE, now applied
+  // uniformly to all registered estimators. Absent cells are skipped,
+  // like the has_mse flag was.
+  result.measures.reserve(total);
+  for (size_t e = 0; e < plan.bound.size(); ++e) {
+    const RiskEstimator* est = plan.registry->estimators()[e];
+    const bool active = plan.use_code || e == 0;
+    for (size_t j = 0; j < est->measures().size(); ++j) {
+      RiskMeasureStats ms;
+      ms.estimator = est->name();
+      ms.measure = est->measures()[j].key;
+      ms.active = active;
+      ms.mean.assign(m, 0.0);
+      ms.stddev.assign(m, 0.0);
+      ms.rounds.assign(m, 0);
+      if (active) {
+        const size_t off = (plan.measure_offset[e] + j) * m;
+        for (size_t c = 0; c < m; ++c) {
+          WelfordAccumulator acc;
+          for (size_t round = 0; round < config.rounds; ++round) {
+            const RiskMeasureCell& cell = cells[round * total * m + off + c];
+            if (cell.present) acc.Add(cell.value);
+          }
+          ms.mean[c] = acc.mean();
+          ms.stddev[c] = acc.stddev();
+          ms.rounds[c] = acc.count();
+        }
+      }
+      result.measures.push_back(std::move(ms));
+    }
+  }
+
+  // Legacy per-attribute fields read off the match-rate columns — the
+  // same accumulators, so the two views are bit-identical by
+  // construction.
+  const RiskMeasureStats& matches_col =
+      result.measures[MatchRateEstimator::kMatchesIndex];
+  const RiskMeasureStats& mse_col =
+      result.measures[MatchRateEstimator::kMseIndex];
   result.attributes.reserve(m);
   for (size_t c = 0; c < m; ++c) {
     MethodAttributeResult entry;
@@ -260,16 +361,9 @@ Result<MethodResult> ExperimentEngine::Run(
     entry.covered = plan.covered[c];
     entry.rows_compared =
         real_->num_rows() - encoded_real_->dictionary(c).null_count();
-    WelfordAccumulator match_acc;
-    WelfordAccumulator mse_acc;
-    for (size_t round = 0; round < config.rounds; ++round) {
-      const AttributeRoundStats& slot = stats[round * m + c];
-      match_acc.Add(static_cast<double>(slot.matches));
-      if (slot.has_mse) mse_acc.Add(slot.mse);
-    }
-    entry.mean_matches = match_acc.mean();
-    entry.stddev_matches = match_acc.stddev();
-    if (mse_acc.count() > 0) entry.mean_mse = mse_acc.mean();
+    entry.mean_matches = matches_col.mean[c];
+    entry.stddev_matches = matches_col.stddev[c];
+    if (mse_col.rounds[c] > 0) entry.mean_mse = mse_col.mean[c];
     result.attributes.push_back(std::move(entry));
   }
   return result;
@@ -303,7 +397,7 @@ Result<LeakageReport> ExperimentEngine::ReplayRound(
       METALEAK_RETURN_NOT_OK(
           ApplyCfdsEncoded(*plan.cfd_plan, &batch, &round_rng));
     }
-    return plan.leakage_ctx->EvaluateReport(batch);
+    return plan.leakage_ctx()->EvaluateReport(batch);
   }
   METALEAK_ASSIGN_OR_RETURN(
       GenerationOutcome outcome,
@@ -316,6 +410,65 @@ Result<LeakageReport> ExperimentEngine::ReplayRound(
                   plan.ctx->domains(), &round_rng));
   }
   return EvaluateLeakage(*real_, outcome.relation, config.leakage);
+}
+
+Result<std::vector<RoundMeasureValues>>
+ExperimentEngine::ReplayRoundMeasures(GenerationMethod method,
+                                      uint64_t round_seed,
+                                      const ExperimentConfig& config) const {
+  METALEAK_ASSIGN_OR_RETURN(MethodPlan plan, PlanFor(method, config));
+  const size_t m = real_->num_columns();
+  Rng round_rng(round_seed);
+  std::vector<RiskMeasureCell> cells(plan.total_measures * m);
+  size_t emitted = plan.use_code ? plan.bound.size() : 1;
+  if (plan.use_code) {
+    EncodedBatch batch;
+    METALEAK_RETURN_NOT_OK(
+        GenerateEncoded(*plan.ctx, real_->num_rows(), &round_rng, &batch));
+    if (plan.cfd_plan.has_value()) {
+      METALEAK_RETURN_NOT_OK(
+          ApplyCfdsEncoded(*plan.cfd_plan, &batch, &round_rng));
+    }
+    for (size_t e = 0; e < plan.bound.size(); ++e) {
+      METALEAK_RETURN_NOT_OK(plan.bound[e]->Evaluate(
+          batch, cells.data() + plan.measure_offset[e] * m));
+    }
+  } else {
+    METALEAK_ASSIGN_OR_RETURN(
+        GenerationOutcome outcome,
+        GenerateSyntheticValuePath(*metadata_, real_->num_rows(), &round_rng,
+                                   plan.gen_options));
+    if (method == GenerationMethod::kCfd) {
+      METALEAK_ASSIGN_OR_RETURN(
+          outcome.relation,
+          ApplyCfds(outcome.relation, metadata_->conditional_fds,
+                    plan.ctx->domains(), &round_rng));
+    }
+    METALEAK_ASSIGN_OR_RETURN(
+        LeakageReport report,
+        EvaluateLeakage(*real_, outcome.relation, config.leakage));
+    for (const AttributeLeakage& a : report.attributes) {
+      cells[MatchRateEstimator::kMatchesIndex * m + a.attribute] =
+          RiskMeasureCell{static_cast<double>(a.matches), true};
+      if (a.mse.has_value()) {
+        cells[MatchRateEstimator::kMseIndex * m + a.attribute] =
+            RiskMeasureCell{*a.mse, true};
+      }
+    }
+  }
+  std::vector<RoundMeasureValues> out;
+  for (size_t e = 0; e < emitted; ++e) {
+    const RiskEstimator* est = plan.registry->estimators()[e];
+    for (size_t j = 0; j < est->measures().size(); ++j) {
+      RoundMeasureValues values;
+      values.estimator = est->name();
+      values.measure = est->measures()[j].key;
+      const size_t off = (plan.measure_offset[e] + j) * m;
+      values.cells.assign(cells.begin() + off, cells.begin() + off + m);
+      out.push_back(std::move(values));
+    }
+  }
+  return out;
 }
 
 Result<MethodResult> RunMethod(const Relation& real,

@@ -26,6 +26,7 @@
 #include "data/relation.h"
 #include "metadata/metadata_package.h"
 #include "privacy/leakage.h"
+#include "privacy/risk_estimator.h"
 
 namespace metaleak {
 
@@ -63,6 +64,14 @@ struct ExperimentConfig {
   /// could run. Parity tests and benchmarks flip this to compare the
   /// two paths; results are bit-identical either way.
   bool use_value_path = false;
+  /// Risk estimators to stream per round. nullptr = the default
+  /// registry (Def 2.2/2.3 match-rate only — the pre-refactor
+  /// behavior). The match-rate estimator must be first; estimators
+  /// beyond it run only on the code path (MethodResult marks them
+  /// inactive on the value-path fallback) and draw no randomness, so
+  /// swapping registries never perturbs the generated batches or the
+  /// legacy match/MSE statistics.
+  const RiskEstimatorRegistry* estimators = nullptr;
 };
 
 /// Averaged per-attribute outcome of one method.
@@ -82,15 +91,52 @@ struct MethodAttributeResult {
   std::optional<double> mean_mse;
 };
 
+/// Welford-aggregated statistics of one measure column across rounds,
+/// per attribute. The match-rate estimator's "matches"/"mse" columns
+/// appear here too — the legacy MethodAttributeResult fields are filled
+/// from the same accumulators, so the two views can never drift.
+struct RiskMeasureStats {
+  std::string estimator;
+  std::string measure;
+  /// False when the execution path could not evaluate this estimator
+  /// (estimators beyond match-rate need the code path); mean/stddev are
+  /// zero-filled then.
+  bool active = true;
+  /// Per attribute: mean/stddev over the rounds where the cell was
+  /// present, and how many rounds that was (0 = measure does not apply
+  /// to the attribute, like MSE on a categorical column).
+  std::vector<double> mean;
+  std::vector<double> stddev;
+  std::vector<size_t> rounds;
+
+  Result<double> MeanFor(size_t attribute) const;
+};
+
 struct MethodResult {
   GenerationMethod method = GenerationMethod::kRandom;
   std::vector<MethodAttributeResult> attributes;
+  /// One entry per measure column of every estimator in the registry
+  /// the run used, in registry order.
+  std::vector<RiskMeasureStats> measures;
   /// Seed of each round's derived RNG stream, in round order: round k of
   /// this run replays exactly as ExperimentEngine::ReplayRound(method,
   /// round_seeds[k]).
   std::vector<uint64_t> round_seeds;
 
   Result<MethodAttributeResult> ForAttribute(size_t attribute) const;
+  /// The stats column for (estimator, measure); OutOfRange if the run's
+  /// registry did not include it.
+  Result<RiskMeasureStats> ForMeasure(const std::string& estimator,
+                                      const std::string& measure) const;
+};
+
+/// One round's raw cells for one measure column — the replay-level
+/// counterpart of RiskMeasureStats.
+struct RoundMeasureValues {
+  std::string estimator;
+  std::string measure;
+  /// One cell per attribute.
+  std::vector<RiskMeasureCell> cells;
 };
 
 /// Runs experiment methods against one real relation. Encodes the real
@@ -125,6 +171,15 @@ class ExperimentEngine {
   Result<LeakageReport> ReplayRound(GenerationMethod method,
                                     uint64_t round_seed,
                                     const ExperimentConfig& config = {}) const;
+
+  /// Re-executes a single recorded round and returns the raw cells of
+  /// every measure column the config's registry emits for it — the
+  /// estimator-level drill-down next to ReplayRound's Def 2.2/2.3
+  /// report. On the value-path fallback only the match-rate columns are
+  /// returned.
+  Result<std::vector<RoundMeasureValues>> ReplayRoundMeasures(
+      GenerationMethod method, uint64_t round_seed,
+      const ExperimentConfig& config = {}) const;
 
  private:
   struct MethodPlan;

@@ -133,26 +133,49 @@ Result<double> AttributeMse(const Relation& real, const Relation& synthetic,
   return acc / static_cast<double>(n);
 }
 
+LeakageReport AssembleLeakageReport(
+    const std::vector<LeakageAttributeMeta>& meta,
+    const AttributeRoundStats* stats) {
+  LeakageReport report;
+  report.attributes.reserve(meta.size());
+  for (size_t c = 0; c < meta.size(); ++c) {
+    AttributeLeakage entry;
+    entry.attribute = meta[c].attribute;
+    entry.name = meta[c].name;
+    entry.semantic = meta[c].semantic;
+    entry.rows_compared = meta[c].rows_compared;
+    entry.matches = stats[c].matches;
+    if (stats[c].has_mse) entry.mse = stats[c].mse;
+    entry.match_rate = meta[c].rows_compared == 0
+                           ? 0.0
+                           : static_cast<double>(entry.matches) /
+                                 static_cast<double>(meta[c].rows_compared);
+    report.attributes.push_back(std::move(entry));
+  }
+  return report;
+}
+
 Result<LeakageReport> EvaluateLeakage(const Relation& real,
                                       const Relation& synthetic,
                                       const LeakageOptions& options) {
   METALEAK_RETURN_NOT_OK(CheckAligned(real, synthetic));
-  LeakageReport report;
-  for (size_t c = 0; c < real.num_columns(); ++c) {
+  const size_t m = real.num_columns();
+  std::vector<LeakageAttributeMeta> meta(m);
+  std::vector<AttributeRoundStats> stats(m);
+  for (size_t c = 0; c < m; ++c) {
     const Attribute& attr = real.schema().attribute(c);
-    AttributeLeakage entry;
-    entry.attribute = c;
-    entry.name = attr.name;
-    entry.semantic = attr.semantic;
+    meta[c].attribute = c;
+    meta[c].name = attr.name;
+    meta[c].semantic = attr.semantic;
 
     size_t compared = 0;
     for (size_t r = 0; r < real.num_rows(); ++r) {
       if (!real.at(r, c).is_null()) ++compared;
     }
-    entry.rows_compared = compared;
+    meta[c].rows_compared = compared;
 
     if (attr.semantic == SemanticType::kCategorical) {
-      METALEAK_ASSIGN_OR_RETURN(entry.matches,
+      METALEAK_ASSIGN_OR_RETURN(stats[c].matches,
                                 CountCategoricalMatches(real, synthetic, c));
     } else {
       double epsilon;
@@ -164,17 +187,14 @@ Result<LeakageReport> EvaluateLeakage(const Relation& real,
                               : 0.0;
       }
       METALEAK_ASSIGN_OR_RETURN(
-          entry.matches, CountContinuousMatches(real, synthetic, c, epsilon));
-      METALEAK_ASSIGN_OR_RETURN(double mse, AttributeMse(real, synthetic, c));
-      entry.mse = mse;
+          stats[c].matches,
+          CountContinuousMatches(real, synthetic, c, epsilon));
+      METALEAK_ASSIGN_OR_RETURN(stats[c].mse,
+                                AttributeMse(real, synthetic, c));
+      stats[c].has_mse = true;
     }
-    entry.match_rate =
-        compared == 0 ? 0.0
-                      : static_cast<double>(entry.matches) /
-                            static_cast<double>(compared);
-    report.attributes.push_back(std::move(entry));
   }
-  return report;
+  return AssembleLeakageReport(meta, stats.data());
 }
 
 // --- Code-path evaluator -------------------------------------------------
@@ -422,28 +442,23 @@ EncodedLeakageContext::AttributeView EncodedLeakageContext::ViewAttribute(
   return view;
 }
 
+std::vector<LeakageAttributeMeta> EncodedLeakageContext::AttributeMetas()
+    const {
+  std::vector<LeakageAttributeMeta> meta(attrs_.size());
+  for (size_t c = 0; c < attrs_.size(); ++c) {
+    meta[c].attribute = c;
+    meta[c].name = attrs_[c].name;
+    meta[c].semantic = attrs_[c].semantic;
+    meta[c].rows_compared = attrs_[c].rows_compared;
+  }
+  return meta;
+}
+
 Result<LeakageReport> EncodedLeakageContext::EvaluateReport(
     const EncodedBatch& batch) const {
   std::vector<AttributeRoundStats> stats(attrs_.size());
   METALEAK_RETURN_NOT_OK(Evaluate(batch, stats.data()));
-  LeakageReport report;
-  report.attributes.reserve(attrs_.size());
-  for (size_t c = 0; c < attrs_.size(); ++c) {
-    const AttrPlan& plan = attrs_[c];
-    AttributeLeakage entry;
-    entry.attribute = c;
-    entry.name = plan.name;
-    entry.semantic = plan.semantic;
-    entry.rows_compared = plan.rows_compared;
-    entry.matches = stats[c].matches;
-    if (stats[c].has_mse) entry.mse = stats[c].mse;
-    entry.match_rate = plan.rows_compared == 0
-                           ? 0.0
-                           : static_cast<double>(entry.matches) /
-                                 static_cast<double>(plan.rows_compared);
-    report.attributes.push_back(std::move(entry));
-  }
-  return report;
+  return AssembleLeakageReport(AttributeMetas(), stats.data());
 }
 
 }  // namespace metaleak

@@ -91,6 +91,25 @@ struct AttributeRoundStats {
   bool has_mse = false;  // set for continuous attributes
 };
 
+/// Static per-attribute identity shared by every report assembler: who
+/// the attribute is and how many rows Def 2.2/2.3 can compare (real
+/// NULLs excluded). Both the value path and the code path reduce a
+/// round to (meta, AttributeRoundStats) pairs and hand them to
+/// AssembleLeakageReport, so exactly one place turns raw accumulator
+/// columns into a LeakageReport.
+struct LeakageAttributeMeta {
+  size_t attribute = 0;
+  std::string name;
+  SemanticType semantic = SemanticType::kCategorical;
+  size_t rows_compared = 0;
+};
+
+/// The single assembly point from raw round statistics to a
+/// LeakageReport. `stats` must hold meta.size() entries.
+LeakageReport AssembleLeakageReport(
+    const std::vector<LeakageAttributeMeta>& meta,
+    const AttributeRoundStats* stats);
+
 /// Code-path leakage evaluator: everything about R_real that Def 2.2/2.3
 /// need, resolved once against a *generation-domain* batch layout so each
 /// round is a branch-free scan over dense codes and doubles.
@@ -146,6 +165,12 @@ class EncodedLeakageContext {
   /// Convenience wrapper producing a full LeakageReport (adapter
   /// boundary for Relation-level callers like the VFL attack).
   Result<LeakageReport> EvaluateReport(const EncodedBatch& batch) const;
+
+  /// The per-attribute identity rows this context resolved at Build
+  /// time, in attribute order — the `meta` argument for
+  /// AssembleLeakageReport and for risk estimators that label their
+  /// measure columns.
+  std::vector<LeakageAttributeMeta> AttributeMetas() const;
 
   /// Dense read-only view of one attribute's resolved tables, for
   /// per-cell consumers (tuple risk) that score rows rather than whole

@@ -1,5 +1,6 @@
 #include "privacy/leakage_delta.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -41,6 +42,8 @@ Result<LeakageProfile> ComputeLeakageProfile(const EncodedRelation& encoded,
     attr.domain_leaks = attr.expected_random_matches >= 1.0;
     profile.attributes.push_back(std::move(attr));
   }
+  METALEAK_ASSIGN_OR_RETURN(profile.risk_measures,
+                            ComputeProfileMeasures(encoded, metadata));
   return profile;
 }
 
@@ -73,6 +76,34 @@ Result<LeakageDelta> DiffLeakageProfiles(const LeakageProfile& before,
       delta.dependencies_removed.push_back(d);
     }
   }
+  // Diff every measure column both profiles carry. A threshold of 1e-12
+  // bits separates real drift from the profile recomputation's own
+  // rounding; presence flips (a conditional-entropy bound appearing or
+  // vanishing with its dependency) always count.
+  constexpr double kDriftThreshold = 1e-12;
+  for (const RiskProfileMeasure& b : before.risk_measures) {
+    const RiskProfileMeasure* a = nullptr;
+    for (const RiskProfileMeasure& candidate : after.risk_measures) {
+      if (candidate.estimator == b.estimator &&
+          candidate.measure == b.measure) {
+        a = &candidate;
+        break;
+      }
+    }
+    if (a == nullptr || a->cells.size() != b.cells.size()) continue;
+    for (size_t c = 0; c < b.cells.size(); ++c) {
+      const RiskMeasureCell& before_cell = b.cells[c];
+      const RiskMeasureCell& after_cell = a->cells[c];
+      const bool presence_flip = before_cell.present != after_cell.present;
+      const bool moved =
+          before_cell.present && after_cell.present &&
+          std::abs(after_cell.value - before_cell.value) > kDriftThreshold;
+      if (presence_flip || moved) {
+        delta.measure_drifts.push_back(
+            MeasureDrift{b.estimator, b.measure, c, before_cell, after_cell});
+      }
+    }
+  }
   return delta;
 }
 
@@ -97,6 +128,19 @@ std::string LeakageDelta::ToString(const Schema& schema) const {
   }
   for (const Dependency& d : dependencies_removed) {
     os << "- " << d.ToString(schema) << "\n";
+  }
+  for (const MeasureDrift& drift : measure_drifts) {
+    os << schema.attribute(drift.attribute).name << ": "
+       << drift.estimator << "/" << drift.measure << " ";
+    if (!drift.before.present) {
+      os << "appeared at " << FormatDouble(drift.after.value, 3);
+    } else if (!drift.after.present) {
+      os << "vanished (was " << FormatDouble(drift.before.value, 3) << ")";
+    } else {
+      os << FormatDouble(drift.before.value, 3) << " -> "
+         << FormatDouble(drift.after.value, 3);
+    }
+    os << "\n";
   }
   return os.str();
 }

@@ -19,6 +19,7 @@
 #include "data/encoded_relation.h"
 #include "metadata/metadata_package.h"
 #include "privacy/leakage.h"
+#include "privacy/risk_estimator.h"
 
 namespace metaleak {
 
@@ -44,6 +45,11 @@ struct LeakageProfile {
   std::vector<AttributeExpectation> attributes;
   DependencySet dependencies;
   size_t num_conditional_fds = 0;
+  /// Batch-independent estimator measures (entropy, conditional entropy
+  /// given disclosed dependencies) evaluated over the dictionaries —
+  /// ComputeProfileMeasures output, cached with the snapshot and diffed
+  /// by DiffLeakageProfiles.
+  std::vector<RiskProfileMeasure> risk_measures;
 };
 
 /// Evaluates the analytical model straight off the dictionaries — no
@@ -54,6 +60,17 @@ struct LeakageProfile {
 Result<LeakageProfile> ComputeLeakageProfile(const EncodedRelation& encoded,
                                              const MetadataPackage& metadata,
                                              const LeakageOptions& leakage);
+
+/// One registered measure whose value moved for one attribute between
+/// two profiles (or whose presence flipped — a dependency disclosure
+/// gained or lost a conditional-entropy bound).
+struct MeasureDrift {
+  std::string estimator;
+  std::string measure;
+  size_t attribute = 0;
+  RiskMeasureCell before;
+  RiskMeasureCell after;
+};
 
 /// What changed between two profiles of the same schema.
 struct LeakageDelta {
@@ -67,11 +84,16 @@ struct LeakageDelta {
   /// Dependencies present after but not before, and vice versa.
   std::vector<Dependency> dependencies_added;
   std::vector<Dependency> dependencies_removed;
+  /// Registered measures that drifted more than 1e-12 in absolute value
+  /// (or flipped presence) for some attribute. Measures present in only
+  /// one profile are not diffed — a registry change is not a data
+  /// change.
+  std::vector<MeasureDrift> measure_drifts;
 
   bool empty() const {
     return rows_delta == 0 && newly_leaking.empty() &&
            no_longer_leaking.empty() && dependencies_added.empty() &&
-           dependencies_removed.empty();
+           dependencies_removed.empty() && measure_drifts.empty();
   }
 
   /// Human-readable summary, one line per change (empty string when

@@ -1,0 +1,604 @@
+#include "privacy/risk_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/math_util.h"
+#include "common/simd.h"
+#include "data/code_column.h"
+#include "metadata/dependency.h"
+
+namespace metaleak {
+
+namespace {
+
+Status CheckContext(const RiskContext& ctx) {
+  if (ctx.real == nullptr || ctx.syn_schema == nullptr ||
+      ctx.domains == nullptr) {
+    return Status::Invalid("risk context missing real/schema/domains");
+  }
+  const size_t m = ctx.real->num_columns();
+  if (m != ctx.syn_schema->num_attributes() || m != ctx.domains->size()) {
+    return Status::Invalid("relations have different arity");
+  }
+  for (size_t c = 0; c < m; ++c) {
+    if (ctx.real->schema().attribute(c).name !=
+        ctx.syn_schema->attribute(c).name) {
+      return Status::Invalid("attribute name mismatch at index " +
+                             std::to_string(c));
+    }
+  }
+  return Status::OK();
+}
+
+// Joint code-pair counter shared by the conditional-entropy and MI
+// computations. Dense array when the code product fits a 16 MiB budget,
+// hash map otherwise (at most one entry per row either way).
+constexpr uint64_t kDenseJointLimit = uint64_t{1} << 22;
+
+// Accumulates joint counts over (a[r], b[r]) pairs and hands the
+// nonzero counts plus the pair identities to `sink(x, y, count)`.
+template <typename Sink>
+void ForEachJointCount(const CodeColumnView& a, uint32_t num_a,
+                       const CodeColumnView& b, uint32_t num_b,
+                       Sink&& sink) {
+  const size_t n = a.size;
+  const uint64_t cells = uint64_t{num_a} * uint64_t{num_b};
+  if (cells <= kDenseJointLimit) {
+    std::vector<uint32_t> joint(static_cast<size_t>(cells), 0);
+    a.With([&](const auto* ap) {
+      b.With([&](const auto* bp) {
+        for (size_t r = 0; r < n; ++r) {
+          joint[static_cast<size_t>(ap[r]) * num_b + bp[r]]++;
+        }
+      });
+    });
+    for (uint32_t x = 0; x < num_a; ++x) {
+      const uint32_t* row = joint.data() + static_cast<size_t>(x) * num_b;
+      for (uint32_t y = 0; y < num_b; ++y) {
+        if (row[y] != 0) sink(x, y, row[y]);
+      }
+    }
+    return;
+  }
+  std::unordered_map<uint64_t, uint32_t> joint;
+  joint.reserve(std::min<size_t>(n, 1u << 20));
+  a.With([&](const auto* ap) {
+    b.With([&](const auto* bp) {
+      for (size_t r = 0; r < n; ++r) {
+        joint[(uint64_t{ap[r]} << 32) | bp[r]]++;
+      }
+    });
+  });
+  for (const auto& [key, count] : joint) {
+    sink(static_cast<uint32_t>(key >> 32), static_cast<uint32_t>(key),
+         count);
+  }
+}
+
+// H(a, b) - H(a) over all rows, NULL (code 0) participating as its own
+// symbol. Clamped at 0: the difference is mathematically non-negative
+// but the two log-sums round independently.
+double ConditionalEntropyBits(const EncodedRelation& real, size_t lhs,
+                              size_t rhs) {
+  const ColumnDictionary& dict_a = real.dictionary(lhs);
+  const ColumnDictionary& dict_b = real.dictionary(rhs);
+  std::vector<size_t> joint_counts;
+  ForEachJointCount(real.column_view(lhs), dict_a.num_codes(),
+                    real.column_view(rhs), dict_b.num_codes(),
+                    [&](uint32_t, uint32_t, uint32_t count) {
+                      joint_counts.push_back(count);
+                    });
+  std::vector<size_t> lhs_counts(dict_a.num_codes());
+  for (uint32_t code = 0; code < dict_a.num_codes(); ++code) {
+    lhs_counts[code] = dict_a.count(code);
+  }
+  return std::max(0.0, ShannonEntropyBits(joint_counts) -
+                           ShannonEntropyBits(lhs_counts));
+}
+
+// Entropy of the disclosed non-null marginal (codes 1..K), matching the
+// frequency table ValueDistribution::FromEncoded reads off the same
+// dictionary.
+double MarginalEntropyBits(const ColumnDictionary& dict) {
+  std::vector<size_t> counts;
+  counts.reserve(dict.num_codes() > 0 ? dict.num_codes() - 1 : 0);
+  for (uint32_t code = 1; code < dict.num_codes(); ++code) {
+    counts.push_back(dict.count(code));
+  }
+  return ShannonEntropyBits(counts);
+}
+
+// The batch-independent info-theoretic cells for one attribute, shared
+// by InfoTheoreticEstimator::Bind and ComputeProfileMeasures so the
+// per-round estimator and the cached profile can never disagree.
+RiskMeasureCell EntropyCell(const EncodedRelation& real, size_t c) {
+  return RiskMeasureCell{MarginalEntropyBits(real.dictionary(c)), true};
+}
+
+RiskMeasureCell CondEntropyCell(const EncodedRelation& real,
+                                const MetadataPackage* metadata, size_t c) {
+  RiskMeasureCell cell;
+  if (metadata == nullptr) return cell;
+  for (const Dependency& dep : metadata->dependencies.all()) {
+    if (dep.rhs != c || dep.lhs.size() != 1) continue;
+    const size_t lhs = dep.lhs.ToIndices()[0];
+    if (lhs >= real.num_columns()) continue;
+    const double h = ConditionalEntropyBits(real, lhs, c);
+    if (!cell.present || h < cell.value) cell = RiskMeasureCell{h, true};
+  }
+  return cell;
+}
+
+// Equi-width generation-domain bin of x, clamped into [0, kMiBins).
+// inv_width == 0 marks a degenerate (empty-range) domain: one bin.
+uint32_t MiBinOf(double lo, double inv_width, double x) {
+  constexpr uint32_t kBins = InfoTheoreticEstimator::kMiBins;
+  if (inv_width <= 0.0 || x <= lo) return 0;
+  const double b = (x - lo) * inv_width;
+  if (b >= static_cast<double>(kBins - 1)) return kBins - 1;
+  return static_cast<uint32_t>(b);
+}
+
+// MI from joint counts: sum p_xy log2(c_xy * n / (c_x * c_y)).
+double MiFromCounts(const std::vector<uint32_t>& joint, uint32_t num_a,
+                    uint32_t num_b, const uint64_t* a_counts,
+                    const uint64_t* b_counts, uint64_t n) {
+  if (n == 0) return 0.0;
+  const double dn = static_cast<double>(n);
+  double mi = 0.0;
+  for (uint32_t x = 0; x < num_a; ++x) {
+    if (a_counts[x] == 0) continue;
+    const uint32_t* row = joint.data() + static_cast<size_t>(x) * num_b;
+    const double cx = static_cast<double>(a_counts[x]);
+    for (uint32_t y = 0; y < num_b; ++y) {
+      if (row[y] == 0) continue;
+      const double cxy = static_cast<double>(row[y]);
+      mi += (cxy / dn) *
+            std::log2(cxy * dn / (cx * static_cast<double>(b_counts[y])));
+    }
+  }
+  return mi;
+}
+
+// --- MatchRateEstimator --------------------------------------------------
+
+class MatchRateBound : public BoundRiskEstimator {
+ public:
+  explicit MatchRateBound(EncodedLeakageContext ctx) : ctx_(std::move(ctx)) {}
+
+  Status Evaluate(const EncodedBatch& batch,
+                  RiskMeasureCell* cells) const override {
+    const size_t m = ctx_.num_attributes();
+    thread_local std::vector<AttributeRoundStats> stats;
+    stats.assign(m, AttributeRoundStats{});
+    METALEAK_RETURN_NOT_OK(ctx_.Evaluate(batch, stats.data()));
+    for (size_t c = 0; c < m; ++c) {
+      cells[MatchRateEstimator::kMatchesIndex * m + c] =
+          RiskMeasureCell{static_cast<double>(stats[c].matches), true};
+      cells[MatchRateEstimator::kMseIndex * m + c] =
+          stats[c].has_mse ? RiskMeasureCell{stats[c].mse, true}
+                           : RiskMeasureCell{};
+    }
+    return Status::OK();
+  }
+
+  const EncodedLeakageContext* leakage_context() const override {
+    return &ctx_;
+  }
+
+ private:
+  EncodedLeakageContext ctx_;
+};
+
+// --- InfoTheoreticEstimator ----------------------------------------------
+
+class InfoTheoreticBound : public BoundRiskEstimator {
+ public:
+  static constexpr uint32_t kSkipBin = 0xFFFFFFFFu;
+
+  struct Attr {
+    RiskMeasureCell entropy;
+    RiskMeasureCell cond_entropy;
+    bool mi_codes = false;  // joint over (dict code, domain code) pairs
+    // Code-pair MI inputs.
+    CodeColumnView real_codes;
+    uint32_t real_num_codes = 0;
+    uint32_t syn_num_codes = 0;
+    std::vector<uint64_t> real_counts;  // dict counts incl. NULL
+    // Bin MI inputs (real-stored columns).
+    std::vector<uint32_t> real_bins;  // per row; kSkipBin = NULL/non-num
+    double bin_lo = 0.0;
+    double bin_inv_width = 0.0;  // 0 = degenerate range, everything bin 0
+  };
+
+  explicit InfoTheoreticBound(std::vector<Attr> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  Status Evaluate(const EncodedBatch& batch,
+                  RiskMeasureCell* cells) const override {
+    const size_t m = attrs_.size();
+    if (batch.num_columns() != m) {
+      return Status::Invalid("relations have different arity");
+    }
+    for (size_t c = 0; c < m; ++c) {
+      const Attr& attr = attrs_[c];
+      cells[InfoTheoreticEstimator::kEntropyIndex * m + c] = attr.entropy;
+      cells[InfoTheoreticEstimator::kCondEntropyIndex * m + c] =
+          attr.cond_entropy;
+      cells[InfoTheoreticEstimator::kMiIndex * m + c] =
+          RiskMeasureCell{attr.mi_codes ? CodeMi(attr, batch, c)
+                                        : BinMi(attr, batch, c),
+                          true};
+    }
+    return Status::OK();
+  }
+
+ private:
+  double CodeMi(const Attr& attr, const EncodedBatch& batch,
+                size_t c) const {
+    const size_t n = batch.num_rows();
+    const uint32_t num_a = attr.real_num_codes;
+    const uint32_t num_b = attr.syn_num_codes;
+    // Generated-side marginal via the SIMD histogram kernels; real-side
+    // marginal straight off the dictionary counts.
+    thread_local std::vector<uint32_t> syn_counts;
+    syn_counts.assign(num_b, 0);
+    HistogramCodes(ActiveSimdLevel(), batch.code_view(c), num_b,
+                   syn_counts.data());
+    const double dn = static_cast<double>(n);
+    double mi = 0.0;
+    ForEachJointCount(
+        attr.real_codes, num_a, batch.code_view(c), num_b,
+        [&](uint32_t x, uint32_t y, uint32_t count) {
+          const double cxy = static_cast<double>(count);
+          mi += (cxy / dn) *
+                std::log2(cxy * dn /
+                          (static_cast<double>(attr.real_counts[x]) *
+                           static_cast<double>(syn_counts[y])));
+        });
+    return mi;
+  }
+
+  double BinMi(const Attr& attr, const EncodedBatch& batch,
+               size_t c) const {
+    constexpr uint32_t kBins = InfoTheoreticEstimator::kMiBins;
+    const std::vector<double>& syn = batch.reals(c);
+    const size_t n = std::min(syn.size(), attr.real_bins.size());
+    thread_local std::vector<uint32_t> joint;
+    joint.assign(static_cast<size_t>(kBins) * kBins, 0);
+    uint64_t included = 0;
+    for (size_t r = 0; r < n; ++r) {
+      const uint32_t rb = attr.real_bins[r];
+      if (rb == kSkipBin) continue;
+      const double s = syn[r];
+      if (std::isnan(s)) continue;
+      joint[static_cast<size_t>(rb) * kBins +
+            MiBinOf(attr.bin_lo, attr.bin_inv_width, s)]++;
+      ++included;
+    }
+    uint64_t row_sums[kBins] = {0};
+    uint64_t col_sums[kBins] = {0};
+    for (uint32_t x = 0; x < kBins; ++x) {
+      for (uint32_t y = 0; y < kBins; ++y) {
+        const uint32_t v = joint[static_cast<size_t>(x) * kBins + y];
+        row_sums[x] += v;
+        col_sums[y] += v;
+      }
+    }
+    return MiFromCounts(joint, kBins, kBins, row_sums, col_sums, included);
+  }
+
+  std::vector<Attr> attrs_;
+};
+
+// --- NnLinkageEstimator --------------------------------------------------
+
+class NnLinkageBound : public BoundRiskEstimator {
+ public:
+  struct Attr {
+    bool active = false;  // continuous attributes only
+    double epsilon = 0.0;
+    std::vector<double> real_numeric;  // per row, NaN = skip
+    bool coded = false;
+    std::vector<double> code_numeric;  // syn code -> numeric, NaN = NULL
+  };
+
+  explicit NnLinkageBound(std::vector<Attr> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  Status Evaluate(const EncodedBatch& batch,
+                  RiskMeasureCell* cells) const override {
+    const size_t m = attrs_.size();
+    if (batch.num_columns() != m) {
+      return Status::Invalid("relations have different arity");
+    }
+    for (size_t c = 0; c < m; ++c) {
+      const Attr& attr = attrs_[c];
+      RiskMeasureCell& eps_cell =
+          cells[NnLinkageEstimator::kEpsMatchesIndex * m + c];
+      RiskMeasureCell& top1_cell =
+          cells[NnLinkageEstimator::kTop1HitsIndex * m + c];
+      if (!attr.active) {
+        eps_cell = RiskMeasureCell{};
+        top1_cell = RiskMeasureCell{};
+        continue;
+      }
+      size_t eps_matches = 0;
+      size_t top1_hits = 0;
+      ScoreAttribute(attr, batch, c, &eps_matches, &top1_hits);
+      eps_cell = RiskMeasureCell{static_cast<double>(eps_matches), true};
+      top1_cell = RiskMeasureCell{static_cast<double>(top1_hits), true};
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Synthetic value of row r, NaN when the generator emitted NULL.
+  double SynAt(const Attr& attr, const EncodedBatch& batch, size_t c,
+               size_t r) const {
+    return attr.coded ? attr.code_numeric[batch.code_at(c, r)]
+                      : batch.reals(c)[r];
+  }
+
+  void ScoreAttribute(const Attr& attr, const EncodedBatch& batch, size_t c,
+                      size_t* eps_matches, size_t* top1_hits) const {
+    const size_t n = batch.num_rows();
+    thread_local std::vector<double> sorted;
+    sorted.clear();
+    sorted.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      const double s = SynAt(attr, batch, c, r);
+      if (!std::isnan(s)) sorted.push_back(s);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.empty()) return;
+    const size_t rows = std::min(n, attr.real_numeric.size());
+    for (size_t r = 0; r < rows; ++r) {
+      const double x = attr.real_numeric[r];
+      if (std::isnan(x)) continue;
+      auto it = std::lower_bound(sorted.begin(), sorted.end(), x);
+      double mindist = std::numeric_limits<double>::infinity();
+      if (it != sorted.end()) mindist = *it - x;
+      if (it != sorted.begin()) {
+        mindist = std::min(mindist, x - *(it - 1));
+      }
+      if (mindist <= attr.epsilon) ++*eps_matches;
+      const double aligned = SynAt(attr, batch, c, r);
+      // The adversary's top-1 link is correct when the index-aligned
+      // value ties the nearest-neighbor distance (ties count).
+      if (!std::isnan(aligned) && std::abs(x - aligned) <= mindist) {
+        ++*top1_hits;
+      }
+    }
+  }
+
+  std::vector<Attr> attrs_;
+};
+
+}  // namespace
+
+// --- MatchRateEstimator --------------------------------------------------
+
+const MatchRateEstimator& MatchRateEstimator::Instance() {
+  static const MatchRateEstimator instance;
+  return instance;
+}
+
+const std::string& MatchRateEstimator::name() const {
+  static const std::string name = "match_rate";
+  return name;
+}
+
+const std::vector<RiskMeasureSpec>& MatchRateEstimator::measures() const {
+  static const std::vector<RiskMeasureSpec> specs = {
+      {"matches", "Def 2.2/2.3 matches"},
+      {"mse", "MSE"},
+  };
+  return specs;
+}
+
+Result<std::unique_ptr<BoundRiskEstimator>> MatchRateEstimator::Bind(
+    const RiskContext& ctx) const {
+  METALEAK_RETURN_NOT_OK(CheckContext(ctx));
+  METALEAK_ASSIGN_OR_RETURN(
+      EncodedLeakageContext leakage_ctx,
+      EncodedLeakageContext::Build(*ctx.real, *ctx.syn_schema, *ctx.domains,
+                                   ctx.leakage));
+  return std::unique_ptr<BoundRiskEstimator>(
+      new MatchRateBound(std::move(leakage_ctx)));
+}
+
+// --- InfoTheoreticEstimator ----------------------------------------------
+
+const InfoTheoreticEstimator& InfoTheoreticEstimator::Instance() {
+  static const InfoTheoreticEstimator instance;
+  return instance;
+}
+
+const std::string& InfoTheoreticEstimator::name() const {
+  static const std::string name = "info_theoretic";
+  return name;
+}
+
+const std::vector<RiskMeasureSpec>& InfoTheoreticEstimator::measures()
+    const {
+  static const std::vector<RiskMeasureSpec> specs = {
+      {"entropy_bits", "H(attr) [bits]"},
+      {"cond_entropy_bits", "min H(attr | disclosed dep) [bits]"},
+      {"mi_bits", "MI(real; gen) [bits]"},
+  };
+  return specs;
+}
+
+Result<std::unique_ptr<BoundRiskEstimator>> InfoTheoreticEstimator::Bind(
+    const RiskContext& ctx) const {
+  METALEAK_RETURN_NOT_OK(CheckContext(ctx));
+  const EncodedRelation& real = *ctx.real;
+  const size_t m = real.num_columns();
+  const std::vector<EncodedBatch::ColumnKind> kinds =
+      ColumnKindsForDomains(*ctx.domains);
+  std::vector<InfoTheoreticBound::Attr> attrs(m);
+  for (size_t c = 0; c < m; ++c) {
+    InfoTheoreticBound::Attr& attr = attrs[c];
+    const ColumnDictionary& dict = real.dictionary(c);
+    attr.entropy = EntropyCell(real, c);
+    attr.cond_entropy = CondEntropyCell(real, ctx.metadata, c);
+    if (kinds[c] == EncodedBatch::ColumnKind::kCodes) {
+      attr.mi_codes = true;
+      attr.real_codes = real.column_view(c);
+      attr.real_num_codes = dict.num_codes();
+      attr.syn_num_codes =
+          static_cast<uint32_t>((*ctx.domains)[c].values().size()) + 1;
+      attr.real_counts.resize(dict.num_codes());
+      for (uint32_t code = 0; code < dict.num_codes(); ++code) {
+        attr.real_counts[code] = dict.count(code);
+      }
+    } else {
+      const Domain& domain = (*ctx.domains)[c];
+      attr.bin_lo = domain.lo();
+      attr.bin_inv_width =
+          domain.range() > 0.0
+              ? static_cast<double>(kMiBins) / domain.range()
+              : 0.0;
+      const std::vector<double> by_code = dict.NumericByCode();
+      const CodeColumnView col = real.column_view(c);
+      attr.real_bins.resize(real.num_rows());
+      for (size_t r = 0; r < real.num_rows(); ++r) {
+        const double x = by_code[col.at(r)];
+        attr.real_bins[r] =
+            std::isnan(x)
+                ? InfoTheoreticBound::kSkipBin
+                : MiBinOf(attr.bin_lo, attr.bin_inv_width, x);
+      }
+    }
+  }
+  return std::unique_ptr<BoundRiskEstimator>(
+      new InfoTheoreticBound(std::move(attrs)));
+}
+
+// --- NnLinkageEstimator --------------------------------------------------
+
+const NnLinkageEstimator& NnLinkageEstimator::Instance() {
+  static const NnLinkageEstimator instance;
+  return instance;
+}
+
+const std::string& NnLinkageEstimator::name() const {
+  static const std::string name = "nn_linkage";
+  return name;
+}
+
+const std::vector<RiskMeasureSpec>& NnLinkageEstimator::measures() const {
+  static const std::vector<RiskMeasureSpec> specs = {
+      {"nn_eps_matches", "NN eps-ball links"},
+      {"nn_top1_hits", "NN top-1 correct links"},
+  };
+  return specs;
+}
+
+Result<std::unique_ptr<BoundRiskEstimator>> NnLinkageEstimator::Bind(
+    const RiskContext& ctx) const {
+  METALEAK_RETURN_NOT_OK(CheckContext(ctx));
+  const EncodedRelation& real = *ctx.real;
+  const size_t m = real.num_columns();
+  const std::vector<EncodedBatch::ColumnKind> kinds =
+      ColumnKindsForDomains(*ctx.domains);
+  std::vector<NnLinkageBound::Attr> attrs(m);
+  for (size_t c = 0; c < m; ++c) {
+    if (real.schema().attribute(c).semantic != SemanticType::kContinuous) {
+      continue;
+    }
+    NnLinkageBound::Attr& attr = attrs[c];
+    attr.active = true;
+    // Same epsilon policy as the Def 2.3 scan.
+    if (ctx.leakage.absolute_epsilon.has_value()) {
+      attr.epsilon = *ctx.leakage.absolute_epsilon;
+    } else {
+      Result<Domain> domain = real.DomainOf(c);
+      attr.epsilon =
+          domain.ok() ? ctx.leakage.epsilon_fraction * domain->range() : 0.0;
+    }
+    const std::vector<double> by_code = real.dictionary(c).NumericByCode();
+    const CodeColumnView col = real.column_view(c);
+    attr.real_numeric.resize(real.num_rows());
+    for (size_t r = 0; r < real.num_rows(); ++r) {
+      attr.real_numeric[r] = by_code[col.at(r)];
+    }
+    if (kinds[c] == EncodedBatch::ColumnKind::kCodes) {
+      attr.coded = true;
+      const std::vector<Value>& domain_values = (*ctx.domains)[c].values();
+      attr.code_numeric.assign(domain_values.size() + 1,
+                               std::numeric_limits<double>::quiet_NaN());
+      for (size_t i = 0; i < domain_values.size(); ++i) {
+        if (domain_values[i].is_numeric()) {
+          attr.code_numeric[i + 1] = domain_values[i].AsNumeric();
+        }
+      }
+    }
+  }
+  return std::unique_ptr<BoundRiskEstimator>(
+      new NnLinkageBound(std::move(attrs)));
+}
+
+// --- Registry ------------------------------------------------------------
+
+RiskEstimatorRegistry::RiskEstimatorRegistry(
+    std::vector<const RiskEstimator*> estimators)
+    : estimators_(std::move(estimators)) {}
+
+const RiskEstimatorRegistry& RiskEstimatorRegistry::Default() {
+  static const RiskEstimatorRegistry registry(
+      {&MatchRateEstimator::Instance()});
+  return registry;
+}
+
+const RiskEstimatorRegistry& RiskEstimatorRegistry::All() {
+  static const RiskEstimatorRegistry registry(
+      {&MatchRateEstimator::Instance(),
+       &InfoTheoreticEstimator::Instance(),
+       &NnLinkageEstimator::Instance()});
+  return registry;
+}
+
+size_t RiskEstimatorRegistry::total_measures() const {
+  size_t total = 0;
+  for (const RiskEstimator* est : estimators_) {
+    total += est->measures().size();
+  }
+  return total;
+}
+
+// --- Profile measures ----------------------------------------------------
+
+Result<std::vector<RiskProfileMeasure>> ComputeProfileMeasures(
+    const EncodedRelation& real, const MetadataPackage& metadata) {
+  const size_t m = real.num_columns();
+  RiskProfileMeasure entropy;
+  entropy.estimator = InfoTheoreticEstimator::Instance().name();
+  entropy.measure =
+      InfoTheoreticEstimator::Instance()
+          .measures()[InfoTheoreticEstimator::kEntropyIndex]
+          .key;
+  entropy.cells.resize(m);
+  RiskProfileMeasure cond;
+  cond.estimator = entropy.estimator;
+  cond.measure = InfoTheoreticEstimator::Instance()
+                     .measures()[InfoTheoreticEstimator::kCondEntropyIndex]
+                     .key;
+  cond.cells.resize(m);
+  for (size_t c = 0; c < m; ++c) {
+    entropy.cells[c] = EntropyCell(real, c);
+    cond.cells[c] = CondEntropyCell(real, &metadata, c);
+  }
+  std::vector<RiskProfileMeasure> out;
+  out.push_back(std::move(entropy));
+  out.push_back(std::move(cond));
+  return out;
+}
+
+}  // namespace metaleak

@@ -19,8 +19,9 @@
 // rebuild — and re-profiles via targeted revalidation, re-checking only
 // dependencies whose support sets the batch touched. Each batch returns
 // the leakage delta: expected-match drift per attribute, attributes
-// crossing the >= 1 leak threshold, and dependencies the batch created
-// or destroyed.
+// crossing the >= 1 leak threshold, dependencies the batch created or
+// destroyed, and drift in every registered risk-estimator measure the
+// snapshot profiles carry (entropy / conditional-entropy bounds).
 #ifndef METALEAK_SERVICE_AUDIT_SERVICE_H_
 #define METALEAK_SERVICE_AUDIT_SERVICE_H_
 

@@ -4,7 +4,9 @@
 // A snapshot owns everything a query needs — the decoded relation, its
 // canonical encoding, a thread-safe partition cache seeded with the
 // single-attribute PLIs, the discovered dependency profile, and the
-// analytical leakage profile. Once built it is never mutated; concurrent
+// analytical leakage profile (including the batch-independent risk
+// estimator measures — entropy and conditional-entropy bounds — cached
+// by ComputeLeakageProfile). Once built it is never mutated; concurrent
 // audit / leakage / attack queries all read the same bundle (the PliCache
 // mutates internally but is thread-safe and single-flight). The service
 // layer hands snapshots out by shared_ptr, so a session can move on to a

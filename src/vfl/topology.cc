@@ -391,6 +391,7 @@ Result<std::vector<ParetoPoint>> SweepPolicyPareto(
       if (attack.monte_carlo.has_value()) {
         point.leakage_rate = attack.monte_carlo->overall_match_rate;
         point.mean_mse = attack.monte_carlo->mean_mse;
+        point.mi_leakage_bits = attack.monte_carlo->mean_mi_bits;
       } else {
         point.leakage_rate = ReportMatchRate(attack.leakage);
         point.mean_mse = ReportMeanMse(attack.leakage);
@@ -409,10 +410,14 @@ void MarkParetoFrontier(std::vector<ParetoPoint>* points) {
     for (size_t j = 0; j < points->size() && p.on_frontier; ++j) {
       if (j == i) continue;
       const ParetoPoint& q = (*points)[j];
+      const double p_mi = p.mi_leakage_bits.value_or(0.0);
+      const double q_mi = q.mi_leakage_bits.value_or(0.0);
       const bool weakly_better = q.joint_accuracy >= p.joint_accuracy &&
-                                 q.leakage_rate <= p.leakage_rate;
+                                 q.leakage_rate <= p.leakage_rate &&
+                                 q_mi <= p_mi;
       const bool strictly_better = q.joint_accuracy > p.joint_accuracy ||
-                                   q.leakage_rate < p.leakage_rate;
+                                   q.leakage_rate < p.leakage_rate ||
+                                   q_mi < p_mi;
       if (weakly_better && strictly_better) p.on_frontier = false;
     }
   }

@@ -180,8 +180,13 @@ struct ParetoPoint {
   /// policy prevents reconstruction entirely.
   double leakage_rate = 0.0;
   std::optional<double> mean_mse;
-  /// True when no other point has >= accuracy and <= leakage with one
-  /// strict.
+  /// Mean over victim attributes of the info-theoretic estimator's
+  /// real-vs-generated mutual information (bits); present only when the
+  /// point ran Monte-Carlo rounds (attack_rounds > 1) on the encoded
+  /// path. Treated as 0 bits by the frontier when absent.
+  std::optional<double> mi_leakage_bits;
+  /// True when no other point has >= accuracy, <= leakage and
+  /// <= MI-leakage with at least one strict.
   bool on_frontier = false;
 };
 
@@ -194,8 +199,8 @@ Result<std::vector<ParetoPoint>> SweepPolicyPareto(
     const std::vector<MetadataPolicy>& policies);
 
 /// Marks `on_frontier` on the non-dominated points (accuracy maximized,
-/// leakage minimized). Ties survive: only strict domination removes a
-/// point.
+/// match-rate leakage and MI leakage minimized — absent MI counts as 0
+/// bits). Ties survive: only strict domination removes a point.
 void MarkParetoFrontier(std::vector<ParetoPoint>* points);
 
 }  // namespace metaleak

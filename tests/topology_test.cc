@@ -495,10 +495,12 @@ TEST(TopologyParetoTest, SweepProducesDistinctTradeoffPoints) {
     if (p.on_frontier) ++on_frontier;
     for (const ParetoPoint& q : *points) {
       if (&p == &q || !p.on_frontier) continue;
+      const double p_mi = p.mi_leakage_bits.value_or(0.0);
+      const double q_mi = q.mi_leakage_bits.value_or(0.0);
       bool dominates = q.joint_accuracy >= p.joint_accuracy &&
-                       q.leakage_rate <= p.leakage_rate &&
+                       q.leakage_rate <= p.leakage_rate && q_mi <= p_mi &&
                        (q.joint_accuracy > p.joint_accuracy ||
-                        q.leakage_rate < p.leakage_rate);
+                        q.leakage_rate < p.leakage_rate || q_mi < p_mi);
       EXPECT_FALSE(dominates);
     }
   }
